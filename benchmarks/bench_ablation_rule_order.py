@@ -1,0 +1,67 @@
+"""Ablation — rule-application order (paper Section 5.3).
+
+"The rule set is confluent ... the order of application of the competing
+rules does not matter."  This bench runs every rotation of the rule list
+over the Wilos successes and checks all orders reach the same normal form,
+recording per-order wall time.
+"""
+
+import time
+
+from conftest import record_table
+
+from repro.core import STATUS_SUCCESS
+from repro.fir import loop_to_fold
+from repro.ir import build_dir, preprocess_program
+from repro.lang import parse_program
+from repro.rules import DEFAULT_RULES, RuleEngine
+from repro.workloads import WILOS_SAMPLES, wilos_catalog
+
+_CATALOG = wilos_catalog()
+_SUCCESS_SAMPLES = [s for s in WILOS_SAMPLES if s.expected == STATUS_SUCCESS]
+
+
+def _rotations():
+    rules = list(DEFAULT_RULES)
+    return [tuple(rules[i:] + rules[:i]) for i in range(len(rules))]
+
+
+def _normal_forms(rule_order):
+    forms = {}
+    for sample in _SUCCESS_SAMPLES:
+        program = preprocess_program(parse_program(sample.source))
+        ve, ctx = build_dir(program, sample.function)
+        engine = RuleEngine(_CATALOG, ctx.dag, rules=rule_order)
+        for name, node in sorted(ve.items()):
+            outcome = loop_to_fold(node, ctx.dag)
+            if not outcome.ok:
+                continue
+            result, _ = engine.transform(outcome.node)
+            forms[(sample.number, name)] = str(result)
+    return forms
+
+
+def test_rule_order_confluence(benchmark):
+    def run_all():
+        results = []
+        for order in _rotations():
+            start = time.perf_counter()
+            forms = _normal_forms(order)
+            elapsed = (time.perf_counter() - start) * 1000
+            results.append((order, forms, elapsed))
+        return results
+
+    results = benchmark(run_all)
+    baseline = results[0][1]
+    rows = []
+    for order, forms, elapsed in results:
+        same = forms == baseline
+        rows.append(
+            ["→".join(name for name, _ in order), f"{elapsed:.1f}", "same" if same else "DIFFERENT"]
+        )
+        assert same, "rule set must be confluent (Section 5.3)"
+    record_table(
+        "Ablation — rule order (all rotations reach the same normal form)",
+        ["order", "time (ms)", "normal form"],
+        rows,
+    )

@@ -1,0 +1,49 @@
+"""Experiment 2 — applicability of batching [11] / prefetching [19] vs
+EqSQL on the 33 Wilos samples.
+
+Paper: batching applies to 7/33, EqSQL to 24/33; in the 4 overlap cases
+EqSQL performs at least as well (it additionally pushes σ/π); prefetching
+applies essentially everywhere but reduces no data transfer.
+"""
+
+from conftest import record_table
+
+from repro.baselines import batching_applicable, prefetch_applicable
+from repro.workloads import EXPECT_CAPABLE, EXPECT_SUCCESS, WILOS_SAMPLES
+
+
+def _classify():
+    rows = []
+    batching = eqsql = overlap = prefetch = 0
+    for sample in WILOS_SAMPLES:
+        batch = batching_applicable(sample.source, sample.function)
+        eq = sample.expected in (EXPECT_SUCCESS, EXPECT_CAPABLE)
+        pre = prefetch_applicable(sample.source, sample.function)
+        batching += batch
+        eqsql += eq
+        overlap += batch and eq
+        prefetch += pre
+        rows.append(
+            [
+                sample.number,
+                f"{sample.file} ({sample.line})",
+                "yes" if batch else "-",
+                "yes" if eq else "-",
+                "yes" if pre else "-",
+            ]
+        )
+    return rows, batching, eqsql, overlap, prefetch
+
+
+def test_applicability(benchmark):
+    rows, batching, eqsql, overlap, prefetch = benchmark(_classify)
+    rows.append(["", "TOTAL", f"{batching}/33", f"{eqsql}/33", f"{prefetch}/33"])
+    record_table(
+        "Experiment 2 — technique applicability on Wilos "
+        f"(overlap batching∩EqSQL = {overlap}; paper: 7/33, 24/33, overlap 4)",
+        ["#", "Sample", "Batching", "EqSQL", "Prefetch"],
+        rows,
+    )
+    assert batching == 7
+    assert eqsql == 24
+    assert overlap == 4

@@ -1,0 +1,52 @@
+"""Experiment 4 — optimization time, EqSQL (measured) vs QBS (published).
+
+Paper: "for the code samples that we could successfully optimize, our
+techniques extract equivalent SQL in much less time than those of [4],
+even when run on a less powerful machine."  (static analysis vs synthesis)
+"""
+
+from conftest import record_table
+
+from repro.baselines import EQSQL_MACHINE, QBS_MACHINE, QBS_RESULTS
+from repro.core import STATUS_SUCCESS, extract_sql
+from repro.workloads import WILOS_SAMPLES, wilos_catalog
+
+_CATALOG = wilos_catalog()
+
+
+def _measure():
+    measurements = []
+    for sample in WILOS_SAMPLES:
+        qbs = QBS_RESULTS[sample.number]
+        if qbs.time_s is None:
+            continue
+        report = extract_sql(sample.source, sample.function, _CATALOG)
+        if report.status != STATUS_SUCCESS:
+            continue
+        measurements.append(
+            (sample.number, qbs.time_s, report.extraction_time_ms / 1000.0)
+        )
+    return measurements
+
+
+def test_optimization_time(benchmark):
+    measurements = benchmark(_measure)
+    assert measurements, "no overlapping successes to compare"
+    rows = []
+    speedups = []
+    for number, qbs_s, eqsql_s, in measurements:
+        speedup = qbs_s / eqsql_s
+        speedups.append(speedup)
+        rows.append([number, f"{qbs_s:.0f}", f"{eqsql_s:.4f}", f"{speedup:,.0f}×"])
+    rows.append(
+        ["", "min speedup", "", f"{min(speedups):,.0f}×"]
+    )
+    record_table(
+        "Experiment 4 — optimization time on common successes\n"
+        f"(QBS: {QBS_MACHINE}, published; EqSQL: measured here; paper EqSQL "
+        f"machine: {EQSQL_MACHINE})",
+        ["Sample", "QBS (s)", "EqSQL (s)", "Speedup"],
+        rows,
+    )
+    # Every common sample must be faster by a wide margin.
+    assert min(speedups) > 10

@@ -1,0 +1,111 @@
+"""Experiment 6 / Figure 9 — nested-loop join rewritten to a join query
+(Wilos #30, "slightly simplified to be handled by our current
+implementation").
+
+The original fetches WilosUser and Role fully (size ratio 40:1 as in the
+paper) and joins them in nested loops client-side.  The rewrite is a join
+query: faster (the engine picks the plan, no client nested loop), but
+transferring *marginally more* data because role attributes are replicated
+per user row — the paper calls this out explicitly.
+"""
+
+from conftest import record_table
+
+from repro.core import optimize_program
+from repro.db import Connection, Database
+from repro.interp import Interpreter
+from repro.workloads import wilos_catalog
+
+_CATALOG = wilos_catalog()
+
+# Two full fetches joined client-side; the 40:1 size ratio is in the data.
+JOIN_SOURCE = """
+userRoles() {
+    users = executeQuery("from WilosUser as u");
+    roles = executeQuery("from Role as r");
+    result = new ArrayList();
+    for (u : users) {
+        for (r : roles) {
+            if (r.getId() == u.getRole_id()) {
+                result.add(new Pair(u.getName(), r.getRole_name()));
+            }
+        }
+    }
+    return result;
+}
+"""
+
+_SIZES = [200, 1000, 4000]
+
+
+def _database(users: int) -> Database:
+    db = Database(_CATALOG)
+    roles = max(1, users // 40)  # the paper's 40:1 ratio
+    for i in range(1, roles + 1):
+        # Descriptive role names: in the join result they are replicated
+        # once per user row, which is what makes the transformed code
+        # transfer marginally more data (the paper's observation).
+        db.insert(
+            "role",
+            {
+                "id": i,
+                "role_name": f"role_number_{i}_of_the_wilos_process",
+                "project_id": i,
+            },
+        )
+    for i in range(1, users + 1):
+        db.insert(
+            "wilosuser",
+            {
+                "id": i,
+                "name": f"user{i}",
+                "login": f"login{i}",
+                "pass_word": f"pw{i}",
+                "role_id": i % roles + 1,
+                "active": True,
+            },
+        )
+    return db
+
+
+def _run(program, db):
+    conn = Connection(db)
+    result = Interpreter(program, conn, max_steps=100_000_000).run("userRoles")
+    return result, conn.stats
+
+
+def _series():
+    report = optimize_program(JOIN_SOURCE, "userRoles", _CATALOG)
+    assert report.rewritten is not None
+    rows = []
+    for users in _SIZES:
+        db = _database(users)
+        r1, s1 = _run(report.original, db)
+        r2, s2 = _run(report.rewritten, db)
+        assert sorted(map(str, r1)) == sorted(map(str, r2))
+        rows.append(
+            [
+                users,
+                f"{s1.simulated_time_ms:.3f}",
+                f"{s2.simulated_time_ms:.3f}",
+                s1.bytes_transferred,
+                s2.bytes_transferred,
+            ]
+        )
+    return rows
+
+
+def test_figure9_join(benchmark):
+    rows = benchmark(_series)
+    record_table(
+        "Figure 9 — Join (Wilos #30 simplified, WilosUser:Role = 40:1)",
+        ["users", "orig time", "opt time", "orig bytes", "opt bytes"],
+        rows,
+    )
+    for users, t1, t2, b1, b2 in rows:
+        assert float(t2) < float(t1), "join query must beat client nested loop"
+    # The paper's callout: the transformed code transfers marginally more
+    # data (role attributes replicated per user row) at the largest size.
+    _, _, _, b1, b2 = rows[-1]
+    assert b2 > b1
+    assert b2 < 3 * b1  # "marginally", not wildly

@@ -1,0 +1,60 @@
+"""Experiment 7 / Figure 10 — aggregation (Matoso findMaxScore, Figure 2).
+
+Paper: "the data transferred for the optimized query is constant, as only
+the single result value is transferred in all cases.  In contrast, data
+transfer for the original query increases linearly with table size."
+"""
+
+from conftest import record_table
+
+from repro.core import optimize_program
+from repro.db import Connection
+from repro.interp import Interpreter
+from repro.workloads import FIND_MAX_SCORE, matoso_catalog, matoso_database
+
+_CATALOG = matoso_catalog()
+_SIZES = [100, 500, 1000, 5000]
+
+
+def _run(program, db):
+    conn = Connection(db)
+    result = Interpreter(program, conn).run("findMaxScore")
+    return result, conn.stats
+
+
+def _series():
+    report = optimize_program(FIND_MAX_SCORE, "findMaxScore", _CATALOG)
+    assert report.rewritten is not None
+    rows = []
+    for size in _SIZES:
+        db = matoso_database(rows=size, catalog=_CATALOG)
+        r1, s1 = _run(report.original, db)
+        r2, s2 = _run(report.rewritten, db)
+        assert r1 == r2
+        rows.append(
+            [
+                size,
+                f"{s1.simulated_time_ms:.3f}",
+                f"{s2.simulated_time_ms:.3f}",
+                s1.bytes_transferred,
+                s2.bytes_transferred,
+            ]
+        )
+    return rows
+
+
+def test_figure10_aggregation(benchmark):
+    rows = benchmark(_series)
+    record_table(
+        "Figure 10 — Aggregation (Matoso findMaxScore)",
+        ["boards", "orig time", "opt time", "orig bytes", "opt bytes"],
+        rows,
+    )
+    orig_bytes = [r[3] for r in rows]
+    opt_bytes = [r[4] for r in rows]
+    # Original transfer grows linearly with table size...
+    assert orig_bytes[-1] > 10 * orig_bytes[0]
+    # ...optimized transfer is constant (one scalar).
+    assert len(set(opt_bytes)) == 1
+    for _, t1, t2, _, _ in rows:
+        assert float(t2) <= float(t1)

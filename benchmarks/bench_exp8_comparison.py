@@ -1,0 +1,106 @@
+"""Experiment 8 / Figure 11 — Original vs Batch vs Prefetch vs EqSQL on the
+JobPortal star-schema report (Figures 12–13).
+
+Paper: "EqSQL enhances performance by up to two orders of magnitude
+compared to the original program, and up to one order of magnitude compared
+to other optimizations", at 10/100/500/1000 iterations (applicants).
+"""
+
+from conftest import record_table
+
+from repro.core import optimize_program
+from repro.db import Connection
+from repro.interp import Interpreter
+from repro.workloads import JOB_REPORT, jobportal_catalog, jobportal_database
+from repro.baselines import run_batched_report, run_prefetch_report
+
+_CATALOG = jobportal_catalog()
+_ITERATIONS = [10, 100, 500, 1000]
+_INNER_QUERIES = [
+    ("personal", "name", False),
+    ("feedback1", "score1", False),
+    ("feedback2", "score2", False),
+    ("qualifications", "degree", True),  # conditional on applnMode
+]
+
+
+_REPORT = optimize_program(JOB_REPORT, "report", _CATALOG)
+assert _REPORT.consolidations, "JobPortal consolidation must apply"
+
+
+def _run_original(db):
+    conn = Connection(db)
+    interp = Interpreter(_REPORT.original, conn)
+    interp.run("report", 7)
+    return interp.last_out, conn.stats
+
+
+def _run_eqsql(db):
+    conn = Connection(db)
+    interp = Interpreter(_REPORT.rewritten, conn)
+    interp.run("report", 7)
+    return interp.last_out, conn.stats
+
+
+def _run_batch(db):
+    conn = Connection(db)
+    out = run_batched_report(db, conn, 7, _INNER_QUERIES)
+    return out, conn.stats
+
+
+def _run_prefetch(db):
+    conn = Connection(db)
+    out = run_prefetch_report(db, conn, 7, _INNER_QUERIES)
+    return out, conn.stats
+
+
+def _series():
+    rows = []
+    ratios = []
+    for n in _ITERATIONS:
+        db = jobportal_database(applicants=n, catalog=_CATALOG)
+        out0, original = _run_original(db)
+        out_b, batch = _run_batch(db)
+        out_p, prefetch = _run_prefetch(db)
+        out_e, eqsql = _run_eqsql(db)
+        assert out0 == out_b == out_p == out_e, "all strategies must agree"
+        rows.append(
+            [
+                n,
+                f"{original.simulated_time_ms:.3f}",
+                f"{batch.simulated_time_ms:.3f}",
+                f"{prefetch.simulated_time_ms:.3f}",
+                f"{eqsql.simulated_time_ms:.3f}",
+            ]
+        )
+        ratios.append(
+            (
+                n,
+                original.simulated_time_ms / eqsql.simulated_time_ms,
+                batch.simulated_time_ms / eqsql.simulated_time_ms,
+                prefetch.simulated_time_ms / eqsql.simulated_time_ms,
+            )
+        )
+    return rows, ratios
+
+
+def test_figure11_comparison(benchmark):
+    rows, ratios = benchmark(_series)
+    record_table(
+        "Figure 11 — JobPortal report (simulated ms; log-scale in the paper)",
+        ["iterations", "Original", "Batch", "Prefetch", "EqSQL"],
+        rows,
+    )
+    record_table(
+        "Figure 11 — speedups of EqSQL",
+        ["iterations", "vs Original", "vs Batch", "vs Prefetch"],
+        [[n, f"{a:.1f}×", f"{b:.1f}×", f"{c:.1f}×"] for n, a, b, c in ratios],
+    )
+    # Shape assertions from the paper's discussion:
+    largest = ratios[-1]
+    assert largest[1] > 50, "EqSQL ~2 orders of magnitude over Original"
+    assert largest[2] > 2, "EqSQL beats batching"
+    assert largest[3] > 2, "EqSQL beats prefetching"
+    # The baselines themselves do improve on the original.
+    for n, a, b, c in ratios[-2:]:
+        assert a > b and a > c

@@ -1,0 +1,16 @@
+"""Setup shim: the environment has setuptools but no `wheel`, so editable
+installs must go through the legacy ``setup.py develop`` path."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Extracting Equivalent SQL from Imperative Code in "
+        "Database Applications' (SIGMOD 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

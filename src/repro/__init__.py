@@ -1,0 +1,61 @@
+"""repro — reproduction of *Extracting Equivalent SQL from Imperative Code
+in Database Applications* (Emani, Ramachandra, Bhattacharya, Sudarshan;
+SIGMOD 2016).
+
+Public API
+----------
+
+The headline entry points:
+
+>>> from repro import extract_sql, optimize_program, Catalog
+>>> catalog = Catalog()
+>>> _ = catalog.define("board", ["id", "rnd_id", "p1", "p2"], key=("id",))
+>>> report = extract_sql(SOURCE, "findMaxScore", catalog)  # doctest: +SKIP
+
+Sub-packages:
+
+``repro.lang``      MiniJava front end (lexer/parser/AST/unparser)
+``repro.analysis``  CFG, dominators, regions, dataflow
+``repro.ir``        D-IR (ee-DAG + ve-Map)
+``repro.fir``       F-IR (fold) + preconditions + argmax
+``repro.rules``     transformation rules T1–T7 and the rule engine
+``repro.sqlgen``    SQL generation (PostgreSQL/MySQL/SQL Server/ANSI)
+``repro.rewrite``   program rewriting + dead-code elimination
+``repro.db``        in-memory engine + simulated client/server connection
+``repro.interp``    MiniJava interpreter (equivalence checks, benchmarks)
+``repro.workloads`` the paper's applications (Wilos, Matoso, JobPortal...)
+``repro.baselines`` batching / prefetching / QBS reference data
+``repro.cost``      Volcano/Cascades-style cost-based rewriting (App. C)
+"""
+
+from .algebra import Catalog
+from .core import (
+    ExtractionReport,
+    STATUS_CAPABLE,
+    STATUS_FAILED,
+    STATUS_SUCCESS,
+    VariableExtraction,
+    extract_sql,
+    optimize_program,
+)
+from .db import Connection, CostParameters, Database
+from .interp import Interpreter, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Connection",
+    "CostParameters",
+    "Database",
+    "ExtractionReport",
+    "Interpreter",
+    "STATUS_CAPABLE",
+    "STATUS_FAILED",
+    "STATUS_SUCCESS",
+    "VariableExtraction",
+    "extract_sql",
+    "optimize_program",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+``extract``   run EqSQL on a MiniJava source file and print the extracted
+              SQL (optionally the rewritten program);
+``demo``      the paper's Figure 2 → Figure 3(d) walk-through.
+
+Schemas are given either as a JSON file (``--schema``) of the form::
+
+    {"board": {"columns": ["id", "rnd_id", "p1"], "key": ["id"]}}
+
+or inline with repeated ``--table name:col1,col2[:keycol]`` options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .algebra import Catalog
+from .core import extract_sql, optimize_program
+from .lang import unparse_program
+
+
+def _build_catalog(args) -> Catalog:
+    catalog = Catalog()
+    if args.schema:
+        with open(args.schema) as handle:
+            spec = json.load(handle)
+        for name, table in spec.items():
+            catalog.define(
+                name, table["columns"], tuple(table.get("key", ()))
+            )
+    for entry in args.table or []:
+        parts = entry.split(":")
+        if len(parts) < 2:
+            raise SystemExit(f"--table expects name:col1,col2[:keycol], got {entry!r}")
+        name = parts[0]
+        columns = parts[1].split(",")
+        key = tuple(parts[2].split(",")) if len(parts) > 2 else ()
+        catalog.define(name, columns, key)
+    if not catalog.tables:
+        raise SystemExit("no schema given: use --schema FILE or --table name:cols[:key]")
+    return catalog
+
+
+def _cmd_extract(args) -> int:
+    catalog = _build_catalog(args)
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    if args.rewrite:
+        report = optimize_program(
+            source,
+            args.function,
+            catalog,
+            dialect=args.dialect,
+            policy=args.policy,
+        )
+    else:
+        report = extract_sql(
+            source,
+            args.function,
+            catalog,
+            dialect=args.dialect,
+            ordering_matters=not args.unordered,
+            allow_temp_tables=args.temp_tables,
+        )
+
+    print(f"function: {args.function}")
+    print(f"status:   {report.status}")
+    print(f"time:     {report.extraction_time_ms:.2f} ms")
+    for name, extraction in report.variables.items():
+        print(f"\nvariable {name!r}: {extraction.status}")
+        if extraction.sql:
+            print(f"  SQL: {extraction.sql}")
+        if extraction.reason:
+            print(f"  reason: {extraction.reason}")
+        if extraction.rule_trace:
+            print(f"  rules: {' → '.join(extraction.rule_trace)}")
+    for consolidation in report.consolidations:
+        print(
+            f"\nconsolidated loop @{consolidation.loop_sid}: "
+            f"{consolidation.queries_merged} queries → 1"
+        )
+        print(f"  SQL: {consolidation.sql}")
+    if args.rewrite and report.rewritten is not None:
+        print("\n--- rewritten program ---")
+        print(unparse_program(report.rewritten))
+    return 0 if report.status != "failed" else 1
+
+
+def _cmd_demo(_args) -> int:
+    from .workloads import FIND_MAX_SCORE, matoso_catalog
+
+    report = optimize_program(FIND_MAX_SCORE, "findMaxScore", matoso_catalog())
+    print("source (paper Figure 2):")
+    print(FIND_MAX_SCORE)
+    print("extracted SQL (Figure 3d):")
+    print(" ", report.variables["scoreMax"].sql)
+    print("\nrewritten program:")
+    print(unparse_program(report.rewritten))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EqSQL: extract equivalent SQL from imperative code (SIGMOD'16)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    extract = sub.add_parser("extract", help="extract SQL from a source file")
+    extract.add_argument("file", help="MiniJava source file ('-' for stdin)")
+    extract.add_argument("--function", "-f", required=True)
+    extract.add_argument("--schema", help="JSON schema file")
+    extract.add_argument(
+        "--table", action="append", help="inline table: name:col1,col2[:keycol]"
+    )
+    extract.add_argument(
+        "--dialect",
+        default="repro",
+        choices=["repro", "postgres", "mysql", "sqlserver", "ansi"],
+    )
+    extract.add_argument("--rewrite", action="store_true", help="print the rewritten program")
+    extract.add_argument(
+        "--policy", default="heuristic", choices=["heuristic", "cost"]
+    )
+    extract.add_argument(
+        "--unordered",
+        action="store_true",
+        help="result ordering irrelevant (keyword-search mode)",
+    )
+    extract.add_argument(
+        "--temp-tables",
+        action="store_true",
+        help="allow shipping non-query collections as temporary tables",
+    )
+    extract.set_defaults(func=_cmd_extract)
+
+    demo = sub.add_parser("demo", help="run the Figure 2 walk-through")
+    demo.set_defaults(func=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

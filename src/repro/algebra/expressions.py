@@ -1,0 +1,261 @@
+"""Scalar expression trees used inside relational algebra operators.
+
+These are the expressions appearing in selection predicates, projection
+lists, join conditions and aggregate arguments.  All nodes are immutable
+(frozen dataclasses over tuples) so that algebra trees can be hashed,
+compared structurally, and shared inside the ee-DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class ScalarExpr:
+    """Base class for scalar expressions."""
+
+    def children(self) -> tuple["ScalarExpr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Lit(ScalarExpr):
+    """A literal constant."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Col(ScalarExpr):
+    """A column reference, optionally qualified: ``Col('rnd_id', 'b')``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Param(ScalarExpr):
+    """A query parameter bound at execution time (e.g. a program variable)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f":{self.name}"
+
+
+@dataclass(frozen=True)
+class BinOp(ScalarExpr):
+    """A binary operation: comparison, arithmetic, or boolean connective."""
+
+    op: str
+    left: ScalarExpr
+    right: ScalarExpr
+
+    def children(self) -> tuple[ScalarExpr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(ScalarExpr):
+    """A unary operation: ``NOT x`` or ``-x``."""
+
+    op: str
+    operand: ScalarExpr
+
+    def children(self) -> tuple[ScalarExpr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Func(ScalarExpr):
+    """A scalar function call such as ``GREATEST(a, b)`` or ``UPPER(s)``."""
+
+    name: str
+    args: tuple[ScalarExpr, ...] = ()
+
+    def children(self) -> tuple[ScalarExpr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class AggCall(ScalarExpr):
+    """An aggregate function call inside a γ operator.
+
+    ``arg`` is ``None`` for ``COUNT(*)``.
+    """
+
+    func: str
+    arg: ScalarExpr | None = None
+    distinct: bool = False
+
+    def children(self) -> tuple[ScalarExpr, ...]:
+        if self.arg is None:
+            return ()
+        return (self.arg,)
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.func.upper()}({inner})"
+
+
+@dataclass(frozen=True)
+class CaseWhen(ScalarExpr):
+    """``CASE WHEN cond THEN a ELSE b END`` — the SQL form of the ``?`` node."""
+
+    cond: ScalarExpr
+    if_true: ScalarExpr
+    if_false: ScalarExpr
+
+    def children(self) -> tuple[ScalarExpr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def __str__(self) -> str:
+        return f"CASE WHEN {self.cond} THEN {self.if_true} ELSE {self.if_false} END"
+
+
+@dataclass(frozen=True)
+class ExistsExpr(ScalarExpr):
+    """``EXISTS (subquery)`` or ``NOT EXISTS`` when ``negated``.
+
+    ``query`` is a relational algebra node; kept as ``Any`` to avoid the
+    circular import with :mod:`repro.algebra.operators`.
+    """
+
+    query: Any
+    negated: bool = False
+
+    def __str__(self) -> str:
+        prefix = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{prefix}({self.query})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(ScalarExpr):
+    """A scalar subquery producing a single value."""
+
+    query: Any = field(hash=False, compare=True, default=None)
+
+    def __str__(self) -> str:
+        return f"({self.query})"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+
+
+def conjoin(*preds: ScalarExpr | None) -> ScalarExpr | None:
+    """AND together the non-``None`` predicates (returns ``None`` if empty)."""
+    parts = [p for p in preds if p is not None]
+    if not parts:
+        return None
+    result = parts[0]
+    for part in parts[1:]:
+        result = BinOp("AND", result, part)
+    return result
+
+
+def walk_scalar(expr: ScalarExpr):
+    """Yield ``expr`` and every scalar sub-expression, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk_scalar(child)
+
+
+def columns_of(expr: ScalarExpr) -> set[Col]:
+    """Return the set of column references inside a scalar expression."""
+    return {node for node in walk_scalar(expr) if isinstance(node, Col)}
+
+
+def params_of(expr: ScalarExpr) -> set[str]:
+    """Return the names of parameters referenced inside a scalar expression."""
+    return {node.name for node in walk_scalar(expr) if isinstance(node, Param)}
+
+
+def substitute_params(expr: ScalarExpr, bindings: dict[str, ScalarExpr]) -> ScalarExpr:
+    """Return a copy of ``expr`` with :class:`Param` nodes replaced."""
+    if isinstance(expr, Param) and expr.name in bindings:
+        return bindings[expr.name]
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            substitute_params(expr.left, bindings),
+            substitute_params(expr.right, bindings),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, substitute_params(expr.operand, bindings))
+    if isinstance(expr, Func):
+        return Func(expr.name, tuple(substitute_params(a, bindings) for a in expr.args))
+    if isinstance(expr, AggCall):
+        arg = None if expr.arg is None else substitute_params(expr.arg, bindings)
+        return AggCall(expr.func, arg, expr.distinct)
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            substitute_params(expr.cond, bindings),
+            substitute_params(expr.if_true, bindings),
+            substitute_params(expr.if_false, bindings),
+        )
+    return expr
+
+
+def rename_columns(expr: ScalarExpr, mapping: dict[str, str]) -> ScalarExpr:
+    """Return a copy of ``expr`` with column names rewritten per ``mapping``.
+
+    Keys may be bare names (``"x"``) or qualified (``"t.x"``); qualified keys
+    take precedence.
+    """
+    if isinstance(expr, Col):
+        qualified = f"{expr.qualifier}.{expr.name}" if expr.qualifier else expr.name
+        target = mapping.get(qualified, mapping.get(expr.name))
+        if target is None:
+            return expr
+        if "." in target:
+            qualifier, name = target.split(".", 1)
+            return Col(name, qualifier)
+        return Col(target)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            rename_columns(expr.left, mapping),
+            rename_columns(expr.right, mapping),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, rename_columns(expr.operand, mapping))
+    if isinstance(expr, Func):
+        return Func(expr.name, tuple(rename_columns(a, mapping) for a in expr.args))
+    if isinstance(expr, AggCall):
+        arg = None if expr.arg is None else rename_columns(expr.arg, mapping)
+        return AggCall(expr.func, arg, expr.distinct)
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            rename_columns(expr.cond, mapping),
+            rename_columns(expr.if_true, mapping),
+            rename_columns(expr.if_false, mapping),
+        )
+    return expr

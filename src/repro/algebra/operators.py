@@ -1,0 +1,278 @@
+"""Extended relational algebra operators (Section 3.2.1 of the paper).
+
+The operator set is the paper's: selection σ, projection-without-duplicate-
+elimination π (order preserving), join ⋈, aggregation γ, sorting τ,
+duplicate elimination δ, plus the OUTER APPLY construct used by rule T7 and
+LIMIT used for argmax extraction (Appendix B).  All nodes are immutable and
+structurally hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .expressions import AggCall, Col, ScalarExpr
+
+
+class RelExpr:
+    """Base class for relational algebra expressions."""
+
+    def children(self) -> tuple["RelExpr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Table(RelExpr):
+    """A base relation scan, optionally aliased."""
+
+    name: str
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        if self.alias and self.alias != self.name:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Select(RelExpr):
+    """σ — selection."""
+
+    child: RelExpr
+    pred: ScalarExpr
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"σ[{self.pred}]({self.child})"
+
+
+@dataclass(frozen=True)
+class ProjectItem:
+    """One output column of a projection: expression plus optional alias."""
+
+    expr: ScalarExpr
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Col):
+            return self.expr.name
+        return str(self.expr)
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.expr} AS {self.alias}"
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class Project(RelExpr):
+    """π — projection *without* duplicate elimination, order preserving."""
+
+    child: RelExpr
+    items: tuple[ProjectItem, ...]
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(item) for item in self.items)
+        return f"π[{cols}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Join(RelExpr):
+    """⋈ — join; ``kind`` is ``inner``, ``left``, or ``cross``."""
+
+    left: RelExpr
+    right: RelExpr
+    pred: ScalarExpr | None = None
+    kind: str = "inner"
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        symbol = {"inner": "⋈", "left": "⟕", "cross": "×"}.get(self.kind, "⋈")
+        if self.pred is None:
+            return f"({self.left} {symbol} {self.right})"
+        return f"({self.left} {symbol}[{self.pred}] {self.right})"
+
+
+@dataclass(frozen=True)
+class AggItem:
+    """One aggregate output of a γ operator."""
+
+    call: AggCall
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        return str(self.call)
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.call} AS {self.alias}"
+        return str(self.call)
+
+
+@dataclass(frozen=True)
+class Aggregate(RelExpr):
+    """γ — (grouped) aggregation; ``group_by`` may be empty."""
+
+    child: RelExpr
+    group_by: tuple[ScalarExpr, ...]
+    aggs: tuple[AggItem, ...]
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        groups = ", ".join(str(g) for g in self.group_by)
+        calls = ", ".join(str(a) for a in self.aggs)
+        return f"γ[{groups}; {calls}]({self.child})"
+
+
+@dataclass(frozen=True)
+class SortKey:
+    expr: ScalarExpr
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.expr} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class Sort(RelExpr):
+    """τ — sorting."""
+
+    child: RelExpr
+    keys: tuple[SortKey, ...]
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        return f"τ[{keys}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Distinct(RelExpr):
+    """δ — duplicate elimination."""
+
+    child: RelExpr
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"δ({self.child})"
+
+
+@dataclass(frozen=True)
+class Limit(RelExpr):
+    """LIMIT — used when translating argmax/argmin via ORDER BY + LIMIT."""
+
+    child: RelExpr
+    count: int
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"limit[{self.count}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Alias(RelExpr):
+    """A named derived table: ``(subquery) AS name``.
+
+    Row values pass through unchanged; the alias additionally qualifies the
+    output columns so correlated subqueries and join predicates can refer to
+    them unambiguously.
+    """
+
+    child: RelExpr
+    name: str
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"({self.child}) AS {self.name}"
+
+
+@dataclass(frozen=True)
+class OuterApply(RelExpr):
+    """OUTER APPLY (Appendix B, rule T7).
+
+    For each row of ``left``, evaluates ``right`` (whose predicate may
+    reference columns of ``left``) and concatenates; when ``right`` is empty
+    the left row is padded with NULLs.  Equivalent to LATERAL LEFT JOIN.
+    """
+
+    left: RelExpr
+    right: RelExpr
+
+    def children(self) -> tuple[RelExpr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} OApply {self.right})"
+
+
+# ----------------------------------------------------------------------
+# Traversal and rewriting helpers
+
+
+def walk_relational(expr: RelExpr):
+    """Yield ``expr`` and every relational sub-expression, pre-order."""
+    yield expr
+    for child in expr.children():
+        yield from walk_relational(child)
+
+
+def base_tables(expr: RelExpr) -> set[str]:
+    """Return the names of all base tables referenced by an expression."""
+    return {node.name for node in walk_relational(expr) if isinstance(node, Table)}
+
+
+def replace_child(expr: RelExpr, old: RelExpr, new: RelExpr) -> RelExpr:
+    """Return a copy of ``expr`` with one direct child replaced."""
+    if isinstance(expr, Select):
+        return Select(new if expr.child is old else expr.child, expr.pred)
+    if isinstance(expr, Project):
+        return Project(new if expr.child is old else expr.child, expr.items)
+    if isinstance(expr, Join):
+        left = new if expr.left is old else expr.left
+        right = new if expr.right is old else expr.right
+        return Join(left, right, expr.pred, expr.kind)
+    if isinstance(expr, Aggregate):
+        return Aggregate(new if expr.child is old else expr.child, expr.group_by, expr.aggs)
+    if isinstance(expr, Sort):
+        return Sort(new if expr.child is old else expr.child, expr.keys)
+    if isinstance(expr, Distinct):
+        return Distinct(new if expr.child is old else expr.child)
+    if isinstance(expr, Limit):
+        return Limit(new if expr.child is old else expr.child, expr.count)
+    if isinstance(expr, OuterApply):
+        left = new if expr.left is old else expr.left
+        right = new if expr.right is old else expr.right
+        return OuterApply(left, right)
+    if isinstance(expr, Alias):
+        return Alias(new if expr.child is old else expr.child, expr.name)
+    raise TypeError(f"cannot replace child of {type(expr).__name__}")
+
+
+def strip_sort(expr: RelExpr) -> RelExpr:
+    """Remove top-level τ operators (used when result order is irrelevant)."""
+    while isinstance(expr, Sort):
+        expr = expr.child
+    return expr

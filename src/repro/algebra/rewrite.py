@@ -1,0 +1,103 @@
+"""Structural rewriting utilities over relational algebra trees."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .expressions import (
+    Lit,
+    Param,
+    ScalarExpr,
+    substitute_params,
+    walk_scalar,
+)
+from .operators import (
+    AggItem,
+    Aggregate,
+    Alias,
+    Distinct,
+    Join,
+    Limit,
+    OuterApply,
+    Project,
+    ProjectItem,
+    RelExpr,
+    Select,
+    Sort,
+    SortKey,
+    Table,
+)
+
+
+def scalar_exprs_of(node: RelExpr) -> list[ScalarExpr]:
+    """The scalar expressions directly embedded in one relational node."""
+    if isinstance(node, Select):
+        return [node.pred]
+    if isinstance(node, Project):
+        return [item.expr for item in node.items]
+    if isinstance(node, Join):
+        return [node.pred] if node.pred is not None else []
+    if isinstance(node, Aggregate):
+        exprs = list(node.group_by)
+        exprs.extend(item.call for item in node.aggs)
+        return exprs
+    if isinstance(node, Sort):
+        return [key.expr for key in node.keys]
+    return []
+
+
+def map_scalars(node: RelExpr, fn: Callable[[ScalarExpr], ScalarExpr]) -> RelExpr:
+    """Rebuild a relational tree applying ``fn`` to every scalar expression."""
+    if isinstance(node, Table):
+        return node
+    if isinstance(node, Select):
+        return Select(map_scalars(node.child, fn), fn(node.pred))
+    if isinstance(node, Project):
+        items = tuple(ProjectItem(fn(i.expr), i.alias) for i in node.items)
+        return Project(map_scalars(node.child, fn), items)
+    if isinstance(node, Join):
+        pred = fn(node.pred) if node.pred is not None else None
+        return Join(map_scalars(node.left, fn), map_scalars(node.right, fn), pred, node.kind)
+    if isinstance(node, Aggregate):
+        group_by = tuple(fn(g) for g in node.group_by)
+        aggs = tuple(AggItem(fn(a.call), a.alias) for a in node.aggs)
+        return Aggregate(map_scalars(node.child, fn), group_by, aggs)
+    if isinstance(node, Sort):
+        keys = tuple(SortKey(fn(k.expr), k.ascending) for k in node.keys)
+        return Sort(map_scalars(node.child, fn), keys)
+    if isinstance(node, Distinct):
+        return Distinct(map_scalars(node.child, fn))
+    if isinstance(node, Limit):
+        return Limit(map_scalars(node.child, fn), node.count)
+    if isinstance(node, OuterApply):
+        return OuterApply(map_scalars(node.left, fn), map_scalars(node.right, fn))
+    if isinstance(node, Alias):
+        return Alias(map_scalars(node.child, fn), node.name)
+    raise TypeError(f"cannot rewrite {type(node).__name__}")
+
+
+def query_params(node: RelExpr) -> set[str]:
+    """All :name parameters appearing anywhere in a relational tree."""
+    names: set[str] = set()
+
+    def collect(rel: RelExpr) -> None:
+        for scalar in scalar_exprs_of(rel):
+            for sub in walk_scalar(scalar):
+                if isinstance(sub, Param):
+                    names.add(sub.name)
+        for child in rel.children():
+            collect(child)
+
+    collect(node)
+    return names
+
+
+def bind_rel_params(node: RelExpr, bindings: dict[str, ScalarExpr]) -> RelExpr:
+    """Substitute parameters throughout a relational tree."""
+    return map_scalars(node, lambda e: substitute_params(e, bindings))
+
+
+def bind_rel_literals(node: RelExpr, values: dict[str, object]) -> RelExpr:
+    """Substitute parameters with literal values."""
+    bindings = {name: Lit(value) for name, value in values.items()}
+    return bind_rel_params(node, bindings)

@@ -1,0 +1,139 @@
+"""Schema objects: column and table definitions plus schema inference.
+
+The catalog describes base tables (name, columns, optional unique key).
+Rule T4/T5 in the paper require the outer query to have a unique key; the
+precondition is checked against this catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .expressions import Col, ScalarExpr
+from .operators import (
+    Aggregate,
+    Alias,
+    Distinct,
+    Join,
+    Limit,
+    OuterApply,
+    Project,
+    RelExpr,
+    Select,
+    Sort,
+    Table,
+)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A column definition in a base table."""
+
+    name: str
+    type: str = "any"  # one of: int, float, str, bool, any
+
+
+@dataclass
+class TableDef:
+    """A base table definition."""
+
+    name: str
+    columns: list[ColumnDef]
+    key: tuple[str, ...] = ()
+
+    def column_names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return any(col.name == name for col in self.columns)
+
+
+@dataclass
+class Catalog:
+    """A collection of table definitions."""
+
+    tables: dict[str, TableDef] = field(default_factory=dict)
+
+    def add(self, table: TableDef) -> None:
+        self.tables[table.name.lower()] = table
+
+    def define(self, name: str, columns: list[str], key: tuple[str, ...] = ()) -> TableDef:
+        table = TableDef(name=name, columns=[ColumnDef(c) for c in columns], key=key)
+        self.add(table)
+        return table
+
+    def get(self, name: str) -> TableDef:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+
+def output_columns(expr: RelExpr, catalog: Catalog) -> list[str]:
+    """Infer the output column names of a relational expression."""
+    if isinstance(expr, Table):
+        return catalog.get(expr.name).column_names()
+    if isinstance(expr, (Select, Sort, Distinct, Limit, Alias)):
+        return output_columns(expr.child, catalog)
+    if isinstance(expr, Project):
+        return [item.output_name for item in expr.items]
+    if isinstance(expr, (Join, OuterApply)):
+        left = output_columns(expr.left, catalog)
+        right = output_columns(expr.right, catalog)
+        merged = list(left)
+        for name in right:
+            if name not in merged:
+                merged.append(name)
+        return merged
+    if isinstance(expr, Aggregate):
+        names = []
+        for group in expr.group_by:
+            names.append(group.name if isinstance(group, Col) else str(group))
+        names.extend(item.output_name for item in expr.aggs)
+        return names
+    raise TypeError(f"cannot infer schema of {type(expr).__name__}")
+
+
+def has_unique_key(expr: RelExpr, catalog: Catalog) -> bool:
+    """Check the precondition of rules T4.1/T5.2: the input has a key.
+
+    Conservative: true when the expression is (a chain of key-preserving
+    operators over) a single base table that declares a key, and any
+    projection retains all key columns.  Unknown tables (e.g. temporary
+    tables registered at run time) have no known key.
+    """
+    if isinstance(expr, Table):
+        if expr.name not in catalog:
+            return False
+        return bool(catalog.get(expr.name).key)
+    if isinstance(expr, (Select, Sort, Distinct, Limit, Alias)):
+        return has_unique_key(expr.child, catalog)
+    if isinstance(expr, Project):
+        key = _key_of(expr.child, catalog)
+        if key is None:
+            return False
+        retained = set()
+        for item in expr.items:
+            if isinstance(item.expr, Col):
+                retained.add(item.expr.name)
+        return set(key) <= retained
+    return False
+
+
+def _key_of(expr: RelExpr, catalog: Catalog) -> tuple[str, ...] | None:
+    if isinstance(expr, Table):
+        if expr.name not in catalog:
+            return None
+        key = catalog.get(expr.name).key
+        return key or None
+    if isinstance(expr, (Select, Sort, Distinct, Limit, Alias)):
+        return _key_of(expr.child, catalog)
+    return None
+
+
+def key_of(expr: RelExpr, catalog: Catalog) -> tuple[str, ...] | None:
+    """Return the unique key columns of an expression, or ``None``."""
+    return _key_of(expr, catalog)

@@ -1,0 +1,226 @@
+"""Control flow graph construction for MiniJava functions.
+
+The CFG is built over statement ids (``sid``).  Basic blocks group maximal
+straight-line statement runs; edges follow the usual structured-control
+rules, including ``break``/``continue``/``return``.  The CFG exists for the
+dominator/region verification layer (the paper builds regions over Soot
+CFGs); D-IR construction itself uses the structured region tree of
+:mod:`repro.analysis.regions`, which the paper explicitly sanctions
+("alternatively, it is possible to use an abstract syntax tree to identify
+program regions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import (
+    Assign,
+    Block,
+    Break,
+    Continue,
+    ExprStmt,
+    ForEach,
+    FunctionDef,
+    If,
+    Return,
+    Stmt,
+    TryCatch,
+    While,
+)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of statements."""
+
+    index: int
+    statements: list[Stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+    label: str = ""
+
+    def statement_ids(self) -> list[int]:
+        return [stmt.sid for stmt in self.statements]
+
+
+class CFG:
+    """A control flow graph with dedicated entry and exit blocks."""
+
+    def __init__(self):
+        self.blocks: list[BasicBlock] = []
+        self.entry = self._new_block("entry").index
+        self.exit = self._new_block("exit").index
+
+    def _new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, source: int, target: int) -> None:
+        if target not in self.blocks[source].successors:
+            self.blocks[source].successors.append(target)
+        if source not in self.blocks[target].predecessors:
+            self.blocks[target].predecessors.append(source)
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def reachable_blocks(self) -> set[int]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            current = stack.pop()
+            for succ in self.blocks[current].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        lines = []
+        for block in self.blocks:
+            ids = ",".join(str(s) for s in block.statement_ids())
+            lines.append(
+                f"B{block.index}[{block.label}]({ids}) -> {block.successors}"
+            )
+        return "\n".join(lines)
+
+
+class _Builder:
+    def __init__(self):
+        self.cfg = CFG()
+        self._current = self.cfg._new_block("b0").index
+        self.cfg.add_edge(self.cfg.entry, self._current)
+        # Stack of (continue_target, break_target) for enclosing loops.
+        self._loop_stack: list[tuple[int, int]] = []
+        self._terminated = False
+
+    def build(self, func: FunctionDef) -> CFG:
+        self._emit_block(func.body)
+        if not self._terminated:
+            self.cfg.add_edge(self._current, self.cfg.exit)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+
+    def _fresh(self, label: str = "") -> int:
+        block = self.cfg._new_block(label)
+        return block.index
+
+    def _emit_block(self, block: Block) -> None:
+        for stmt in block.statements:
+            if self._terminated:
+                return  # unreachable code after return/break
+            self._emit_stmt(stmt)
+
+    def _emit_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, (Assign, ExprStmt)):
+            self.cfg.blocks[self._current].statements.append(stmt)
+            return
+        if isinstance(stmt, Block):
+            self._emit_block(stmt)
+            return
+        if isinstance(stmt, If):
+            self._emit_if(stmt)
+            return
+        if isinstance(stmt, (While, ForEach)):
+            self._emit_loop(stmt)
+            return
+        if isinstance(stmt, Return):
+            self.cfg.blocks[self._current].statements.append(stmt)
+            self.cfg.add_edge(self._current, self.cfg.exit)
+            self._terminated = True
+            return
+        if isinstance(stmt, Break):
+            if not self._loop_stack:
+                raise ValueError("break outside loop")
+            self.cfg.blocks[self._current].statements.append(stmt)
+            self.cfg.add_edge(self._current, self._loop_stack[-1][1])
+            self._terminated = True
+            return
+        if isinstance(stmt, Continue):
+            if not self._loop_stack:
+                raise ValueError("continue outside loop")
+            self.cfg.blocks[self._current].statements.append(stmt)
+            self.cfg.add_edge(self._current, self._loop_stack[-1][0])
+            self._terminated = True
+            return
+        if isinstance(stmt, TryCatch):
+            # Conservative straight-line treatment: try, then catch (may be
+            # skipped), then finally.
+            self._emit_block(stmt.try_body)
+            if stmt.catch_body is not None and not self._terminated:
+                before = self._current
+                catch_block = self._fresh("catch")
+                after = self._fresh("after-catch")
+                self.cfg.add_edge(before, catch_block)
+                self.cfg.add_edge(before, after)
+                self._current = catch_block
+                self._emit_block(stmt.catch_body)
+                if not self._terminated:
+                    self.cfg.add_edge(self._current, after)
+                self._terminated = False
+                self._current = after
+            if stmt.finally_body is not None and not self._terminated:
+                self._emit_block(stmt.finally_body)
+            return
+        raise TypeError(f"cannot emit CFG for {type(stmt).__name__}")
+
+    def _emit_if(self, stmt: If) -> None:
+        cond_block = self._current
+        # The condition belongs to the block ending at the branch.
+        self.cfg.blocks[cond_block].statements.append(stmt)
+        then_block = self._fresh("then")
+        join_block = self._fresh("join")
+        self.cfg.add_edge(cond_block, then_block)
+
+        self._current = then_block
+        self._terminated = False
+        self._emit_block(stmt.then_body)
+        then_done = self._terminated
+        if not then_done:
+            self.cfg.add_edge(self._current, join_block)
+
+        if stmt.else_body is not None:
+            else_block = self._fresh("else")
+            self.cfg.add_edge(cond_block, else_block)
+            self._current = else_block
+            self._terminated = False
+            self._emit_block(stmt.else_body)
+            else_done = self._terminated
+            if not else_done:
+                self.cfg.add_edge(self._current, join_block)
+        else:
+            self.cfg.add_edge(cond_block, join_block)
+            else_done = False
+
+        self._terminated = then_done and else_done
+        self._current = join_block
+
+    def _emit_loop(self, stmt: While | ForEach) -> None:
+        header = self._fresh("loop-header")
+        body_block = self._fresh("loop-body")
+        exit_block = self._fresh("loop-exit")
+        self.cfg.add_edge(self._current, header)
+        # The loop header holds the loop statement itself (condition / cursor
+        # advance).
+        self.cfg.blocks[header].statements.append(stmt)
+        self.cfg.add_edge(header, body_block)
+        self.cfg.add_edge(header, exit_block)
+
+        self._loop_stack.append((header, exit_block))
+        self._current = body_block
+        self._terminated = False
+        self._emit_block(stmt.body)
+        if not self._terminated:
+            self.cfg.add_edge(self._current, header)
+        self._loop_stack.pop()
+
+        self._terminated = False
+        self._current = exit_block
+
+
+def build_cfg(func: FunctionDef) -> CFG:
+    """Build the control flow graph of a function."""
+    return _Builder().build(func)

@@ -1,0 +1,86 @@
+"""Dominator computation over the CFG.
+
+Implements the Cooper–Harvey–Kennedy iterative algorithm.  Used to verify
+the region property the paper relies on: a region's header dominates every
+node in the region.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+
+
+def reverse_postorder(cfg: CFG) -> list[int]:
+    """Return reachable block indices in reverse postorder from entry."""
+    visited: set[int] = set()
+    order: list[int] = []
+
+    def dfs(index: int) -> None:
+        visited.add(index)
+        for succ in cfg.blocks[index].successors:
+            if succ not in visited:
+                dfs(succ)
+        order.append(index)
+
+    dfs(cfg.entry)
+    order.reverse()
+    return order
+
+
+def immediate_dominators(cfg: CFG) -> dict[int, int]:
+    """Compute the immediate dominator of every reachable block.
+
+    Returns a map block → idom; the entry maps to itself.
+    """
+    order = reverse_postorder(cfg)
+    position = {block: i for i, block in enumerate(order)}
+    idom: dict[int, int] = {cfg.entry: cfg.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block == cfg.entry:
+                continue
+            preds = [p for p in cfg.blocks[block].predecessors if p in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(block) != new_idom:
+                idom[block] = new_idom
+                changed = True
+    return idom
+
+
+def dominators(cfg: CFG) -> dict[int, set[int]]:
+    """Compute the full dominator sets from the idom tree."""
+    idom = immediate_dominators(cfg)
+    result: dict[int, set[int]] = {}
+
+    def chain(block: int) -> set[int]:
+        if block in result:
+            return result[block]
+        if block == cfg.entry:
+            result[block] = {block}
+            return result[block]
+        result[block] = {block} | chain(idom[block])
+        return result[block]
+
+    for block in idom:
+        chain(block)
+    return result
+
+
+def dominates(doms: dict[int, set[int]], a: int, b: int) -> bool:
+    """True when block ``a`` dominates block ``b``."""
+    return a in doms.get(b, set())

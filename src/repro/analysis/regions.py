@@ -1,0 +1,254 @@
+"""Program regions (Section 3.1 / Figure 4 of the paper).
+
+Four region kinds are modelled, exactly as the paper lists them: basic
+block, sequential, conditional, and loop.  The region hierarchy is built
+from the structured AST (the paper: "alternatively, it is possible to use
+an abstract syntax tree to identify program regions"), and a separate
+verification routine checks the defining region property — the header
+dominates all region nodes — against the CFG dominator analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import (
+    Assign,
+    Block,
+    Break,
+    Continue,
+    Expr,
+    ExprStmt,
+    ForEach,
+    FunctionDef,
+    If,
+    Return,
+    Stmt,
+    TryCatch,
+    While,
+)
+
+
+class Region:
+    """Base class for all regions."""
+
+    def sub_regions(self) -> list["Region"]:
+        return []
+
+    def statements(self) -> list[Stmt]:
+        """All statements contained in this region, in source order."""
+        result: list[Stmt] = []
+        self._collect(result)
+        return result
+
+    def _collect(self, out: list[Stmt]) -> None:
+        for sub in self.sub_regions():
+            sub._collect(out)
+
+
+@dataclass
+class BasicBlockRegion(Region):
+    """A maximal run of simple statements (assignments / calls / returns)."""
+
+    stmts: list[Stmt] = field(default_factory=list)
+
+    def _collect(self, out: list[Stmt]) -> None:
+        out.extend(self.stmts)
+
+    def __repr__(self) -> str:
+        ids = ",".join(str(s.sid) for s in self.stmts)
+        return f"BB({ids})"
+
+
+@dataclass
+class SequentialRegion(Region):
+    """Two regions in sequence (Figure 4(b))."""
+
+    first: Region
+    second: Region
+
+    def sub_regions(self) -> list[Region]:
+        return [self.first, self.second]
+
+    def __repr__(self) -> str:
+        return f"Seq({self.first!r}; {self.second!r})"
+
+
+@dataclass
+class ConditionalRegion(Region):
+    """Condition + true region + false region (Figure 4(a))."""
+
+    cond: Expr
+    true_region: Region
+    false_region: Region | None
+    stmt: If | None = None
+
+    def sub_regions(self) -> list[Region]:
+        subs = [self.true_region]
+        if self.false_region is not None:
+            subs.append(self.false_region)
+        return subs
+
+    def _collect(self, out: list[Stmt]) -> None:
+        if self.stmt is not None:
+            out.append(self.stmt)
+        super()._collect(out)
+
+    def __repr__(self) -> str:
+        return f"Cond({self.true_region!r} | {self.false_region!r})"
+
+
+@dataclass
+class LoopRegion(Region):
+    """Loop header + body (Figure 4(c)).
+
+    ``cursor_var`` and ``iterable`` are set for cursor loops (``for (t :
+    coll)``); general ``while`` loops keep their condition in ``cond``.
+    """
+
+    body: Region
+    cursor_var: str | None = None
+    iterable: Expr | None = None
+    cond: Expr | None = None
+    stmt: Stmt | None = None
+
+    @property
+    def is_cursor_loop(self) -> bool:
+        return self.cursor_var is not None
+
+    def sub_regions(self) -> list[Region]:
+        return [self.body]
+
+    def _collect(self, out: list[Stmt]) -> None:
+        if self.stmt is not None:
+            out.append(self.stmt)
+        super()._collect(out)
+
+    def __repr__(self) -> str:
+        if self.is_cursor_loop:
+            return f"Loop({self.cursor_var}: {self.body!r})"
+        return f"While({self.body!r})"
+
+
+@dataclass
+class EmptyRegion(Region):
+    """An empty region (e.g. a missing else branch)."""
+
+    def __repr__(self) -> str:
+        return "Empty"
+
+
+@dataclass
+class OpaqueRegion(Region):
+    """A region the analysis does not look into (try/catch, break...).
+
+    D-IR construction fails for variables whose values flow through an
+    opaque region, which mirrors the paper's conservative treatment.
+    """
+
+    stmt: Stmt | None = None
+    inner: Region | None = None
+
+    def sub_regions(self) -> list[Region]:
+        return [self.inner] if self.inner is not None else []
+
+    def _collect(self, out: list[Stmt]) -> None:
+        if self.stmt is not None:
+            out.append(self.stmt)
+        super()._collect(out)
+
+    def __repr__(self) -> str:
+        return "Opaque"
+
+
+def build_region(block: Block) -> Region:
+    """Build the region hierarchy for a statement block."""
+    regions: list[Region] = []
+    run: list[Stmt] = []
+
+    def flush() -> None:
+        if run:
+            regions.append(BasicBlockRegion(stmts=list(run)))
+            run.clear()
+
+    for stmt in block.statements:
+        if isinstance(stmt, (Assign, ExprStmt, Return)):
+            run.append(stmt)
+        elif isinstance(stmt, If):
+            flush()
+            true_region = build_region(stmt.then_body)
+            false_region = (
+                build_region(stmt.else_body) if stmt.else_body is not None else None
+            )
+            regions.append(
+                ConditionalRegion(
+                    cond=stmt.cond,
+                    true_region=true_region,
+                    false_region=false_region,
+                    stmt=stmt,
+                )
+            )
+        elif isinstance(stmt, ForEach):
+            flush()
+            regions.append(
+                LoopRegion(
+                    body=build_region(stmt.body),
+                    cursor_var=stmt.var,
+                    iterable=stmt.iterable,
+                    stmt=stmt,
+                )
+            )
+        elif isinstance(stmt, While):
+            flush()
+            regions.append(
+                LoopRegion(body=build_region(stmt.body), cond=stmt.cond, stmt=stmt)
+            )
+        elif isinstance(stmt, Block):
+            flush()
+            regions.append(build_region(stmt))
+        elif isinstance(stmt, TryCatch):
+            flush()
+            # The try body is analysable on its own (Section 2: optimisation
+            # happens within a try block); catch/finally stay opaque.
+            inner = build_region(stmt.try_body)
+            if stmt.catch_body is None and stmt.finally_body is None:
+                regions.append(inner)
+            else:
+                regions.append(OpaqueRegion(stmt=stmt, inner=inner))
+        elif isinstance(stmt, (Break, Continue)):
+            flush()
+            regions.append(OpaqueRegion(stmt=stmt))
+        else:
+            raise TypeError(f"cannot build region for {type(stmt).__name__}")
+
+    flush()
+    if not regions:
+        return EmptyRegion()
+    result = regions[0]
+    for region in regions[1:]:
+        result = SequentialRegion(first=result, second=region)
+    return result
+
+
+def build_function_region(func: FunctionDef) -> Region:
+    """Build the region hierarchy of a whole function body."""
+    return build_region(func.body)
+
+
+def iter_regions(region: Region):
+    """Yield ``region`` and every nested region, pre-order."""
+    yield region
+    for sub in region.sub_regions():
+        yield from iter_regions(sub)
+
+
+def contains_opaque(region: Region) -> bool:
+    """True when any nested region is opaque (break/catch...)."""
+    return any(isinstance(r, OpaqueRegion) for r in iter_regions(region))
+
+
+def cursor_loops(region: Region) -> list[LoopRegion]:
+    """All cursor-loop regions nested anywhere under ``region``."""
+    return [
+        r for r in iter_regions(region) if isinstance(r, LoopRegion) and r.is_cursor_loop
+    ]

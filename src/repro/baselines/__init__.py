@@ -1,0 +1,27 @@
+"""Comparison baselines: batching [11], prefetching [19], QBS [4]."""
+
+from .batching import batching_applicable, run_batched_report
+from .prefetching import prefetch_applicable, run_prefetch_report
+from .qbs_reference import (
+    EQSQL_MACHINE,
+    QBS_MACHINE,
+    QBS_RESULTS,
+    QbsResult,
+    eqsql_only_successes,
+    qbs_success_count,
+    qbs_total_time_s,
+)
+
+__all__ = [
+    "EQSQL_MACHINE",
+    "QBS_MACHINE",
+    "QBS_RESULTS",
+    "QbsResult",
+    "batching_applicable",
+    "eqsql_only_successes",
+    "prefetch_applicable",
+    "qbs_success_count",
+    "qbs_total_time_s",
+    "run_batched_report",
+    "run_prefetch_report",
+]

@@ -1,0 +1,55 @@
+"""QBS reference data — Cheung et al. [4] (Experiments 1 and 4).
+
+QBS is the program-synthesis comparator.  Its source is unavailable; the
+paper itself compares against the *published* per-sample numbers ("the
+numbers for QBS have been taken from [4]"), measured on a 128 GB / 32-core
+machine, versus EqSQL's 8 GB / 8-core machine.  This module packages those
+reference numbers for Table 1 and Experiment 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workloads.wilos import WILOS_SAMPLES
+
+#: The hardware the QBS numbers were measured on (Table 1 caption).
+QBS_MACHINE = "128GB RAM, 32 cores"
+#: The paper's EqSQL machine (Section 7).
+EQSQL_MACHINE = "8GB RAM, Intel Core i7-3770 (8 cores)"
+
+
+@dataclass(frozen=True)
+class QbsResult:
+    """QBS's published outcome for one Table 1 sample."""
+
+    sample: int
+    time_s: float | None  # None = QBS failed ("–")
+
+    @property
+    def succeeded(self) -> bool:
+        return self.time_s is not None
+
+
+QBS_RESULTS: dict[int, QbsResult] = {
+    s.number: QbsResult(sample=s.number, time_s=s.qbs_time_s) for s in WILOS_SAMPLES
+}
+
+
+def qbs_success_count() -> int:
+    """QBS extracts 21/33 Wilos samples (Table 1)."""
+    return sum(1 for r in QBS_RESULTS.values() if r.succeeded)
+
+
+def qbs_total_time_s() -> float:
+    """Total published QBS synthesis time over its successful samples."""
+    return sum(r.time_s for r in QBS_RESULTS.values() if r.time_s is not None)
+
+
+def eqsql_only_successes(extraction_status: dict[int, str]) -> list[int]:
+    """Samples EqSQL handles but QBS does not (the paper reports 6)."""
+    return sorted(
+        number
+        for number, status in extraction_status.items()
+        if status == "success" and not QBS_RESULTS[number].succeeded
+    )

@@ -1,0 +1,21 @@
+"""EqSQL core: the end-to-end extraction and rewriting pipeline."""
+
+from .extractor import (
+    STATUS_CAPABLE,
+    STATUS_FAILED,
+    STATUS_SUCCESS,
+    ExtractionReport,
+    VariableExtraction,
+    extract_sql,
+    optimize_program,
+)
+
+__all__ = [
+    "ExtractionReport",
+    "STATUS_CAPABLE",
+    "STATUS_FAILED",
+    "STATUS_SUCCESS",
+    "VariableExtraction",
+    "extract_sql",
+    "optimize_program",
+]

@@ -1,0 +1,450 @@
+"""EqSQL: the end-to-end extraction pipeline (paper Figure 1).
+
+``extract_sql`` runs source → regions → D-IR → F-IR → rules → SQL and
+classifies every analysed variable:
+
+``success``  equivalent SQL was extracted;
+``capable``  the techniques cover the construct but (like the paper's
+             reference implementation) no SQL emitter exists for it — the
+             Table 1 "✓" rows;
+``failed``   a precondition was violated (the Table 1 "–" rows).
+
+``optimize_program`` additionally rewrites the program to use the extracted
+SQL, applying the paper's Section 5.3 heuristic: a loop is only rewritten
+when every variable that is live after it was successfully extracted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..algebra import Catalog
+from ..analysis import live_after_loop
+from ..fir import (
+    check_preconditions_ddg,
+    loop_to_fold,
+    try_dependent_aggregation,
+)
+from ..ir import (
+    ELoop,
+    ENode,
+    EQuery,
+    EVar,
+    OUT_VAR,
+    RET_VAR,
+    build_dir,
+    contains_fold,
+    contains_loop,
+    contains_opaque,
+    preprocess_program,
+    walk_enodes,
+)
+from ..lang import Program, parse_program
+from ..rewrite import EmitError, Emitter, eliminate_dead_code, insert_extractions
+from ..rules import RuleEngine
+from ..sqlgen import SqlGenError, render_rel
+
+STATUS_SUCCESS = "success"
+STATUS_CAPABLE = "capable"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class VariableExtraction:
+    """Outcome of extraction for one program variable."""
+
+    variable: str
+    status: str
+    loop_sid: int = -1
+    node: ENode | None = None
+    sql: str | None = None
+    reason: str = ""
+    rule_trace: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_SUCCESS
+
+
+@dataclass
+class ExtractionReport:
+    """Result of running EqSQL on one function."""
+
+    function: str
+    variables: dict[str, VariableExtraction]
+    original: Program
+    rewritten: Program | None = None
+    extraction_time_ms: float = 0.0
+    rewritten_loops: list[int] = field(default_factory=list)
+    #: Figure 12→13 style consolidations: loops whose correlated scalar
+    #: queries were merged into one OUTER APPLY query.
+    consolidations: list = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        """Aggregate sample status, Table 1 style.
+
+        No analysable variable at all (e.g. only non-cursor loops or opaque
+        computations) counts as a failure.
+        """
+        states = [v.status for v in self.variables.values()]
+        if states and all(s == STATUS_SUCCESS for s in states):
+            return STATUS_SUCCESS
+        if any(s == STATUS_CAPABLE for s in states):
+            return STATUS_CAPABLE
+        return STATUS_FAILED
+
+    def extraction(self, variable: str) -> VariableExtraction:
+        return self.variables[variable]
+
+    def queries(self) -> list[str]:
+        return [v.sql for v in self.variables.values() if v.sql]
+
+
+def extract_sql(
+    source: str | Program,
+    function: str,
+    catalog: Catalog,
+    targets: list[str] | None = None,
+    dialect: str = "repro",
+    disabled_rules: frozenset[str] = frozenset(),
+    ordering_matters: bool = True,
+    allow_temp_tables: bool = False,
+    custom_aggregates: dict | None = None,
+) -> ExtractionReport:
+    """Run the extraction pipeline without rewriting the program.
+
+    ``ordering_matters=False`` enables the keyword-search relaxation
+    (Experiment 3): result order is irrelevant, so rule T4's unique-key
+    precondition is waived.
+
+    ``allow_temp_tables=True`` enables the paper's Section 2 fallback for
+    loops over collections that are not query results: the collection is
+    shipped to the database as a temporary table, which a query over it
+    then replaces.  Off by default (the paper's implementation focuses on
+    the query-derived case, and Table 1 sample 29 fails accordingly).
+    """
+    start = time.perf_counter()
+    program = (
+        parse_program(source) if isinstance(source, str) else source
+    )
+    program = preprocess_program(program)
+    ve, ctx = build_dir(program, function)
+
+    if targets is None:
+        targets = _default_targets(program, function, ve, ctx)
+
+    engine = RuleEngine(
+        catalog,
+        ctx.dag,
+        disabled=disabled_rules,
+        ordering_matters=ordering_matters,
+        custom_aggregates=custom_aggregates,
+    )
+    variables: dict[str, VariableExtraction] = {}
+    for target in targets:
+        variables[target] = _extract_variable(
+            target, ve, ctx, engine, program, function, dialect,
+            allow_temp_tables=allow_temp_tables,
+        )
+
+    elapsed = (time.perf_counter() - start) * 1000.0
+    return ExtractionReport(
+        function=function,
+        variables=variables,
+        original=program,
+        extraction_time_ms=elapsed,
+    )
+
+
+def optimize_program(
+    source: str | Program,
+    function: str,
+    catalog: Catalog,
+    targets: list[str] | None = None,
+    dialect: str = "repro",
+    policy: str = "heuristic",
+    database=None,
+    ordering_matters: bool = True,
+    allow_temp_tables: bool = False,
+) -> ExtractionReport:
+    """Extract SQL and rewrite the program (Section 5.2).
+
+    ``policy`` selects how loops are chosen for rewriting:
+
+    * ``"heuristic"`` — the Section 5.3 rule: rewrite a loop only when every
+      variable live after it was successfully extracted;
+    * ``"cost"`` — the Appendix C search: an AND-OR DAG over the loops,
+      costed with :class:`~repro.cost.CostModel` (pass ``database`` for real
+      cardinalities), may additionally decline heuristic-eligible loops
+      whose extraction does not pay off.
+    """
+    report = extract_sql(
+        source,
+        function,
+        catalog,
+        targets,
+        dialect,
+        ordering_matters=ordering_matters,
+        allow_temp_tables=allow_temp_tables,
+    )
+    program = report.original
+    func = program.function(function)
+
+    by_loop: dict[int, list[VariableExtraction]] = {}
+    for extraction in report.variables.values():
+        if extraction.loop_sid >= 0:
+            by_loop.setdefault(extraction.loop_sid, []).append(extraction)
+
+    allowed_loops: set[int] | None = None
+    if policy == "cost":
+        from ..cost import cost_based_plan
+
+        allowed_loops = cost_based_plan(report, database).rewrite_loops
+    elif policy != "heuristic":
+        raise ValueError(f"unknown policy {policy!r}")
+
+    plan: dict[int, list[tuple[str, ENode]]] = {}
+    loop_stmts = _loop_statements(program, function)
+    for loop_sid, extractions in by_loop.items():
+        loop_stmt = loop_stmts.get(loop_sid)
+        if loop_stmt is None:
+            continue
+        if allowed_loops is not None and loop_sid not in allowed_loops:
+            continue
+        live = live_after_loop(func, loop_stmt)
+        updated = {e.variable for e in extractions}
+        # The printed-output stream is always observable.
+        if OUT_VAR in updated:
+            live = live | {OUT_VAR}
+        needed = live & updated
+        extracted_ok = {
+            e.variable for e in extractions if e.ok and e.node is not None
+        }
+        if needed and needed <= extracted_ok:
+            plan[loop_sid] = [
+                (e.variable, e.node)
+                for e in extractions
+                if e.variable in needed and e.node is not None
+            ]
+
+    rewritten = program
+    if plan:
+        try:
+            rewritten = insert_extractions(program, function, plan, dialect)
+            rewritten = eliminate_dead_code(rewritten, function)
+            report.rewritten_loops = sorted(plan)
+        except EmitError:
+            rewritten = program
+
+    # Figure 12→13 consolidation for any loop that survived the rewrite.
+    from ..rewrite import consolidate_loops
+
+    rewritten, consolidations = consolidate_loops(
+        rewritten, function, catalog, dialect
+    )
+    report.consolidations = consolidations
+
+    if report.rewritten_loops or consolidations:
+        report.rewritten = rewritten
+    return report
+
+
+# ----------------------------------------------------------------------
+
+
+def _default_targets(program, function, ve, ctx) -> list[str]:
+    """Variables updated by cursor loops and observable afterwards."""
+    func = program.function(function)
+    targets: list[str] = []
+    loop_stmts = _loop_statements(program, function)
+    for name, node in ve.items():
+        if name in (RET_VAR,) or name.startswith("@"):
+            continue
+        loops = [n for n in walk_enodes(node) if isinstance(n, ELoop) and n.var == name]
+        if not loops:
+            continue
+        loop_stmt = loop_stmts.get(loops[0].loop_sid)
+        if loop_stmt is None:
+            continue
+        live = live_after_loop(func, loop_stmt)
+        if name in live or name == OUT_VAR:
+            targets.append(name)
+    return sorted(targets)
+
+
+def _loop_statements(program, function):
+    from ..lang import ForEach, walk_statements
+
+    return {
+        stmt.sid: stmt
+        for stmt in walk_statements(program.function(function).body)
+        if isinstance(stmt, ForEach)
+    }
+
+
+def _extract_variable(
+    target, ve, ctx, engine, program, function, dialect, allow_temp_tables=False
+) -> VariableExtraction:
+    node = ve.get(target)
+    if node is None:
+        return VariableExtraction(
+            variable=target, status=STATUS_FAILED, reason="variable not assigned"
+        )
+    loop_sid = _primary_loop_sid(node, target)
+    if contains_opaque(node):
+        return VariableExtraction(
+            variable=target,
+            status=STATUS_FAILED,
+            loop_sid=loop_sid,
+            reason="unsupported construct in the variable's computation",
+        )
+
+    temp_table: tuple[str, str] | None = None
+    if allow_temp_tables:
+        node, temp_table = _substitute_temp_source(node, ctx)
+
+    outcome = loop_to_fold(node, ctx.dag)
+    if not outcome.ok:
+        # Appendix B relaxation: dependent aggregation (argmax/argmin).
+        relaxed = _try_argmax(node, ve, ctx)
+        if relaxed is None:
+            return VariableExtraction(
+                variable=target,
+                status=STATUS_FAILED,
+                loop_sid=loop_sid,
+                reason=outcome.reason,
+            )
+        fir_node = relaxed
+    else:
+        fir_node = outcome.node
+
+    result, trace = engine.transform(fir_node)
+    if contains_fold(result) or contains_loop(result):
+        status = STATUS_CAPABLE if _capable_hits(trace, result) else STATUS_FAILED
+        return VariableExtraction(
+            variable=target,
+            status=status,
+            loop_sid=loop_sid,
+            reason="transformation incomplete: fold remains",
+            rule_trace=trace,
+        )
+
+    sql = _sql_of(result, dialect)
+    if sql is None:
+        return VariableExtraction(
+            variable=target,
+            status=STATUS_CAPABLE,
+            loop_sid=loop_sid,
+            node=result,
+            reason="F-IR extracted but no SQL emitter for some construct",
+            rule_trace=trace,
+        )
+    if temp_table is not None:
+        table_name, source_var = temp_table
+        result = ctx.dag.op(
+            "with_temp",
+            result,
+            ctx.dag.const(table_name),
+            ctx.dag.var(source_var),
+        )
+    return VariableExtraction(
+        variable=target,
+        status=STATUS_SUCCESS,
+        loop_sid=loop_sid,
+        node=result,
+        sql=sql,
+        rule_trace=trace,
+    )
+
+
+def _substitute_temp_source(node: ENode, ctx) -> tuple[ENode, tuple[str, str] | None]:
+    """Replace a Loop over a plain collection with a temp-table query.
+
+    Paper Section 2's fallback: the collection's contents become a
+    temporary table ``__temp_<var>`` at the database and the loop iterates
+    ``SELECT * FROM __temp_<var>``.  Only the outermost Loop is handled.
+    """
+    from ..algebra import Table
+
+    if not isinstance(node, ELoop) or not isinstance(node.source, EVar):
+        return node, None
+    source_var = node.source.name
+    table_name = f"__temp_{source_var}"
+    query = ctx.dag.query(Table(table_name))
+    replaced = ctx.dag.loop(
+        query, node.body, node.init, node.var, node.cursor, node.updated, node.loop_sid
+    )
+    return replaced, (table_name, source_var)
+
+
+def _primary_loop_sid(node: ENode, target: str) -> int:
+    for n in walk_enodes(node):
+        if isinstance(n, ELoop) and n.var == target:
+            return n.loop_sid
+    from ..ir import EFold
+
+    for n in walk_enodes(node):
+        if isinstance(n, (ELoop, EFold)):
+            return n.loop_sid
+    return -1
+
+
+def _try_argmax(node: ENode, ve, ctx) -> ENode | None:
+    if not isinstance(node, ELoop):
+        return None
+    siblings = {
+        name: value
+        for name, value in ve.items()
+        if isinstance(value, ELoop) and value.loop_sid == node.loop_sid
+    }
+    return try_dependent_aggregation(node, siblings, ctx.dag)
+
+
+def _capable_hits(trace, result) -> bool:
+    """Classify an incomplete transformation as technique-capable.
+
+    The reference implementation's gaps were operators with F-IR semantics
+    but no SQL emitter (the Table 1 "✓" rows); a stuck fold whose function
+    uses such an operator — and nothing opaque — is the same situation.
+    """
+    from ..fir import CAPABLE_UNIMPLEMENTED_OPS
+    from ..ir import EFold, EOp
+
+    for n in walk_enodes(result):
+        if not isinstance(n, EFold):
+            continue
+        ops = {
+            sub.op for sub in walk_enodes(n.func) if isinstance(sub, EOp)
+        }
+        if "opaque" in ops:
+            continue
+        if ops & CAPABLE_UNIMPLEMENTED_OPS:
+            return True
+    return False
+
+
+def _sql_of(node: ENode, dialect: str) -> str | None:
+    """Render the primary SQL for a fully-transformed result.
+
+    For collection results this is the query itself; for scalar results the
+    report shows the main embedded query (the rewritten program recombines
+    it with initial values in source code, Section 5.2).
+    """
+    from ..ir import EExists, EScalarQuery
+
+    try:
+        if isinstance(node, EQuery):
+            return render_rel(node.rel, dialect)
+        queries = [
+            n
+            for n in walk_enodes(node)
+            if isinstance(n, (EQuery, EScalarQuery, EExists))
+        ]
+        if not queries:
+            return None
+        rendered = [render_rel(q.rel, dialect) for q in queries]
+        return rendered[0] if len(rendered) == 1 else "; ".join(rendered)
+    except SqlGenError:
+        return None

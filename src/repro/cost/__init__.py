@@ -1,0 +1,16 @@
+"""Cost-based application of transformations (paper Appendix C)."""
+
+from .andor import AndNode, Group, Memo, PlanChoice
+from .model import CostModel, Estimate
+from .volcano import CostBasedPlan, cost_based_plan
+
+__all__ = [
+    "AndNode",
+    "CostBasedPlan",
+    "CostModel",
+    "Estimate",
+    "Group",
+    "Memo",
+    "PlanChoice",
+    "cost_based_plan",
+]

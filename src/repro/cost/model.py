@@ -1,0 +1,129 @@
+"""Cost model for rewrite alternatives (paper Appendix C).
+
+Estimates the simulated execution cost (milliseconds, matching the
+:class:`~repro.db.CostParameters` accounting) of running a query plan and
+of the client-side loop alternatives.  Cardinalities come from the actual
+database when available, with standard selectivity defaults otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra import (
+    Aggregate,
+    Alias,
+    Distinct,
+    Join,
+    Limit,
+    OuterApply,
+    Project,
+    RelExpr,
+    Select,
+    Sort,
+    Table,
+)
+from ..db import CostParameters, Database
+
+#: Default selectivity of a selection predicate when nothing is known.
+SELECTION_SELECTIVITY = 0.33
+#: Default join selectivity (fraction of the cross product retained).
+JOIN_SELECTIVITY = 0.1
+#: Fraction of rows surviving duplicate elimination.
+DISTINCT_RETENTION = 0.6
+#: Estimated bytes per transferred row (schema-agnostic default).
+ROW_BYTES = 40.0
+
+
+@dataclass
+class Estimate:
+    """Cardinality and per-row width estimates for a query."""
+
+    rows: float
+    width_bytes: float = ROW_BYTES
+
+
+class CostModel:
+    """Estimates execution costs over the simulated connection parameters."""
+
+    def __init__(self, database: Database | None = None, cost: CostParameters | None = None):
+        self.database = database
+        self.cost = cost or CostParameters()
+
+    # ------------------------------------------------------------------
+    # Cardinalities
+
+    def cardinality(self, rel: RelExpr) -> Estimate:
+        if isinstance(rel, Table):
+            if self.database is not None and rel.name.lower() in {
+                t.lower() for t in self.database.table_names()
+            }:
+                return Estimate(rows=float(len(self.database.rows(rel.name))))
+            return Estimate(rows=1000.0)
+        if isinstance(rel, Select):
+            child = self.cardinality(rel.child)
+            return Estimate(rows=child.rows * SELECTION_SELECTIVITY, width_bytes=child.width_bytes)
+        if isinstance(rel, Project):
+            child = self.cardinality(rel.child)
+            width = ROW_BYTES * max(1, len(rel.items)) / 4
+            return Estimate(rows=child.rows, width_bytes=width)
+        if isinstance(rel, Join):
+            left = self.cardinality(rel.left)
+            right = self.cardinality(rel.right)
+            if rel.kind == "cross":
+                rows = left.rows * right.rows
+            else:
+                rows = max(left.rows, left.rows * right.rows * JOIN_SELECTIVITY)
+            return Estimate(rows=rows, width_bytes=left.width_bytes + right.width_bytes)
+        if isinstance(rel, OuterApply):
+            left = self.cardinality(rel.left)
+            return Estimate(rows=left.rows, width_bytes=left.width_bytes + ROW_BYTES / 4)
+        if isinstance(rel, Aggregate):
+            child = self.cardinality(rel.child)
+            if not rel.group_by:
+                return Estimate(rows=1.0, width_bytes=8.0)
+            return Estimate(rows=max(1.0, child.rows**0.5), width_bytes=ROW_BYTES / 2)
+        if isinstance(rel, Distinct):
+            child = self.cardinality(rel.child)
+            return Estimate(rows=child.rows * DISTINCT_RETENTION, width_bytes=child.width_bytes)
+        if isinstance(rel, Sort):
+            return self.cardinality(rel.child)
+        if isinstance(rel, Limit):
+            child = self.cardinality(rel.child)
+            return Estimate(rows=min(child.rows, rel.count), width_bytes=child.width_bytes)
+        if isinstance(rel, Alias):
+            return self.cardinality(rel.child)
+        return Estimate(rows=100.0)
+
+    def scanned_rows(self, rel: RelExpr) -> float:
+        total = 0.0
+        if isinstance(rel, Table):
+            return self.cardinality(rel).rows
+        for child in rel.children():
+            total += self.scanned_rows(child)
+        return total
+
+    # ------------------------------------------------------------------
+    # Costs
+
+    def query_cost_ms(self, rel: RelExpr) -> float:
+        """End-to-end cost of executing one query: round trip + server scan
+        + transfer of the result."""
+        estimate = self.cardinality(rel)
+        scanned = self.scanned_rows(rel)
+        return (
+            self.cost.round_trip_ms
+            + self.cost.per_query_overhead_ms
+            + scanned * self.cost.per_scanned_row_ms
+            + estimate.rows * self.cost.per_result_row_ms
+            + estimate.rows * estimate.width_bytes / self.cost.bytes_per_ms
+        )
+
+    def client_loop_cost_ms(self, rows: float, work_per_row: float = 0.001) -> float:
+        """Cost of iterating ``rows`` results client-side."""
+        return rows * work_per_row
+
+    def per_row_queries_cost_ms(self, outer_rows: float, inner_rel: RelExpr) -> float:
+        """Cost of executing a correlated query once per outer row (the N+1
+        pattern batching and T7 eliminate)."""
+        return outer_rows * self.query_cost_ms(inner_rel)

@@ -1,0 +1,151 @@
+"""Cost-based choice of rewrites (paper Appendix C).
+
+Builds the AND-OR DAG over a function's loops: per cursor loop with an
+extraction result, one group with two alternatives — ``keep`` (the original
+imperative execution: fetch the iterated query, run the body per row,
+including any nested per-row queries) and ``rewrite`` (execute the
+extracted query/queries).  The memo search then picks the cheapest
+combination, replacing Section 5.3's always-rewrite/all-or-nothing
+heuristic with the cost-based decision the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.extractor import ExtractionReport, STATUS_SUCCESS
+from ..db import CostParameters, Database
+from ..ir import EQuery, EScalarQuery, EExists, ELoop, walk_enodes
+from ..lang import Call, ForEach, statement_expressions, walk_expressions, walk_statements
+from .andor import AndNode, Memo, PlanChoice
+from .model import CostModel
+
+
+@dataclass
+class CostBasedPlan:
+    """Outcome of the cost-based search."""
+
+    rewrite_loops: set[int]
+    keep_loops: set[int]
+    total_cost_ms: float
+    memo_size: int
+    root: PlanChoice | None = None
+
+
+def cost_based_plan(
+    report: ExtractionReport,
+    database: Database | None = None,
+    cost: CostParameters | None = None,
+) -> CostBasedPlan:
+    """Choose, per loop, whether to use the extracted SQL.
+
+    The Figure 7(a) situation — an aggregate extracted from a loop whose
+    rows must be fetched anyway for other (unextractable) work — makes the
+    extra aggregate query pure overhead; this search keeps the loop there,
+    while rewriting loops whose extraction eliminates the row fetch.
+    """
+    model = CostModel(database, cost)
+    memo = Memo()
+    program = report.original
+    func = program.function(report.function)
+
+    loops = {
+        stmt.sid: stmt
+        for stmt in walk_statements(func.body)
+        if isinstance(stmt, ForEach)
+    }
+    by_loop: dict[int, list] = {}
+    for extraction in report.variables.values():
+        if extraction.loop_sid >= 0:
+            by_loop.setdefault(extraction.loop_sid, []).append(extraction)
+
+    root = memo.new_group("function")
+    root_children: list[int] = []
+
+    for loop_sid, loop_stmt in loops.items():
+        extractions = by_loop.get(loop_sid, [])
+        group = memo.new_group(f"loop@{loop_sid}")
+        root_children.append(group.group_id)
+
+        keep_cost = _keep_cost(loop_stmt, extractions, model)
+        group.add(AndNode(op="keep", local_cost=keep_cost, payload=loop_sid))
+
+        extracted = [e for e in extractions if e.status == STATUS_SUCCESS and e.node is not None]
+        failed = [e for e in extractions if e.status != STATUS_SUCCESS]
+        if extracted and not failed:
+            rewrite_cost = sum(
+                _extraction_cost(extraction.node, model) for extraction in extracted
+            )
+            group.add(
+                AndNode(op="rewrite", local_cost=rewrite_cost, payload=loop_sid)
+            )
+        elif extracted and failed:
+            # Partial rewrite: the loop still runs (rows still fetched) plus
+            # the extracted queries execute — the Figure 7(a) alternative.
+            partial = keep_cost + sum(
+                _extraction_cost(extraction.node, model) for extraction in extracted
+            )
+            group.add(
+                AndNode(op="partial-rewrite", local_cost=partial, payload=loop_sid)
+            )
+
+    root.add(AndNode(op="seq", children=root_children))
+    best = memo.optimize(root.group_id)
+
+    rewrite = {p for p in best.payloads_of("rewrite")}
+    keep = {p for p in best.payloads_of("keep")} | {
+        p for p in best.payloads_of("partial-rewrite")
+    }
+    return CostBasedPlan(
+        rewrite_loops=rewrite,
+        keep_loops=keep,
+        total_cost_ms=best.cost,
+        memo_size=len(memo),
+        root=best,
+    )
+
+
+def _keep_cost(loop_stmt: ForEach, extractions, model: CostModel) -> float:
+    """Cost of executing the loop as written."""
+    source_rel = _source_rel(extractions)
+    if source_rel is None:
+        outer_rows = 100.0
+        fetch = model.cost.round_trip_ms + outer_rows * model.cost.per_result_row_ms
+    else:
+        outer_rows = model.cardinality(source_rel).rows
+        fetch = model.query_cost_ms(source_rel)
+    cost = fetch + model.client_loop_cost_ms(outer_rows)
+    # Per-row queries in the body (the N+1 pattern).
+    inner_count = 0
+    for stmt in walk_statements(loop_stmt.body):
+        for expr in statement_expressions(stmt):
+            for node in walk_expressions(expr):
+                if isinstance(node, Call) and node.func in (
+                    "executeQuery",
+                    "executeScalar",
+                    "executeExists",
+                ):
+                    inner_count += 1
+    cost += outer_rows * inner_count * (
+        model.cost.round_trip_ms + model.cost.per_query_overhead_ms
+    )
+    return cost
+
+
+def _source_rel(extractions):
+    for extraction in extractions:
+        if extraction.node is None:
+            continue
+        for node in walk_enodes(extraction.node):
+            if isinstance(node, (EQuery, EScalarQuery)):
+                return node.rel
+    return None
+
+
+def _extraction_cost(node, model: CostModel) -> float:
+    """Cost of evaluating an extracted expression: each embedded query."""
+    total = 0.0
+    for sub in walk_enodes(node):
+        if isinstance(sub, (EQuery, EScalarQuery, EExists)):
+            total += model.query_cost_ms(sub.rel)
+    return max(total, model.cost.round_trip_ms)

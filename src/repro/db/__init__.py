@@ -1,0 +1,17 @@
+"""In-memory database substrate with a simulated client/server boundary."""
+
+from .connection import Connection, ConnectionStats, CostParameters, describe_plan
+from .engine import Database, EngineError
+from .types import Row, row_size_bytes, value_size_bytes
+
+__all__ = [
+    "Connection",
+    "ConnectionStats",
+    "CostParameters",
+    "Database",
+    "EngineError",
+    "Row",
+    "describe_plan",
+    "row_size_bytes",
+    "value_size_bytes",
+]

@@ -1,0 +1,481 @@
+"""In-memory relational engine evaluating extended relational algebra.
+
+This is the database substrate for the reproduction: the paper ran against
+MySQL 5.5; we evaluate the same algebra the extractor produces directly over
+in-memory tables, with SQL NULL semantics, stable sorts, grouped
+aggregation, DISTINCT, LIMIT, and OUTER APPLY.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..algebra import (
+    AggCall,
+    Aggregate,
+    Alias,
+    BinOp,
+    CaseWhen,
+    Catalog,
+    Col,
+    Distinct,
+    ExistsExpr,
+    Func,
+    Join,
+    Limit,
+    Lit,
+    OuterApply,
+    Param,
+    Project,
+    RelExpr,
+    ScalarExpr,
+    ScalarSubquery,
+    Select,
+    Sort,
+    Table,
+    UnOp,
+)
+from .types import (
+    Row,
+    descending_key,
+    is_truthy,
+    nulls_last_key,
+    sql_and,
+    sql_compare,
+    sql_not,
+    sql_or,
+)
+
+
+class EngineError(Exception):
+    """Raised on evaluation failures (unknown table/column/function)."""
+
+
+class Database:
+    """A named collection of in-memory tables plus their catalog."""
+
+    def __init__(self, catalog: Catalog | None = None):
+        self.catalog = catalog or Catalog()
+        self._tables: dict[str, list[Row]] = {
+            name: [] for name in self.catalog.tables
+        }
+        #: Custom (user-defined) aggregates: name → fn(values) -> value.
+        #: The paper's Section 5.2 fallback when a folding function has no
+        #: built-in SQL aggregate.
+        self.aggregates: dict[str, object] = {}
+
+    def register_aggregate(self, name: str, fn) -> None:
+        """Register a user-defined aggregate (and teach the SQL parser
+        about it so generated SQL round-trips)."""
+        from ..sqlparse import register_aggregate_name
+
+        self.aggregates[name.lower()] = fn
+        register_aggregate_name(name)
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+
+    def create_table(
+        self, name: str, columns: list[str], key: tuple[str, ...] = ()
+    ) -> None:
+        """Create an empty table and register it in the catalog."""
+        self.catalog.define(name, columns, key)
+        self._tables[name.lower()] = []
+
+    def insert(self, name: str, row: Row) -> None:
+        """Insert one row (missing columns become NULL)."""
+        table = self.catalog.get(name)
+        stored = {col: row.get(col) for col in table.column_names()}
+        self._tables[name.lower()].append(stored)
+
+    def insert_many(self, name: str, rows: list[Row]) -> None:
+        for row in rows:
+            self.insert(name, row)
+
+    def rows(self, name: str) -> list[Row]:
+        """Return the raw rows of a base table (shared, do not mutate)."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise EngineError(f"unknown table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def clear(self, name: str) -> None:
+        self._tables[name.lower()] = []
+
+    # ------------------------------------------------------------------
+    # Query evaluation
+
+    def execute(self, query: RelExpr, params: dict[str, Any] | None = None) -> list[Row]:
+        """Evaluate a relational algebra tree and return the result rows."""
+        return _Evaluator(self, params or {}).eval_rel(query)
+
+
+class _Evaluator:
+    def __init__(self, database: Database, params: dict[str, Any]):
+        self._db = database
+        self._params = params
+
+    # ------------------------------------------------------------------
+    # Relational operators
+
+    def eval_rel(self, node: RelExpr, outer: Row | None = None) -> list[Row]:
+        if isinstance(node, Table):
+            return self._eval_table(node)
+        if isinstance(node, Select):
+            child = self.eval_rel(node.child, outer)
+            return [
+                row
+                for row in child
+                if is_truthy(self.eval_scalar(node.pred, self._merge(row, outer)))
+            ]
+        if isinstance(node, Project):
+            child = self.eval_rel(node.child, outer)
+            return [self._project_row(node, row, outer) for row in child]
+        if isinstance(node, Join):
+            return self._eval_join(node, outer)
+        if isinstance(node, Aggregate):
+            return self._eval_aggregate(node, outer)
+        if isinstance(node, Sort):
+            child = self.eval_rel(node.child, outer)
+            for key in reversed(node.keys):
+                child = sorted(
+                    child,
+                    key=lambda row, k=key: self._sort_key(k, self._merge(row, outer)),
+                )
+            return child
+        if isinstance(node, Distinct):
+            child = self.eval_rel(node.child, outer)
+            seen = set()
+            result = []
+            for row in child:
+                fingerprint = tuple(
+                    sorted((k, _hashable(v)) for k, v in row.items() if "." not in k)
+                )
+                if fingerprint not in seen:
+                    seen.add(fingerprint)
+                    result.append(row)
+            return result
+        if isinstance(node, Limit):
+            return self.eval_rel(node.child, outer)[: node.count]
+        if isinstance(node, OuterApply):
+            return self._eval_outer_apply(node, outer)
+        if isinstance(node, Alias):
+            child = self.eval_rel(node.child, outer)
+            result = []
+            for row in child:
+                copy = dict(row)
+                for column, value in row.items():
+                    if "." not in column:
+                        copy[f"{node.name}.{column}"] = value
+                result.append(copy)
+            return result
+        raise EngineError(f"cannot evaluate {type(node).__name__}")
+
+    def _eval_table(self, node: Table) -> list[Row]:
+        rows = self._db.rows(node.name)
+        alias = node.alias or node.name
+        result = []
+        for row in rows:
+            copy = dict(row)
+            for column, value in row.items():
+                copy[f"{alias}.{column}"] = value
+            result.append(copy)
+        return result
+
+    def _eval_join(self, node: Join, outer: Row | None) -> list[Row]:
+        left_rows = self.eval_rel(node.left, outer)
+        right_rows = self.eval_rel(node.right, outer)
+        result = []
+        for left in left_rows:
+            matched = False
+            for right in right_rows:
+                combined = {**right, **left}
+                # Left values win on bare-name collisions; qualified keys of
+                # both sides are preserved because they never collide.
+                for key, value in right.items():
+                    if key not in left:
+                        combined[key] = value
+                if node.pred is not None:
+                    verdict = self.eval_scalar(node.pred, self._merge(combined, outer))
+                    if not is_truthy(verdict):
+                        continue
+                matched = True
+                result.append(combined)
+            if node.kind == "left" and not matched:
+                padded = dict(left)
+                for key in right_rows[0] if right_rows else ():
+                    padded.setdefault(key, None)
+                result.append(padded)
+        return result
+
+    def _eval_outer_apply(self, node: OuterApply, outer: Row | None) -> list[Row]:
+        left_rows = self.eval_rel(node.left, outer)
+        result = []
+        for left in left_rows:
+            scope = self._merge(left, outer)
+            inner_rows = self.eval_rel(node.right, scope)
+            if inner_rows:
+                for inner in inner_rows:
+                    combined = dict(left)
+                    for key, value in inner.items():
+                        if key not in combined:
+                            combined[key] = value
+                    result.append(combined)
+            else:
+                padded = dict(left)
+                for name in _output_names_best_effort(node.right):
+                    padded.setdefault(name, None)
+                result.append(padded)
+        return result
+
+    def _eval_aggregate(self, node: Aggregate, outer: Row | None) -> list[Row]:
+        child = self.eval_rel(node.child, outer)
+        if not node.group_by:
+            return [self._fold_group(node, (), child, outer)]
+        groups: dict[tuple, list[Row]] = {}
+        order: list[tuple] = []
+        for row in child:
+            key = tuple(
+                _hashable(self.eval_scalar(g, self._merge(row, outer)))
+                for g in node.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        return [self._fold_group(node, key, groups[key], outer) for key in order]
+
+    def _fold_group(
+        self, node: Aggregate, key: tuple, rows: list[Row], outer: Row | None
+    ) -> Row:
+        result: Row = {}
+        for group_expr, value in zip(node.group_by, key):
+            name = group_expr.name if isinstance(group_expr, Col) else str(group_expr)
+            result[name] = _unhashable(value)
+        for item in node.aggs:
+            result[item.output_name] = self._eval_agg_call(item.call, rows, outer)
+        return result
+
+    def _eval_agg_call(self, call: AggCall, rows: list[Row], outer: Row | None) -> Any:
+        if call.func == "count" and call.arg is None:
+            return len(rows)
+        values = [
+            self.eval_scalar(call.arg, self._merge(row, outer)) for row in rows
+        ]
+        values = [v for v in values if v is not None]  # SQL: aggregates skip NULLs
+        if call.distinct:
+            seen: list[Any] = []
+            for value in values:
+                if value not in seen:
+                    seen.append(value)
+            values = seen
+        if call.func == "count":
+            return len(values)
+        if not values:
+            return None
+        if call.func == "sum":
+            return sum(values)
+        if call.func == "min":
+            return min(values)
+        if call.func == "max":
+            return max(values)
+        if call.func == "avg":
+            return sum(values) / len(values)
+        custom = self._db.aggregates.get(call.func.lower())
+        if custom is not None:
+            return custom(values)
+        raise EngineError(f"unknown aggregate {call.func!r}")
+
+    def _project_row(self, node: Project, row: Row, outer: Row | None) -> Row:
+        scope = self._merge(row, outer)
+        result: Row = {}
+        for item in node.items:
+            if isinstance(item.expr, Col) and item.expr.name == "*":
+                for key, value in row.items():
+                    result[key] = value
+                continue
+            result[item.output_name] = self.eval_scalar(item.expr, scope)
+        # Alias-qualified source columns pass through invisibly (they do not
+        # count as output or transfer): like SQL, ORDER BY above a SELECT
+        # list may still reference the FROM tables' columns.
+        for key, value in row.items():
+            if "." in key:
+                result.setdefault(key, value)
+        return result
+
+    def _sort_key(self, key, row: Row):
+        value = self.eval_scalar(key.expr, row)
+        if key.ascending:
+            return nulls_last_key(value)
+        return descending_key(value)
+
+    @staticmethod
+    def _merge(row: Row, outer: Row | None) -> Row:
+        if not outer:
+            return row
+        merged = dict(outer)
+        merged.update(row)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Scalar expressions
+
+    def eval_scalar(self, expr: ScalarExpr, row: Row) -> Any:
+        if isinstance(expr, Lit):
+            return expr.value
+        if isinstance(expr, Col):
+            return self._lookup(expr, row)
+        if isinstance(expr, Param):
+            if expr.name not in self._params:
+                raise EngineError(f"unbound parameter :{expr.name}")
+            return self._params[expr.name]
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, row)
+        if isinstance(expr, UnOp):
+            if expr.op.upper() == "NOT":
+                return sql_not(self.eval_scalar(expr.operand, row))
+            if expr.op == "-":
+                value = self.eval_scalar(expr.operand, row)
+                return None if value is None else -value
+            raise EngineError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Func):
+            return self._eval_func(expr, row)
+        if isinstance(expr, CaseWhen):
+            if is_truthy(self.eval_scalar(expr.cond, row)):
+                return self.eval_scalar(expr.if_true, row)
+            return self.eval_scalar(expr.if_false, row)
+        if isinstance(expr, ExistsExpr):
+            rows = self.eval_rel(expr.query, row)
+            return not rows if expr.negated else bool(rows)
+        if isinstance(expr, ScalarSubquery):
+            rows = self.eval_rel(expr.query, row)
+            if not rows:
+                return None
+            first = rows[0]
+            plain = [v for k, v in first.items() if "." not in k]
+            return plain[0] if plain else None
+        raise EngineError(f"cannot evaluate scalar {type(expr).__name__}")
+
+    def _lookup(self, col: Col, row: Row) -> Any:
+        if col.qualifier:
+            qualified = f"{col.qualifier}.{col.name}"
+            if qualified in row:
+                return row[qualified]
+        if col.name in row:
+            return row[col.name]
+        if col.qualifier is None:
+            # Accept any unique qualified match.
+            suffix = f".{col.name}"
+            matches = [k for k in row if k.endswith(suffix)]
+            if len(matches) == 1:
+                return row[matches[0]]
+        raise EngineError(f"unknown column {col}")
+
+    def _eval_binop(self, expr: BinOp, row: Row) -> Any:
+        op = expr.op.upper()
+        if op == "AND":
+            return sql_and(
+                self.eval_scalar(expr.left, row), self.eval_scalar(expr.right, row)
+            )
+        if op == "OR":
+            return sql_or(
+                self.eval_scalar(expr.left, row), self.eval_scalar(expr.right, row)
+            )
+        left = self.eval_scalar(expr.left, row)
+        right = self.eval_scalar(expr.right, row)
+        if op in ("=", "!=", "<", ">", "<=", ">="):
+            return sql_compare(op, left, right)
+        if left is None or right is None:
+            return None
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "||":
+            return str(left) + str(right)
+        if op == "LIKE":
+            return _sql_like(str(left), str(right))
+        raise EngineError(f"unknown binary operator {expr.op!r}")
+
+    def _eval_func(self, expr: Func, row: Row) -> Any:
+        name = expr.name.upper()
+        args = [self.eval_scalar(a, row) for a in expr.args]
+        if name == "ISNULL":
+            return args[0] is None
+        if name == "COALESCE":
+            for value in args:
+                if value is not None:
+                    return value
+            return None
+        if name == "CONCAT":
+            # Render like Java string concatenation (the imperative code the
+            # expression came from): lowercase booleans, "null" for NULL.
+            from ..interp.values import to_display
+
+            return "".join(to_display(a) for a in args)
+        if any(a is None for a in args):
+            return None
+        if name == "GREATEST":
+            return max(args)
+        if name == "LEAST":
+            return min(args)
+        if name == "UPPER":
+            return args[0].upper()
+        if name == "LOWER":
+            return args[0].lower()
+        if name == "LENGTH":
+            return len(args[0])
+        if name == "ABS":
+            return abs(args[0])
+        if name == "SUBSTRING":
+            text, start = args[0], args[1]
+            if len(args) > 2:
+                return text[start - 1 : start - 1 + args[2]]
+            return text[start - 1 :]
+        if name == "TRIM":
+            return args[0].strip()
+        if name == "ROUND":
+            digits = int(args[1]) if len(args) > 1 else 0
+            return round(args[0], digits)
+        raise EngineError(f"unknown scalar function {expr.name!r}")
+
+
+def _sql_like(value: str, pattern: str) -> bool:
+    import re
+
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, value) is not None
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+def _unhashable(value: Any) -> Any:
+    return value
+
+
+def _output_names_best_effort(node: RelExpr) -> list[str]:
+    """Column names an empty OUTER APPLY branch must pad with NULLs."""
+    if isinstance(node, Project):
+        return [item.output_name for item in node.items]
+    if isinstance(node, Aggregate):
+        names = [
+            g.name if isinstance(g, Col) else str(g) for g in node.group_by
+        ]
+        names.extend(item.output_name for item in node.aggs)
+        return names
+    if isinstance(node, (Select, Sort, Distinct, Limit)):
+        return _output_names_best_effort(node.child)
+    return []

@@ -1,0 +1,37 @@
+"""F-IR: fold intermediate representation (loop → fold + preconditions)."""
+
+from .argmax import ArgmaxMatch, detect_argmax, try_dependent_aggregation
+from .loop_to_fold import (
+    FoldOutcome,
+    PreconditionReport,
+    check_preconditions_ddg,
+    count_folds,
+    fold_identity,
+    loop_to_fold,
+)
+from .scalarize import (
+    CAPABLE_UNIMPLEMENTED_OPS,
+    CapableButUnimplemented,
+    NotScalarizable,
+    references_bound,
+    references_cursor,
+    scalarize,
+)
+
+__all__ = [
+    "ArgmaxMatch",
+    "CAPABLE_UNIMPLEMENTED_OPS",
+    "CapableButUnimplemented",
+    "FoldOutcome",
+    "NotScalarizable",
+    "PreconditionReport",
+    "check_preconditions_ddg",
+    "count_folds",
+    "detect_argmax",
+    "fold_identity",
+    "loop_to_fold",
+    "references_bound",
+    "references_cursor",
+    "scalarize",
+    "try_dependent_aggregation",
+]

@@ -1,0 +1,242 @@
+"""Loop-to-fold translation (paper Section 4.2, Figure 6, Theorem 1).
+
+Converts ``ELoop`` nodes into ``EFold`` nodes when the preconditions hold:
+
+P1  there is a cycle of dependences containing the accumulating statements
+    and a loop-carried flow dependence — operationally, the loop body's
+    expression for ``v`` references ``⟨v⟩`` (the value at iteration start);
+P2  no other loop-carried flow dependence exists apart from that cycle and
+    the cursor advance — operationally, the body expression must not
+    reference any *other* loop-updated variable;
+P3  no external dependences — no database/output writes in the loop body.
+
+Both the ee-DAG check and the paper's DDG-based formulation (over slices of
+the loop body, Section 4.2) are implemented; the extractor runs the DDG
+check as a cross-validation of the ee-DAG one.
+
+The dependent-aggregation relaxation of Appendix B (argmax/argmin) is in
+:mod:`repro.fir.argmax`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import (
+    DB_LOCATION,
+    build_loop_ddg,
+    slice_statements,
+    stmt_def_use,
+)
+from ..ir import (
+    DagBuilder,
+    EAttr,
+    EBoundVar,
+    EConst,
+    EExists,
+    EFold,
+    ELoop,
+    ENode,
+    EOp,
+    EQuery,
+    EScalarQuery,
+    EVar,
+    contains_opaque,
+    walk_enodes,
+)
+from ..ir.nodes import free_bound_vars
+from ..lang import ForEach
+
+
+@dataclass
+class FoldOutcome:
+    """Result of attempting to translate one variable's Loop into fold."""
+
+    node: ENode | None
+    ok: bool
+    reason: str = ""
+
+    @staticmethod
+    def success(node: ENode) -> "FoldOutcome":
+        return FoldOutcome(node=node, ok=True)
+
+    @staticmethod
+    def failure(reason: str) -> "FoldOutcome":
+        return FoldOutcome(node=None, ok=False, reason=reason)
+
+
+def loop_to_fold(node: ENode, dag: DagBuilder) -> FoldOutcome:
+    """Translate every ``ELoop`` under ``node`` into ``EFold`` (bottom-up).
+
+    Mirrors procedure ``toFIR`` of Figure 6: sub-regions (inner loops) are
+    translated first; failure of any inner loop fails the enclosing
+    expression (the inner Loop stays non-algebraic).
+    """
+    try:
+        converted = _convert(node, dag)
+    except _FoldFailure as failure:
+        return FoldOutcome.failure(failure.reason)
+    return FoldOutcome.success(converted)
+
+
+class _FoldFailure(Exception):
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+def _convert(node: ENode, dag: DagBuilder) -> ENode:
+    if isinstance(node, (EConst, EVar, EBoundVar)):
+        return node
+    if isinstance(node, EAttr):
+        return dag.attr(_convert(node.base, dag), node.attr)
+    if isinstance(node, EOp):
+        if node.op == "opaque":
+            raise _FoldFailure("expression contains an unsupported construct")
+        operands = tuple(_convert(c, dag) for c in node.operands)
+        return dag.intern(EOp(node.op, operands))
+    if isinstance(node, EQuery):
+        params = tuple((name, _convert(v, dag)) for name, v in node.params)
+        return dag.query(node.rel, params)
+    if isinstance(node, EScalarQuery):
+        params = tuple((name, _convert(v, dag)) for name, v in node.params)
+        return dag.scalar_query(node.rel, params)
+    if isinstance(node, EExists):
+        params = tuple((name, _convert(v, dag)) for name, v in node.params)
+        return dag.exists(node.rel, params, node.negated)
+    if isinstance(node, EFold):
+        return dag.fold(
+            _convert(node.func, dag),
+            _convert(node.init, dag),
+            _convert(node.source, dag),
+            node.var,
+            node.cursor,
+            node.loop_sid,
+        )
+    if isinstance(node, ELoop):
+        return _convert_loop(node, dag)
+    raise _FoldFailure(f"cannot translate {type(node).__name__}")
+
+
+def _convert_loop(loop: ELoop, dag: DagBuilder) -> ENode:
+    # Inner loops first (Figure 6: toFIR recurses into sub-regions).
+    body = _convert(loop.body, dag)
+    init = _convert(loop.init, dag)
+    source = _convert(loop.source, dag)
+
+    check_preconditions_dag(loop, body)
+    return dag.fold(body, init, source, loop.var, loop.cursor, loop.loop_sid)
+
+
+def check_preconditions_dag(loop: ELoop, body: ENode | None = None) -> None:
+    """ee-DAG-level preconditions; raises ``_FoldFailure`` on violation."""
+    body = body if body is not None else loop.body
+    if contains_opaque(body):
+        raise _FoldFailure(
+            f"loop body for {loop.var!r} contains an unsupported construct"
+        )
+    if DB_LOCATION in loop.updated:
+        raise _FoldFailure("P3: loop body writes the database (external dependence)")
+    bound = free_bound_vars(body)
+    extra = (bound - {loop.var, loop.cursor}) & set(loop.updated)
+    if extra:
+        raise _FoldFailure(
+            "P2: loop-carried dependence on other updated variable(s): "
+            + ", ".join(sorted(extra))
+        )
+    if loop.var not in bound:
+        raise _FoldFailure(
+            f"P1: no dependence cycle — {loop.var!r} is recomputed each "
+            "iteration rather than accumulated"
+        )
+    if not isinstance(loop.source, (EQuery, EFold, ELoop)):
+        raise _FoldFailure(
+            "iterated collection cannot be expressed as a query result"
+        )
+
+
+# ----------------------------------------------------------------------
+# The paper's DDG-based precondition check (Figure 6), used as a
+# cross-validation of the ee-DAG check above.
+
+
+@dataclass
+class PreconditionReport:
+    """Outcome of the Figure 6 preconditions for one variable."""
+
+    variable: str
+    p1_cycle: bool
+    p2_no_other_lcfd: bool
+    p3_no_external: bool
+    slice_sids: frozenset[int]
+
+    @property
+    def ok(self) -> bool:
+        return self.p1_cycle and self.p2_no_other_lcfd and self.p3_no_external
+
+
+def check_preconditions_ddg(loop_stmt: ForEach, variable: str) -> PreconditionReport:
+    """Run the Figure 6 preconditions over the loop body's DDG and slice."""
+    graph = build_loop_ddg(loop_stmt.body, cursor_var=loop_stmt.var)
+    slice_sids = slice_statements(graph, variable)
+
+    acc_sids = {
+        stmt.sid
+        for stmt in graph.statements
+        if variable in stmt_def_use(stmt).writes
+    }
+    lcfd_edges = [e for e in graph.edges_of_kind("lcfd") if e.target in slice_sids]
+
+    # P1: a cycle through the accumulating statements with an lcfd edge —
+    # i.e. some lcfd edge on the variable itself touching its writers.
+    own_lcfd = [
+        e for e in lcfd_edges if e.location == variable and e.source in acc_sids
+    ]
+    p1 = bool(own_lcfd)
+
+    # P2: no lcfd edges in the slice other than the accumulation's own
+    # (cursor-advance lcfd edges were already excluded when building the DDG).
+    other_lcfd = [e for e in lcfd_edges if e.location != variable]
+    p2 = not other_lcfd
+
+    # P3: no external dependences.  Checked over the whole loop body, not
+    # just the slice: the paper conservatively treats the entire database as
+    # one location ("writes to a relation may trigger updates on another
+    # relation"), so an update anywhere in the body poisons the iterated
+    # query and with it every extraction from this loop.
+    external = graph.edges_of_kind("external")
+    # Read-read pairs were already excluded when building the DDG, so any
+    # surviving edge means a write to an external location.
+    p3 = not external
+
+    return PreconditionReport(
+        variable=variable,
+        p1_cycle=p1,
+        p2_no_other_lcfd=p2,
+        p3_no_external=p3,
+        slice_sids=frozenset(slice_sids),
+    )
+
+
+def fold_identity(op: str) -> ENode | None:
+    """The identity element of a folding operator (rule T5.1/T6 support)."""
+    identities: dict[str, ENode] = {
+        "+": EConst(0),
+        "*": EConst(1),
+        "and": EConst(True),
+        "or": EConst(False),
+        "append": EOp("empty_list", ()),
+        "insert": EOp("empty_set", ()),
+    }
+    if op in identities:
+        return identities[op]
+    if op in ("max", "min"):
+        # max/min have no finite identity; rule T6 handles non-identity
+        # initial values instead.
+        return None
+    return None
+
+
+def count_folds(node: ENode) -> int:
+    """Number of fold operators remaining in an expression."""
+    return sum(1 for n in walk_enodes(node) if isinstance(n, EFold))

@@ -1,0 +1,15 @@
+"""MiniJava interpreter over the simulated database connection."""
+
+from .interpreter import Interpreter, InterpreterError, run_program
+from .values import Entity, ResultCursor, StringBuilder, getter_to_column, setter_to_column
+
+__all__ = [
+    "Entity",
+    "Interpreter",
+    "InterpreterError",
+    "ResultCursor",
+    "StringBuilder",
+    "getter_to_column",
+    "run_program",
+    "setter_to_column",
+]

@@ -1,0 +1,495 @@
+"""ee-DAG node kinds and the hash-consing DAG builder (Section 3.2.1).
+
+Nodes are immutable and structurally hashable.  The :class:`DagBuilder`
+interns nodes — "a composite id, comprising of ids of its operator and
+operands, is assigned to each node, and a hash table is used for searching"
+(paper Section 3.3) — so common sub-expressions are shared and equality
+checks are pointer comparisons on canonical instances.
+
+Node kinds:
+
+``EConst``       a literal constant
+``EVar``         a *region input* — the value of a variable at the start of
+                 the region (the paper's ``x₀`` subscripted leaves)
+``EBoundVar``    a variable bound by an enclosing Loop/fold (the running
+                 accumulator value or the cursor tuple)
+``EAttr``        attribute access on a tuple value (``t.p1``)
+``EOp``          an operator applied to children (arithmetic, logical,
+                 ``?``, ``max``, ``append``, ``insert``, ``tuple``...)
+``EQuery``       a relation-valued database query (extended relational
+                 algebra, possibly parameterized on program expressions)
+``EScalarQuery`` a scalar-valued subquery (produced by rule T5)
+``EExists``      EXISTS / NOT EXISTS over a query
+``ELoop``        the paper's non-algebraic Loop operator
+``EFold``        the F-IR fold operator (Section 4)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..algebra import RelExpr
+
+
+class ENode:
+    """Base class for all ee-DAG nodes."""
+
+    def children(self) -> tuple["ENode", ...]:
+        return ()
+
+
+@dataclass(frozen=True, eq=False)
+class EConst(ENode):
+    value: Any
+
+    def __eq__(self, other: object) -> bool:
+        # Python's `1 == True` would merge int and bool constants under
+        # hash-consing; distinguish by type as well as value.
+        if not isinstance(other, EConst):
+            return NotImplemented
+        return type(self.value) is type(other.value) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((type(self.value).__name__, self.value))
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class EVar(ENode):
+    """A region input: the variable's value at the start of the region."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}₀"
+
+
+@dataclass(frozen=True)
+class EBoundVar(ENode):
+    """A variable bound by an enclosing Loop/fold."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"⟨{self.name}⟩"
+
+
+@dataclass(frozen=True)
+class EAttr(ENode):
+    base: ENode
+    attr: str
+
+    def children(self) -> tuple[ENode, ...]:
+        return (self.base,)
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class EOp(ENode):
+    op: str
+    operands: tuple[ENode, ...] = ()
+
+    def children(self) -> tuple[ENode, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        if self.op == "?":
+            cond, if_true, if_false = self.operands
+            return f"?[{cond}, {if_true}, {if_false}]"
+        inner = ", ".join(str(c) for c in self.operands)
+        return f"{self.op}[{inner}]"
+
+
+#: Parameter bindings of a query node: (parameter name, bound expression).
+ParamBindings = tuple[tuple[str, ENode], ...]
+
+
+@dataclass(frozen=True)
+class EQuery(ENode):
+    """A relation-valued query; ``params`` bind :name placeholders."""
+
+    rel: RelExpr
+    params: ParamBindings = ()
+
+    def children(self) -> tuple[ENode, ...]:
+        return tuple(node for _, node in self.params)
+
+    def __str__(self) -> str:
+        if not self.params:
+            return f"Q({self.rel})"
+        bound = ", ".join(f":{n}={v}" for n, v in self.params)
+        return f"Q({self.rel} | {bound})"
+
+
+@dataclass(frozen=True)
+class EScalarQuery(ENode):
+    """A scalar-valued subquery (one row, one column)."""
+
+    rel: RelExpr
+    params: ParamBindings = ()
+
+    def children(self) -> tuple[ENode, ...]:
+        return tuple(node for _, node in self.params)
+
+    def __str__(self) -> str:
+        return f"scalar({self.rel})"
+
+
+@dataclass(frozen=True)
+class EExists(ENode):
+    """EXISTS / NOT EXISTS over a query."""
+
+    rel: RelExpr
+    params: ParamBindings = ()
+    negated: bool = False
+
+    def children(self) -> tuple[ENode, ...]:
+        return tuple(node for _, node in self.params)
+
+    def __str__(self) -> str:
+        name = "not-exists" if self.negated else "exists"
+        return f"{name}({self.rel})"
+
+
+@dataclass(frozen=True)
+class ELoop(ENode):
+    """The Loop operator (Section 3.2.1): non-algebraic cursor-loop value.
+
+    ``body`` expresses one iteration's update of ``var`` in terms of
+    ``EBoundVar(var)`` (value at iteration start) and ``EBoundVar(cursor)``
+    (the current tuple).  ``init`` is the value flowing in from before the
+    loop.  ``updated`` lists every variable the loop body updates (used by
+    the F-IR preconditions), and ``loop_sid`` ties the node back to the
+    source statement for DDG checks and rewriting.
+    """
+
+    source: ENode
+    body: ENode
+    init: ENode
+    var: str
+    cursor: str
+    updated: tuple[str, ...] = ()
+    loop_sid: int = -1
+
+    def children(self) -> tuple[ENode, ...]:
+        return (self.source, self.body, self.init)
+
+    def __str__(self) -> str:
+        return f"Loop[{self.source}, λ⟨{self.var}⟩⟨{self.cursor}⟩.{self.body} | init={self.init}]"
+
+
+@dataclass(frozen=True)
+class EFold(ENode):
+    """The F-IR fold operator (Section 4): ``fold [f, init, source]``.
+
+    ``func`` is the folding function's body over ``EBoundVar(var)`` and
+    ``EBoundVar(cursor)``.
+    """
+
+    func: ENode
+    init: ENode
+    source: ENode
+    var: str
+    cursor: str
+    loop_sid: int = -1
+
+    def children(self) -> tuple[ENode, ...]:
+        return (self.func, self.init, self.source)
+
+    def __str__(self) -> str:
+        return f"fold[λ⟨{self.var}⟩⟨{self.cursor}⟩.{self.func}, {self.init}, {self.source}]"
+
+
+# ----------------------------------------------------------------------
+# Hash caching.  Structural hashes recurse into children; on deep DAGs with
+# heavy sharing that recursion is exponential in tree paths unless each
+# node caches its hash (children's hashes are then O(1) lookups).
+
+
+def _install_cached_hash(cls) -> None:
+    generated = cls.__hash__
+
+    def cached_hash(self) -> int:
+        try:
+            return object.__getattribute__(self, "_cached_hash")
+        except AttributeError:
+            value = generated(self)
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
+    cls.__hash__ = cached_hash
+
+
+for _cls in (
+    EConst,
+    EVar,
+    EBoundVar,
+    EAttr,
+    EOp,
+    EQuery,
+    EScalarQuery,
+    EExists,
+    ELoop,
+    EFold,
+):
+    _install_cached_hash(_cls)
+
+
+#: The opaque node: a value the analysis cannot represent.  Any expression
+#: containing it is rejected by the F-IR preconditions.
+OPAQUE = EOp("opaque", ())
+
+#: Empty-collection constants.
+EMPTY_LIST = EOp("empty_list", ())
+EMPTY_SET = EOp("empty_set", ())
+EMPTY_MAP = EOp("empty_map", ())
+
+TRUE = EConst(True)
+FALSE = EConst(False)
+NULL = EConst(None)
+ZERO = EConst(0)
+
+
+# ----------------------------------------------------------------------
+# Traversal helpers
+
+
+def walk_enodes(node: ENode):
+    """Yield ``node`` and all descendants, pre-order (may repeat shared
+    subtrees; use :func:`unique_enodes` for DAG-size iteration)."""
+    yield node
+    for child in node.children():
+        yield from walk_enodes(child)
+
+
+def unique_enodes(node: ENode) -> list[ENode]:
+    """All distinct nodes reachable from ``node`` (DAG traversal)."""
+    seen: dict[int, ENode] = {}
+    order: list[ENode] = []
+
+    def visit(n: ENode) -> None:
+        if id(n) in seen:
+            return
+        seen[id(n)] = n
+        for child in n.children():
+            visit(child)
+        order.append(n)
+
+    visit(node)
+    return order
+
+
+def free_vars(node: ENode) -> set[str]:
+    """Names of free region inputs (``EVar``) in an expression."""
+    result: set[str] = set()
+    for n in walk_enodes(node):
+        if isinstance(n, EVar):
+            result.add(n.name)
+    return result
+
+
+def bound_vars(node: ENode) -> set[str]:
+    """Names of bound variables (``EBoundVar``) in an expression."""
+    result: set[str] = set()
+    for n in walk_enodes(node):
+        if isinstance(n, EBoundVar):
+            result.add(n.name)
+    return result
+
+
+def free_bound_vars(node: ENode) -> set[str]:
+    """Bound-variable names *not* captured by a nested Loop/fold binder.
+
+    Used by the F-IR preconditions: an inner loop's own accumulator and
+    cursor are bound locally and must not count as loop-carried references
+    at the enclosing level.
+    """
+    result: set[str] = set()
+
+    def visit(n: ENode, shadowed: frozenset[str]) -> None:
+        if isinstance(n, EBoundVar):
+            if n.name not in shadowed:
+                result.add(n.name)
+            return
+        if isinstance(n, (ELoop, EFold)):
+            # The function/body is under the binder; init and source are
+            # evaluated in the enclosing scope.  An inner loop accumulating
+            # into an outer accumulator has init = ⟨outer var⟩, which must
+            # count as a free reference at the enclosing level.
+            inner = shadowed | {n.var, n.cursor}
+            body = n.body if isinstance(n, ELoop) else n.func
+            visit(body, inner)
+            visit(n.init, shadowed)
+            visit(n.source, shadowed)
+            return
+        for child in n.children():
+            visit(child, shadowed)
+
+    visit(node, frozenset())
+    return result
+
+
+def contains_opaque(node: ENode) -> bool:
+    """True when the expression contains the OPAQUE marker."""
+    return any(
+        isinstance(n, EOp) and n.op == "opaque" for n in walk_enodes(node)
+    )
+
+
+def contains_fold(node: ENode) -> bool:
+    return any(isinstance(n, EFold) for n in walk_enodes(node))
+
+
+def contains_loop(node: ENode) -> bool:
+    return any(isinstance(n, ELoop) for n in walk_enodes(node))
+
+
+def dag_size(node: ENode) -> int:
+    """Number of distinct nodes in the DAG rooted at ``node``."""
+    return len(unique_enodes(node))
+
+
+def tree_size(node: ENode) -> int:
+    """Number of nodes counting shared subtrees once per occurrence.
+
+    Computed by memoized dynamic programming — expression DAGs with heavy
+    sharing have exponentially many tree paths, which must not be walked.
+    """
+    memo: dict[int, int] = {}
+
+    def size(n: ENode) -> int:
+        cached = memo.get(id(n))
+        if cached is not None:
+            return cached
+        result = 1 + sum(size(c) for c in n.children())
+        memo[id(n)] = result
+        return result
+
+    return size(node)
+
+
+# ----------------------------------------------------------------------
+# Hash-consing builder
+
+
+class DagBuilder:
+    """Interns ee-DAG nodes so equal expressions share one instance.
+
+    Also applies the local canonicalisations the paper describes in
+    Section 4.2: the ``if (expr OP v) v = expr`` structure becomes
+    ``v = max/min(v, expr)``, and conditional boolean assignments become
+    disjunctions/conjunctions (Appendix B, "checking for existence").
+    """
+
+    def __init__(self, enable_interning: bool = True):
+        self._interned: dict[ENode, ENode] = {}
+        self._enable = enable_interning
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, node: ENode) -> ENode:
+        if not self._enable:
+            return node
+        existing = self._interned.get(node)
+        if existing is not None:
+            self.hits += 1
+            return existing
+        self.misses += 1
+        self._interned[node] = node
+        return node
+
+    @property
+    def size(self) -> int:
+        return len(self._interned)
+
+    # ------------------------------------------------------------------
+    # Constructors
+
+    def const(self, value: Any) -> ENode:
+        return self.intern(EConst(value))
+
+    def var(self, name: str) -> ENode:
+        return self.intern(EVar(name))
+
+    def bound(self, name: str) -> ENode:
+        return self.intern(EBoundVar(name))
+
+    def attr(self, base: ENode, name: str) -> ENode:
+        return self.intern(EAttr(base, name))
+
+    def op(self, op: str, *operands: ENode) -> ENode:
+        if op == "?":
+            canonical = self._canonicalize_cond(*operands)
+            if canonical is not None:
+                return canonical
+        return self.intern(EOp(op, tuple(operands)))
+
+    def query(self, rel: RelExpr, params: ParamBindings = ()) -> ENode:
+        return self.intern(EQuery(rel, params))
+
+    def scalar_query(self, rel: RelExpr, params: ParamBindings = ()) -> ENode:
+        return self.intern(EScalarQuery(rel, params))
+
+    def exists(self, rel: RelExpr, params: ParamBindings = (), negated: bool = False) -> ENode:
+        return self.intern(EExists(rel, params, negated))
+
+    def loop(
+        self,
+        source: ENode,
+        body: ENode,
+        init: ENode,
+        var: str,
+        cursor: str,
+        updated: tuple[str, ...] = (),
+        loop_sid: int = -1,
+    ) -> ENode:
+        return self.intern(ELoop(source, body, init, var, cursor, updated, loop_sid))
+
+    def fold(
+        self,
+        func: ENode,
+        init: ENode,
+        source: ENode,
+        var: str,
+        cursor: str,
+        loop_sid: int = -1,
+    ) -> ENode:
+        return self.intern(EFold(func, init, source, var, cursor, loop_sid))
+
+    # ------------------------------------------------------------------
+    # Canonicalisations (Section 4.2 / Appendix B)
+
+    _MINMAX = {">": "max", ">=": "max", "<": "min", "<=": "min"}
+
+    def _canonicalize_cond(self, *operands: ENode) -> ENode | None:
+        if len(operands) != 3:
+            return None
+        cond, if_true, if_false = operands
+        # `if (e OP v) v = e` → max/min(v, e)
+        if isinstance(cond, EOp) and cond.op in self._MINMAX and len(cond.operands) == 2:
+            left, right = cond.operands
+            target = self._MINMAX[cond.op]
+            if left == if_true and right == if_false:
+                return self.op(target, if_false, if_true)
+            # `v OP e` form: v = e when v OP e holds — inverted comparison.
+            inverted = "min" if target == "max" else "max"
+            if right == if_true and left == if_false:
+                return self.op(inverted, if_false, if_true)
+        # `if (p) v = true` → v ∨ p ; `if (p) v = false` → v ∧ ¬p
+        if if_true == TRUE and isinstance(if_false, (EVar, EBoundVar)):
+            return self.op("or", if_false, cond)
+        if if_true == FALSE and isinstance(if_false, (EVar, EBoundVar)):
+            return self.op("and", if_false, self.op("not", cond))
+        # Mirrored: `if (p) {} else v = true/false`.
+        if if_false == TRUE and isinstance(if_true, (EVar, EBoundVar)):
+            return self.op("or", if_true, self.op("not", cond))
+        if if_false == FALSE and isinstance(if_true, (EVar, EBoundVar)):
+            return self.op("and", if_true, cond)
+        return None

@@ -1,0 +1,292 @@
+"""AST normalisations applied before D-IR construction.
+
+The paper describes these preprocessing steps:
+
+* *output statements* — "we preprocess the program to replace output
+  statements with appends to a (global) string (which can be treated as an
+  ordered collection), and print its contents at the end" (Section 2 /
+  Appendix B).  We append printed values to the global ordered collection
+  ``__out__``.
+* *JDBC cursor loops* — ``rs = executeQuery(...); while (rs.next()) {...}``
+  is the cursor-loop idiom over a result set; it is normalised into the
+  equivalent ``for (rs : executeQuery(...)) {...}``.
+* *tail returns* — ``if (c) { ...; return a; } rest`` becomes
+  ``if (c) { ...; return a; } else { rest }`` so that conditional-region
+  merging sees both arms.
+* *boolean early exit* — ``for (t : Q) { if (p) { found = true; break; } }``
+  drops the ``break`` (Appendix B: "the return/break can potentially be
+  removed" when the only computation is the boolean assignment).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..lang import (
+    Assign,
+    Block,
+    BoolLit,
+    Break,
+    Call,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    ForEach,
+    FunctionDef,
+    If,
+    MethodCall,
+    Name,
+    New,
+    Program,
+    Return,
+    Stmt,
+    TryCatch,
+    While,
+    number_statements,
+)
+
+OUT_VAR = "__out__"
+
+
+def preprocess_program(program: Program) -> Program:
+    """Return a normalised deep copy of ``program`` (ids renumbered)."""
+    result = copy.deepcopy(program)
+    for func in result.functions:
+        _preprocess_function(func)
+    number_statements(result)
+    return result
+
+
+def _preprocess_function(func: FunctionDef) -> None:
+    had_prints = _rewrite_prints(func.body)
+    _normalize_cursor_while(func.body)
+    _normalize_boolean_return_loops(func.body)
+    _normalize_tail_returns(func.body)
+    _drop_unreachable(func.body)
+    _remove_boolean_breaks(func.body)
+    if had_prints:
+        init = Assign(target=OUT_VAR, value=New(class_name="ArrayList", args=[]))
+        func.body.statements.insert(0, init)
+
+
+# ----------------------------------------------------------------------
+# print → __out__ appends
+
+
+def _rewrite_prints(block: Block) -> bool:
+    changed = False
+    for i, stmt in enumerate(block.statements):
+        if isinstance(stmt, ExprStmt):
+            printed = _printed_value(stmt.expr)
+            if printed is not None:
+                block.statements[i] = ExprStmt(
+                    expr=MethodCall(
+                        receiver=Name(OUT_VAR), method="add", args=[printed]
+                    ),
+                    line=stmt.line,
+                )
+                changed = True
+                continue
+        for child in _child_blocks(stmt):
+            changed |= _rewrite_prints(child)
+    return changed
+
+
+def _printed_value(expr: Expr) -> Expr | None:
+    if isinstance(expr, Call) and expr.func in ("print", "println"):
+        return expr.args[0] if expr.args else None
+    if (
+        isinstance(expr, MethodCall)
+        and expr.method in ("println", "print")
+        and isinstance(expr.receiver, FieldAccess)
+        and isinstance(expr.receiver.receiver, Name)
+        and expr.receiver.receiver.ident == "System"
+    ):
+        return expr.args[0] if expr.args else None
+    return None
+
+
+# ----------------------------------------------------------------------
+# while (rs.next()) → for (rs : ...)
+
+
+def _normalize_cursor_while(block: Block) -> None:
+    for i, stmt in enumerate(block.statements):
+        for child in _child_blocks(stmt):
+            _normalize_cursor_while(child)
+        if not (
+            isinstance(stmt, While)
+            and isinstance(stmt.cond, MethodCall)
+            and stmt.cond.method == "next"
+            and isinstance(stmt.cond.receiver, Name)
+        ):
+            continue
+        cursor = stmt.cond.receiver.ident
+        # Find the defining query assignment earlier in this block (other
+        # statements such as accumulator initialisations may intervene).
+        defining: Assign | None = None
+        for prior in reversed(block.statements[:i]):
+            if isinstance(prior, Assign) and prior.target == cursor:
+                if (
+                    isinstance(prior.value, Call)
+                    and prior.value.func in ("executeQuery", "executeQueryCursor")
+                ):
+                    defining = prior
+                break
+        if defining is None:
+            continue
+        defining.value = Call(
+            func="executeQuery", args=defining.value.args, line=defining.line
+        )
+        # `for (rs : rs)` — the iterable is evaluated before the cursor
+        # variable is rebound per row, so the self-shadowing is sound, and
+        # the body's `rs.getX(...)` accessors keep working unchanged.
+        block.statements[i] = ForEach(
+            var=cursor, iterable=Name(cursor), body=stmt.body, line=stmt.line
+        )
+
+
+# ----------------------------------------------------------------------
+# Tail-return normalisation and unreachable-code removal
+
+
+def _normalize_tail_returns(block: Block) -> None:
+    for stmt in block.statements:
+        for child in _child_blocks(stmt):
+            _normalize_tail_returns(child)
+    i = 0
+    while i < len(block.statements):
+        stmt = block.statements[i]
+        rest = block.statements[i + 1 :]
+        if (
+            isinstance(stmt, If)
+            and stmt.else_body is None
+            and _ends_with_return(stmt.then_body)
+            and rest
+        ):
+            stmt.else_body = Block(statements=rest)
+            _normalize_tail_returns(stmt.else_body)
+            del block.statements[i + 1 :]
+            return
+        i += 1
+
+
+def _ends_with_return(block: Block) -> bool:
+    return bool(block.statements) and isinstance(block.statements[-1], Return)
+
+
+def _drop_unreachable(block: Block) -> None:
+    for i, stmt in enumerate(block.statements):
+        for child in _child_blocks(stmt):
+            _drop_unreachable(child)
+        if isinstance(stmt, (Return, Break)):
+            del block.statements[i + 1 :]
+            return
+
+
+# ----------------------------------------------------------------------
+# Boolean return-based existence checks (Appendix B: "sometimes the loop
+# can have an early exit ... if the only computation inside the loop is the
+# boolean value assignment, the return/break can potentially be removed").
+#
+#     for (t : Q) { if (p) { return true; } }
+#     return false;
+#
+# becomes the flag form the existence rules recognise:
+#
+#     __ret_flag0 = false;
+#     for (t : Q) { if (p) { __ret_flag0 = true; } }
+#     return __ret_flag0;
+
+_flag_counter = 0
+
+
+def _normalize_boolean_return_loops(block: Block) -> None:
+    global _flag_counter
+    for stmt in block.statements:
+        for child in _child_blocks(stmt):
+            _normalize_boolean_return_loops(child)
+    i = 0
+    while i < len(block.statements):
+        stmt = block.statements[i]
+        rest = block.statements[i + 1 :]
+        if (
+            isinstance(stmt, ForEach)
+            and len(stmt.body.statements) == 1
+            and isinstance(stmt.body.statements[0], If)
+            and rest
+            and isinstance(rest[0], Return)
+            and isinstance(rest[0].value, BoolLit)
+        ):
+            branch = stmt.body.statements[0]
+            then = branch.then_body.statements
+            if (
+                branch.else_body is None
+                and len(then) == 1
+                and isinstance(then[0], Return)
+                and isinstance(then[0].value, BoolLit)
+                and then[0].value.value != rest[0].value.value
+            ):
+                flag = f"__ret_flag{_flag_counter}"
+                _flag_counter += 1
+                inner_value = then[0].value
+                default_value = rest[0].value
+                branch.then_body.statements[0] = Assign(target=flag, value=inner_value)
+                block.statements[i : i + 2] = [
+                    Assign(target=flag, value=default_value),
+                    stmt,
+                    Return(value=Name(flag)),
+                ]
+                i += 2
+        i += 1
+
+
+# ----------------------------------------------------------------------
+# Boolean early-exit removal
+
+
+def _remove_boolean_breaks(block: Block) -> None:
+    for stmt in block.statements:
+        for child in _child_blocks(stmt):
+            _remove_boolean_breaks(child)
+        if isinstance(stmt, ForEach):
+            _try_remove_break(stmt)
+
+
+def _try_remove_break(loop: ForEach) -> None:
+    """Drop a ``break`` that immediately follows a boolean assignment when it
+    is the loop body's only other computation."""
+    body = loop.body.statements
+    if len(body) != 1 or not isinstance(body[0], If):
+        return
+    branch = body[0]
+    if branch.else_body is not None:
+        return
+    then = branch.then_body.statements
+    if (
+        len(then) == 2
+        and isinstance(then[0], Assign)
+        and isinstance(then[0].value, BoolLit)
+        and isinstance(then[1], Break)
+    ):
+        del then[1]
+
+
+def _child_blocks(stmt: Stmt) -> list[Block]:
+    if isinstance(stmt, Block):
+        return [stmt]
+    if isinstance(stmt, If):
+        blocks = [stmt.then_body]
+        if stmt.else_body is not None:
+            blocks.append(stmt.else_body)
+        return blocks
+    if isinstance(stmt, (ForEach, While)):
+        return [stmt.body]
+    if isinstance(stmt, TryCatch):
+        blocks = [stmt.try_body]
+        if stmt.catch_body is not None:
+            blocks.append(stmt.catch_body)
+        if stmt.finally_body is not None:
+            blocks.append(stmt.finally_body)
+        return blocks
+    return []

@@ -1,0 +1,157 @@
+"""Substitution over ee-DAG expressions.
+
+Sequential-region merging (paper Appendix D.3) replaces each region input
+(``EVar`` leaf) of the following region with the equivalent expression from
+the preceding region.  ``EBoundVar`` leaves are untouchable: they are bound
+by an enclosing Loop/fold.
+"""
+
+from __future__ import annotations
+
+from .nodes import (
+    DagBuilder,
+    EAttr,
+    EBoundVar,
+    EConst,
+    EExists,
+    EFold,
+    ELoop,
+    ENode,
+    EOp,
+    EQuery,
+    EScalarQuery,
+    EVar,
+)
+
+
+def substitute(node: ENode, mapping: dict[str, ENode], builder: DagBuilder) -> ENode:
+    """Replace free ``EVar(name)`` leaves per ``mapping`` (memoized)."""
+    memo: dict[int, ENode] = {}
+
+    def visit(n: ENode) -> ENode:
+        cached = memo.get(id(n))
+        if cached is not None:
+            return cached
+        result = _visit_uncached(n)
+        memo[id(n)] = result
+        return result
+
+    def _visit_uncached(n: ENode) -> ENode:
+        if isinstance(n, EVar):
+            return mapping.get(n.name, n)
+        if isinstance(n, (EConst, EBoundVar)):
+            return n
+        if isinstance(n, EAttr):
+            base = visit(n.base)
+            if base is n.base:
+                return n
+            return builder.attr(base, n.attr)
+        if isinstance(n, EOp):
+            operands = tuple(visit(c) for c in n.operands)
+            if operands == n.operands:
+                return n
+            return builder.intern(EOp(n.op, operands))
+        if isinstance(n, EQuery):
+            params = tuple((name, visit(value)) for name, value in n.params)
+            if params == n.params:
+                return n
+            return builder.query(n.rel, params)
+        if isinstance(n, EScalarQuery):
+            params = tuple((name, visit(value)) for name, value in n.params)
+            if params == n.params:
+                return n
+            return builder.scalar_query(n.rel, params)
+        if isinstance(n, EExists):
+            params = tuple((name, visit(value)) for name, value in n.params)
+            if params == n.params:
+                return n
+            return builder.exists(n.rel, params, n.negated)
+        if isinstance(n, ELoop):
+            source = visit(n.source)
+            body = visit(n.body)
+            init = visit(n.init)
+            if source is n.source and body is n.body and init is n.init:
+                return n
+            return builder.loop(
+                source, body, init, n.var, n.cursor, n.updated, n.loop_sid
+            )
+        if isinstance(n, EFold):
+            func = visit(n.func)
+            init = visit(n.init)
+            source = visit(n.source)
+            if func is n.func and init is n.init and source is n.source:
+                return n
+            return builder.fold(func, init, source, n.var, n.cursor, n.loop_sid)
+        raise TypeError(f"cannot substitute into {type(n).__name__}")
+
+    return visit(node)
+
+
+def bind_vars(node: ENode, names: set[str], builder: DagBuilder) -> ENode:
+    """Convert free ``EVar(name)`` leaves into ``EBoundVar`` for ``names``.
+
+    Used when packaging a loop body expression into a Loop/fold: the
+    accumulator, the cursor, and every other loop-updated variable become
+    bound (their values are iteration state, not region inputs).
+    """
+    mapping = {name: builder.bound(name) for name in names}
+    return substitute(node, mapping, builder)
+
+
+def unbind_var(node: ENode, name: str, replacement: ENode, builder: DagBuilder) -> ENode:
+    """Replace ``EBoundVar(name)`` with an arbitrary expression (memoized).
+
+    Used when applying fold semantics (e.g. rule T6 rewrites the accumulator
+    occurrence, and SQL generation replaces the cursor variable with column
+    references).
+    """
+    memo: dict[int, ENode] = {}
+
+    def visit(n: ENode) -> ENode:
+        cached = memo.get(id(n))
+        if cached is not None:
+            return cached
+        result = _visit(n)
+        memo[id(n)] = result
+        return result
+
+    def _visit(n: ENode) -> ENode:
+        if isinstance(n, EBoundVar):
+            return replacement if n.name == name else n
+        if isinstance(n, (EConst, EVar)):
+            return n
+        if isinstance(n, EAttr):
+            base = visit(n.base)
+            return n if base is n.base else builder.attr(base, n.attr)
+        if isinstance(n, EOp):
+            operands = tuple(visit(c) for c in n.operands)
+            return n if operands == n.operands else builder.intern(EOp(n.op, operands))
+        if isinstance(n, EQuery):
+            params = tuple((p, visit(v)) for p, v in n.params)
+            return n if params == n.params else builder.query(n.rel, params)
+        if isinstance(n, EScalarQuery):
+            params = tuple((p, visit(v)) for p, v in n.params)
+            return n if params == n.params else builder.scalar_query(n.rel, params)
+        if isinstance(n, EExists):
+            params = tuple((p, visit(v)) for p, v in n.params)
+            return n if params == n.params else builder.exists(n.rel, params, n.negated)
+        if isinstance(n, (ELoop, EFold)):
+            # Do not descend past a binder for the same name.
+            if name in (n.var, n.cursor):
+                return n
+            if isinstance(n, ELoop):
+                return builder.loop(
+                    visit(n.source),
+                    visit(n.body),
+                    visit(n.init),
+                    n.var,
+                    n.cursor,
+                    n.updated,
+                    n.loop_sid,
+                )
+            return builder.fold(
+                visit(n.func), visit(n.init), visit(n.source), n.var, n.cursor, n.loop_sid
+            )
+        raise TypeError(f"cannot substitute into {type(n).__name__}")
+
+    return visit(node)

@@ -1,0 +1,22 @@
+"""Errors raised by the MiniJava front end."""
+
+from __future__ import annotations
+
+
+class MiniJavaError(Exception):
+    """Base class for all front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexError(MiniJavaError):
+    """Raised when the lexer encounters an unrecognised character."""
+
+
+class ParseError(MiniJavaError):
+    """Raised when the parser encounters an unexpected token."""

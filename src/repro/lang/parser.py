@@ -1,0 +1,505 @@
+"""Recursive-descent parser for MiniJava.
+
+The grammar mirrors the fragments shown throughout the paper: untyped (or
+optionally typed) assignments, ``if``/``else``, cursor loops, ``while``
+loops, classic ``for`` loops (desugared to ``while``), ``try``/``catch``,
+``return``/``break``/``continue``, and expression statements.  Types, when
+present (``List<Board> boards = ...``), are recorded on the assignment but
+otherwise ignored, matching the paper's presentation.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FloatLit,
+    ForEach,
+    FunctionDef,
+    If,
+    IntLit,
+    MethodCall,
+    Name,
+    New,
+    NullLit,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    Ternary,
+    TryCatch,
+    Unary,
+    While,
+    number_statements,
+)
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+_ASSIGN_OPS = {
+    TokenType.ASSIGN: "=",
+    TokenType.PLUS_ASSIGN: "+=",
+    TokenType.MINUS_ASSIGN: "-=",
+    TokenType.STAR_ASSIGN: "*=",
+    TokenType.SLASH_ASSIGN: "/=",
+}
+
+_AUGMENTED_BINOP = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}
+
+
+class Parser:
+    """Parses a token stream into a :class:`Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, token_type: TokenType) -> bool:
+        return self._peek().type is token_type
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ParseError(
+                f"expected {token_type.value!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _match(self, token_type: TokenType) -> Token | None:
+        if self._at(token_type):
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # Top level
+
+    def parse_program(self) -> Program:
+        functions = []
+        while not self._at(TokenType.EOF):
+            functions.append(self._parse_function())
+        program = Program(functions=functions)
+        number_statements(program)
+        return program
+
+    def _parse_function(self) -> FunctionDef:
+        # Optional return type: `int f(...)` or bare `f(...)`.
+        name_token = self._expect(TokenType.IDENT)
+        name = name_token.value
+        if self._at(TokenType.IDENT):
+            name = self._advance().value  # first ident was a return type
+        self._expect(TokenType.LPAREN)
+        params = []
+        if not self._at(TokenType.RPAREN):
+            params.append(self._parse_param())
+            while self._match(TokenType.COMMA):
+                params.append(self._parse_param())
+        self._expect(TokenType.RPAREN)
+        body = self._parse_block()
+        return FunctionDef(name=name, params=params, body=body, line=name_token.line)
+
+    def _parse_param(self) -> str:
+        name = self._expect(TokenType.IDENT).value
+        self._skip_generics()
+        if self._at(TokenType.IDENT):
+            name = self._advance().value  # the first ident was a type
+        return name
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _parse_block(self) -> Block:
+        brace = self._expect(TokenType.LBRACE)
+        statements = []
+        while not self._at(TokenType.RBRACE):
+            statements.append(self._parse_statement())
+        self._expect(TokenType.RBRACE)
+        return Block(statements=statements, line=brace.line)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.type is TokenType.LBRACE:
+            return self._parse_block()
+        if token.type is TokenType.IF:
+            return self._parse_if()
+        if token.type is TokenType.FOR:
+            return self._parse_for()
+        if token.type is TokenType.WHILE:
+            return self._parse_while()
+        if token.type is TokenType.TRY:
+            return self._parse_try()
+        if token.type is TokenType.RETURN:
+            self._advance()
+            value = None
+            if not self._at(TokenType.SEMI):
+                value = self._parse_expression()
+            self._expect(TokenType.SEMI)
+            return Return(value=value, line=token.line)
+        if token.type is TokenType.BREAK:
+            self._advance()
+            self._expect(TokenType.SEMI)
+            return Break(line=token.line)
+        if token.type is TokenType.CONTINUE:
+            self._advance()
+            self._expect(TokenType.SEMI)
+            return Continue(line=token.line)
+        return self._parse_simple_statement()
+
+    def _parse_if(self) -> If:
+        token = self._expect(TokenType.IF)
+        self._expect(TokenType.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenType.RPAREN)
+        then_body = self._as_block(self._parse_statement())
+        else_body = None
+        if self._match(TokenType.ELSE):
+            else_body = self._as_block(self._parse_statement())
+        return If(cond=cond, then_body=then_body, else_body=else_body, line=token.line)
+
+    def _parse_for(self) -> Stmt:
+        token = self._expect(TokenType.FOR)
+        self._expect(TokenType.LPAREN)
+        # Distinguish `for (t : coll)` / `for (Type t : coll)` from classic
+        # `for (init; cond; update)` by scanning ahead for a `:` before `;`.
+        if self._foreach_ahead():
+            var = self._expect(TokenType.IDENT).value
+            self._skip_generics()
+            if self._at(TokenType.IDENT):
+                var = self._advance().value  # first ident was a type
+            self._expect(TokenType.COLON)
+            iterable = self._parse_expression()
+            self._expect(TokenType.RPAREN)
+            body = self._as_block(self._parse_statement())
+            return ForEach(var=var, iterable=iterable, body=body, line=token.line)
+        return self._parse_classic_for(token)
+
+    def _foreach_ahead(self) -> bool:
+        offset = 0
+        depth = 0
+        while True:
+            tok = self._peek(offset)
+            if tok.type in (TokenType.SEMI, TokenType.EOF):
+                return False
+            if tok.type is TokenType.COLON and depth == 0:
+                return True
+            if tok.type in (TokenType.LPAREN, TokenType.LT):
+                depth += 1
+            elif tok.type in (TokenType.RPAREN, TokenType.GT):
+                if tok.type is TokenType.RPAREN and depth == 0:
+                    return False
+                depth = max(0, depth - 1)
+            offset += 1
+
+    def _parse_classic_for(self, token: Token) -> Block:
+        """Desugar ``for (init; cond; update) body`` into init + while."""
+        init: Stmt | None = None
+        if not self._at(TokenType.SEMI):
+            init = self._parse_simple_statement(consume_semi=False)
+        self._expect(TokenType.SEMI)
+        cond: Expr = BoolLit(True)
+        if not self._at(TokenType.SEMI):
+            cond = self._parse_expression()
+        self._expect(TokenType.SEMI)
+        update: Stmt | None = None
+        if not self._at(TokenType.RPAREN):
+            update = self._parse_simple_statement(consume_semi=False)
+        self._expect(TokenType.RPAREN)
+        body = self._as_block(self._parse_statement())
+        if update is not None:
+            body.statements.append(update)
+        loop = While(cond=cond, body=body, line=token.line)
+        statements: list[Stmt] = []
+        if init is not None:
+            statements.append(init)
+        statements.append(loop)
+        return Block(statements=statements, line=token.line)
+
+    def _parse_while(self) -> While:
+        token = self._expect(TokenType.WHILE)
+        self._expect(TokenType.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenType.RPAREN)
+        body = self._as_block(self._parse_statement())
+        return While(cond=cond, body=body, line=token.line)
+
+    def _parse_try(self) -> TryCatch:
+        token = self._expect(TokenType.TRY)
+        try_body = self._parse_block()
+        catch_var = None
+        catch_body = None
+        finally_body = None
+        if self._match(TokenType.CATCH):
+            self._expect(TokenType.LPAREN)
+            catch_var = self._expect(TokenType.IDENT).value
+            if self._at(TokenType.IDENT):
+                catch_var = self._advance().value  # first ident was a type
+            self._expect(TokenType.RPAREN)
+            catch_body = self._parse_block()
+        if self._match(TokenType.FINALLY):
+            finally_body = self._parse_block()
+        return TryCatch(
+            try_body=try_body,
+            catch_var=catch_var,
+            catch_body=catch_body,
+            finally_body=finally_body,
+            line=token.line,
+        )
+
+    def _parse_simple_statement(self, consume_semi: bool = True) -> Stmt:
+        token = self._peek()
+        stmt = self._parse_assignment_or_expr(token)
+        if consume_semi:
+            self._expect(TokenType.SEMI)
+        return stmt
+
+    def _parse_assignment_or_expr(self, token: Token) -> Stmt:
+        declared_type = self._maybe_consume_type_prefix()
+        if self._at(TokenType.IDENT):
+            next_type = self._peek(1).type
+            if next_type in _ASSIGN_OPS:
+                target = self._advance().value
+                op = _ASSIGN_OPS[self._advance().type]
+                value = self._parse_expression()
+                if op != "=":
+                    value = Binary(
+                        op=_AUGMENTED_BINOP[op],
+                        left=Name(target, line=token.line),
+                        right=value,
+                        line=token.line,
+                    )
+                return Assign(
+                    target=target,
+                    value=value,
+                    declared_type=declared_type,
+                    line=token.line,
+                )
+            if next_type in (TokenType.PLUS_PLUS, TokenType.MINUS_MINUS):
+                target = self._advance().value
+                op_token = self._advance()
+                binop = "+" if op_token.type is TokenType.PLUS_PLUS else "-"
+                value = Binary(
+                    op=binop,
+                    left=Name(target, line=token.line),
+                    right=IntLit(1, line=token.line),
+                    line=token.line,
+                )
+                return Assign(target=target, value=value, line=token.line)
+        if declared_type is not None:
+            raise ParseError(
+                "expected assignment after type declaration", token.line, token.column
+            )
+        expr = self._parse_expression()
+        return ExprStmt(expr=expr, line=token.line)
+
+    def _maybe_consume_type_prefix(self) -> str | None:
+        """Consume ``Type`` / ``Type<...>`` when followed by ``ident =``."""
+        if not self._at(TokenType.IDENT):
+            return None
+        start = self._pos
+        type_name = self._advance().value
+        self._skip_generics()
+        if self._at(TokenType.IDENT) and self._peek(1).type in _ASSIGN_OPS:
+            return type_name
+        self._pos = start
+        return None
+
+    def _skip_generics(self) -> None:
+        """Skip a Java generic suffix like ``<Board>`` or ``<K, List<V>>``."""
+        if not self._at(TokenType.LT):
+            return
+        start = self._pos
+        depth = 0
+        while True:
+            tok = self._peek()
+            if tok.type is TokenType.LT:
+                depth += 1
+            elif tok.type is TokenType.GT:
+                depth -= 1
+                if depth == 0:
+                    self._advance()
+                    return
+            elif tok.type in (
+                TokenType.EOF,
+                TokenType.SEMI,
+                TokenType.LPAREN,
+                TokenType.LBRACE,
+            ):
+                self._pos = start  # not generics after all (e.g. `a < b`)
+                return
+            self._advance()
+
+    @staticmethod
+    def _as_block(stmt: Stmt) -> Block:
+        if isinstance(stmt, Block):
+            return stmt
+        return Block(statements=[stmt], line=stmt.line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_or()
+        if self._match(TokenType.QUESTION):
+            if_true = self._parse_expression()
+            self._expect(TokenType.COLON)
+            if_false = self._parse_expression()
+            return Ternary(cond=cond, if_true=if_true, if_false=if_false, line=cond.line)
+        return cond
+
+    def _parse_or(self) -> Expr:
+        expr = self._parse_and()
+        while self._at(TokenType.OR):
+            self._advance()
+            expr = Binary(op="||", left=expr, right=self._parse_and(), line=expr.line)
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_equality()
+        while self._at(TokenType.AND):
+            self._advance()
+            expr = Binary(op="&&", left=expr, right=self._parse_equality(), line=expr.line)
+        return expr
+
+    def _parse_equality(self) -> Expr:
+        expr = self._parse_relational()
+        while self._peek().type in (TokenType.EQ, TokenType.NEQ):
+            op = self._advance().value
+            expr = Binary(op=op, left=expr, right=self._parse_relational(), line=expr.line)
+        return expr
+
+    def _parse_relational(self) -> Expr:
+        expr = self._parse_additive()
+        while self._peek().type in (TokenType.LT, TokenType.GT, TokenType.LE, TokenType.GE):
+            op = self._advance().value
+            expr = Binary(op=op, left=expr, right=self._parse_additive(), line=expr.line)
+        return expr
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
+            op = self._advance().value
+            expr = Binary(
+                op=op, left=expr, right=self._parse_multiplicative(), line=expr.line
+            )
+        return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while self._peek().type in (TokenType.STAR, TokenType.SLASH, TokenType.PERCENT):
+            op = self._advance().value
+            expr = Binary(op=op, left=expr, right=self._parse_unary(), line=expr.line)
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.type in (TokenType.MINUS, TokenType.NOT):
+            self._advance()
+            return Unary(op=token.value, operand=self._parse_unary(), line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while self._at(TokenType.DOT):
+            self._advance()
+            member = self._expect(TokenType.IDENT).value
+            if self._at(TokenType.LPAREN):
+                args = self._parse_args()
+                expr = MethodCall(receiver=expr, method=member, args=args, line=expr.line)
+            else:
+                expr = FieldAccess(receiver=expr, field=member, line=expr.line)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.INT:
+            self._advance()
+            return IntLit(int(token.value), line=token.line)
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return FloatLit(float(token.value), line=token.line)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return StringLit(token.value, line=token.line)
+        if token.type is TokenType.TRUE:
+            self._advance()
+            return BoolLit(True, line=token.line)
+        if token.type is TokenType.FALSE:
+            self._advance()
+            return BoolLit(False, line=token.line)
+        if token.type is TokenType.NULL:
+            self._advance()
+            return NullLit(line=token.line)
+        if token.type is TokenType.NEW:
+            self._advance()
+            class_name = self._expect(TokenType.IDENT).value
+            self._skip_generics()
+            args = self._parse_args() if self._at(TokenType.LPAREN) else []
+            return New(class_name=class_name, args=args, line=token.line)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._at(TokenType.LPAREN):
+                args = self._parse_args()
+                return Call(func=token.value, args=args, line=token.line)
+            return Name(ident=token.value, line=token.line)
+        raise ParseError(f"unexpected token {token.value!r}", token.line, token.column)
+
+    def _parse_args(self) -> list[Expr]:
+        self._expect(TokenType.LPAREN)
+        args = []
+        if not self._at(TokenType.RPAREN):
+            args.append(self._parse_expression())
+            while self._match(TokenType.COMMA):
+                args.append(self._parse_expression())
+        self._expect(TokenType.RPAREN)
+        return args
+
+
+def parse_program(source: str) -> Program:
+    """Parse MiniJava source into a numbered :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_function(source: str) -> FunctionDef:
+    """Parse source containing a single function and return it."""
+    program = parse_program(source)
+    if len(program.functions) != 1:
+        raise ParseError(
+            f"expected exactly one function, found {len(program.functions)}"
+        )
+    return program.functions[0]
+
+
+def parse_statements(source: str) -> Block:
+    """Parse a bare statement list (no enclosing function) into a block."""
+    wrapped = "void __snippet__() {\n" + source + "\n}"
+    return parse_function(wrapped).body

@@ -1,0 +1,147 @@
+"""Token definitions for the MiniJava front end.
+
+MiniJava is the Java-like subset analysed throughout the paper: untyped
+assignments, ``if``/``else``, cursor loops (``for (t : coll)`` and
+``while (rs.next())``), method calls, and query execution calls.  The paper
+itself elides variable types "for ease of presentation"; MiniJava does the
+same, while optionally tolerating Java-style type prefixes on declarations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`repro.lang.lexer.Lexer`."""
+
+    # Literals and identifiers.
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    IDENT = "IDENT"
+
+    # Keywords.
+    IF = "if"
+    ELSE = "else"
+    FOR = "for"
+    WHILE = "while"
+    RETURN = "return"
+    BREAK = "break"
+    CONTINUE = "continue"
+    TRUE = "true"
+    FALSE = "false"
+    NULL = "null"
+    NEW = "new"
+    TRY = "try"
+    CATCH = "catch"
+    FINALLY = "finally"
+
+    # Punctuation and operators.
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    QUESTION = "?"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NEQ = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+
+    EOF = "EOF"
+
+
+#: Reserved words mapped to their dedicated token types.
+KEYWORDS = {
+    "if": TokenType.IF,
+    "else": TokenType.ELSE,
+    "for": TokenType.FOR,
+    "while": TokenType.WHILE,
+    "return": TokenType.RETURN,
+    "break": TokenType.BREAK,
+    "continue": TokenType.CONTINUE,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "null": TokenType.NULL,
+    "new": TokenType.NEW,
+    "try": TokenType.TRY,
+    "catch": TokenType.CATCH,
+    "finally": TokenType.FINALLY,
+}
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_OPERATORS = [
+    ("==", TokenType.EQ),
+    ("!=", TokenType.NEQ),
+    ("<=", TokenType.LE),
+    (">=", TokenType.GE),
+    ("&&", TokenType.AND),
+    ("||", TokenType.OR),
+    ("+=", TokenType.PLUS_ASSIGN),
+    ("-=", TokenType.MINUS_ASSIGN),
+    ("*=", TokenType.STAR_ASSIGN),
+    ("/=", TokenType.SLASH_ASSIGN),
+    ("++", TokenType.PLUS_PLUS),
+    ("--", TokenType.MINUS_MINUS),
+]
+
+#: Single-character operators and punctuation.
+SINGLE_CHAR_OPERATORS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ";": TokenType.SEMI,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    ":": TokenType.COLON,
+    "?": TokenType.QUESTION,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source location."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

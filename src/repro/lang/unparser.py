@@ -1,0 +1,181 @@
+"""Pretty-printer that turns MiniJava ASTs back into source text.
+
+Used by the program rewriter (Section 5.2 of the paper) to emit the
+transformed program, and by tests to round-trip sources through the parser.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FloatLit,
+    ForEach,
+    FunctionDef,
+    If,
+    IntLit,
+    MethodCall,
+    Name,
+    New,
+    NullLit,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    Ternary,
+    TryCatch,
+    Unary,
+    While,
+)
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    ">": 4,
+    "<=": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def unparse_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, parenthesising only where precedence requires."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, StringLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, NullLit):
+        return "null"
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, Binary):
+        prec = _PRECEDENCE.get(expr.op, 5)
+        left = unparse_expr(expr.left, prec)
+        right = unparse_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, Unary):
+        operand = unparse_expr(expr.operand, 7)
+        if operand.startswith(expr.op):
+            # `--x` would lex as a decrement token; keep the grouping.
+            operand = f"({operand})"
+        return f"{expr.op}{operand}"
+    if isinstance(expr, Ternary):
+        cond = unparse_expr(expr.cond, 1)
+        if_true = unparse_expr(expr.if_true)
+        if_false = unparse_expr(expr.if_false)
+        text = f"{cond} ? {if_true} : {if_false}"
+        if parent_prec > 0:
+            return f"({text})"
+        return text
+    if isinstance(expr, Call):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, MethodCall):
+        receiver = unparse_expr(expr.receiver, 8)
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{receiver}.{expr.method}({args})"
+    if isinstance(expr, FieldAccess):
+        receiver = unparse_expr(expr.receiver, 8)
+        return f"{receiver}.{expr.field}"
+    if isinstance(expr, New):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"new {expr.class_name}({args})"
+    raise TypeError(f"cannot unparse expression {expr!r}")
+
+
+def unparse_stmt(stmt: Stmt, indent: int = 0) -> str:
+    """Render a statement (recursively) with the given indentation level."""
+    pad = "    " * indent
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.target} = {unparse_expr(stmt.value)};"
+    if isinstance(stmt, ExprStmt):
+        return f"{pad}{unparse_expr(stmt.expr)};"
+    if isinstance(stmt, Block):
+        lines = [f"{pad}{{"]
+        for child in stmt.statements:
+            lines.append(unparse_stmt(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({unparse_expr(stmt.cond)}) {{"]
+        for child in stmt.then_body.statements:
+            lines.append(unparse_stmt(child, indent + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}}} else {{")
+            for child in stmt.else_body.statements:
+                lines.append(unparse_stmt(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, ForEach):
+        lines = [f"{pad}for ({stmt.var} : {unparse_expr(stmt.iterable)}) {{"]
+        for child in stmt.body.statements:
+            lines.append(unparse_stmt(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, While):
+        lines = [f"{pad}while ({unparse_expr(stmt.cond)}) {{"]
+        for child in stmt.body.statements:
+            lines.append(unparse_stmt(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {unparse_expr(stmt.value)};"
+    if isinstance(stmt, Break):
+        return f"{pad}break;"
+    if isinstance(stmt, Continue):
+        return f"{pad}continue;"
+    if isinstance(stmt, TryCatch):
+        lines = [f"{pad}try {{"]
+        for child in stmt.try_body.statements:
+            lines.append(unparse_stmt(child, indent + 1))
+        if stmt.catch_body is not None:
+            lines.append(f"{pad}}} catch ({stmt.catch_var or 'e'}) {{")
+            for child in stmt.catch_body.statements:
+                lines.append(unparse_stmt(child, indent + 1))
+        if stmt.finally_body is not None:
+            lines.append(f"{pad}}} finally {{")
+            for child in stmt.finally_body.statements:
+                lines.append(unparse_stmt(child, indent + 1))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    raise TypeError(f"cannot unparse statement {stmt!r}")
+
+
+def unparse_function(func: FunctionDef) -> str:
+    """Render a full function definition."""
+    params = ", ".join(func.params)
+    lines = [f"{func.name}({params}) {{"]
+    for stmt in func.body.statements:
+        lines.append(unparse_stmt(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def unparse_program(program: Program) -> str:
+    """Render a full program."""
+    return "\n\n".join(unparse_function(f) for f in program.functions)

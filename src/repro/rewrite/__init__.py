@@ -1,0 +1,14 @@
+"""Program rewriting: extracted SQL insertion and dead-code elimination."""
+
+from .consolidate import Consolidation, consolidate_loops
+from .emit import EmitError, Emitter
+from .rewriter import eliminate_dead_code, insert_extractions
+
+__all__ = [
+    "Consolidation",
+    "EmitError",
+    "Emitter",
+    "consolidate_loops",
+    "eliminate_dead_code",
+    "insert_extractions",
+]

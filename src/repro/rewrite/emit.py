@@ -1,0 +1,377 @@
+"""Emission of extracted expressions back into MiniJava source (Sec 5.2).
+
+After the rules eliminate all folds, a variable's value is an algebraic
+expression over queries, scalar subqueries, EXISTS tests, constants and
+program inputs.  This module turns that expression into MiniJava statements:
+
+* ``EQuery``        → ``v = executeQuery("...")`` (with an unwrap loop when
+  the original collection held scalars rather than whole rows)
+* ``EScalarQuery``  → ``executeScalar("...")``
+* ``EExists``       → ``executeExists("...")``
+* ``combine_*``     → a temp + null check + the combining operation,
+  preserving the imperative value on empty query results
+* parameter bindings that are attribute reads become preamble assignments
+  (``x__f = x.getF();``) so the emitted query's ``:x__f`` binds correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra import Col, Project, RelExpr
+from ..ir import (
+    EAttr,
+    EConst,
+    EExists,
+    ENode,
+    EOp,
+    EQuery,
+    EScalarQuery,
+    EVar,
+)
+from ..sqlgen import render_rel
+from ..lang import (
+    Assign,
+    Binary,
+    BoolLit,
+    Call,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    ForEach,
+    If,
+    IntLit,
+    MethodCall,
+    Name,
+    New,
+    NullLit,
+    Block,
+    Stmt,
+    StringLit,
+    Ternary,
+    Unary,
+)
+
+
+class EmitError(Exception):
+    """The expression has no MiniJava emission (should not happen for
+    fully-transformed results)."""
+
+
+@dataclass
+class Emitter:
+    """Allocates temporaries and accumulates preamble statements."""
+
+    dialect: str = "repro"
+    preamble: list[Stmt] = field(default_factory=list)
+    _temp_counter: int = 0
+    _bound_params: set[str] = field(default_factory=set)
+
+    def fresh(self, prefix: str = "__tmp") -> str:
+        name = f"{prefix}{self._temp_counter}"
+        self._temp_counter += 1
+        return name
+
+    # ------------------------------------------------------------------
+
+    def statements_for(self, target: str, node: ENode) -> list[Stmt]:
+        """Full emission: preamble plus the assignment(s) for ``target``."""
+        self.preamble = []
+        if isinstance(node, EOp) and node.op == "with_temp":
+            # Ship the collection as a temporary table first (Section 2).
+            inner, table, source_var = node.operands
+            register = ExprStmt(
+                expr=Call(
+                    func="registerTempTable",
+                    args=[StringLit(table.value), Name(source_var.name)],
+                )
+            )
+            return [register] + self.statements_for(target, inner)
+        if isinstance(node, EOp) and node.op == "as_pairs":
+            statements = self._emit_collection(target, node.operands[0], pairs=True)
+        elif isinstance(node, EQuery):
+            statements = self._emit_collection(target, node)
+        else:
+            expr = self.expr(node)
+            statements = [Assign(target=target, value=expr)]
+        return self.preamble + statements
+
+    # ------------------------------------------------------------------
+    # Collections
+
+    def _emit_collection(
+        self, target: str, node: EQuery, pairs: bool = False
+    ) -> list[Stmt]:
+        sql = render_rel(node.rel, self.dialect)
+        self._bind_params(node.params)
+        query_call = Call(func="executeQuery", args=[StringLit(sql)])
+        if pairs:
+            columns = _projected_columns(node.rel) or []
+            element: Expr = New(
+                class_name="Pair",
+                args=[
+                    MethodCall(Name("__r"), _getter(c), []) for c in columns
+                ],
+            )
+        else:
+            unwrap = _unwrap_column(node.rel)
+            if unwrap is None:
+                return [Assign(target=target, value=query_call)]
+            element = MethodCall(Name("__r"), _getter(unwrap), [])
+        rows_var = self.fresh("__rows")
+        row_var = self.fresh("__r")
+        element = _rename_row_var(element, row_var)
+        build_loop = ForEach(
+            var=row_var,
+            iterable=Name(rows_var),
+            body=Block(
+                statements=[
+                    ExprStmt(
+                        expr=MethodCall(
+                            receiver=Name(target), method="add", args=[element]
+                        )
+                    )
+                ]
+            ),
+        )
+        container = "HashSet" if _is_distinct(node.rel) else "ArrayList"
+        return [
+            Assign(target=rows_var, value=query_call),
+            Assign(target=target, value=New(class_name=container, args=[])),
+            build_loop,
+        ]
+
+    # ------------------------------------------------------------------
+    # Scalars
+
+    def expr(self, node: ENode) -> Expr:
+        if isinstance(node, EConst):
+            return _literal(node.value)
+        if isinstance(node, EVar):
+            return Name(node.name)
+        if isinstance(node, EAttr):
+            getter = "get" + node.attr[0].upper() + node.attr[1:]
+            return MethodCall(self.expr(node.base), getter, [])
+        if isinstance(node, EScalarQuery):
+            sql = render_rel(node.rel, self.dialect)
+            self._bind_params(node.params)
+            return Call(func="executeScalar", args=[StringLit(sql)])
+        if isinstance(node, EExists):
+            sql = render_rel(node.rel, self.dialect)
+            self._bind_params(node.params)
+            call = Call(func="executeExists", args=[StringLit(sql)])
+            if node.negated:
+                return Unary(op="!", operand=call)
+            return call
+        if isinstance(node, EQuery):
+            raise EmitError("collection query in scalar position")
+        if isinstance(node, EOp):
+            return self._emit_op(node)
+        raise EmitError(f"cannot emit {type(node).__name__}")
+
+    _BINARY = {
+        "+": "+",
+        "-": "-",
+        "*": "*",
+        "/": "/",
+        "%": "%",
+        "==": "==",
+        "!=": "!=",
+        "<": "<",
+        ">": ">",
+        "<=": "<=",
+        ">=": ">=",
+        "and": "&&",
+        "or": "||",
+    }
+
+    # op → (default on NULL source, combining shape); class constant, not a
+    # dataclass field.
+    _COMBINE_DEFAULTS = {
+        # op → (default on NULL source, combining shape)
+        "combine_max": ("init", "max"),
+        "combine_min": ("init", "min"),
+        "combine_sum": ("zero", "+"),
+        "combine_count": ("zero", "+"),
+        "combine_or": ("false", "||"),
+        "combine_and": ("true", "&&"),
+    }
+
+    def _emit_op(self, node: EOp) -> Expr:
+        op = node.op
+        if op in self._COMBINE_DEFAULTS:
+            return self._emit_combine(node)
+        if op in self._BINARY and len(node.operands) == 2:
+            left, right = node.operands
+            if op in ("<", ">", "<=", ">=", "==", "!=") and (
+                isinstance(left, EScalarQuery) or isinstance(right, EScalarQuery)
+            ):
+                # A scalar subquery is NULL on empty input; SQL comparison
+                # with NULL is unknown (falsy), so the emitted Java guards
+                # with a null check to match.
+                return self._emit_null_guarded_compare(op, left, right)
+            return Binary(
+                op=self._BINARY[op],
+                left=self.expr(left),
+                right=self.expr(right),
+            )
+        if op == "not":
+            return Unary(op="!", operand=self.expr(node.operands[0]))
+        if op == "neg":
+            return Unary(op="-", operand=self.expr(node.operands[0]))
+        if op == "?":
+            return Ternary(
+                cond=self.expr(node.operands[0]),
+                if_true=self.expr(node.operands[1]),
+                if_false=self.expr(node.operands[2]),
+            )
+        if op in ("max", "min"):
+            return MethodCall(
+                receiver=Name("Math"),
+                method=op,
+                args=[self.expr(c) for c in node.operands],
+            )
+        if op == "coalesce":
+            temp = self.fresh()
+            self.preamble.append(
+                Assign(target=temp, value=self.expr(node.operands[0]))
+            )
+            self.preamble.append(
+                If(
+                    cond=Binary(op="==", left=Name(temp), right=NullLit()),
+                    then_body=Block(
+                        statements=[
+                            Assign(target=temp, value=self.expr(node.operands[1]))
+                        ]
+                    ),
+                )
+            )
+            return Name(temp)
+        if op == "not_null":
+            return Binary(
+                op="!=", left=self.expr(node.operands[0]), right=NullLit()
+            )
+        if op == "empty_list":
+            return New(class_name="ArrayList", args=[])
+        if op == "empty_set":
+            return New(class_name="HashSet", args=[])
+        raise EmitError(f"cannot emit operator {op!r}")
+
+    def _emit_null_guarded_compare(self, op: str, left: ENode, right: ENode) -> Expr:
+        guards: list[Expr] = []
+
+        def hoisted(operand: ENode) -> Expr:
+            if isinstance(operand, EScalarQuery):
+                temp = self.fresh()
+                self.preamble.append(Assign(target=temp, value=self.expr(operand)))
+                guards.append(Binary(op="!=", left=Name(temp), right=NullLit()))
+                return Name(temp)
+            return self.expr(operand)
+
+        left_expr = hoisted(left)
+        right_expr = hoisted(right)
+        comparison: Expr = Binary(op=self._BINARY[op], left=left_expr, right=right_expr)
+        for guard in reversed(guards):
+            comparison = Binary(op="&&", left=guard, right=comparison)
+        return comparison
+
+    def _emit_combine(self, node: EOp) -> Expr:
+        """``combine_op(init, scalar)``: hoist the scalar into a temp, apply
+        the NULL default, then combine with the initial value."""
+        default_kind, shape = self._COMBINE_DEFAULTS[node.op]
+        init_expr = self.expr(node.operands[0])
+        scalar_expr = self.expr(node.operands[1])
+        temp = self.fresh()
+        self.preamble.append(Assign(target=temp, value=scalar_expr))
+        default: Expr
+        if default_kind == "zero":
+            default = IntLit(0)
+        elif default_kind == "false":
+            default = BoolLit(False)
+        elif default_kind == "true":
+            default = BoolLit(True)
+        else:
+            default = init_expr
+        self.preamble.append(
+            If(
+                cond=Binary(op="==", left=Name(temp), right=NullLit()),
+                then_body=Block(statements=[Assign(target=temp, value=default)]),
+            )
+        )
+        if shape in ("max", "min"):
+            return MethodCall(Name("Math"), shape, [init_expr, Name(temp)])
+        return Binary(op=shape, left=init_expr, right=Name(temp))
+
+    # ------------------------------------------------------------------
+
+    def _bind_params(self, params) -> None:
+        """Emit preamble assignments for non-trivial parameter bindings."""
+        for name, node in params:
+            if isinstance(node, EVar) and node.name == name:
+                continue  # :x binds the variable x directly
+            if name in self._bound_params:
+                continue
+            self._bound_params.add(name)
+            self.preamble.append(Assign(target=name, value=self.expr(node)))
+
+
+def _literal(value) -> Expr:
+    if value is None:
+        return NullLit()
+    if isinstance(value, bool):
+        return BoolLit(value)
+    if isinstance(value, int):
+        return IntLit(value)
+    if isinstance(value, float):
+        return FloatLit(value)
+    if isinstance(value, str):
+        return StringLit(value)
+    raise EmitError(f"cannot emit literal {value!r}")
+
+
+def _getter(column: str) -> str:
+    return "get" + column[0].upper() + column[1:]
+
+
+def _rename_row_var(expr: Expr, row_var: str) -> Expr:
+    """Rename the placeholder ``__r`` receiver to the allocated temp name."""
+    if isinstance(expr, Name) and expr.ident == "__r":
+        return Name(row_var)
+    if isinstance(expr, MethodCall):
+        return MethodCall(
+            _rename_row_var(expr.receiver, row_var),
+            expr.method,
+            [_rename_row_var(a, row_var) for a in expr.args],
+        )
+    if isinstance(expr, New):
+        return New(expr.class_name, [_rename_row_var(a, row_var) for a in expr.args])
+    return expr
+
+
+def _projected_columns(rel: RelExpr) -> list[str] | None:
+    """Output column names of a top-level projection (through τ/δ/limit)."""
+    from ..algebra import Distinct, Limit, Select, Sort
+
+    while isinstance(rel, (Distinct, Sort, Limit, Select)):
+        rel = rel.children()[0]
+    if isinstance(rel, Project):
+        return [item.output_name for item in rel.items]
+    return None
+
+
+def _unwrap_column(rel: RelExpr) -> str | None:
+    """When the query's rows wrap a single scalar column, the rewritten
+    program unwraps it so the collection holds scalars as before."""
+    from ..algebra import Distinct, Limit, Select, Sort
+
+    while isinstance(rel, (Distinct, Sort, Limit, Select)):
+        rel = rel.children()[0]
+    if isinstance(rel, Project) and len(rel.items) == 1:
+        return rel.items[0].output_name
+    return None
+
+
+def _is_distinct(rel: RelExpr) -> bool:
+    from ..algebra import Distinct
+
+    return isinstance(rel, Distinct)

@@ -1,0 +1,252 @@
+"""Program rewriting to use extracted SQL (paper Section 5.2).
+
+The extracted assignment ``v = <equivalent SQL>`` is inserted immediately
+after the cursor loop that computed ``v``; transitive dead-code elimination
+then removes the parts of the original program the extraction made
+redundant — typically the whole loop.  Partial extraction falls out
+naturally: when some variable in the loop could not be extracted, the loop
+survives with only the statements that variable needs (paper Section 5.3's
+heuristic decides whether that is worthwhile; see :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..analysis import (
+    DB_LOCATION,
+    OUT_LOCATION,
+    RET_LOCATION,
+    expr_reads,
+    expr_writes,
+    stmt_def_use,
+)
+from ..ir.preprocess import OUT_VAR
+from ..ir import ENode
+from ..lang import (
+    Assign,
+    Block,
+    Call,
+    ExprStmt,
+    ForEach,
+    FunctionDef,
+    If,
+    Program,
+    Return,
+    Stmt,
+    TryCatch,
+    While,
+    number_statements,
+    walk_expressions,
+)
+from .emit import Emitter
+
+
+def insert_extractions(
+    program: Program,
+    function: str,
+    extractions: dict[int, list[tuple[str, ENode]]],
+    dialect: str = "repro",
+) -> Program:
+    """Insert ``v = <extracted>`` statements after their source loops.
+
+    ``extractions`` maps a loop statement id to the (variable, expression)
+    pairs extracted from that loop.  Returns a rewritten deep copy.
+    """
+    result = copy.deepcopy(program)
+    func = result.function(function)
+    emitter = Emitter(dialect=dialect)
+    _insert_in_block(func.body, extractions, emitter)
+    number_statements(result)
+    return result
+
+
+def _insert_in_block(
+    block: Block,
+    extractions: dict[int, list[tuple[str, ENode]]],
+    emitter: Emitter,
+) -> None:
+    i = 0
+    while i < len(block.statements):
+        stmt = block.statements[i]
+        for child in _child_blocks(stmt):
+            _insert_in_block(child, extractions, emitter)
+        if stmt.sid in extractions:
+            inserted: list[Stmt] = []
+            for variable, node in extractions[stmt.sid]:
+                inserted.extend(emitter.statements_for(variable, node))
+            block.statements[i + 1 : i + 1] = inserted
+            i += len(inserted)
+        i += 1
+
+
+# ----------------------------------------------------------------------
+# Dead code elimination (paper Section 5.2: "parts of the original program
+# which are now rendered redundant/unused are removed")
+
+
+def eliminate_dead_code(program: Program, function: str) -> Program:
+    """Remove assignments and loops whose results are never observed.
+
+    Observable sinks: the return value, the output stream (``__out__``),
+    and database writes.  Conservative for unknown calls and try/catch.
+    """
+    result = copy.deepcopy(program)
+    func = result.function(function)
+    changed = True
+    while changed:
+        live = {RET_LOCATION, OUT_VAR, OUT_LOCATION, DB_LOCATION}
+        changed = _eliminate_block(func.body, live)
+    number_statements(result)
+    return result
+
+
+def _eliminate_block(block: Block, live: set[str]) -> bool:
+    """Backward pass; mutates the block, updates ``live`` in place.
+
+    Returns True when anything was removed.
+    """
+    changed = False
+    for index in range(len(block.statements) - 1, -1, -1):
+        stmt = block.statements[index]
+        keep, removed_inside = _process_stmt(stmt, live)
+        changed |= removed_inside
+        if not keep:
+            del block.statements[index]
+            changed = True
+    return changed
+
+
+def _process_stmt(stmt: Stmt, live: set[str]) -> tuple[bool, bool]:
+    """Returns (keep this statement, anything removed inside it)."""
+    if isinstance(stmt, Return):
+        live |= stmt_def_use(stmt).reads
+        return True, False
+
+    if isinstance(stmt, Assign):
+        has_side_effects = _expr_has_side_effects(stmt.value)
+        if stmt.target not in live and not has_side_effects:
+            return False, False
+        live.discard(stmt.target)
+        live.update(stmt_def_use(stmt).reads)
+        return True, False
+
+    if isinstance(stmt, ExprStmt):
+        summary = stmt_def_use(stmt)
+        writes_live = any(
+            w in live or w in (DB_LOCATION, OUT_LOCATION) for w in summary.writes
+        )
+        impure = _expr_has_side_effects(stmt.expr, ignore_reads=True)
+        if not writes_live and not impure:
+            return False, False
+        live.update(summary.reads)
+        return True, False
+
+    if isinstance(stmt, If):
+        then_live = set(live)
+        removed = _eliminate_block(stmt.then_body, then_live)
+        else_live = set(live)
+        if stmt.else_body is not None:
+            removed |= _eliminate_block(stmt.else_body, else_live)
+        if not stmt.then_body.statements and (
+            stmt.else_body is None or not stmt.else_body.statements
+        ):
+            return False, removed
+        live.clear()
+        live.update(then_live | else_live | expr_reads(stmt.cond))
+        return True, removed
+
+    if isinstance(stmt, (ForEach, While)):
+        # Fixpoint over iterations: a variable read by a *surviving* body
+        # statement may carry the previous iteration's value, so it must
+        # stay live for the body itself.  Trial passes run on a copy until
+        # the keep-set stabilises, then one destructive pass applies it.
+        body_live_out = set(live)
+        for _ in range(len(stmt.body.statements) + 2):
+            trial = copy.deepcopy(stmt.body)
+            trial_live = set(body_live_out)
+            _eliminate_block(trial, trial_live)
+            trial_live = {v for v in trial_live if not v.startswith("@")}
+            if trial_live <= body_live_out:
+                break
+            body_live_out |= trial_live
+        removed = _eliminate_block(stmt.body, body_live_out)
+        if not stmt.body.statements and _iterable_is_pure(stmt):
+            return False, removed
+        live.clear()
+        live.update(body_live_out)
+        if isinstance(stmt, ForEach):
+            live.discard(stmt.var)
+            live.update(expr_reads(stmt.iterable))
+        else:
+            live.update(expr_reads(stmt.cond))
+        return True, removed
+
+    if isinstance(stmt, Block):
+        removed = _eliminate_block(stmt, live)
+        return bool(stmt.statements), removed
+
+    if isinstance(stmt, TryCatch):
+        # Conservative: keep, but make all reads live.
+        from ..analysis import all_reads
+
+        live.update(all_reads(stmt))
+        return True, False
+
+    return True, False
+
+
+def _body_reads(stmt: ForEach | While) -> set[str]:
+    from ..analysis import all_reads
+
+    return {r for r in all_reads(stmt.body) if not r.startswith("@")}
+
+
+def _iterable_is_pure(stmt: ForEach | While) -> bool:
+    if isinstance(stmt, While):
+        return not _expr_has_side_effects(stmt.cond, ignore_reads=True)
+    return not _expr_has_side_effects(stmt.iterable, ignore_reads=True)
+
+
+_PURE_CALLS = {"executeQuery", "executeQueryCursor", "executeScalar", "executeExists"}
+
+
+def _expr_has_side_effects(expr, ignore_reads: bool = False) -> bool:
+    """True when evaluating the expression could be observable.
+
+    Database reads are pure; database writes, output calls, and calls to
+    user-defined functions (which may do either) are side effects.
+    Mutation of a *local* collection is not intrinsically observable — it
+    matters only if the collection is live, which the caller checks.
+    """
+    if any(w.startswith("@") for w in expr_writes(expr)):
+        return True
+    for node in walk_expressions(expr):
+        if isinstance(node, Call) and node.func not in _PURE_CALLS and node.func not in (
+            "print",
+            "println",
+        ):
+            return True  # unknown user function: conservative
+        if isinstance(node, Call) and node.func in ("print", "println"):
+            return True
+    return False
+
+
+def _child_blocks(stmt: Stmt) -> list[Block]:
+    if isinstance(stmt, Block):
+        return [stmt]
+    if isinstance(stmt, If):
+        blocks = [stmt.then_body]
+        if stmt.else_body is not None:
+            blocks.append(stmt.else_body)
+        return blocks
+    if isinstance(stmt, (ForEach, While)):
+        return [stmt.body]
+    if isinstance(stmt, TryCatch):
+        blocks = [stmt.try_body]
+        if stmt.catch_body is not None:
+            blocks.append(stmt.catch_body)
+        if stmt.finally_body is not None:
+            blocks.append(stmt.finally_body)
+        return blocks
+    return []

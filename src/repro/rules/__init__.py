@@ -1,0 +1,43 @@
+"""F-IR transformation rules and the rule-application engine."""
+
+from .decorrelate import (
+    DecorrelationError,
+    decorrelate_for_apply,
+    decorrelate_for_join,
+    ensure_alias,
+    primary_alias,
+    rename_single_output,
+    split_params,
+    split_top_project,
+)
+from .engine import RuleEngine
+from .transforms import (
+    DEFAULT_RULES,
+    RuleContext,
+    rule_t1_t3_collect,
+    rule_t2_predicate,
+    rule_t4_join,
+    rule_t5_aggregate,
+    rule_t6_init,
+    rule_t7_apply,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DecorrelationError",
+    "RuleContext",
+    "RuleEngine",
+    "decorrelate_for_apply",
+    "decorrelate_for_join",
+    "ensure_alias",
+    "primary_alias",
+    "rename_single_output",
+    "rule_t1_t3_collect",
+    "rule_t2_predicate",
+    "rule_t4_join",
+    "rule_t5_aggregate",
+    "rule_t6_init",
+    "rule_t7_apply",
+    "split_params",
+    "split_top_project",
+]

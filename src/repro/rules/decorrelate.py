@@ -1,0 +1,266 @@
+"""Decorrelation helpers shared by rules T4 (join) and T7 (outer apply).
+
+A query nested in a loop body is *correlated*: its parameters are bound to
+attributes of the loop cursor ``t``.  To turn the loop into a join or an
+apply, each such parameter is replaced with a qualified column reference to
+the outer query, and (for joins) the correlated conjuncts are lifted out of
+the inner query's selections into the join predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra import (
+    Aggregate,
+    Alias,
+    BinOp,
+    Col,
+    Distinct,
+    Join,
+    Limit,
+    OuterApply,
+    Param,
+    Project,
+    ProjectItem,
+    RelExpr,
+    ScalarExpr,
+    Select,
+    Sort,
+    Table,
+    bind_rel_params,
+    conjoin,
+    walk_scalar,
+)
+from ..ir import EAttr, EBoundVar, EConst, ENode, EVar, walk_enodes
+
+
+class DecorrelationError(Exception):
+    """The correlated query cannot be decorrelated by these rules."""
+
+
+def primary_alias(rel: RelExpr) -> str | None:
+    """The alias naming this query's rows, when one exists.
+
+    Looks through order/filter operators for a single aliased base table or
+    an Alias node.
+    """
+    if isinstance(rel, Table):
+        return rel.alias or rel.name
+    if isinstance(rel, Alias):
+        return rel.name
+    if isinstance(rel, (Select, Sort, Distinct, Limit)):
+        return primary_alias(rel.child)
+    return None
+
+
+def ensure_alias(rel: RelExpr, taken: set[str], default: str) -> tuple[RelExpr, str]:
+    """Return (rel, alias) giving the query a row alias distinct from
+    ``taken``; wraps in :class:`Alias` when necessary."""
+    alias = primary_alias(rel)
+    if alias is not None and alias not in taken:
+        return rel, alias
+    candidate = default
+    suffix = 1
+    while candidate in taken:
+        suffix += 1
+        candidate = f"{default}{suffix}"
+    return Alias(rel, candidate), candidate
+
+
+def split_top_project(rel: RelExpr) -> tuple[RelExpr, tuple[ProjectItem, ...] | None]:
+    """Strip a top-level π so it can be re-applied above a join.
+
+    π is order-preserving, so hoisting it over the join is sound; it keeps
+    the engine's alias-qualified row keys visible to the join predicate.
+    """
+    if isinstance(rel, Project):
+        return rel.child, rel.items
+    return rel, None
+
+
+@dataclass
+class CursorBindings:
+    """Split of a nested query's parameter bindings.
+
+    ``cursor_bound`` maps parameter name → the outer-query column expression
+    it should become; ``outer`` are pass-through bindings (program inputs).
+    """
+
+    cursor_bound: dict[str, ScalarExpr]
+    outer: tuple[tuple[str, ENode], ...]
+
+
+def split_params(
+    params: tuple[tuple[str, ENode], ...],
+    cursor: str,
+    outer_alias: str,
+) -> CursorBindings:
+    """Classify an inner query's parameter bindings.
+
+    A binding to ``EAttr(⟨cursor⟩, a)`` becomes the qualified column
+    ``outer_alias.a``; bindings not involving the cursor pass through.
+    Bindings involving the cursor in any more complex way fail.
+    """
+    cursor_bound: dict[str, ScalarExpr] = {}
+    outer: list[tuple[str, ENode]] = []
+    for name, node in params:
+        if _mentions_cursor(node, cursor):
+            column = _as_cursor_column(node, cursor, outer_alias)
+            if column is None:
+                raise DecorrelationError(
+                    f"parameter :{name} bound to a complex cursor expression"
+                )
+            cursor_bound[name] = column
+        else:
+            outer.append((name, node))
+    return CursorBindings(cursor_bound=cursor_bound, outer=tuple(outer))
+
+
+def _mentions_cursor(node: ENode, cursor: str) -> bool:
+    return any(
+        isinstance(n, EBoundVar) and n.name == cursor for n in walk_enodes(node)
+    )
+
+
+def _as_cursor_column(node: ENode, cursor: str, outer_alias: str) -> ScalarExpr | None:
+    if (
+        isinstance(node, EAttr)
+        and isinstance(node.base, EBoundVar)
+        and node.base.name == cursor
+    ):
+        return Col(node.attr, outer_alias)
+    return None
+
+
+def decorrelate_for_apply(rel: RelExpr, bindings: CursorBindings) -> RelExpr:
+    """Rule T7 path: substitute correlated parameters with qualified columns.
+
+    The correlation predicate stays inside the inner query (the engine and
+    the OUTER APPLY SQL form both evaluate it in the outer row's scope).
+    """
+    return bind_rel_params(rel, dict(bindings.cursor_bound))
+
+
+def decorrelate_for_join(
+    rel: RelExpr, bindings: CursorBindings, inner_alias: str
+) -> tuple[RelExpr, ScalarExpr | None]:
+    """Rule T4 path: lift correlated conjuncts into a join predicate.
+
+    Returns (inner query without the correlated conjuncts, join predicate).
+    Correlated parameters may only appear inside selection predicates; the
+    lifted conjuncts get their bare inner columns qualified by
+    ``inner_alias`` so the join predicate is unambiguous.
+    """
+    bound_names = set(bindings.cursor_bound)
+    extracted: list[ScalarExpr] = []
+
+    def rewrite(node: RelExpr) -> RelExpr:
+        if isinstance(node, Select):
+            child = rewrite(node.child)
+            kept: list[ScalarExpr] = []
+            for conjunct in _conjuncts(node.pred):
+                if _mentions_params(conjunct, bound_names):
+                    lifted = _qualify_columns(conjunct, inner_alias)
+                    lifted = _substitute(lifted, bindings.cursor_bound)
+                    extracted.append(lifted)
+                else:
+                    kept.append(conjunct)
+            pred = conjoin(*kept)
+            if pred is None:
+                return child
+            return Select(child, pred)
+        if isinstance(node, (Sort, Distinct, Limit, Project, Aggregate)):
+            rebuilt = _rebuild_one_child(node, rewrite(node.children()[0]))
+            return rebuilt
+        if isinstance(node, Table):
+            return node
+        if isinstance(node, Alias):
+            return Alias(rewrite(node.child), node.name)
+        if isinstance(node, (Join, OuterApply)):
+            raise DecorrelationError("nested join inside correlated query")
+        raise DecorrelationError(f"cannot decorrelate {type(node).__name__}")
+
+    clean = rewrite(rel)
+    # Any remaining correlated parameter (e.g. in a projection) defeats the
+    # join form.
+    remaining = _rel_param_names(clean) & bound_names
+    if remaining:
+        raise DecorrelationError(
+            "correlated parameters outside selection predicates: "
+            + ", ".join(sorted(remaining))
+        )
+    return clean, conjoin(*extracted)
+
+
+def _rebuild_one_child(node: RelExpr, child: RelExpr) -> RelExpr:
+    if isinstance(node, Sort):
+        return Sort(child, node.keys)
+    if isinstance(node, Distinct):
+        return Distinct(child)
+    if isinstance(node, Limit):
+        return Limit(child, node.count)
+    if isinstance(node, Project):
+        return Project(child, node.items)
+    if isinstance(node, Aggregate):
+        return Aggregate(child, node.group_by, node.aggs)
+    raise TypeError(type(node).__name__)
+
+
+def _conjuncts(pred: ScalarExpr) -> list[ScalarExpr]:
+    if isinstance(pred, BinOp) and pred.op.upper() == "AND":
+        return _conjuncts(pred.left) + _conjuncts(pred.right)
+    return [pred]
+
+
+def _mentions_params(expr: ScalarExpr, names: set[str]) -> bool:
+    return any(
+        isinstance(node, Param) and node.name in names for node in walk_scalar(expr)
+    )
+
+
+def _qualify_columns(expr: ScalarExpr, alias: str) -> ScalarExpr:
+    """Qualify bare column references with the inner query's alias."""
+    from ..algebra import rename_columns
+
+    mapping: dict[str, str] = {}
+    for node in walk_scalar(expr):
+        if isinstance(node, Col) and node.qualifier is None:
+            mapping[node.name] = f"{alias}.{node.name}"
+    return rename_columns(expr, mapping)
+
+
+def _substitute(expr: ScalarExpr, bindings: dict[str, ScalarExpr]) -> ScalarExpr:
+    from ..algebra import substitute_params
+
+    return substitute_params(expr, bindings)
+
+
+def _rel_param_names(rel: RelExpr) -> set[str]:
+    from ..algebra import query_params
+
+    return query_params(rel)
+
+
+def rename_single_output(rel: RelExpr, new_name: str) -> RelExpr:
+    """Rename the single output column of a scalar query to ``new_name``."""
+    if isinstance(rel, Project) and len(rel.items) == 1:
+        return Project(rel.child, (ProjectItem(rel.items[0].expr, new_name),))
+    if isinstance(rel, Aggregate) and not rel.group_by and len(rel.aggs) == 1:
+        from ..algebra import AggItem
+
+        return Aggregate(rel.child, (), (AggItem(rel.aggs[0].call, new_name),))
+    if isinstance(rel, (Select, Sort, Limit, Distinct)):
+        # Wrap instead of descending: a projection on top renames cleanly.
+        return Project(rel, (ProjectItem(_single_output_col(rel), new_name),))
+    raise DecorrelationError("scalar query with unclear output column")
+
+
+def _single_output_col(rel: RelExpr) -> Col:
+    if isinstance(rel, (Select, Sort, Limit, Distinct)):
+        return _single_output_col(rel.children()[0])
+    if isinstance(rel, Project) and len(rel.items) == 1:
+        return Col(rel.items[0].output_name)
+    if isinstance(rel, Aggregate) and not rel.group_by and len(rel.aggs) == 1:
+        return Col(rel.aggs[0].output_name)
+    raise DecorrelationError("scalar query with unclear output column")

@@ -1,0 +1,177 @@
+"""Rule-application engine (paper Section 5.3).
+
+Applies the transformation rules bottom-up to a fixpoint.  Inner folds are
+fully transformed before their enclosing fold is attempted (matching the
+paper's Section 5.2 traversal), and every rule strictly pushes computation
+into the query, so the rewriting terminates.
+
+Before any rule fires, each query node's parameter bindings that do not
+involve loop-bound variables are folded into the query itself (constants as
+literals, program inputs as named parameters) — this is the paper's
+"resolving assignments to intermediate variables [to] allow query
+parameters to be expressed in terms of program inputs".
+"""
+
+from __future__ import annotations
+
+from ..algebra import Catalog, Lit, Param, bind_rel_params
+from ..ir import (
+    DagBuilder,
+    EAttr,
+    EBoundVar,
+    EConst,
+    EExists,
+    EFold,
+    ELoop,
+    ENode,
+    EOp,
+    EQuery,
+    EScalarQuery,
+    EVar,
+)
+from .transforms import DEFAULT_RULES, RuleContext
+
+_MAX_REWRITES = 500
+
+
+class RuleEngine:
+    """Applies F-IR transformation rules to a fixpoint."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        dag: DagBuilder | None = None,
+        rules=DEFAULT_RULES,
+        disabled: frozenset[str] = frozenset(),
+        ordering_matters: bool = True,
+        custom_aggregates: dict | None = None,
+    ):
+        self.catalog = catalog
+        self.dag = dag or DagBuilder()
+        self.rules = rules
+        self.disabled = disabled
+        self.ordering_matters = ordering_matters
+        self.custom_aggregates = custom_aggregates or {}
+
+    def transform(self, node: ENode) -> tuple[ENode, list[str]]:
+        """Transform an expression; returns (result, fired-rule trace)."""
+        ctx = RuleContext(
+            dag=self.dag,
+            catalog=self.catalog,
+            disabled=self.disabled,
+            ordering_matters=self.ordering_matters,
+            custom_aggregates=self.custom_aggregates,
+        )
+        result = self._transform(node, ctx, budget=[_MAX_REWRITES])
+        return result, ctx.trace
+
+    # ------------------------------------------------------------------
+
+    def _transform(self, node: ENode, ctx: RuleContext, budget: list[int]) -> ENode:
+        node = self._transform_children(node, ctx, budget)
+        if not isinstance(node, EFold):
+            return node
+        while budget[0] > 0:
+            budget[0] -= 1
+            rewritten = self._apply_one(node, ctx)
+            if rewritten is None:
+                return node
+            result = self._transform(rewritten, ctx, budget)
+            if not isinstance(result, EFold):
+                return result
+            node = result
+        return node
+
+    def _apply_one(self, fold: EFold, ctx: RuleContext) -> ENode | None:
+        for name, rule in self.rules:
+            if not ctx.enabled(name):
+                continue
+            result = rule(fold, ctx)
+            if result is not None and result != fold:
+                return result
+        return None
+
+    def _transform_children(
+        self, node: ENode, ctx: RuleContext, budget: list[int]
+    ) -> ENode:
+        if isinstance(node, (EConst, EVar, EBoundVar)):
+            return node
+        if isinstance(node, EAttr):
+            base = self._transform(node.base, ctx, budget)
+            return node if base is node.base else ctx.dag.attr(base, node.attr)
+        if isinstance(node, EOp):
+            operands = tuple(self._transform(c, ctx, budget) for c in node.operands)
+            rebuilt = (
+                node if operands == node.operands else ctx.dag.intern(EOp(node.op, operands))
+            )
+            return _simplify_op(rebuilt, ctx.dag)
+        if isinstance(node, (EQuery, EScalarQuery, EExists)):
+            return self._normalize_query(node, ctx, budget)
+        if isinstance(node, EFold):
+            func = self._transform(node.func, ctx, budget)
+            init = self._transform(node.init, ctx, budget)
+            source = self._transform(node.source, ctx, budget)
+            return ctx.dag.fold(func, init, source, node.var, node.cursor, node.loop_sid)
+        if isinstance(node, ELoop):
+            return node  # untranslated Loop: no rules apply
+        raise TypeError(f"cannot transform {type(node).__name__}")
+
+    def _normalize_query(self, node, ctx: RuleContext, budget: list[int]):
+        """Fold constant / program-input parameter bindings into the query."""
+        literal: dict[str, object] = {}
+        as_param: dict[str, Param] = {}
+        remaining: list[tuple[str, ENode]] = []
+        for name, value in node.params:
+            value = self._transform(value, ctx, budget)
+            if isinstance(value, EConst):
+                literal[name] = value.value
+            elif isinstance(value, EVar):
+                as_param[name] = Param(value.name)
+            elif isinstance(value, EAttr) and isinstance(value.base, EVar):
+                as_param[name] = Param(f"{value.base.name}__{value.attr}")
+            else:
+                remaining.append((name, value))
+        rel = node.rel
+        if literal:
+            rel = bind_rel_params(rel, {k: Lit(v) for k, v in literal.items()})
+        if as_param:
+            rel = bind_rel_params(rel, dict(as_param))
+        params = tuple(remaining)
+        # Re-expose renamed program-input parameters as standard bindings so
+        # downstream consumers see them uniformly.
+        for original, param in as_param.items():
+            node_binding = self._binding_node(param.name, ctx)
+            params = params + ((param.name, node_binding),)
+        params = tuple(sorted(dict(params).items()))
+        if isinstance(node, EQuery):
+            return ctx.dag.query(rel, params)
+        if isinstance(node, EScalarQuery):
+            return ctx.dag.scalar_query(rel, params)
+        return ctx.dag.exists(rel, params, node.negated)
+
+    def _binding_node(self, param_name: str, ctx: RuleContext) -> ENode:
+        if "__" in param_name:
+            base, attr = param_name.split("__", 1)
+            return ctx.dag.attr(ctx.dag.var(base), attr)
+        return ctx.dag.var(param_name)
+
+
+def _simplify_op(node: EOp, dag: DagBuilder) -> ENode:
+    """Local algebraic cleanups after child rewriting."""
+    if node.op == "concat_list" and len(node.operands) == 2:
+        left, right = node.operands
+        if isinstance(left, EOp) and left.op == "empty_list":
+            return right
+    if node.op == "union_set" and len(node.operands) == 2:
+        left, right = node.operands
+        if isinstance(left, EOp) and left.op == "empty_set":
+            return right
+    if node.op == "or" and len(node.operands) == 2:
+        if node.operands[0] == EConst(False):
+            return node.operands[1]
+    if node.op == "and" and len(node.operands) == 2:
+        if node.operands[0] == EConst(True):
+            return node.operands[1]
+    if node.op == "?" and isinstance(node.operands[0], EConst):
+        return node.operands[1] if node.operands[0].value else node.operands[2]
+    return node

@@ -1,0 +1,664 @@
+"""F-IR transformation rules (paper Section 5.1 and Appendix B).
+
+Every rule takes a fold node and returns a rewritten node or ``None`` when
+it does not apply.  The rule set is confluent and terminating (Section 5.3):
+each rule pushes computation from the folding function into the query, never
+the other direction.
+
+Implemented rules and their paper names:
+
+====================  =====================================================
+``rule_t6_init``      T6   fold with non-identity initial value
+``rule_t2_predicate`` T2   predicate push (σ)
+``rule_t5_aggregate`` T5.1 scalar aggregation (+ count, EXISTS/NOT EXISTS
+                           from Appendix B "checking for existence")
+``rule_t7_apply``     T7   outer apply for nested scalar queries; also
+                           covers T5.2 (group-by) because a decorrelated
+                           inner aggregate is exactly a correlated scalar
+                           subquery
+``rule_t1_t3_collect``T1 + T3  list/set construction with scalar pushes (π)
+``rule_t4_join``      T4.1/4.2/4.3  join identification for nested loops
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra import (
+    AggCall,
+    AggItem,
+    Aggregate,
+    Catalog,
+    Col,
+    Distinct,
+    Join,
+    Lit,
+    Param,
+    Project,
+    ProjectItem,
+    RelExpr,
+    Select,
+    UnOp,
+    bind_rel_params,
+    conjoin,
+    has_unique_key,
+)
+from ..fir import CapableButUnimplemented, NotScalarizable, scalarize
+from ..ir import (
+    DagBuilder,
+    EAttr,
+    EBoundVar,
+    EConst,
+    EExists,
+    EFold,
+    ENode,
+    EOp,
+    EQuery,
+    EScalarQuery,
+    EVar,
+    walk_enodes,
+)
+from .decorrelate import (
+    DecorrelationError,
+    decorrelate_for_apply,
+    decorrelate_for_join,
+    ensure_alias,
+    rename_single_output,
+    split_params,
+    split_top_project,
+)
+
+
+@dataclass
+class RuleContext:
+    """Shared state for one rule-application run."""
+
+    dag: DagBuilder
+    catalog: Catalog
+    trace: list[str] = field(default_factory=list)
+    disabled: frozenset[str] = frozenset()
+    #: When False (keyword-search mode, Experiment 3: "ordering of data is
+    #: not relevant"), rule T4.1's unique-key precondition is waived — the
+    #: multiset join T4.3 is used instead.
+    ordering_matters: bool = True
+    #: Custom aggregation functions (paper Section 5.2: a folding function
+    #: without a built-in SQL aggregate "can use a custom aggregation
+    #: function ... inside the database").  Maps a fold operator to
+    #: (aggregate name, identity value); e.g. {"*": ("product", 1)}.
+    custom_aggregates: dict = field(default_factory=dict)
+
+    def fire(self, name: str) -> None:
+        self.trace.append(name)
+
+    def enabled(self, name: str) -> bool:
+        return name not in self.disabled
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+
+
+def _collect_bindings(node: ENode, cursor: str) -> tuple[tuple[str, ENode], ...]:
+    """Parameter bindings for the free inputs of an expression.
+
+    ``EVar(x)`` scalarizes to ``Param(x)``; ``EAttr(EVar(x), f)`` to
+    ``Param('x__f')``; an attribute of an *outer* loop's cursor (a bound
+    variable other than ``cursor``) also becomes a parameter, whose binding
+    the enclosing fold's rules later decorrelate.
+    """
+    bindings: dict[str, ENode] = {}
+    for n in walk_enodes(node):
+        if isinstance(n, EVar):
+            bindings.setdefault(n.name, n)
+        elif isinstance(n, EAttr) and isinstance(n.base, EVar):
+            bindings.setdefault(f"{n.base.name}__{n.attr}", n)
+        elif (
+            isinstance(n, EAttr)
+            and isinstance(n.base, EBoundVar)
+            and n.base.name != cursor
+        ):
+            bindings.setdefault(f"{n.base.name}__{n.attr}", n)
+    return tuple(sorted(bindings.items()))
+
+
+def _merge_params(*param_sets: tuple[tuple[str, ENode], ...]) -> tuple[tuple[str, ENode], ...]:
+    merged: dict[str, ENode] = {}
+    for params in param_sets:
+        for name, node in params:
+            merged.setdefault(name, node)
+    return tuple(sorted(merged.items()))
+
+
+def _mentions_bound(node: ENode, name: str) -> bool:
+    return any(
+        isinstance(n, EBoundVar) and n.name == name for n in walk_enodes(node)
+    )
+
+
+_COMMUTATIVE = {"+", "*", "max", "min", "and", "or"}
+
+_AGG_OF_OP = {"+": "sum", "max": "max", "min": "min"}
+_COMBINE_OF_OP = {"+": "combine_sum", "max": "combine_max", "min": "combine_min"}
+
+_APPEND_OPS = {"append", "insert"}
+
+
+def _normalize_acc_first(func: ENode, var: str) -> ENode | None:
+    """Normalise ``op(h, ⟨v⟩)`` to ``op(⟨v⟩, h)`` for commutative ops."""
+    if not (isinstance(func, EOp) and len(func.operands) == 2):
+        return None
+    left, right = func.operands
+    is_acc_left = isinstance(left, EBoundVar) and left.name == var
+    is_acc_right = isinstance(right, EBoundVar) and right.name == var
+    if is_acc_left and not _mentions_bound(right, var):
+        return func
+    if (
+        is_acc_right
+        and func.op in _COMMUTATIVE
+        and not _mentions_bound(left, var)
+    ):
+        return EOp(func.op, (right, left))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Rule T6: fold with non-identity initial value (Appendix B)
+
+
+def rule_t6_init(fold: EFold, ctx: RuleContext) -> ENode | None:
+    """``fold[append, x, Q] → concat(x, fold[append, [], Q])`` (and the set
+    analogue).  This exposes the empty-init form rules T1/T4 require —
+    crucially it fires for inner folds whose init is the *outer* accumulator.
+    """
+    func = fold.func
+    if not (isinstance(func, EOp) and func.op in _APPEND_OPS and len(func.operands) == 2):
+        return None
+    acc, _payload = func.operands
+    if not (isinstance(acc, EBoundVar) and acc.name == fold.var):
+        return None
+    if isinstance(fold.init, EOp) and fold.init.op in ("empty_list", "empty_set"):
+        return None  # already identity
+    empty = ctx.dag.op("empty_list" if func.op == "append" else "empty_set")
+    inner = ctx.dag.fold(func, empty, fold.source, fold.var, fold.cursor, fold.loop_sid)
+    combiner = "concat_list" if func.op == "append" else "union_set"
+    ctx.fire("T6")
+    return ctx.dag.op(combiner, fold.init, inner)
+
+
+# ----------------------------------------------------------------------
+# Rule T2: predicate push
+
+
+def rule_t2_predicate(fold: EFold, ctx: RuleContext) -> ENode | None:
+    """``f = ?[pred(t), g, ⟨v⟩]`` → push σ_pred into the source query."""
+    func = fold.func
+    if not (isinstance(func, EOp) and func.op == "?" and len(func.operands) == 3):
+        return None
+    if not isinstance(fold.source, EQuery):
+        return None
+    cond, if_true, if_false = func.operands
+    negate = False
+    if isinstance(if_true, EBoundVar) and if_true.name == fold.var:
+        # `?[pred, ⟨v⟩, g]` — keep rows where pred is false.
+        cond, if_true, if_false = cond, if_false, if_true
+        negate = True
+    if not (isinstance(if_false, EBoundVar) and if_false.name == fold.var):
+        return None
+    if _mentions_bound(cond, fold.var):
+        return None
+    try:
+        pred = scalarize(cond, fold.cursor)
+    except (NotScalarizable, CapableButUnimplemented):
+        return None
+    if negate:
+        pred = UnOp("NOT", pred)
+    source = fold.source
+    new_rel = Select(source.rel, pred)
+    params = _merge_params(source.params, _collect_bindings(cond, fold.cursor))
+    ctx.fire("T2")
+    return ctx.dag.fold(
+        if_true,
+        fold.init,
+        ctx.dag.query(new_rel, params),
+        fold.var,
+        fold.cursor,
+        fold.loop_sid,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rule T5.1: scalar aggregation (+ EXISTS variants, Appendix B)
+
+
+def rule_t5_aggregate(fold: EFold, ctx: RuleContext) -> ENode | None:
+    if not isinstance(fold.source, EQuery):
+        return None
+    func = _normalize_acc_first(fold.func, fold.var)
+    if func is None:
+        return None
+    op = func.op
+    payload = func.operands[1]
+    if _mentions_bound(payload, fold.var):
+        return None
+    source = fold.source
+
+    if op == "or":
+        return _exists_form(fold, payload, source, negated=False, ctx=ctx)
+    if op == "and":
+        return _exists_form(fold, payload, source, negated=True, ctx=ctx)
+    if op not in _AGG_OF_OP and op not in ctx.custom_aggregates:
+        return None
+
+    # COUNT: `v = v + 1`.
+    if op == "+" and payload == EConst(1):
+        agg_rel: RelExpr = Aggregate(
+            source.rel, (), (AggItem(AggCall("count", None), "agg"),)
+        )
+        scalar = ctx.dag.scalar_query(agg_rel, source.params)
+        ctx.fire("T5.1-count")
+        if fold.init == EConst(0):
+            return scalar
+        return ctx.dag.op("combine_count", fold.init, scalar)
+
+    try:
+        value = scalarize(payload, fold.cursor)
+    except (NotScalarizable, CapableButUnimplemented):
+        return None
+    params = _merge_params(source.params, _collect_bindings(payload, fold.cursor))
+    if op in _AGG_OF_OP:
+        agg_rel = Aggregate(
+            source.rel, (), (AggItem(AggCall(_AGG_OF_OP[op], value), "agg"),)
+        )
+        scalar = ctx.dag.scalar_query(agg_rel, params)
+        ctx.fire("T5.1")
+        if isinstance(fold.init, EConst) and fold.init.value is None:
+            return scalar
+        return ctx.dag.op(_COMBINE_OF_OP[op], fold.init, scalar)
+    # Custom (user-defined) aggregate: combine via the fold operator itself,
+    # defaulting the empty-input NULL to the operator's identity.
+    agg_name, identity = ctx.custom_aggregates[op]
+    agg_rel = Aggregate(source.rel, (), (AggItem(AggCall(agg_name, value), "agg"),))
+    scalar = ctx.dag.scalar_query(agg_rel, params)
+    ctx.fire("T5.1-custom")
+    if isinstance(fold.init, EConst) and fold.init.value is None:
+        return scalar
+    defaulted = ctx.dag.op("coalesce", scalar, ctx.dag.const(identity))
+    return ctx.dag.op(op, fold.init, defaulted)
+
+
+def _exists_form(
+    fold: EFold, payload: ENode, source: EQuery, negated: bool, ctx: RuleContext
+) -> ENode | None:
+    """Appendix B: ``v = v ∨ p(t)`` → EXISTS; ``v = v ∧ p(t)`` → NOT EXISTS."""
+    try:
+        pred = scalarize(payload, fold.cursor)
+    except (NotScalarizable, CapableButUnimplemented):
+        return None
+    if negated:
+        pred = UnOp("NOT", pred)
+    rel = Select(source.rel, pred)
+    params = _merge_params(source.params, _collect_bindings(payload, fold.cursor))
+    exists = ctx.dag.exists(rel, params, negated=negated)
+    ctx.fire("T-exists" if not negated else "T-notexists")
+    if not negated and fold.init == EConst(False):
+        return exists
+    if negated and fold.init == EConst(True):
+        return exists
+    return ctx.dag.op("and" if negated else "or", fold.init, exists)
+
+
+# ----------------------------------------------------------------------
+# Rule T7 (+ T5.2): eliminate correlated scalar subqueries via OUTER APPLY
+
+
+def rule_t7_apply(fold: EFold, ctx: RuleContext) -> ENode | None:
+    """Replace each correlated scalar subquery in an append payload with an
+    OUTER APPLY column (paper Figure 13).  The inner aggregate produced for a
+    nested group-by loop (rule T5.1 on the inner fold) is exactly such a
+    subquery, so this rule also realises rule T5.2.
+    """
+    func = fold.func
+    if not (
+        isinstance(func, EOp) and func.op in _APPEND_OPS and len(func.operands) == 2
+    ):
+        return None
+    acc, payload = func.operands
+    if not (isinstance(acc, EBoundVar) and acc.name == fold.var):
+        return None
+    if not isinstance(fold.source, EQuery):
+        return None
+    correlated = [
+        n
+        for n in walk_enodes(payload)
+        if isinstance(n, EScalarQuery)
+        and any(_mentions_bound(v, fold.cursor) for _, v in n.params)
+    ]
+    if not correlated:
+        return None
+
+    source = fold.source
+    taken: set[str] = set()
+    left_rel, left_alias = ensure_alias(source.rel, taken, "q1")
+    taken.add(left_alias)
+
+    replacements: dict[ENode, ENode] = {}
+    outer_params = [source.params]
+    rel: RelExpr = left_rel
+    for index, subquery in enumerate(dict.fromkeys(correlated)):
+        try:
+            bindings = split_params(subquery.params, fold.cursor, left_alias)
+        except DecorrelationError:
+            return None
+        inner = decorrelate_for_apply(subquery.rel, bindings)
+        column = f"c{index}"
+        try:
+            inner = rename_single_output(inner, column)
+        except DecorrelationError:
+            return None
+        applied, apply_alias = ensure_alias(inner, taken, f"ap{index}")
+        taken.add(apply_alias)
+        from ..algebra import OuterApply
+
+        rel = OuterApply(rel, applied)
+        replacements[subquery] = ctx.dag.attr(
+            ctx.dag.bound(fold.cursor), column
+        )
+        outer_params.append(bindings.outer)
+
+    new_payload = _replace_nodes(payload, replacements, ctx.dag)
+    params = _merge_params(*outer_params)
+    ctx.fire("T7")
+    return ctx.dag.fold(
+        ctx.dag.intern(EOp(func.op, (acc, new_payload))),
+        fold.init,
+        ctx.dag.query(rel, params),
+        fold.var,
+        fold.cursor,
+        fold.loop_sid,
+    )
+
+
+def _replace_nodes(
+    node: ENode, replacements: dict[ENode, ENode], dag: DagBuilder
+) -> ENode:
+    if node in replacements:
+        return replacements[node]
+    if isinstance(node, EOp):
+        operands = tuple(_replace_nodes(c, replacements, dag) for c in node.operands)
+        if operands == node.operands:
+            return node
+        return dag.intern(EOp(node.op, operands))
+    if isinstance(node, EAttr):
+        base = _replace_nodes(node.base, replacements, dag)
+        if base is node.base:
+            return node
+        return dag.attr(base, node.attr)
+    return node
+
+
+# ----------------------------------------------------------------------
+# Rules T1 + T3: collection construction with scalar push
+
+
+def rule_t1_t3_collect(fold: EFold, ctx: RuleContext) -> ENode | None:
+    func = fold.func
+    if not (
+        isinstance(func, EOp) and func.op in _APPEND_OPS and len(func.operands) == 2
+    ):
+        return None
+    acc, payload = func.operands
+    if not (isinstance(acc, EBoundVar) and acc.name == fold.var):
+        return None
+    if not isinstance(fold.source, EQuery):
+        return None
+    if not (isinstance(fold.init, EOp) and fold.init.op in ("empty_list", "empty_set")):
+        return None
+    if _mentions_bound(payload, fold.var):
+        return None
+    source = fold.source
+
+    # T1: the payload is the whole tuple.
+    if isinstance(payload, EBoundVar) and payload.name == fold.cursor:
+        ctx.fire("T1")
+        rel: RelExpr = source.rel
+        if func.op == "insert":
+            rel = Distinct(rel)
+        return ctx.dag.query(rel, source.params)
+
+    # T3: scalar payload(s) pushed into a projection.
+    items = _payload_items(payload, fold.cursor)
+    if items is None:
+        return None
+    rel = Project(source.rel, items)
+    if func.op == "insert":
+        rel = Distinct(rel)
+    params = _merge_params(source.params, _collect_bindings(payload, fold.cursor))
+    ctx.fire("T1+T3")
+    result = ctx.dag.query(rel, params)
+    if isinstance(payload, EOp) and payload.op == "tuple":
+        # The original collection held tuples; the rewritten program must
+        # rebuild them from the result rows (handled by the emitter).
+        return ctx.dag.op("as_pairs", result)
+    return result
+
+
+def _payload_items(
+    payload: ENode, cursor: str
+) -> tuple[ProjectItem, ...] | None:
+    """Projection items for a scalar or tuple payload; None when not
+    scalarizable (rules then do not fire)."""
+    parts: list[ENode]
+    if isinstance(payload, EOp) and payload.op == "tuple":
+        parts = list(payload.operands)
+    else:
+        parts = [payload]
+    items: list[ProjectItem] = []
+    used: set[str] = set()
+    for index, part in enumerate(parts):
+        try:
+            expr = scalarize(part, cursor)
+        except (NotScalarizable, CapableButUnimplemented):
+            return None
+        if (
+            isinstance(part, EAttr)
+            and isinstance(part.base, EBoundVar)
+            and part.base.name == cursor
+            and part.attr not in used
+        ):
+            alias = part.attr
+        else:
+            alias = f"col{index}" if len(parts) > 1 else "val"
+        used.add(alias)
+        items.append(ProjectItem(expr, alias))
+    return tuple(items)
+
+
+# ----------------------------------------------------------------------
+# Rule T4: join identification
+
+
+def rule_t4_join(fold: EFold, ctx: RuleContext) -> ENode | None:
+    """``fold[λv,t. concat(v, Q2(t)), [], Q1]`` → ``π(Q1 ⋈ Q2)``.
+
+    T4.1 (list append) requires Q1 to have a unique key; T4.2 (set insert)
+    adds δ; T4.3 (multiset) is the bare join.
+    """
+    func = fold.func
+    if not (
+        isinstance(func, EOp)
+        and func.op in ("concat_list", "union_set")
+        and len(func.operands) == 2
+    ):
+        return None
+    acc, inner = func.operands
+    if not (isinstance(acc, EBoundVar) and acc.name == fold.var):
+        return None
+    as_pairs = False
+    if isinstance(inner, EOp) and inner.op == "as_pairs":
+        # Tuple elements: the join result needs the same pair unwrapping.
+        as_pairs = True
+        inner = inner.operands[0]
+    if not isinstance(inner, EQuery):
+        return None
+    if not isinstance(fold.source, EQuery):
+        return None
+    if not (isinstance(fold.init, EOp) and fold.init.op in ("empty_list", "empty_set")):
+        return None
+    correlated = any(_mentions_bound(v, fold.cursor) for _, v in inner.params)
+    if not correlated:
+        return None
+    source = fold.source
+
+    is_set = func.op == "union_set"
+    if (
+        not is_set
+        and ctx.ordering_matters
+        and not has_unique_key(source.rel, ctx.catalog)
+    ):
+        # T4.1 precondition: the outer query must have a unique key so the
+        # paper's result ordering (Z1, Q1.K, Z2) is well defined.  In
+        # unordered mode the multiset form (T4.3) applies without a key.
+        return None
+
+    taken: set[str] = set()
+    left_rel, left_alias = _join_operand(source.rel, taken, "q1")
+    taken.add(left_alias)
+    try:
+        bindings = split_params(inner.params, fold.cursor, left_alias)
+    except DecorrelationError:
+        return None
+
+    # The fold's output columns are the inner query's projection; flatten
+    # nested π chains so the base can be used as a join operand, and resolve
+    # correlated parameters in the projected expressions against the outer
+    # query's alias.
+    right_base, right_items = _flatten_projects(inner.rel)
+    if right_items is not None:
+        from ..algebra import substitute_params
+
+        right_items = tuple(
+            ProjectItem(
+                substitute_params(item.expr, bindings.cursor_bound), item.alias
+            )
+            for item in right_items
+        )
+    right_rel, right_alias = _join_operand(right_base, taken, "q2")
+    taken.add(right_alias)
+    try:
+        clean_right, join_pred = decorrelate_for_join(right_rel, bindings, right_alias)
+    except DecorrelationError:
+        return None
+
+    join: RelExpr = Join(left_rel, clean_right, join_pred, "inner")
+    if not is_set and ctx.ordering_matters:
+        # T4.1's output ordering is (Z1, Q1.K, Z2).  The iterated queries in
+        # the paper's samples carry no τ, so ordering by the outer key
+        # materialises the nested-loop iteration order explicitly rather
+        # than relying on the engine's join order.
+        from ..algebra import Sort, SortKey, key_of
+
+        key = key_of(source.rel, ctx.catalog)
+        if key:
+            join = Sort(join, tuple(SortKey(Col(k, left_alias)) for k in key))
+    if right_items is None:
+        # Whole-tuple append: the output is the inner relation's columns.
+        try:
+            from ..algebra import output_columns
+
+            names = output_columns(clean_right, ctx.catalog)
+        except (TypeError, KeyError):
+            names = []
+        if names:
+            right_items = tuple(
+                ProjectItem(Col(name, right_alias)) for name in names
+            )
+    if right_items:
+        join = Project(join, tuple(right_items))
+    if is_set:
+        join = Distinct(join)
+    params = _merge_params(source.params, bindings.outer)
+    ctx.fire("T4.2" if is_set else "T4.1")
+    result = ctx.dag.query(join, params)
+    if as_pairs:
+        return ctx.dag.op("as_pairs", result)
+    return result
+
+
+def _join_operand(rel: RelExpr, taken: set[str], default: str) -> tuple[RelExpr, str]:
+    """Prepare a relation for use as a join operand.
+
+    Projections are stripped when they only rename nothing (plain columns),
+    so alias-qualified row keys stay visible to the join predicate; complex
+    projections are kept behind an Alias instead.
+    """
+    base, items = _flatten_projects(rel)
+    if items is None or all(
+        isinstance(i.expr, Col) and i.alias in (None, i.expr.name) for i in items
+    ):
+        return ensure_alias(base, taken, default)
+    return ensure_alias(rel, taken, default)
+
+
+def _flatten_projects(rel: RelExpr) -> tuple[RelExpr, tuple[ProjectItem, ...] | None]:
+    """Strip and compose consecutive top-level projections.
+
+    Returns (projection-free base, composed items or None).  Composition
+    substitutes column references of an outer π with the inner π's
+    expressions; bails out (keeps the outer π as the boundary) when the
+    inner items are not plain columns.
+    """
+    items: tuple[ProjectItem, ...] | None = None
+    while isinstance(rel, Project):
+        inner_items = rel.items
+        if items is None:
+            items = inner_items
+        else:
+            mapping = {i.output_name: i.expr for i in inner_items}
+            composed = []
+            for item in items:
+                composed.append(ProjectItem(_subst_cols(item.expr, mapping), item.alias))
+            items = tuple(composed)
+        rel = rel.child
+    return rel, items
+
+
+def _subst_cols(expr, mapping):
+    from ..algebra import (
+        AggCall,
+        BinOp as _BinOp,
+        CaseWhen as _CaseWhen,
+        Func as _Func,
+        UnOp as _UnOp,
+    )
+
+    if isinstance(expr, Col) and expr.qualifier is None and expr.name in mapping:
+        return mapping[expr.name]
+    if isinstance(expr, _BinOp):
+        return _BinOp(expr.op, _subst_cols(expr.left, mapping), _subst_cols(expr.right, mapping))
+    if isinstance(expr, _UnOp):
+        return _UnOp(expr.op, _subst_cols(expr.operand, mapping))
+    if isinstance(expr, _Func):
+        return _Func(expr.name, tuple(_subst_cols(a, mapping) for a in expr.args))
+    if isinstance(expr, AggCall):
+        arg = None if expr.arg is None else _subst_cols(expr.arg, mapping)
+        return AggCall(expr.func, arg, expr.distinct)
+    if isinstance(expr, _CaseWhen):
+        return _CaseWhen(
+            _subst_cols(expr.cond, mapping),
+            _subst_cols(expr.if_true, mapping),
+            _subst_cols(expr.if_false, mapping),
+        )
+    return expr
+
+
+#: Default rule order.  The set is confluent (Section 5.3), so order only
+#: affects how quickly a normal form is reached, not which one.
+DEFAULT_RULES = (
+    ("T2", rule_t2_predicate),
+    ("T5", rule_t5_aggregate),
+    ("T7", rule_t7_apply),
+    ("T1T3", rule_t1_t3_collect),
+    ("T6", rule_t6_init),
+    ("T4", rule_t4_join),
+)

@@ -1,0 +1,25 @@
+"""SQL generation: algebra → SQL text with dialect support."""
+
+from .dialects import (
+    DIALECTS,
+    Dialect,
+    MySQLDialect,
+    PostgresDialect,
+    ReproDialect,
+    SQLServerDialect,
+    get_dialect,
+)
+from .generator import SqlGenError, render_rel, render_scalar
+
+__all__ = [
+    "DIALECTS",
+    "Dialect",
+    "MySQLDialect",
+    "PostgresDialect",
+    "ReproDialect",
+    "SQLServerDialect",
+    "SqlGenError",
+    "get_dialect",
+    "render_rel",
+    "render_scalar",
+]

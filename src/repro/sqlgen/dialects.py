@@ -1,0 +1,95 @@
+"""SQL dialect abstraction.
+
+The paper's Figure 3 notes "we illustrate using the GREATEST function of
+PostgreSQL; translation into other dialects is possible using similar
+functions, or using CASE..WHEN".  Appendix B emits SQL Server's OUTER APPLY
+"equivalent to the left outer join version of the lateral construct".
+Dialects here cover those variations.  ``ReproDialect`` is the executable
+default: its output round-trips through :mod:`repro.sqlparse` so rewritten
+programs run on the in-memory engine.
+"""
+
+from __future__ import annotations
+
+
+class Dialect:
+    """Base dialect: ANSI-leaning, CASE WHEN for GREATEST/LEAST."""
+
+    name = "ansi"
+    supports_greatest = False
+    apply_style = "lateral"  # "lateral" | "outer_apply"
+
+    def greatest(self, args: list[str]) -> str:
+        if self.supports_greatest:
+            return f"GREATEST({', '.join(args)})"
+        return self._case_chain(args, ">")
+
+    def least(self, args: list[str]) -> str:
+        if self.supports_greatest:
+            return f"LEAST({', '.join(args)})"
+        return self._case_chain(args, "<")
+
+    @staticmethod
+    def _case_chain(args: list[str], op: str) -> str:
+        result = args[0]
+        for arg in args[1:]:
+            result = f"CASE WHEN {result} {op} {arg} THEN {result} ELSE {arg} END"
+        return result
+
+    def outer_apply(self, left: str, right_subquery: str, alias: str) -> str:
+        if self.apply_style == "outer_apply":
+            return f"{left} OUTER APPLY ({right_subquery}) {alias}"
+        return f"{left} LEFT JOIN LATERAL ({right_subquery}) {alias} ON TRUE"
+
+    def limit(self, count: int) -> str:
+        return f"LIMIT {count}"
+
+    def bool_literal(self, value: bool) -> str:
+        return "TRUE" if value else "FALSE"
+
+
+class PostgresDialect(Dialect):
+    name = "postgres"
+    supports_greatest = True
+    apply_style = "lateral"
+
+
+class MySQLDialect(Dialect):
+    name = "mysql"
+    supports_greatest = True
+    apply_style = "lateral"
+
+
+class SQLServerDialect(Dialect):
+    name = "sqlserver"
+    supports_greatest = False
+    apply_style = "outer_apply"
+
+    def limit(self, count: int) -> str:  # TOP is prepended by the generator
+        return f"__TOP__{count}"
+
+    def bool_literal(self, value: bool) -> str:
+        return "1" if value else "0"
+
+
+class ReproDialect(Dialect):
+    """The executable dialect: parseable by :mod:`repro.sqlparse`."""
+
+    name = "repro"
+    supports_greatest = True
+    apply_style = "outer_apply"
+
+
+DIALECTS: dict[str, Dialect] = {
+    d.name: d
+    for d in (Dialect(), PostgresDialect(), MySQLDialect(), SQLServerDialect(), ReproDialect())
+}
+
+
+def get_dialect(name: str) -> Dialect:
+    try:
+        return DIALECTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dialect {name!r}; available: {sorted(DIALECTS)}"
+        ) from None

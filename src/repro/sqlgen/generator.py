@@ -1,0 +1,315 @@
+"""SQL text generation from relational algebra (paper Section 5.2).
+
+``render_rel`` produces a SELECT statement; ``render_scalar`` produces a
+scalar expression.  The default (``repro``) dialect's output round-trips
+through :mod:`repro.sqlparse`, which is how rewritten programs execute on
+the in-memory engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra import (
+    AggCall,
+    Aggregate,
+    Alias,
+    BinOp,
+    CaseWhen,
+    Col,
+    Distinct,
+    ExistsExpr,
+    Func,
+    Join,
+    Limit,
+    Lit,
+    OuterApply,
+    Param,
+    Project,
+    RelExpr,
+    ScalarExpr,
+    ScalarSubquery,
+    Select,
+    Sort,
+    Table,
+    UnOp,
+)
+from .dialects import Dialect, get_dialect
+
+
+class SqlGenError(Exception):
+    """Raised when an algebra tree has no SQL rendering."""
+
+
+@dataclass
+class _Statement:
+    """A SELECT statement under construction."""
+
+    from_clause: str = ""
+    select_items: list[str] | None = None
+    where: list[str] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    order_by: list[str] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+    @property
+    def shaped(self) -> bool:
+        """True once grouping/ordering/limiting makes wrapping necessary."""
+        return bool(self.group_by) or self.limit is not None or self.distinct
+
+    def render(self, dialect: Dialect) -> str:
+        items = ", ".join(self.select_items) if self.select_items else "*"
+        head = "SELECT DISTINCT" if self.distinct else "SELECT"
+        if self.limit is not None and dialect.name == "sqlserver":
+            head = f"{head} TOP {self.limit}"
+        parts = [f"{head} {items}", f"FROM {self.from_clause}"]
+        if self.where:
+            # Fold conjuncts left-associatively with explicit parentheses so
+            # rendering is a fixpoint under re-parsing.
+            combined = self.where[0]
+            for conjunct in self.where[1:]:
+                combined = f"({combined} AND {conjunct})"
+            parts.append(f"WHERE {combined}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(self.order_by))
+        if self.limit is not None and dialect.name != "sqlserver":
+            parts.append(dialect.limit(self.limit))
+        return " ".join(parts)
+
+
+def render_rel(rel: RelExpr, dialect: str | Dialect = "repro") -> str:
+    """Render a relational algebra tree as one SQL SELECT statement."""
+    d = get_dialect(dialect) if isinstance(dialect, str) else dialect
+    return _Generator(d).statement(rel).render(d)
+
+
+def render_scalar(expr: ScalarExpr, dialect: str | Dialect = "repro") -> str:
+    """Render a scalar expression as SQL text."""
+    d = get_dialect(dialect) if isinstance(dialect, str) else dialect
+    return _Generator(d).scalar(expr)
+
+
+class _Generator:
+    def __init__(self, dialect: Dialect):
+        self.dialect = dialect
+
+    # ------------------------------------------------------------------
+    # Relational
+
+    def statement(self, rel: RelExpr) -> _Statement:
+        if isinstance(rel, Table):
+            clause = rel.name if not rel.alias or rel.alias == rel.name else f"{rel.name} {rel.alias}"
+            return _Statement(from_clause=clause)
+        if isinstance(rel, Alias):
+            inner = self.statement(rel.child)
+            if not inner.shaped and inner.select_items is None and not inner.where and " " not in inner.from_clause.strip():
+                return _Statement(from_clause=f"{inner.from_clause} {rel.name}")
+            return _Statement(
+                from_clause=f"({inner.render(self.dialect)}) {rel.name}"
+            )
+        if isinstance(rel, Select):
+            stmt = self.statement(rel.child)
+            if stmt.shaped or stmt.select_items is not None:
+                stmt = self._wrap(stmt)
+            stmt.where.append(self.scalar(rel.pred))
+            return stmt
+        if isinstance(rel, Project):
+            stmt = self.statement(rel.child)
+            if stmt.select_items is not None or stmt.shaped:
+                stmt = self._wrap(stmt)
+            stmt.select_items = [self._project_item(i) for i in rel.items]
+            return stmt
+        if isinstance(rel, Aggregate):
+            stmt = self.statement(rel.child)
+            if stmt.select_items is not None or stmt.shaped:
+                stmt = self._wrap(stmt)
+            items = [self.scalar(g) for g in rel.group_by]
+            for agg in rel.aggs:
+                rendered = self._agg_call(agg.call)
+                if agg.alias:
+                    rendered = f"{rendered} AS {agg.alias}"
+                items.append(rendered)
+            stmt.select_items = items
+            stmt.group_by = [self.scalar(g) for g in rel.group_by]
+            return stmt
+        if isinstance(rel, Sort):
+            stmt = self.statement(rel.child)
+            if stmt.limit is not None:
+                stmt = self._wrap(stmt)
+            stmt.order_by = [
+                f"{self.scalar(k.expr)} {'ASC' if k.ascending else 'DESC'}"
+                for k in rel.keys
+            ]
+            return stmt
+        if isinstance(rel, Distinct):
+            stmt = self.statement(rel.child)
+            if stmt.distinct or stmt.limit is not None:
+                stmt = self._wrap(stmt)
+            stmt.distinct = True
+            return stmt
+        if isinstance(rel, Limit):
+            stmt = self.statement(rel.child)
+            if stmt.limit is not None:
+                stmt = self._wrap(stmt)
+            stmt.limit = rel.count
+            return stmt
+        if isinstance(rel, Join):
+            return self._join_statement(rel)
+        if isinstance(rel, OuterApply):
+            return self._apply_statement(rel)
+        raise SqlGenError(f"cannot render {type(rel).__name__}")
+
+    def _project_item(self, item) -> str:
+        rendered = self.scalar(item.expr)
+        if item.alias and item.alias != rendered:
+            return f"{rendered} AS {item.alias}"
+        return rendered
+
+    def _wrap(self, stmt: _Statement) -> _Statement:
+        return _Statement(from_clause=f"({stmt.render(self.dialect)}) w")
+
+    def _table_ref(self, rel: RelExpr) -> tuple[str, list[str]]:
+        """Render a join operand as a FROM-clause table reference.
+
+        Returns (reference text, predicates to pull into the outer WHERE).
+        Plain selections over base tables are flattened, matching how the
+        paper's examples print joins.
+        """
+        if isinstance(rel, Table):
+            alias = rel.alias or rel.name
+            text = rel.name if alias == rel.name else f"{rel.name} {alias}"
+            return text, []
+        if isinstance(rel, Select):
+            inner, preds = self._table_ref(rel.child)
+            return inner, preds + [self.scalar(rel.pred)]
+        if isinstance(rel, Alias):
+            stmt = self.statement(rel.child)
+            return f"({stmt.render(self.dialect)}) {rel.name}", []
+        stmt = self.statement(rel)
+        return f"({stmt.render(self.dialect)}) j", []
+
+    def _join_statement(self, rel: Join) -> _Statement:
+        left_ref, left_preds = self._table_ref(rel.left)
+        right_ref, right_preds = self._table_ref(rel.right)
+        if rel.kind == "left" and right_preds:
+            # Cannot hoist the right side's predicate out of a left join.
+            stmt = self.statement(rel.right)
+            right_ref, right_preds = f"({stmt.render(self.dialect)}) r", []
+        keyword = {"inner": "JOIN", "left": "LEFT JOIN", "cross": "CROSS JOIN"}[
+            rel.kind
+        ]
+        on = f" ON {self.scalar(rel.pred)}" if rel.pred is not None else (
+            " ON TRUE" if rel.kind != "cross" else ""
+        )
+        stmt = _Statement(from_clause=f"{left_ref} {keyword} {right_ref}{on}")
+        stmt.where.extend(left_preds + right_preds)
+        return stmt
+
+    def _apply_statement(self, rel: OuterApply) -> _Statement:
+        # Selections on the left commute with OUTER APPLY (rows filtered out
+        # contribute nothing either way), so hoist them to the outer WHERE —
+        # this keeps the left table's alias visible to the applied subquery.
+        if isinstance(rel.left, (Table, Select, OuterApply, Alias)):
+            left_clause, left_preds = self._apply_left_ref(rel.left)
+        else:
+            left_stmt = self.statement(rel.left)
+            left_clause, left_preds = f"({left_stmt.render(self.dialect)}) q1", []
+        if isinstance(rel.right, Alias):
+            alias = rel.right.name
+            subquery = self.statement(rel.right.child).render(self.dialect)
+        else:
+            alias = "ap"
+            subquery = self.statement(rel.right).render(self.dialect)
+        clause = self.dialect.outer_apply(left_clause, subquery, alias)
+        stmt = _Statement(from_clause=clause)
+        stmt.where.extend(left_preds)
+        return stmt
+
+    def _apply_left_ref(self, rel: RelExpr) -> tuple[str, list[str]]:
+        """FROM-clause text for the left side of an apply, with hoisted
+        selection predicates."""
+        if isinstance(rel, Select):
+            inner, preds = self._apply_left_ref(rel.child)
+            return inner, preds + [self.scalar(rel.pred)]
+        if isinstance(rel, Table):
+            alias = rel.alias or rel.name
+            text = rel.name if alias == rel.name else f"{rel.name} {alias}"
+            return text, []
+        if isinstance(rel, Alias):
+            stmt = self.statement(rel.child)
+            return f"({stmt.render(self.dialect)}) {rel.name}", []
+        if isinstance(rel, OuterApply):
+            stmt = self._apply_statement(rel)
+            return stmt.from_clause, stmt.where
+        stmt = self.statement(rel)
+        return f"({stmt.render(self.dialect)}) q1", []
+
+    # ------------------------------------------------------------------
+    # Scalars
+
+    def scalar(self, expr: ScalarExpr) -> str:
+        if isinstance(expr, Lit):
+            return self._literal(expr.value)
+        if isinstance(expr, Col):
+            return f"{expr.qualifier}.{expr.name}" if expr.qualifier else expr.name
+        if isinstance(expr, Param):
+            return f":{expr.name}"
+        if isinstance(expr, BinOp):
+            op = "=" if expr.op == "=" else expr.op
+            return f"({self.scalar(expr.left)} {op} {self.scalar(expr.right)})"
+        if isinstance(expr, UnOp):
+            if expr.op.upper() == "NOT":
+                inner = expr.operand
+                if isinstance(inner, Func) and inner.name.upper() == "ISNULL":
+                    return f"({self.scalar(inner.args[0])} IS NOT NULL)"
+                if isinstance(inner, ExistsExpr):
+                    return f"NOT EXISTS ({render_rel(inner.query, self.dialect)})"
+                return f"NOT ({self.scalar(inner)})"
+            return f"{expr.op}({self.scalar(expr.operand)})"
+        if isinstance(expr, Func):
+            return self._function(expr)
+        if isinstance(expr, AggCall):
+            return self._agg_call(expr)
+        if isinstance(expr, CaseWhen):
+            return (
+                f"CASE WHEN {self.scalar(expr.cond)} THEN {self.scalar(expr.if_true)}"
+                f" ELSE {self.scalar(expr.if_false)} END"
+            )
+        if isinstance(expr, ExistsExpr):
+            keyword = "NOT EXISTS" if expr.negated else "EXISTS"
+            return f"{keyword} ({render_rel(expr.query, self.dialect)})"
+        if isinstance(expr, ScalarSubquery):
+            return f"({render_rel(expr.query, self.dialect)})"
+        raise SqlGenError(f"cannot render scalar {type(expr).__name__}")
+
+    def _function(self, expr: Func) -> str:
+        name = expr.name.upper()
+        args = [self.scalar(a) for a in expr.args]
+        if name == "GREATEST":
+            return self.dialect.greatest(args)
+        if name == "LEAST":
+            return self.dialect.least(args)
+        if name == "ISNULL":
+            return f"({args[0]} IS NULL)"
+        return f"{name}({', '.join(args)})"
+
+    def _agg_call(self, call: AggCall) -> str:
+        if call.arg is None:
+            return f"{call.func.upper()}(*)"
+        inner = self.scalar(call.arg)
+        if call.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{call.func.upper()}({inner})"
+
+    def _literal(self, value) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return self.dialect.bool_literal(value)
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(value)

@@ -1,0 +1,15 @@
+"""SQL/HQL query-string parsing into relational algebra."""
+
+from .parser import (
+    SqlParseError,
+    combine_conjunctive,
+    parse_query,
+    register_aggregate_name,
+)
+
+__all__ = [
+    "SqlParseError",
+    "combine_conjunctive",
+    "parse_query",
+    "register_aggregate_name",
+]

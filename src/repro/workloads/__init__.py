@@ -1,0 +1,69 @@
+"""The paper's evaluation workloads, re-created in MiniJava.
+
+* :mod:`~repro.workloads.wilos` — the 33 Table 1 code samples;
+* :mod:`~repro.workloads.matoso` — Figure 2 (Experiment 7);
+* :mod:`~repro.workloads.jobportal` — Figure 12 (Experiment 8);
+* :mod:`~repro.workloads.rubis` / :mod:`~repro.workloads.rubbos` /
+  :mod:`~repro.workloads.acadportal` — Experiment 3 servlet suites.
+"""
+
+from .acadportal import (
+    ACADPORTAL_SERVLETS,
+    MANUAL_QUERIES,
+    acadportal_catalog,
+    acadportal_database,
+)
+from .jobportal import JOB_REPORT, jobportal_catalog, jobportal_database
+from .matoso import (
+    FIND_MAX_SCORE,
+    FIND_MAX_SCORE_WITH_PLAYER,
+    matoso_catalog,
+    matoso_database,
+)
+from .rubbos import RUBBOS_SERVLETS, rubbos_catalog, rubbos_database
+from .rubis import RUBIS_SERVLETS, rubis_catalog, rubis_database
+from .servlets import Servlet, servlet_extracted
+from .wilos import (
+    EXPECT_CAPABLE,
+    EXPECT_FAILED,
+    EXPECT_SUCCESS,
+    SAMPLE_30_SIMPLIFIED,
+    WILOS_SAMPLES,
+    WilosSample,
+    expected_counts,
+    sample,
+    wilos_catalog,
+    wilos_database,
+)
+
+__all__ = [
+    "ACADPORTAL_SERVLETS",
+    "EXPECT_CAPABLE",
+    "EXPECT_FAILED",
+    "EXPECT_SUCCESS",
+    "FIND_MAX_SCORE",
+    "FIND_MAX_SCORE_WITH_PLAYER",
+    "JOB_REPORT",
+    "MANUAL_QUERIES",
+    "RUBBOS_SERVLETS",
+    "RUBIS_SERVLETS",
+    "SAMPLE_30_SIMPLIFIED",
+    "Servlet",
+    "WILOS_SAMPLES",
+    "WilosSample",
+    "acadportal_catalog",
+    "acadportal_database",
+    "expected_counts",
+    "jobportal_catalog",
+    "jobportal_database",
+    "matoso_catalog",
+    "matoso_database",
+    "rubbos_catalog",
+    "rubbos_database",
+    "rubis_catalog",
+    "rubis_database",
+    "sample",
+    "servlet_extracted",
+    "wilos_catalog",
+    "wilos_database",
+]

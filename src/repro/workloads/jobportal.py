@@ -1,0 +1,71 @@
+"""JobPortal — the star-schema report of paper Figure 12 (Experiment 8).
+
+The report fetches all applicants for a job, then per applicant
+(conditionally) fetches personal details and committee feedback through
+scalar queries — the classic N+1 pattern over a star schema.  Rule T7
+consolidates all of it into the single OUTER APPLY query of Figure 13.
+
+``JOB_REPORT`` is the Figure 12 pseudocode written out (the fetch-and-print
+helpers inlined as correlated ``executeScalar`` calls + prints, which is
+what the helpers do).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..algebra import Catalog
+from ..db import Database
+
+JOB_REPORT = """
+report(jobId) {
+    rs = executeQuery("select * from applicants a where a.jobId = :jobId");
+    for (a : rs) {
+        id = a.getApplicantId();
+        name = executeScalar("select p.name from personal p where p.applicantId = " + id);
+        print(name);
+        fb1 = executeScalar("select f.score1 from feedback1 f where f.applicantId = " + id);
+        print(fb1);
+        fb2 = executeScalar("select f.score2 from feedback2 f where f.applicantId = " + id);
+        print(fb2);
+        if (a.getApplnMode() == "online") {
+            q = executeScalar("select e.degree from qualifications e where e.applicantId = " + id);
+            print(q);
+        }
+    }
+}
+"""
+
+
+def jobportal_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.define("applicants", ["applicantId", "applnMode", "jobId"], key=("applicantId",))
+    catalog.define("personal", ["applicantId", "name", "email"], key=("applicantId",))
+    catalog.define("feedback1", ["applicantId", "score1"], key=("applicantId",))
+    catalog.define("feedback2", ["applicantId", "score2"], key=("applicantId",))
+    catalog.define("qualifications", ["applicantId", "degree"], key=("applicantId",))
+    return catalog
+
+
+def jobportal_database(
+    applicants: int = 100, seed: int = 23, catalog: Catalog | None = None
+) -> Database:
+    """Synthetic job-application data; every applicant has satellite rows
+    (the star-schema shape of the paper's administrative portal)."""
+    rng = random.Random(seed)
+    db = Database(catalog or jobportal_catalog())
+    for i in range(1, applicants + 1):
+        mode = "online" if rng.random() < 0.6 else "paper"
+        db.insert("applicants", {"applicantId": i, "applnMode": mode, "jobId": 7})
+        db.insert(
+            "personal",
+            {"applicantId": i, "name": f"applicant{i}", "email": f"a{i}@example.org"},
+        )
+        db.insert("feedback1", {"applicantId": i, "score1": rng.randint(1, 10)})
+        db.insert("feedback2", {"applicantId": i, "score2": rng.randint(1, 10)})
+        if mode == "online":
+            db.insert(
+                "qualifications",
+                {"applicantId": i, "degree": rng.choice(["BSc", "MSc", "PhD"])},
+            )
+    return db

@@ -1,0 +1,78 @@
+"""Matoso — the Mahjong tournament ranking workload (paper Figure 2).
+
+``findMaxScore`` computes the highest score across all tables of a round
+(four players per table).  This is the running example of the paper and the
+Experiment 7 / Figure 10 aggregation workload.  ``findMaxScoreWithPlayer``
+is the dependent-aggregation variant Appendix B discusses ("the original
+code also finds the player who has the highest score along with the score
+itself").
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..algebra import Catalog
+from ..db import Database
+
+FIND_MAX_SCORE = """
+findMaxScore() {
+    boards = executeQuery("from Board as b where b.rnd_id = 1");
+    scoreMax = 0;
+    for (t : boards) {
+        p1 = t.getP1();
+        p2 = t.getP2();
+        p3 = t.getP3();
+        p4 = t.getP4();
+        score = Math.max(p1, p2);
+        score = Math.max(score, p3);
+        score = Math.max(score, p4);
+        if (score > scoreMax)
+            scoreMax = score;
+    }
+    return scoreMax;
+}
+"""
+
+FIND_MAX_SCORE_WITH_PLAYER = """
+findMaxScoreWithPlayer() {
+    boards = executeQuery("from Board as b where b.rnd_id = 1");
+    scoreMax = 0;
+    bestBoard = null;
+    for (t : boards) {
+        score = Math.max(Math.max(t.getP1(), t.getP2()), Math.max(t.getP3(), t.getP4()));
+        if (score > scoreMax) {
+            scoreMax = score;
+            bestBoard = t.getId();
+        }
+    }
+    return new Pair(scoreMax, bestBoard);
+}
+"""
+
+
+def matoso_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.define("board", ["id", "rnd_id", "p1", "p2", "p3", "p4"], key=("id",))
+    return catalog
+
+
+def matoso_database(
+    rows: int = 100, rounds: int = 4, seed: int = 17, catalog: Catalog | None = None
+) -> Database:
+    """Synthetic tournament data: ``rows`` boards spread over ``rounds``."""
+    rng = random.Random(seed)
+    db = Database(catalog or matoso_catalog())
+    for i in range(1, rows + 1):
+        db.insert(
+            "board",
+            {
+                "id": i,
+                "rnd_id": (i % rounds) + 1,
+                "p1": rng.randint(0, 500),
+                "p2": rng.randint(0, 500),
+                "p3": rng.randint(0, 500),
+                "p4": rng.randint(0, 500),
+            },
+        )
+    return db

@@ -1,0 +1,78 @@
+"""RuBBoS — the Rice University bulletin board (slashdot-like benchmark).
+
+Experiment 3: 16/16 servlets extracted.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..algebra import Catalog
+from ..db import Database
+from .servlets import (
+    Servlet,
+    aggregate_print,
+    count_print,
+    exists_print,
+    join_print,
+    max_print,
+    projection_print,
+    selection_print,
+)
+
+
+def rubbos_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.define(
+        "stories", ["id", "title", "author_id", "category_id", "rating", "views"], key=("id",)
+    )
+    catalog.define("scomments", ["id", "story_id", "author_id", "rating"], key=("id",))
+    catalog.define("authors", ["id", "name", "karma"], key=("id",))
+    catalog.define("scategories", ["id", "name"], key=("id",))
+    return catalog
+
+
+RUBBOS_SERVLETS: list[Servlet] = [
+    projection_print("StoriesOfTheDay", "Stories", "s", ["title"]),
+    selection_print("BrowseStoriesByCategory", "Stories", "s", "title", "category_id", 1),
+    projection_print("ViewStory", "Stories", "s", ["title", "rating"]),
+    join_print("ViewComments", "Stories", "s", "Scomments", "c", "rating", "story_id", "id"),
+    projection_print("BrowseCategories", "Scategories", "c", ["name"]),
+    projection_print("AuthorList", "Authors", "a", ["name"]),
+    selection_print("TopAuthors", "Authors", "a", "name", "karma", 100),
+    max_print("HighestRatedStory", "Stories", "s", "rating"),
+    count_print("CountStoriesInCategory", "Stories", "s", "category_id", 2),
+    aggregate_print("TotalViews", "Stories", "s", "views"),
+    exists_print("HasModeratedComments", "Scomments", "c", "rating", 5),
+    count_print("CountAuthorComments", "Scomments", "c", "author_id", 1),
+    max_print("MaxKarma", "Authors", "a", "karma"),
+    selection_print("PopularStories", "Stories", "s", "title", "views", 1000),
+    aggregate_print("KarmaSum", "Authors", "a", "karma"),
+    exists_print("AnyNegativeComment", "Scomments", "c", "rating", -1),
+]
+
+
+def rubbos_database(scale: int = 60, seed: int = 41, catalog: Catalog | None = None) -> Database:
+    rng = random.Random(seed)
+    db = Database(catalog or rubbos_catalog())
+    for i in range(1, 6):
+        db.insert("scategories", {"id": i, "name": f"topic{i}"})
+    for i in range(1, scale // 3 + 1):
+        db.insert("authors", {"id": i, "name": f"author{i}", "karma": rng.randint(0, 200)})
+    for i in range(1, scale + 1):
+        db.insert(
+            "stories",
+            {
+                "id": i,
+                "title": f"story{i}",
+                "author_id": i % (scale // 3) + 1,
+                "category_id": i % 5 + 1,
+                "rating": rng.randint(-5, 5),
+                "views": rng.randint(0, 2000),
+            },
+        )
+        db.insert(
+            "scomments",
+            {"id": i, "story_id": i, "author_id": i % (scale // 3) + 1, "rating": rng.randint(-5, 5)},
+        )
+    return db

@@ -1,0 +1,96 @@
+"""RuBiS — the Rice University bidding system (ebay.com-like benchmark).
+
+Experiment 3: the paper's tool extracted equivalent queries for 17/17
+RuBiS servlets.  The suite below instantiates the standard RuBiS browse /
+search / view pages over the RuBiS schema.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..algebra import Catalog
+from ..db import Database
+from .servlets import (
+    Servlet,
+    aggregate_print,
+    count_print,
+    exists_print,
+    join_print,
+    max_print,
+    projection_print,
+    selection_print,
+)
+
+
+def rubis_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.define("categories", ["id", "name"], key=("id",))
+    catalog.define("regions", ["id", "name"], key=("id",))
+    catalog.define(
+        "users", ["id", "nickname", "region_id", "rating"], key=("id",)
+    )
+    catalog.define(
+        "items",
+        ["id", "name", "category_id", "seller_id", "price", "quantity", "active"],
+        key=("id",),
+    )
+    catalog.define("bids", ["id", "item_id", "user_id", "amount"], key=("id",))
+    catalog.define("comments", ["id", "item_id", "user_id", "rating"], key=("id",))
+    return catalog
+
+
+RUBIS_SERVLETS: list[Servlet] = [
+    projection_print("BrowseCategories", "Categories", "c", ["name"]),
+    projection_print("BrowseRegions", "Regions", "r", ["name"]),
+    selection_print("SearchItemsByCategory", "Items", "i", "name", "category_id", 1),
+    selection_print("ViewActiveItems", "Items", "i", "name", "active", "true"),
+    projection_print("ViewItem", "Items", "i", ["name", "price"]),
+    projection_print("ViewUserInfo", "Users", "u", ["nickname", "rating"]),
+    selection_print("ViewUsersInRegion", "Users", "u", "nickname", "region_id", 2),
+    join_print("ViewBidHistory", "Items", "i", "Bids", "b", "amount", "item_id", "id"),
+    join_print("ViewItemComments", "Items", "i", "Comments", "c", "rating", "item_id", "id"),
+    max_print("ViewMaxBid", "Bids", "b", "amount"),
+    aggregate_print("AboutMeBidTotal", "Bids", "b", "amount"),
+    count_print("CountItemsInCategory", "Items", "i", "category_id", 1),
+    exists_print("HasActiveAuctions", "Items", "i", "active", "true"),
+    count_print("CountUserComments", "Comments", "c", "user_id", 1),
+    max_print("TopRatedUser", "Users", "u", "rating"),
+    selection_print("CheapItems", "Items", "i", "name", "price", 10),
+    aggregate_print("StoreQuantity", "Items", "i", "quantity"),
+]
+
+
+def rubis_database(scale: int = 60, seed: int = 31, catalog: Catalog | None = None) -> Database:
+    rng = random.Random(seed)
+    db = Database(catalog or rubis_catalog())
+    for i in range(1, 6):
+        db.insert("categories", {"id": i, "name": f"category{i}"})
+        db.insert("regions", {"id": i, "name": f"region{i}"})
+    for i in range(1, scale // 3 + 1):
+        db.insert(
+            "users",
+            {"id": i, "nickname": f"user{i}", "region_id": i % 5 + 1, "rating": rng.randint(0, 100)},
+        )
+    for i in range(1, scale + 1):
+        db.insert(
+            "items",
+            {
+                "id": i,
+                "name": f"item{i}",
+                "category_id": i % 5 + 1,
+                "seller_id": i % (scale // 3) + 1,
+                "price": rng.randint(1, 500),
+                "quantity": rng.randint(1, 10),
+                "active": rng.random() < 0.7,
+            },
+        )
+        db.insert(
+            "bids",
+            {"id": i, "item_id": i, "user_id": i % (scale // 3) + 1, "amount": rng.randint(1, 600)},
+        )
+        db.insert(
+            "comments",
+            {"id": i, "item_id": i, "user_id": i % (scale // 3) + 1, "rating": rng.randint(-5, 5)},
+        )
+    return db

@@ -1,0 +1,224 @@
+"""Servlet generation shared by the keyword-search workloads (Experiment 3).
+
+Keyword-search systems for form interfaces (paper [6]) need, per servlet,
+an SQL query retrieving exactly the data the form prints.  Experiment 3
+runs the extractor over the servlets of RuBiS, RuBBoS and AcadPortal.  A
+servlet here is a MiniJava function that prints query-derived data; the
+suites instantiate a fixed set of *shapes* (selection print, projection
+print, aggregate print, exists print, join print, correlated-detail print)
+over their own schemas — which is exactly what CRUD servlet code looks
+like — plus, for AcadPortal, shapes using operations the reference
+implementation does not support (its reported 58/79).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import STATUS_SUCCESS, ExtractionReport
+
+
+@dataclass(frozen=True)
+class Servlet:
+    """One form servlet: a function printing query results."""
+
+    name: str
+    function: str
+    source: str
+    #: Whether the paper's implementation extracts all of its queries.
+    expected_extractable: bool
+
+
+def selection_print(name, table, alias, col, pred_col, pred_val) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        for (t : rows) {{
+            if (t.get{pred_col.capitalize()}() == {pred_val}) {{
+                print(t.get{col.capitalize()}());
+            }}
+        }}
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=True)
+
+
+def projection_print(name, table, alias, cols) -> Servlet:
+    body = " + \"|\" + ".join(f"t.get{c.capitalize()}()" for c in cols)
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        for (t : rows) {{
+            print({body});
+        }}
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=True)
+
+
+def aggregate_print(name, table, alias, col) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        total = 0;
+        for (t : rows) {{
+            total = total + t.get{col.capitalize()}();
+        }}
+        print(total);
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=True)
+
+
+def max_print(name, table, alias, col) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        best = 0;
+        for (t : rows) {{
+            if (t.get{col.capitalize()}() > best) {{ best = t.get{col.capitalize()}(); }}
+        }}
+        print(best);
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=True)
+
+
+def exists_print(name, table, alias, pred_col, pred_val) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        found = false;
+        for (t : rows) {{
+            if (t.get{pred_col.capitalize()}() == {pred_val}) {{ found = true; }}
+        }}
+        print(found);
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=True)
+
+
+def count_print(name, table, alias, pred_col, pred_val) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        n = 0;
+        for (t : rows) {{
+            if (t.get{pred_col.capitalize()}() == {pred_val}) {{ n = n + 1; }}
+        }}
+        print(n);
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=True)
+
+
+def join_print(name, outer_table, outer_alias, inner_table, inner_alias,
+               inner_col, link_col, outer_key) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {outer_table} as {outer_alias}");
+        result = new ArrayList();
+        for (t : rows) {{
+            inner = executeQuery("select {inner_alias}.{inner_col} from {inner_table} {inner_alias} where {inner_alias}.{link_col} = " + t.get{outer_key.capitalize()}());
+            for (u : inner) {{
+                result.add(u.get{inner_col.capitalize()}());
+            }}
+        }}
+        for (r : result) {{ print(r); }}
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=True)
+
+
+# ----------------------------------------------------------------------
+# Shapes the reference implementation does not support (AcadPortal's
+# "limitations in our implementation such as the presence of operations
+# which are not yet supported").
+
+
+def substring_print(name, table, alias, col) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        for (t : rows) {{
+            print(t.get{col.capitalize()}().substring(0, 3));
+        }}
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=False)
+
+
+def contains_filter_print(name, table, alias, col, needle) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        for (t : rows) {{
+            if (t.get{col.capitalize()}().contains("{needle}")) {{
+                print(t.get{col.capitalize()}());
+            }}
+        }}
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=False)
+
+
+def comparator_print(name, table, alias, col, pivot) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        for (t : rows) {{
+            if (t.get{col.capitalize()}().compareTo("{pivot}") > 0) {{
+                print(t.get{col.capitalize()}());
+            }}
+        }}
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=False)
+
+
+def indexed_while_print(name, table, alias, col) -> Servlet:
+    source = f"""
+    {name}(k) {{
+        rows = executeQuery("from {table} as {alias}");
+        j = 0;
+        while (j < k) {{
+            print(j);
+            j = j + 1;
+        }}
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=False)
+
+
+def early_break_print(name, table, alias, col, pred_col, pred_val) -> Servlet:
+    source = f"""
+    {name}() {{
+        rows = executeQuery("from {table} as {alias}");
+        v = null;
+        for (t : rows) {{
+            if (t.get{pred_col.capitalize()}() == {pred_val}) {{
+                v = t.get{col.capitalize()}();
+                break;
+            }}
+        }}
+        print(v);
+    }}
+    """
+    return Servlet(name=name, function=name, source=source, expected_extractable=False)
+
+
+def servlet_extracted(report: ExtractionReport) -> bool:
+    """Experiment 3 criterion: every query the servlet prints was extracted.
+
+    True when all analysed variables extracted successfully, or when the
+    servlet's loops were fully consolidated into one query each.
+    """
+    if report.variables and all(
+        v.status == STATUS_SUCCESS for v in report.variables.values()
+    ):
+        return True
+    return bool(report.consolidations) and all(
+        v.status == STATUS_SUCCESS
+        for v in report.variables.values()
+        if v.loop_sid not in {c.loop_sid for c in report.consolidations}
+    )

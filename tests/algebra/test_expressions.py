@@ -1,0 +1,100 @@
+"""Scalar expression tests."""
+
+from repro.algebra import (
+    BinOp,
+    CaseWhen,
+    Col,
+    Func,
+    Lit,
+    Param,
+    UnOp,
+    columns_of,
+    conjoin,
+    params_of,
+    rename_columns,
+    substitute_params,
+    walk_scalar,
+)
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert BinOp("=", Col("x"), Lit(1)) == BinOp("=", Col("x"), Lit(1))
+
+    def test_hashable(self):
+        exprs = {BinOp("=", Col("x"), Lit(1)), BinOp("=", Col("x"), Lit(1))}
+        assert len(exprs) == 1
+
+    def test_qualifier_distinguishes(self):
+        assert Col("x", "a") != Col("x", "b")
+        assert Col("x") != Col("x", "a")
+
+
+class TestRendering:
+    def test_literal_string(self):
+        assert str(Lit("abc")) == "'abc'"
+
+    def test_literal_null(self):
+        assert str(Lit(None)) == "NULL"
+
+    def test_literal_bool(self):
+        assert str(Lit(True)) == "TRUE"
+
+    def test_qualified_column(self):
+        assert str(Col("rnd_id", "b")) == "b.rnd_id"
+
+    def test_param(self):
+        assert str(Param("x")) == ":x"
+
+    def test_case_when(self):
+        expr = CaseWhen(Col("p"), Lit(1), Lit(0))
+        assert "CASE WHEN" in str(expr)
+
+
+class TestHelpers:
+    def test_conjoin_none(self):
+        assert conjoin() is None
+        assert conjoin(None, None) is None
+
+    def test_conjoin_single(self):
+        pred = BinOp("=", Col("x"), Lit(1))
+        assert conjoin(pred) is pred
+
+    def test_conjoin_multiple(self):
+        a = BinOp("=", Col("x"), Lit(1))
+        b = BinOp(">", Col("y"), Lit(2))
+        combined = conjoin(a, b)
+        assert combined.op == "AND"
+
+    def test_walk_scalar_visits_all(self):
+        expr = BinOp("AND", BinOp("=", Col("a"), Lit(1)), UnOp("NOT", Col("b")))
+        nodes = list(walk_scalar(expr))
+        assert Col("a") in nodes and Col("b") in nodes
+
+    def test_columns_of(self):
+        expr = Func("GREATEST", (Col("p1"), Col("p2", "b")))
+        assert columns_of(expr) == {Col("p1"), Col("p2", "b")}
+
+    def test_params_of(self):
+        expr = BinOp("=", Col("id"), Param("uid"))
+        assert params_of(expr) == {"uid"}
+
+    def test_substitute_params(self):
+        expr = BinOp("=", Col("id"), Param("uid"))
+        result = substitute_params(expr, {"uid": Lit(7)})
+        assert result == BinOp("=", Col("id"), Lit(7))
+
+    def test_substitute_params_inside_func(self):
+        expr = Func("COALESCE", (Param("x"), Lit(0)))
+        result = substitute_params(expr, {"x": Col("y")})
+        assert result.args[0] == Col("y")
+
+    def test_rename_columns_bare(self):
+        expr = BinOp("=", Col("id"), Lit(1))
+        result = rename_columns(expr, {"id": "q1.id"})
+        assert result.left == Col("id", "q1")
+
+    def test_rename_columns_qualified_takes_precedence(self):
+        expr = Col("id", "a")
+        result = rename_columns(expr, {"a.id": "b.key", "id": "wrong"})
+        assert result == Col("key", "b")

@@ -1,0 +1,102 @@
+"""Relational operator tree tests."""
+
+from repro.algebra import (
+    AggCall,
+    AggItem,
+    Aggregate,
+    Alias,
+    BinOp,
+    Col,
+    Distinct,
+    Join,
+    Limit,
+    Lit,
+    OuterApply,
+    Project,
+    ProjectItem,
+    Select,
+    Sort,
+    SortKey,
+    Table,
+    base_tables,
+    replace_child,
+    strip_sort,
+    walk_relational,
+)
+
+
+def q():
+    return Select(Table("board", "b"), BinOp("=", Col("rnd_id", "b"), Lit(1)))
+
+
+class TestStructure:
+    def test_equality_and_hash(self):
+        assert q() == q()
+        assert hash(q()) == hash(q())
+
+    def test_children(self):
+        join = Join(Table("a"), Table("b"), None, "cross")
+        assert join.children() == (Table("a"), Table("b"))
+
+    def test_walk_relational(self):
+        tree = Project(q(), (ProjectItem(Col("p1")),))
+        kinds = [type(n).__name__ for n in walk_relational(tree)]
+        assert kinds == ["Project", "Select", "Table"]
+
+    def test_base_tables(self):
+        tree = Join(Table("a"), Select(Table("b"), Lit(True)))
+        assert base_tables(tree) == {"a", "b"}
+
+    def test_project_item_output_name_prefers_alias(self):
+        assert ProjectItem(Col("x"), "y").output_name == "y"
+
+    def test_project_item_output_name_uses_col_name(self):
+        assert ProjectItem(Col("x", "t")).output_name == "x"
+
+    def test_agg_item_output_name(self):
+        item = AggItem(AggCall("max", Col("score")), "m")
+        assert item.output_name == "m"
+
+
+class TestRewriting:
+    def test_replace_child_select(self):
+        original = q()
+        replaced = replace_child(original, original.child, Table("other"))
+        assert replaced.child == Table("other")
+        assert replaced.pred == original.pred
+
+    def test_replace_child_join_left(self):
+        join = Join(Table("a"), Table("b"), None)
+        replaced = replace_child(join, join.left, Table("c"))
+        assert replaced.left == Table("c")
+        assert replaced.right == Table("b")
+
+    def test_replace_child_alias(self):
+        alias = Alias(Table("a"), "x")
+        replaced = replace_child(alias, alias.child, Table("b"))
+        assert replaced == Alias(Table("b"), "x")
+
+    def test_strip_sort(self):
+        sorted_rel = Sort(Sort(q(), (SortKey(Col("p1")),)), (SortKey(Col("p2")),))
+        assert strip_sort(sorted_rel) == q()
+
+    def test_strip_sort_noop(self):
+        assert strip_sort(q()) == q()
+
+
+class TestDisplay:
+    def test_select_str(self):
+        assert "σ" in str(q())
+
+    def test_aggregate_str(self):
+        agg = Aggregate(Table("t"), (), (AggItem(AggCall("count", None), "n"),))
+        assert "γ" in str(agg)
+        assert "COUNT(*)" in str(agg)
+
+    def test_outer_apply_str(self):
+        apply = OuterApply(Table("a"), Table("b"))
+        assert "OApply" in str(apply)
+
+    def test_limit_distinct_str(self):
+        assert "limit[3]" in str(Limit(Table("t"), 3))
+        assert "δ" in str(Distinct(Table("t")))

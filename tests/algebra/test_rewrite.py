@@ -1,0 +1,63 @@
+"""Tests for parameter binding and scalar mapping over algebra trees."""
+
+from repro.algebra import (
+    BinOp,
+    Col,
+    Join,
+    Lit,
+    Param,
+    Project,
+    ProjectItem,
+    Select,
+    Table,
+    bind_rel_literals,
+    bind_rel_params,
+    map_scalars,
+    query_params,
+    scalar_exprs_of,
+)
+
+
+def correlated():
+    return Select(Table("role", "r"), BinOp("=", Col("id", "r"), Param("uid")))
+
+
+def test_query_params_finds_nested():
+    rel = Project(correlated(), (ProjectItem(Param("label")),))
+    assert query_params(rel) == {"uid", "label"}
+
+
+def test_query_params_empty():
+    assert query_params(Table("t")) == set()
+
+
+def test_bind_rel_params():
+    rel = bind_rel_params(correlated(), {"uid": Col("role_id", "u")})
+    assert query_params(rel) == set()
+    assert rel.pred.right == Col("role_id", "u")
+
+
+def test_bind_rel_literals():
+    rel = bind_rel_literals(correlated(), {"uid": 42})
+    assert rel.pred.right == Lit(42)
+
+
+def test_bind_leaves_unrelated_params():
+    rel = bind_rel_params(correlated(), {"other": Lit(1)})
+    assert query_params(rel) == {"uid"}
+
+
+def test_map_scalars_applies_everywhere():
+    rel = Join(correlated(), correlated(), BinOp("=", Col("a"), Col("b")))
+    seen = []
+
+    def spy(expr):
+        seen.append(expr)
+        return expr
+
+    map_scalars(rel, spy)
+    assert len(seen) == 3  # two selection preds + join pred
+
+
+def test_scalar_exprs_of_join_without_pred():
+    assert scalar_exprs_of(Join(Table("a"), Table("b"), None, "cross")) == []

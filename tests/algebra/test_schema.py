@@ -1,0 +1,108 @@
+"""Catalog and schema inference tests."""
+
+import pytest
+
+from repro.algebra import (
+    AggCall,
+    AggItem,
+    Aggregate,
+    Alias,
+    BinOp,
+    Catalog,
+    Col,
+    Distinct,
+    Join,
+    Lit,
+    Project,
+    ProjectItem,
+    Select,
+    Sort,
+    SortKey,
+    Table,
+    has_unique_key,
+    key_of,
+    output_columns,
+)
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.define("board", ["id", "rnd_id", "p1"], key=("id",))
+    cat.define("log", ["msg"])  # no key
+    return cat
+
+
+class TestCatalog:
+    def test_lookup_case_insensitive(self, catalog):
+        assert catalog.get("Board").name == "board"
+        assert "BOARD" in catalog
+
+    def test_unknown_table_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("nope")
+
+    def test_column_names(self, catalog):
+        assert catalog.get("board").column_names() == ["id", "rnd_id", "p1"]
+
+    def test_has_column(self, catalog):
+        assert catalog.get("board").has_column("p1")
+        assert not catalog.get("board").has_column("zz")
+
+
+class TestOutputColumns:
+    def test_table(self, catalog):
+        assert output_columns(Table("board"), catalog) == ["id", "rnd_id", "p1"]
+
+    def test_select_passthrough(self, catalog):
+        rel = Select(Table("board"), Lit(True))
+        assert output_columns(rel, catalog) == ["id", "rnd_id", "p1"]
+
+    def test_project(self, catalog):
+        rel = Project(Table("board"), (ProjectItem(Col("p1"), "score"),))
+        assert output_columns(rel, catalog) == ["score"]
+
+    def test_join_merges(self, catalog):
+        catalog.define("extra", ["id", "note"])
+        rel = Join(Table("board"), Table("extra"))
+        cols = output_columns(rel, catalog)
+        assert cols == ["id", "rnd_id", "p1", "note"]
+
+    def test_aggregate(self, catalog):
+        rel = Aggregate(
+            Table("board"), (Col("rnd_id"),), (AggItem(AggCall("max", Col("p1")), "m"),)
+        )
+        assert output_columns(rel, catalog) == ["rnd_id", "m"]
+
+    def test_alias_passthrough(self, catalog):
+        rel = Alias(Table("board"), "x")
+        assert output_columns(rel, catalog) == ["id", "rnd_id", "p1"]
+
+
+class TestKeys:
+    def test_table_with_key(self, catalog):
+        assert has_unique_key(Table("board"), catalog)
+        assert key_of(Table("board"), catalog) == ("id",)
+
+    def test_table_without_key(self, catalog):
+        assert not has_unique_key(Table("log"), catalog)
+
+    def test_select_preserves_key(self, catalog):
+        rel = Select(Table("board"), Lit(True))
+        assert has_unique_key(rel, catalog)
+
+    def test_sort_distinct_preserve_key(self, catalog):
+        rel = Distinct(Sort(Table("board"), (SortKey(Col("p1")),)))
+        assert has_unique_key(rel, catalog)
+
+    def test_projection_keeping_key(self, catalog):
+        rel = Project(Table("board"), (ProjectItem(Col("id")), ProjectItem(Col("p1"))))
+        assert has_unique_key(rel, catalog)
+
+    def test_projection_dropping_key(self, catalog):
+        rel = Project(Table("board"), (ProjectItem(Col("p1")),))
+        assert not has_unique_key(rel, catalog)
+
+    def test_join_has_no_key(self, catalog):
+        rel = Join(Table("board"), Table("board", "b2"))
+        assert not has_unique_key(rel, catalog)

@@ -1,0 +1,92 @@
+"""CFG construction and dominator tests."""
+
+from repro.analysis import (
+    build_cfg,
+    dominates,
+    dominators,
+    immediate_dominators,
+    reverse_postorder,
+)
+from repro.lang import parse_program
+
+
+def cfg_of(source, name="f"):
+    return build_cfg(parse_program(source).function(name))
+
+
+class TestCfgShape:
+    def test_straight_line(self):
+        cfg = cfg_of("f() { x = 1; y = 2; }")
+        reachable = cfg.reachable_blocks()
+        assert cfg.entry in reachable and cfg.exit in reachable
+
+    def test_if_creates_branch(self):
+        cfg = cfg_of("f() { if (a) { x = 1; } y = 2; }")
+        branch_blocks = [b for b in cfg.blocks if len(b.successors) == 2]
+        assert branch_blocks, "expected a two-way branch"
+
+    def test_loop_creates_backedge(self):
+        cfg = cfg_of("f() { for (t : xs) { x = 1; } }")
+        # some edge points to an earlier (lower-index) block: the backedge
+        has_backedge = any(
+            succ <= block.index
+            for block in cfg.blocks
+            for succ in block.successors
+        )
+        assert has_backedge
+
+    def test_return_jumps_to_exit(self):
+        cfg = cfg_of("f() { if (a) { return 1; } return 2; }")
+        exit_preds = cfg.blocks[cfg.exit].predecessors
+        assert len(exit_preds) >= 2
+
+    def test_unreachable_code_dropped(self):
+        cfg = cfg_of("f() { return 1; x = 2; }")
+        sids = [s.sid for b in cfg.blocks for s in b.statements]
+        # only the return remains
+        assert len(sids) == 1
+
+    def test_break_exits_loop(self):
+        cfg = cfg_of("f() { for (t : xs) { break; } y = 1; }")
+        assert cfg.reachable_blocks()  # builds without error
+
+    def test_while_condition_in_header(self):
+        cfg = cfg_of("f() { while (x < 3) { x = x + 1; } }")
+        headers = [b for b in cfg.blocks if b.label == "loop-header"]
+        assert len(headers) == 1
+        assert len(headers[0].successors) == 2
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of("f() { if (a) { x = 1; } else { x = 2; } y = 3; }")
+        doms = dominators(cfg)
+        for block in cfg.reachable_blocks():
+            assert dominates(doms, cfg.entry, block)
+
+    def test_branch_does_not_dominate_join_sides(self):
+        cfg = cfg_of("f() { if (a) { x = 1; } else { x = 2; } y = 3; }")
+        doms = dominators(cfg)
+        then_blocks = [b.index for b in cfg.blocks if b.label == "then"]
+        else_blocks = [b.index for b in cfg.blocks if b.label == "else"]
+        join_blocks = [b.index for b in cfg.blocks if b.label == "join"]
+        assert not dominates(doms, then_blocks[0], join_blocks[0])
+        assert not dominates(doms, else_blocks[0], join_blocks[0])
+
+    def test_loop_header_dominates_body(self):
+        cfg = cfg_of("f() { for (t : xs) { x = 1; } }")
+        doms = dominators(cfg)
+        header = [b.index for b in cfg.blocks if b.label == "loop-header"][0]
+        body = [b.index for b in cfg.blocks if b.label == "loop-body"][0]
+        assert dominates(doms, header, body)
+
+    def test_idom_of_entry_is_entry(self):
+        cfg = cfg_of("f() { x = 1; }")
+        idom = immediate_dominators(cfg)
+        assert idom[cfg.entry] == cfg.entry
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = cfg_of("f() { if (a) { x = 1; } }")
+        order = reverse_postorder(cfg)
+        assert order[0] == cfg.entry
+        assert len(order) == len(set(order))

@@ -1,0 +1,122 @@
+"""Region hierarchy tests (paper Section 3.1 / Figure 4) with CFG
+cross-validation: each loop region's header dominates its body."""
+
+from repro.analysis import (
+    BasicBlockRegion,
+    ConditionalRegion,
+    EmptyRegion,
+    LoopRegion,
+    OpaqueRegion,
+    SequentialRegion,
+    build_cfg,
+    build_function_region,
+    contains_opaque,
+    cursor_loops,
+    dominates,
+    dominators,
+    iter_regions,
+)
+from repro.lang import parse_program
+
+
+def region_of(source, name="f"):
+    return build_function_region(parse_program(source).function(name))
+
+
+class TestRegionKinds:
+    def test_basic_block(self):
+        region = region_of("f() { x = 1; y = 2; }")
+        assert isinstance(region, BasicBlockRegion)
+        assert len(region.stmts) == 2
+
+    def test_sequential_composition(self):
+        region = region_of("f() { x = 1; if (x > 0) { y = 2; } z = 3; }")
+        assert isinstance(region, SequentialRegion)
+
+    def test_conditional_region(self):
+        region = region_of("f() { if (a) { x = 1; } else { x = 2; } }")
+        assert isinstance(region, ConditionalRegion)
+        assert region.false_region is not None
+
+    def test_conditional_without_else(self):
+        region = region_of("f() { if (a) { x = 1; } }")
+        assert isinstance(region, ConditionalRegion)
+        assert region.false_region is None
+
+    def test_cursor_loop_region(self):
+        region = region_of("f() { for (t : xs) { x = 1; } }")
+        assert isinstance(region, LoopRegion)
+        assert region.is_cursor_loop
+        assert region.cursor_var == "t"
+
+    def test_while_loop_region(self):
+        region = region_of("f() { while (a) { x = 1; } }")
+        assert isinstance(region, LoopRegion)
+        assert not region.is_cursor_loop
+
+    def test_empty_function(self):
+        assert isinstance(region_of("f() { }"), EmptyRegion)
+
+    def test_nested_loops(self):
+        region = region_of(
+            "f() { for (a : xs) { for (b : ys) { x = 1; } } }"
+        )
+        loops = cursor_loops(region)
+        assert len(loops) == 2
+
+    def test_try_without_catch_is_transparent(self):
+        region = region_of("f() { try { x = 1; } }")
+        assert not contains_opaque(region)
+
+    def test_try_with_catch_is_opaque(self):
+        region = region_of("f() { try { x = 1; } catch (e) { y = 2; } }")
+        assert contains_opaque(region)
+
+    def test_break_is_opaque(self):
+        region = region_of("f() { for (t : xs) { break; } }")
+        assert contains_opaque(region)
+
+
+class TestRegionContents:
+    def test_statements_in_source_order(self):
+        region = region_of("f() { x = 1; if (a) { y = 2; } z = 3; }")
+        sids = [s.sid for s in region.statements()]
+        assert sids == sorted(sids)
+
+    def test_iter_regions_preorder(self):
+        region = region_of("f() { x = 1; for (t : xs) { y = 2; } }")
+        kinds = [type(r).__name__ for r in iter_regions(region)]
+        assert kinds[0] == "SequentialRegion"
+        assert "LoopRegion" in kinds
+
+
+class TestRegionDominationProperty:
+    """The defining property (Section 3.1): a region has a single entry and
+    its header dominates all nodes in it.  Cross-checked against the CFG."""
+
+    def _check(self, source):
+        func = parse_program(source).function("f")
+        cfg = build_cfg(func)
+        doms = dominators(cfg)
+        region = build_function_region(func)
+        # Map loop-region statements to CFG blocks and check domination.
+        for loop in cursor_loops(region):
+            header_sid = loop.stmt.sid
+            header_block = next(
+                b.index
+                for b in cfg.blocks
+                if header_sid in [s.sid for s in b.statements]
+            )
+            body_sids = {s.sid for s in loop.body.statements()}
+            for block in cfg.blocks:
+                if body_sids & {s.sid for s in block.statements}:
+                    assert dominates(doms, header_block, block.index)
+
+    def test_simple_loop(self):
+        self._check("f() { for (t : xs) { x = 1; y = 2; } }")
+
+    def test_loop_with_conditional(self):
+        self._check("f() { for (t : xs) { if (a) { x = 1; } else { x = 2; } } }")
+
+    def test_nested_loop(self):
+        self._check("f() { for (a : xs) { for (b : ys) { x = 1; } z = 2; } }")

@@ -1,0 +1,123 @@
+"""Baseline tests: batching, prefetching, QBS reference data."""
+
+from repro.baselines import (
+    QBS_RESULTS,
+    batching_applicable,
+    eqsql_only_successes,
+    prefetch_applicable,
+    qbs_success_count,
+    qbs_total_time_s,
+    run_batched_report,
+    run_prefetch_report,
+)
+from repro.db import Connection
+from repro.interp import Interpreter
+from repro.core import optimize_program
+from repro.workloads import (
+    JOB_REPORT,
+    WILOS_SAMPLES,
+    jobportal_catalog,
+    jobportal_database,
+)
+
+_INNER = [
+    ("personal", "name", False),
+    ("feedback1", "score1", False),
+    ("feedback2", "score2", False),
+    ("qualifications", "degree", True),
+]
+
+
+class TestApplicability:
+    def test_batching_applies_to_7_of_33(self):
+        count = sum(
+            1 for s in WILOS_SAMPLES if batching_applicable(s.source, s.function)
+        )
+        assert count == 7
+
+    def test_batching_requires_query_in_loop(self):
+        assert not batching_applicable(
+            "f() { q = executeQuery(\"from T\"); s = 0; for (t : q) { s = s + 1; } return s; }",
+            "f",
+        )
+        assert batching_applicable(
+            "f() { q = executeQuery(\"from T\"); for (t : q) { u = executeScalar(\"select x from u\"); } }",
+            "f",
+        )
+
+    def test_prefetch_applies_to_any_query(self):
+        assert prefetch_applicable("f() { q = executeQuery(\"from T\"); return q; }", "f")
+        assert not prefetch_applicable("f(x) { return x + 1; }", "f")
+
+    def test_overlap_with_eqsql_is_4(self):
+        overlap = sum(
+            1
+            for s in WILOS_SAMPLES
+            if batching_applicable(s.source, s.function)
+            and s.expected in ("success", "capable")
+        )
+        assert overlap == 4
+
+
+class TestQbsReference:
+    def test_success_count_is_21(self):
+        assert qbs_success_count() == 21
+
+    def test_total_time_positive(self):
+        assert qbs_total_time_s() > 2000  # sum of the published seconds
+
+    def test_every_sample_covered(self):
+        assert set(QBS_RESULTS) == set(range(1, 34))
+
+    def test_eqsql_only_successes(self):
+        statuses = {s.number: s.expected for s in WILOS_SAMPLES}
+        only = eqsql_only_successes(statuses)
+        assert only == [1, 2, 3, 4, 18, 26]
+
+
+class TestExecutableStrategies:
+    def _outputs(self, applicants=40):
+        catalog = jobportal_catalog()
+        db = jobportal_database(applicants=applicants, catalog=catalog)
+        report = optimize_program(JOB_REPORT, "report", catalog)
+
+        original_conn = Connection(db)
+        original = Interpreter(report.original, original_conn)
+        original.run("report", 7)
+
+        batch_conn = Connection(db)
+        batched = run_batched_report(db, batch_conn, 7, _INNER)
+
+        prefetch_conn = Connection(db)
+        prefetched = run_prefetch_report(db, prefetch_conn, 7, _INNER)
+
+        eqsql_conn = Connection(db)
+        eqsql = Interpreter(report.rewritten, eqsql_conn)
+        eqsql.run("report", 7)
+
+        return (
+            (original.last_out, original_conn.stats),
+            (batched, batch_conn.stats),
+            (prefetched, prefetch_conn.stats),
+            (eqsql.last_out, eqsql_conn.stats),
+        )
+
+    def test_all_strategies_agree(self):
+        (orig, _), (batch, _), (prefetch, _), (eqsql, _) = self._outputs()
+        assert orig == batch == prefetch == eqsql
+
+    def test_batching_reduces_round_trips(self):
+        (_, orig), (_, batch), _, _ = self._outputs()
+        assert batch.round_trips < orig.round_trips / 3
+
+    def test_prefetch_reduces_latency_not_transfer(self):
+        (_, orig), _, (_, prefetch), _ = self._outputs()
+        assert prefetch.simulated_time_ms < orig.simulated_time_ms
+        assert prefetch.rows_transferred == orig.rows_transferred
+
+    def test_eqsql_single_query_wins(self):
+        (_, orig), (_, batch), (_, prefetch), (_, eqsql) = self._outputs()
+        assert eqsql.queries_executed == 1
+        assert eqsql.simulated_time_ms < batch.simulated_time_ms
+        assert eqsql.simulated_time_ms < prefetch.simulated_time_ms
+        assert eqsql.simulated_time_ms < orig.simulated_time_ms

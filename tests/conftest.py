@@ -1,0 +1,104 @@
+"""Shared fixtures: catalogs, databases, and equivalence helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Connection, Database
+from repro.interp import Interpreter
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    """A catalog covering the schemas used across the test suite."""
+    cat = Catalog()
+    cat.define("board", ["id", "rnd_id", "p1", "p2", "p3", "p4"], key=("id",))
+    cat.define("project", ["id", "name", "finished", "budget"], key=("id",))
+    cat.define("wilosuser", ["id", "name", "role_id", "active"], key=("id",))
+    cat.define("role", ["id", "role_name"], key=("id",))
+    cat.define("orders", ["id", "cust", "amount"], key=("id",))
+    cat.define("customers", ["cust", "region"], key=("cust",))
+    cat.define("applicants", ["applicantId", "applnMode", "jobId"], key=("applicantId",))
+    cat.define("personal", ["applicantId", "name"], key=("applicantId",))
+    cat.define("feedback1", ["applicantId", "score1"], key=("applicantId",))
+    cat.define("feedback2", ["applicantId", "score2"], key=("applicantId",))
+    return cat
+
+
+@pytest.fixture
+def database(catalog: Catalog) -> Database:
+    """A small populated database over the shared catalog."""
+    db = Database(catalog)
+    db.insert_many(
+        "board",
+        [
+            {"id": 1, "rnd_id": 1, "p1": 10, "p2": 30, "p3": 5, "p4": 7},
+            {"id": 2, "rnd_id": 1, "p1": 1, "p2": 2, "p3": 50, "p4": 3},
+            {"id": 3, "rnd_id": 2, "p1": 99, "p2": 2, "p3": 1, "p4": 3},
+        ],
+    )
+    db.insert_many(
+        "project",
+        [
+            {"id": 1, "name": "alpha", "finished": False, "budget": 10},
+            {"id": 2, "name": "beta", "finished": True, "budget": 20},
+            {"id": 3, "name": "gamma", "finished": False, "budget": 30},
+            {"id": 4, "name": "delta", "finished": True, "budget": 5},
+        ],
+    )
+    db.insert_many(
+        "role",
+        [{"id": 1, "role_name": "admin"}, {"id": 2, "role_name": "dev"}],
+    )
+    db.insert_many(
+        "wilosuser",
+        [
+            {"id": 1, "name": "ann", "role_id": 1, "active": True},
+            {"id": 2, "name": "bob", "role_id": 2, "active": False},
+            {"id": 3, "name": "cat", "role_id": 2, "active": True},
+        ],
+    )
+    db.insert_many(
+        "customers",
+        [{"cust": "a", "region": "eu"}, {"cust": "b", "region": "us"}],
+    )
+    db.insert_many(
+        "orders",
+        [
+            {"id": 1, "cust": "a", "amount": 10},
+            {"id": 2, "cust": "a", "amount": 20},
+            {"id": 3, "cust": "b", "amount": 5},
+        ],
+    )
+    db.insert_many(
+        "applicants",
+        [
+            {"applicantId": 1, "applnMode": "online", "jobId": 7},
+            {"applicantId": 2, "applnMode": "paper", "jobId": 7},
+            {"applicantId": 3, "applnMode": "online", "jobId": 9},
+        ],
+    )
+    db.insert_many(
+        "personal",
+        [
+            {"applicantId": 1, "name": "ann"},
+            {"applicantId": 2, "name": "bob"},
+            {"applicantId": 3, "name": "cat"},
+        ],
+    )
+    db.insert_many("feedback1", [{"applicantId": 1, "score1": 9}])
+    db.insert_many("feedback2", [{"applicantId": 1, "score2": 6}])
+    return db
+
+
+def run_both(report, database, function, compare_out=False):
+    """Run original and rewritten programs; return (v1, v2, stats1, stats2)."""
+    assert report.rewritten is not None, "program was not rewritten"
+    c1, c2 = Connection(database), Connection(database)
+    i1 = Interpreter(report.original, c1)
+    r1 = i1.run(function)
+    i2 = Interpreter(report.rewritten, c2)
+    r2 = i2.run(function)
+    if compare_out:
+        return i1.last_out, i2.last_out, c1.stats, c2.stats
+    return r1, r2, c1.stats, c2.stats

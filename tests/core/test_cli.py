@@ -1,0 +1,121 @@
+"""CLI tests for ``python -m repro``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+unfinished() {
+    projects = executeQuery("from Project as p");
+    names = new ArrayList();
+    for (p : projects) {
+        if (p.getFinished() == false) { names.add(p.getName()); }
+    }
+    return names;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "sample.mj"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestExtractCommand:
+    def test_inline_table_schema(self, source_file, capsys):
+        code = main(
+            [
+                "extract",
+                source_file,
+                "-f",
+                "unfinished",
+                "--table",
+                "project:id,name,finished:id",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status:   success" in out
+        assert "SELECT name FROM Project p" in out
+
+    def test_json_schema(self, source_file, tmp_path, capsys):
+        schema = tmp_path / "schema.json"
+        schema.write_text(
+            json.dumps({"project": {"columns": ["id", "name", "finished"], "key": ["id"]}})
+        )
+        code = main(
+            ["extract", source_file, "-f", "unfinished", "--schema", str(schema)]
+        )
+        assert code == 0
+        assert "success" in capsys.readouterr().out
+
+    def test_rewrite_flag_prints_program(self, source_file, capsys):
+        code = main(
+            [
+                "extract",
+                source_file,
+                "-f",
+                "unfinished",
+                "--table",
+                "project:id,name,finished:id",
+                "--rewrite",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rewritten program" in out
+        assert "executeQuery" in out
+
+    def test_dialect_selection(self, source_file, capsys):
+        main(
+            [
+                "extract",
+                source_file,
+                "-f",
+                "unfinished",
+                "--table",
+                "project:id,name,finished:id",
+                "--dialect",
+                "sqlserver",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "success" in out
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mj"
+        bad.write_text(
+            """
+            f(pivot) {
+                q = executeQuery("from Project as p");
+                xs = new ArrayList();
+                for (t : q) {
+                    if (t.getName().compareTo(pivot) > 0) { xs.add(t.getName()); }
+                }
+                return xs;
+            }
+            """
+        )
+        code = main(
+            ["extract", str(bad), "-f", "f", "--table", "project:id,name:id"]
+        )
+        assert code == 1
+
+    def test_missing_schema_errors(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["extract", source_file, "-f", "unfinished"])
+
+    def test_bad_table_spec_errors(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["extract", source_file, "-f", "unfinished", "--table", "nocolumns"])
+
+
+def test_demo_command(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3d" in out
+    assert "GREATEST" in out

@@ -1,0 +1,131 @@
+"""Interprocedural extraction tests (paper Section 3.3 / Appendix D.6:
+"our techniques ... can be applied to complex programs that include
+function calls")."""
+
+from repro.core import extract_sql, optimize_program
+from tests.conftest import run_both
+
+
+class TestQueryBehindFunctionCall:
+    SOURCE = """
+    fetchBoards() {
+        return executeQuery("from Board as b where b.rnd_id = 1");
+    }
+    findMax() {
+        boards = fetchBoards();
+        m = 0;
+        for (t : boards) {
+            if (t.getP1() > m) { m = t.getP1(); }
+        }
+        return m;
+    }
+    """
+
+    def test_query_resolved_through_callee(self, catalog):
+        report = extract_sql(self.SOURCE, "findMax", catalog)
+        assert report.status == "success"
+        assert "rnd_id = 1" in report.variables["m"].sql
+
+    def test_equivalence(self, catalog, database):
+        report = optimize_program(self.SOURCE, "findMax", catalog)
+        v1, v2, _, _ = run_both(report, database, "findMax")
+        assert v1 == v2 == 10
+
+
+class TestComputationInHelper:
+    SOURCE = """
+    scoreOf(t) {
+        return Math.max(t.getP1(), t.getP2());
+    }
+    best() {
+        q = executeQuery("from Board as b");
+        m = 0;
+        for (t : q) {
+            s = scoreOf(t);
+            if (s > m) { m = s; }
+        }
+        return m;
+    }
+    """
+
+    def test_helper_inlined_into_aggregate(self, catalog):
+        report = extract_sql(self.SOURCE, "best", catalog)
+        assert report.status == "success"
+        assert "GREATEST" in report.variables["m"].sql
+
+    def test_equivalence(self, catalog, database):
+        report = optimize_program(self.SOURCE, "best", catalog)
+        v1, v2, _, _ = run_both(report, database, "best")
+        assert v1 == v2 == 99
+
+
+class TestConditionalHelper:
+    SOURCE = """
+    isBig(t) {
+        if (t.getBudget() > 15) { return true; }
+        return false;
+    }
+    bigNames() {
+        q = executeQuery("from Project as p");
+        xs = new ArrayList();
+        for (t : q) {
+            if (isBig(t)) { xs.add(t.getName()); }
+        }
+        return xs;
+    }
+    """
+
+    def test_conditional_helper_inlined(self, catalog):
+        report = extract_sql(self.SOURCE, "bigNames", catalog)
+        assert report.status == "success"
+        assert "budget" in report.variables["xs"].sql
+
+    def test_equivalence(self, catalog, database):
+        report = optimize_program(self.SOURCE, "bigNames", catalog)
+        v1, v2, _, _ = run_both(report, database, "bigNames")
+        assert v1 == v2 == ["beta", "gamma"]
+
+
+class TestParameterisedHelperQuery:
+    SOURCE = """
+    boardsOf(r) {
+        return executeQuery("select * from board where rnd_id = :r");
+    }
+    total(r) {
+        q = boardsOf(r);
+        s = 0;
+        for (t : q) { s = s + t.getP1(); }
+        return s;
+    }
+    """
+
+    def test_actual_parameter_threads_through(self, catalog):
+        report = extract_sql(self.SOURCE, "total", catalog)
+        assert report.status == "success"
+        assert ":r" in report.variables["s"].sql
+
+    def test_equivalence(self, catalog, database):
+        from repro.db import Connection
+        from repro.interp import Interpreter
+
+        report = optimize_program(self.SOURCE, "total", catalog)
+        assert report.rewritten is not None
+        c1, c2 = Connection(database), Connection(database)
+        r1 = Interpreter(report.original, c1).run("total", 1)
+        r2 = Interpreter(report.rewritten, c2).run("total", 1)
+        assert r1 == r2 == 11
+
+
+class TestRecursionStaysSafe:
+    def test_recursive_helper_fails_cleanly(self, catalog):
+        source = """
+        weird(t) { return weird(t); }
+        f() {
+            q = executeQuery("from Board as b");
+            s = 0;
+            for (t : q) { s = s + weird(t); }
+            return s;
+        }
+        """
+        report = extract_sql(source, "f", catalog)
+        assert report.status == "failed"

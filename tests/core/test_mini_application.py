@@ -1,0 +1,154 @@
+"""End-to-end mini application: several functions optimised and executed.
+
+Simulates the downstream workflow: an application module with many entry
+points, each run through ``optimize_program``, all rewrites verified for
+output equality and for reduced database traffic — the way a user of this
+library would adopt it.
+"""
+
+import pytest
+
+from repro import Catalog, Connection, Database
+from repro.core import optimize_program
+from repro.interp import Interpreter
+
+APPLICATION = """
+activeUserNames() {
+    users = executeQuery("from Users as u");
+    names = new ArrayList();
+    for (u : users) {
+        if (u.getActive()) { names.add(u.getName()); }
+    }
+    return names;
+}
+
+orderVolume(minAmount) {
+    orders = executeQuery("from Orders as o");
+    volume = 0;
+    for (o : orders) {
+        if (o.getAmount() >= minAmount) { volume = volume + o.getAmount(); }
+    }
+    return volume;
+}
+
+customerTotals() {
+    users = executeQuery("from Users as u where u.active = true");
+    totals = new ArrayList();
+    for (u : users) {
+        t = 0;
+        orders = executeQuery("select o.amount from Orders o where o.user_id = " + u.getId());
+        for (o : orders) { t = t + o.getAmount(); }
+        totals.add(new Pair(u.getName(), t));
+    }
+    return totals;
+}
+
+biggestSpender() {
+    users = executeQuery("from Users as u");
+    best = null;
+    most = 0;
+    for (u : users) {
+        spent = executeScalar("select sum(o.amount) from Orders o where o.user_id = " + u.getId());
+        if (spent == null) { spent = 0; }
+        if (spent > most) { most = spent; best = u.getName(); }
+    }
+    return best;
+}
+
+hasUnshipped() {
+    orders = executeQuery("from Orders as o");
+    found = false;
+    for (o : orders) {
+        if (o.getShipped() == false) { found = true; }
+    }
+    return found;
+}
+
+auditReport() {
+    orders = executeQuery("from Orders as o where o.amount > 15");
+    for (o : orders) {
+        who = executeScalar("select u.name from Users u where u.id = " + o.getUser_id());
+        print(who);
+        print(o.getAmount());
+    }
+}
+"""
+
+FUNCTIONS = {
+    "activeUserNames": (),
+    "orderVolume": (15,),
+    "hasUnshipped": (),
+    "customerTotals": (),
+    "auditReport": (),
+}
+
+
+@pytest.fixture(scope="module")
+def app_catalog():
+    catalog = Catalog()
+    catalog.define("users", ["id", "name", "active"], key=("id",))
+    catalog.define("orders", ["id", "user_id", "amount", "shipped"], key=("id",))
+    return catalog
+
+
+@pytest.fixture
+def app_db(app_catalog):
+    db = Database(app_catalog)
+    db.insert_many(
+        "users",
+        [
+            {"id": 1, "name": "ann", "active": True},
+            {"id": 2, "name": "bob", "active": False},
+            {"id": 3, "name": "cat", "active": True},
+        ],
+    )
+    db.insert_many(
+        "orders",
+        [
+            {"id": 1, "user_id": 1, "amount": 10, "shipped": True},
+            {"id": 2, "user_id": 1, "amount": 30, "shipped": False},
+            {"id": 3, "user_id": 3, "amount": 20, "shipped": True},
+            {"id": 4, "user_id": 2, "amount": 99, "shipped": True},
+        ],
+    )
+    return db
+
+
+@pytest.mark.parametrize("function,args", list(FUNCTIONS.items()))
+def test_each_entry_point_optimises_and_matches(function, args, app_catalog, app_db):
+    report = optimize_program(APPLICATION, function, app_catalog)
+    assert report.rewritten is not None, f"{function} was not rewritten"
+    c1, c2 = Connection(app_db), Connection(app_db)
+    i1 = Interpreter(report.original, c1)
+    r1 = i1.run(function, *args)
+    i2 = Interpreter(report.rewritten, c2)
+    r2 = i2.run(function, *args)
+    if function == "auditReport":
+        assert i1.last_out == i2.last_out
+    else:
+        assert r1 == r2
+    assert c2.stats.queries_executed <= c1.stats.queries_executed
+    assert c2.stats.simulated_time_ms <= c1.stats.simulated_time_ms * 1.05
+
+
+def test_expected_results(app_catalog, app_db):
+    expectations = {
+        "activeUserNames": ((), ["ann", "cat"]),
+        "orderVolume": ((15,), 149),
+        "hasUnshipped": ((), True),
+        "customerTotals": ((), [("ann", 40), ("cat", 20)]),
+    }
+    for function, (args, expected) in expectations.items():
+        report = optimize_program(APPLICATION, function, app_catalog)
+        conn = Connection(app_db)
+        result = Interpreter(report.rewritten, conn).run(function, *args)
+        assert result == expected, function
+
+
+def test_audit_report_collapses_to_single_query(app_catalog, app_db):
+    report = optimize_program(APPLICATION, "auditReport", app_catalog)
+    conn = Connection(app_db)
+    interp = Interpreter(report.rewritten, conn)
+    interp.run("auditReport")
+    assert conn.stats.queries_executed == 1
+    assert interp.last_out == ["ann", 30, "cat", 20, "bob", 99]

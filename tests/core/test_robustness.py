@@ -1,0 +1,163 @@
+"""Failure-injection and robustness tests for the extraction pipeline."""
+
+import pytest
+
+from repro import Catalog
+from repro.core import STATUS_FAILED, extract_sql, optimize_program
+
+
+@pytest.fixture
+def minimal_catalog():
+    catalog = Catalog()
+    catalog.define("t", ["id", "x"], key=("id",))
+    return catalog
+
+
+class TestMalformedInputs:
+    def test_malformed_query_string_fails_cleanly(self, minimal_catalog):
+        source = """
+        f() {
+            q = executeQuery("SELEKT ** FRUM nowhere !!");
+            s = 0;
+            for (t : q) { s = s + t.getX(); }
+            return s;
+        }
+        """
+        report = extract_sql(source, "f", minimal_catalog)
+        assert report.status == STATUS_FAILED
+
+    def test_unknown_function_name_raises_keyerror(self, minimal_catalog):
+        with pytest.raises(KeyError):
+            extract_sql("f() { return 1; }", "missing", minimal_catalog)
+
+    def test_syntax_error_raises_parse_error(self, minimal_catalog):
+        from repro.lang import ParseError
+
+        with pytest.raises(ParseError):
+            extract_sql("f() { x = ; }", "f", minimal_catalog)
+
+    def test_query_with_runtime_only_table_still_extracts(self):
+        """A table missing from the catalog blocks only rules that need
+        schema (T4 keys); σ/γ extraction proceeds."""
+        empty_catalog = Catalog()
+        empty_catalog.define("placeholder", ["id"])  # unrelated
+        source = """
+        f() {
+            q = executeQuery("from Mystery as m");
+            s = 0;
+            for (t : q) { s = s + t.getX(); }
+            return s;
+        }
+        """
+        report = extract_sql(source, "f", empty_catalog)
+        assert report.status == "success"
+        assert "Mystery" in report.variables["s"].sql
+
+
+class TestDegenerateShapes:
+    def test_empty_loop_body(self, minimal_catalog):
+        report = extract_sql(
+            'f() { q = executeQuery("from T as t"); for (t : q) { } return 0; }',
+            "f",
+            minimal_catalog,
+        )
+        # Nothing to extract, nothing to break.
+        assert report.variables == {}
+
+    def test_loop_over_reassigned_query(self, minimal_catalog):
+        """The *last* assignment before the loop defines the source."""
+        source = """
+        f() {
+            q = executeQuery("from T as t");
+            q = executeQuery("select * from t where x > 5");
+            s = 0;
+            for (t : q) { s = s + t.getX(); }
+            return s;
+        }
+        """
+        report = extract_sql(source, "f", minimal_catalog)
+        assert report.status == "success"
+        assert "x > 5" in report.variables["s"].sql
+
+    def test_two_independent_loops(self, minimal_catalog):
+        source = """
+        f() {
+            q = executeQuery("from T as t");
+            a = 0;
+            for (t : q) { a = a + t.getX(); }
+            b = 0;
+            for (t : q) { if (t.getX() > 0) { b = b + 1; } }
+            return a + b;
+        }
+        """
+        report = extract_sql(source, "f", minimal_catalog)
+        assert report.variables["a"].ok
+        assert report.variables["b"].ok
+        assert report.variables["a"].loop_sid != report.variables["b"].loop_sid
+
+    def test_loop_variable_shadowing_function_param(self, minimal_catalog):
+        source = """
+        f(t) {
+            q = executeQuery("from T as x");
+            s = 0;
+            for (t : q) { s = s + t.getX(); }
+            return s;
+        }
+        """
+        report = extract_sql(source, "f", minimal_catalog)
+        assert report.status == "success"
+
+    def test_deeply_nested_conditionals(self, minimal_catalog):
+        source = """
+        f() {
+            q = executeQuery("from T as t");
+            s = 0;
+            for (t : q) {
+                if (t.getX() > 0) {
+                    if (t.getX() < 100) {
+                        if (t.getId() != 3) {
+                            s = s + t.getX();
+                        }
+                    }
+                }
+            }
+            return s;
+        }
+        """
+        report = extract_sql(source, "f", minimal_catalog)
+        assert report.status == "success"
+        sql = report.variables["s"].sql
+        assert sql.count("AND") >= 1 or sql.count("WHERE") >= 1
+
+    def test_rewrite_of_unrewritable_program_returns_none(self, minimal_catalog):
+        source = "f(xs) { s = 0; for (t : xs) { s = s + t.getX(); } return s; }"
+        report = optimize_program(source, "f", minimal_catalog)
+        assert report.rewritten is None
+
+
+class TestStability:
+    def test_extraction_is_deterministic(self, minimal_catalog):
+        source = """
+        f() {
+            q = executeQuery("from T as t");
+            s = 0;
+            for (t : q) { if (t.getX() > 1) { s = s + t.getX(); } }
+            return s;
+        }
+        """
+        first = extract_sql(source, "f", minimal_catalog)
+        second = extract_sql(source, "f", minimal_catalog)
+        assert first.variables["s"].sql == second.variables["s"].sql
+
+    def test_report_helpers(self, minimal_catalog):
+        source = """
+        f() {
+            q = executeQuery("from T as t");
+            s = 0;
+            for (t : q) { s = s + t.getX(); }
+            return s;
+        }
+        """
+        report = extract_sql(source, "f", minimal_catalog)
+        assert report.extraction("s").ok
+        assert report.queries() == [report.variables["s"].sql]

@@ -1,0 +1,125 @@
+"""Cost-based rewriting tests (Appendix C)."""
+
+import pytest
+
+from repro.core import extract_sql
+from repro.cost import AndNode, CostModel, Memo, cost_based_plan
+from repro.sqlparse import parse_query
+from repro.workloads import sample, wilos_catalog, wilos_database
+
+_CATALOG = wilos_catalog()
+
+
+class TestMemo:
+    def test_optimize_picks_cheapest_alternative(self):
+        memo = Memo()
+        group = memo.new_group("g")
+        group.add(AndNode(op="expensive", local_cost=10.0))
+        group.add(AndNode(op="cheap", local_cost=2.0))
+        best = memo.optimize(group.group_id)
+        assert best.alternative.op == "cheap"
+        assert best.cost == 2.0
+
+    def test_costs_compose_through_children(self):
+        memo = Memo()
+        child = memo.new_group("child")
+        child.add(AndNode(op="leaf", local_cost=5.0))
+        parent = memo.new_group("parent")
+        parent.add(AndNode(op="seq", children=[child.group_id], local_cost=1.0))
+        assert memo.optimize(parent.group_id).cost == 6.0
+
+    def test_duplicate_derivations_rejected(self):
+        memo = Memo()
+        group = memo.new_group()
+        assert group.add(AndNode(op="a", local_cost=1.0))
+        assert not group.add(AndNode(op="a", local_cost=1.0))
+        assert len(group.alternatives) == 1
+
+    def test_empty_group_raises(self):
+        memo = Memo()
+        group = memo.new_group()
+        with pytest.raises(ValueError):
+            memo.optimize(group.group_id)
+
+    def test_memoization_returns_same_plan(self):
+        memo = Memo()
+        group = memo.new_group()
+        group.add(AndNode(op="a", local_cost=1.0))
+        assert memo.optimize(group.group_id) is memo.optimize(group.group_id)
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.db = wilos_database(scale=100, catalog=_CATALOG)
+        self.model = CostModel(self.db)
+
+    def test_table_cardinality_from_database(self):
+        estimate = self.model.cardinality(parse_query("select * from project"))
+        assert estimate.rows == 100
+
+    def test_selection_reduces_cardinality(self):
+        base = self.model.cardinality(parse_query("select * from project")).rows
+        filtered = self.model.cardinality(
+            parse_query("select * from project where launched = true")
+        ).rows
+        assert filtered < base
+
+    def test_aggregate_is_one_row(self):
+        estimate = self.model.cardinality(
+            parse_query("select sum(budget) as s from project")
+        )
+        assert estimate.rows == 1
+
+    def test_limit_caps_cardinality(self):
+        estimate = self.model.cardinality(parse_query("select * from project limit 5"))
+        assert estimate.rows == 5
+
+    def test_aggregate_query_cheaper_than_scan(self):
+        scan = self.model.query_cost_ms(parse_query("select * from project"))
+        agg = self.model.query_cost_ms(parse_query("select sum(budget) as s from project"))
+        assert agg < scan
+
+    def test_unknown_table_uses_default(self):
+        estimate = self.model.cardinality(parse_query("select * from nonexistent"))
+        assert estimate.rows == 1000.0
+
+
+class TestCostBasedPlan:
+    def test_rewrites_clean_aggregation(self):
+        db = wilos_database(scale=100, catalog=_CATALOG)
+        report = extract_sql(sample(9).source, sample(9).function, _CATALOG)
+        plan = cost_based_plan(report, db)
+        assert plan.rewrite_loops
+
+    def test_declines_figure7a(self):
+        source = """
+        f(pivot) {
+            q = executeQuery("from Project as p");
+            total = 0;
+            weird = null;
+            for (t : q) {
+                total = total + t.getBudget();
+                if (t.getName().compareTo(pivot) > 0) { weird = t.getName(); }
+            }
+            return new Pair(total, weird);
+        }
+        """
+        db = wilos_database(scale=100, catalog=_CATALOG)
+        report = extract_sql(source, "f", _CATALOG)
+        plan = cost_based_plan(report, db)
+        assert not plan.rewrite_loops
+        assert plan.keep_loops
+
+    def test_n_plus_one_always_rewritten(self):
+        """Eliminating a per-row query is worth it at any size."""
+        db = wilos_database(scale=100, catalog=_CATALOG)
+        report = extract_sql(sample(10).source, sample(10).function, _CATALOG)
+        plan = cost_based_plan(report, db)
+        assert plan.rewrite_loops
+
+    def test_plan_reports_memo_size(self):
+        db = wilos_database(scale=50, catalog=_CATALOG)
+        report = extract_sql(sample(9).source, sample(9).function, _CATALOG)
+        plan = cost_based_plan(report, db)
+        assert plan.memo_size >= 2
+        assert plan.total_cost_ms > 0

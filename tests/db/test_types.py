@@ -1,0 +1,106 @@
+"""SQL value semantics tests (three-valued logic, sizes, sort keys)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.types import (
+    descending_key,
+    is_truthy,
+    nulls_last_key,
+    row_size_bytes,
+    sql_and,
+    sql_compare,
+    sql_eq,
+    sql_not,
+    sql_or,
+    value_size_bytes,
+)
+
+
+class TestThreeValuedLogic:
+    def test_eq_with_null_is_unknown(self):
+        assert sql_eq(None, 1) is None
+        assert sql_eq(1, None) is None
+        assert sql_eq(None, None) is None
+
+    def test_eq_plain(self):
+        assert sql_eq(1, 1) is True
+        assert sql_eq(1, 2) is False
+
+    def test_compare_with_null(self):
+        assert sql_compare("<", None, 1) is None
+        assert sql_compare(">=", 1, None) is None
+
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False  # false dominates unknown
+        assert sql_and(True, None) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(True, None) is True  # true dominates unknown
+        assert sql_or(False, None) is None
+        assert sql_or(None, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    def test_is_truthy_where_semantics(self):
+        assert is_truthy(True)
+        assert not is_truthy(False)
+        assert not is_truthy(None)  # unknown filters out
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_de_morgan(self, a, b):
+        assert sql_not(sql_and(a, b)) == sql_or(sql_not(a), sql_not(b))
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_commutativity(self, a, b):
+        assert sql_and(a, b) == sql_and(b, a)
+        assert sql_or(a, b) == sql_or(b, a)
+
+
+class TestSizes:
+    def test_null_is_one_byte(self):
+        assert value_size_bytes(None) == 1
+
+    def test_int_and_float(self):
+        assert value_size_bytes(42) == 8
+        assert value_size_bytes(3.5) == 8
+
+    def test_string_is_length_prefixed(self):
+        assert value_size_bytes("abc") == 5
+
+    def test_row_size_skips_qualified_duplicates(self):
+        row = {"x": 1, "b.x": 1, "y": "ab"}
+        assert row_size_bytes(row) == 8 + 4
+
+    @given(st.text(max_size=50))
+    def test_string_size_monotone(self, text):
+        assert value_size_bytes(text) >= 2
+
+
+class TestSortKeys:
+    def test_nulls_last_ascending(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=nulls_last_key)
+        assert ordered == [1, 2, 3, None, None]
+
+    def test_descending(self):
+        values = [3, None, 1, 2]
+        ordered = sorted(values, key=descending_key)
+        assert ordered == [None, 3, 2, 1]
+
+    @given(st.lists(st.one_of(st.none(), st.integers(-10, 10)), max_size=20))
+    def test_nulls_last_total_order(self, values):
+        ordered = sorted(values, key=nulls_last_key)
+        non_null = [v for v in ordered if v is not None]
+        assert non_null == sorted(non_null)
+        # all Nones at the end
+        if None in ordered:
+            first_none = ordered.index(None)
+            assert all(v is None for v in ordered[first_none:])

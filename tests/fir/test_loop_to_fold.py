@@ -1,0 +1,212 @@
+"""Loop→fold translation and precondition tests (Sec 4.2, Figs 6–7)."""
+
+import pytest
+
+from repro.fir import check_preconditions_ddg, count_folds, loop_to_fold
+from repro.ir import EFold, ELoop, EQuery, build_dir, preprocess_program
+from repro.lang import ForEach, parse_program, walk_statements
+
+
+def translate(source, variable, function="f"):
+    program = preprocess_program(parse_program(source))
+    ve, ctx = build_dir(program, function)
+    return loop_to_fold(ve[variable], ctx.dag), ve, ctx
+
+
+class TestSuccessfulTranslation:
+    def test_sum_accumulator(self):
+        outcome, _, _ = translate(
+            'f() { q = executeQuery("from T"); agg = 0; for (t : q) { agg = agg + t.getX(); } }',
+            "agg",
+        )
+        assert outcome.ok
+        fold = outcome.node
+        assert isinstance(fold, EFold)
+        assert fold.var == "agg"
+        assert isinstance(fold.source, EQuery)
+
+    def test_conditional_max(self):
+        outcome, _, _ = translate(
+            """
+            f() {
+                q = executeQuery("from T");
+                m = 0;
+                for (t : q) { if (t.getX() > m) { m = t.getX(); } }
+            }
+            """,
+            "m",
+        )
+        assert outcome.ok
+        assert outcome.node.func.op == "max"
+
+    def test_list_collect(self):
+        outcome, _, _ = translate(
+            """
+            f() {
+                q = executeQuery("from T");
+                xs = new ArrayList();
+                for (t : q) { xs.add(t.getX()); }
+            }
+            """,
+            "xs",
+        )
+        assert outcome.ok
+        assert outcome.node.func.op == "append"
+
+    def test_nested_loop_translates_inner_first(self):
+        outcome, _, _ = translate(
+            """
+            f() {
+                q1 = executeQuery("from A");
+                xs = new ArrayList();
+                for (a : q1) {
+                    q2 = executeQuery("select * from b where y = " + a.getId());
+                    for (b : q2) { xs.add(b.getZ()); }
+                }
+            }
+            """,
+            "xs",
+        )
+        assert outcome.ok
+        assert count_folds(outcome.node) == 2
+
+
+class TestPreconditionFailures:
+    def test_p3_database_write(self):
+        outcome, _, _ = translate(
+            """
+            f() {
+                q = executeQuery("from T");
+                s = 0;
+                for (t : q) { executeUpdate("delete from U"); s = s + 1; }
+            }
+            """,
+            "s",
+        )
+        assert not outcome.ok
+        assert "P3" in outcome.reason
+
+    def test_p2_dependent_accumulators(self):
+        """Figure 7: dummyVal depends on agg — extra lcfd edge."""
+        outcome, _, _ = translate(
+            """
+            f() {
+                q = executeQuery("from T");
+                agg = 0; dummyVal = 0;
+                for (t : q) {
+                    agg = agg + t.getX();
+                    dummyVal = dummyVal + agg;
+                }
+            }
+            """,
+            "dummyVal",
+        )
+        assert not outcome.ok
+        assert "P2" in outcome.reason
+
+    def test_agg_itself_still_translates(self):
+        """Figure 7: agg's own slice satisfies the preconditions."""
+        outcome, _, _ = translate(
+            """
+            f() {
+                q = executeQuery("from T");
+                agg = 0; dummyVal = 0;
+                for (t : q) {
+                    agg = agg + t.getX();
+                    dummyVal = dummyVal + agg;
+                }
+            }
+            """,
+            "agg",
+        )
+        assert outcome.ok
+
+    def test_p1_no_accumulation(self):
+        outcome, _, _ = translate(
+            'f() { q = executeQuery("from T"); for (t : q) { last = t.getX(); } }',
+            "last",
+        )
+        assert not outcome.ok
+        assert "P1" in outcome.reason
+
+    def test_opaque_body_fails(self):
+        outcome, _, _ = translate(
+            """
+            f(cmp) {
+                q = executeQuery("from T");
+                s = 0;
+                for (t : q) { s = s + t.compareTo(cmp); }
+            }
+            """,
+            "s",
+        )
+        assert not outcome.ok
+
+
+class TestDdgPreconditions:
+    """The paper's Figure 6 check over the DDG, cross-validating."""
+
+    def _loop(self, source):
+        program = preprocess_program(parse_program(source))
+        func = program.function("f")
+        return next(
+            s for s in walk_statements(func.body) if isinstance(s, ForEach)
+        )
+
+    def test_figure7_agg_passes(self):
+        loop = self._loop(
+            """
+            f() {
+                q = executeQuery("from T");
+                for (t : q) { agg = agg + t.getX(); dummyVal = dummyVal + agg; }
+            }
+            """
+        )
+        report = check_preconditions_ddg(loop, "agg")
+        assert report.p1_cycle and report.p2_no_other_lcfd and report.p3_no_external
+        assert report.ok
+
+    def test_figure7_dummyval_fails_p2(self):
+        loop = self._loop(
+            """
+            f() {
+                q = executeQuery("from T");
+                for (t : q) { agg = agg + t.getX(); dummyVal = dummyVal + agg; }
+            }
+            """
+        )
+        report = check_preconditions_ddg(loop, "dummyVal")
+        assert not report.p2_no_other_lcfd
+        assert not report.ok
+
+    def test_db_write_fails_p3(self):
+        loop = self._loop(
+            """
+            f() {
+                q = executeQuery("from T");
+                for (t : q) { executeUpdate("x"); s = s + 1; }
+            }
+            """
+        )
+        report = check_preconditions_ddg(loop, "s")
+        assert not report.p3_no_external
+
+    def test_ddg_agrees_with_dag_check(self):
+        """Both precondition formulations must agree on these samples."""
+        cases = [
+            ("f() { q = executeQuery(\"from T\"); for (t : q) { s = s + t.getX(); } }", "s", True),
+            (
+                "f() { q = executeQuery(\"from T\"); for (t : q) { a = a + t.getX(); b = b + a; } }",
+                "b",
+                False,
+            ),
+        ]
+        for source, var, expected in cases:
+            program = preprocess_program(parse_program(source))
+            func = program.function("f")
+            loop = next(
+                s for s in walk_statements(func.body) if isinstance(s, ForEach)
+            )
+            ddg_ok = check_preconditions_ddg(loop, var).ok
+            outcome, _, _ = translate(source, var)
+            assert ddg_ok == outcome.ok == expected

@@ -1,0 +1,116 @@
+"""Scalarisation tests: ee-DAG → relational scalar expressions."""
+
+import pytest
+
+from repro.algebra import BinOp, CaseWhen, Col, Func, Lit, Param, UnOp
+from repro.fir import (
+    CAPABLE_UNIMPLEMENTED_OPS,
+    CapableButUnimplemented,
+    NotScalarizable,
+    scalarize,
+)
+from repro.ir import DagBuilder
+
+
+@pytest.fixture
+def dag():
+    return DagBuilder()
+
+
+class TestBasics:
+    def test_constant(self, dag):
+        assert scalarize(dag.const(5), "t") == Lit(5)
+
+    def test_cursor_attribute(self, dag):
+        node = dag.attr(dag.bound("t"), "p1")
+        assert scalarize(node, "t") == Col("p1")
+
+    def test_free_var_becomes_param(self, dag):
+        assert scalarize(dag.var("uid"), "t") == Param("uid")
+
+    def test_attr_of_free_var_becomes_param(self, dag):
+        node = dag.attr(dag.var("u"), "role_id")
+        assert scalarize(node, "t") == Param("u__role_id")
+
+    def test_column_renaming(self, dag):
+        node = dag.attr(dag.bound("t"), "p1")
+        assert scalarize(node, "t", {"p1": "c0"}) == Col("c0")
+
+    def test_arithmetic(self, dag):
+        node = dag.op("+", dag.attr(dag.bound("t"), "a"), dag.const(1))
+        assert scalarize(node, "t") == BinOp("+", Col("a"), Lit(1))
+
+    def test_comparison(self, dag):
+        node = dag.op(">", dag.attr(dag.bound("t"), "a"), dag.const(0))
+        assert scalarize(node, "t") == BinOp(">", Col("a"), Lit(0))
+
+    def test_equality_renders_sql_equals(self, dag):
+        node = dag.op("==", dag.attr(dag.bound("t"), "a"), dag.const(1))
+        assert scalarize(node, "t") == BinOp("=", Col("a"), Lit(1))
+
+    def test_max_becomes_greatest(self, dag):
+        node = dag.op("max", dag.attr(dag.bound("t"), "a"), dag.attr(dag.bound("t"), "b"))
+        assert scalarize(node, "t") == Func("GREATEST", (Col("a"), Col("b")))
+
+    def test_ternary_becomes_case(self, dag):
+        node = dag.op("?", dag.op(">", dag.attr(dag.bound("t"), "a"), dag.const(0)), dag.const(1), dag.const(2))
+        result = scalarize(node, "t")
+        assert isinstance(result, CaseWhen)
+
+    def test_not(self, dag):
+        node = dag.op("not", dag.attr(dag.bound("t"), "flag"))
+        assert scalarize(node, "t") == UnOp("NOT", Col("flag"))
+
+
+class TestNullComparisons:
+    def test_eq_null_becomes_is_null(self, dag):
+        node = dag.op("==", dag.attr(dag.bound("t"), "a"), dag.const(None))
+        assert scalarize(node, "t") == Func("ISNULL", (Col("a"),))
+
+    def test_neq_null_becomes_is_not_null(self, dag):
+        node = dag.op("!=", dag.attr(dag.bound("t"), "a"), dag.const(None))
+        result = scalarize(node, "t")
+        assert isinstance(result, UnOp) and result.op == "NOT"
+
+    def test_null_on_left(self, dag):
+        node = dag.op("==", dag.const(None), dag.attr(dag.bound("t"), "a"))
+        assert scalarize(node, "t") == Func("ISNULL", (Col("a"),))
+
+
+class TestCombineOps:
+    def test_combine_max_uses_coalesce(self, dag):
+        node = dag.op("combine_max", dag.const(0), dag.var("s"))
+        result = scalarize(node, "t")
+        assert result == Func(
+            "GREATEST", (Lit(0), Func("COALESCE", (Param("s"), Lit(0))))
+        )
+
+    def test_combine_sum_defaults_zero(self, dag):
+        node = dag.op("combine_sum", dag.const(5), dag.var("s"))
+        result = scalarize(node, "t")
+        assert result == BinOp("+", Lit(5), Func("COALESCE", (Param("s"), Lit(0))))
+
+
+class TestFailures:
+    def test_bare_bound_var_fails(self, dag):
+        with pytest.raises(NotScalarizable):
+            scalarize(dag.bound("v"), "t")
+
+    def test_collection_ops_fail(self, dag):
+        with pytest.raises(NotScalarizable):
+            scalarize(dag.op("append", dag.bound("v"), dag.const(1)), "t")
+
+    def test_opaque_fails(self, dag):
+        from repro.ir import OPAQUE
+
+        with pytest.raises(NotScalarizable):
+            scalarize(OPAQUE, "t")
+
+    @pytest.mark.parametrize("op", sorted(CAPABLE_UNIMPLEMENTED_OPS - {"empty_map", "map_put"}))
+    def test_capable_ops_raise_distinct_error(self, dag, op):
+        """The Table 1 '✓' mechanism: representable, no SQL emitter."""
+        node = dag.intern(
+            type(dag.op("+", dag.const(1), dag.const(1)))(op, (dag.attr(dag.bound("t"), "s"),))
+        )
+        with pytest.raises(CapableButUnimplemented):
+            scalarize(node, "t")

@@ -1,0 +1,148 @@
+"""Additional interpreter coverage: classic for loops, augmented ops,
+nested functions, cursor API details."""
+
+import pytest
+
+from repro.db import Connection
+from repro.interp import Interpreter, InterpreterError
+from repro.lang import parse_program
+
+
+def run(source, database, function="main", args=()):
+    conn = Connection(database)
+    interp = Interpreter(parse_program(source), conn)
+    return interp.run(function, *args), interp, conn
+
+
+class TestClassicForLoop:
+    def test_counts(self, database):
+        result, _, _ = run(
+            "main() { s = 0; for (i = 0; i < 5; i++) { s = s + i; } return s; }",
+            database,
+        )
+        assert result == 10
+
+    def test_empty_iteration(self, database):
+        result, _, _ = run(
+            "main() { s = 0; for (i = 9; i < 5; i++) { s = s + 1; } return s; }",
+            database,
+        )
+        assert result == 0
+
+    def test_augmented_assignment(self, database):
+        result, _, _ = run(
+            "main() { s = 1; s += 4; s *= 2; s -= 3; s /= 1; return s; }",
+            database,
+        )
+        assert result == 7
+
+
+class TestCursorDetails:
+    def test_cursor_next_past_end(self, database):
+        source = """
+        main() {
+            rs = executeQueryCursor("select id from role");
+            n = 0;
+            while (rs.next()) { n = n + 1; }
+            more = rs.next();
+            return more;
+        }
+        """
+        result, _, _ = run(source, database)
+        assert result is False
+
+    def test_getstring_before_next_raises(self, database):
+        source = """
+        main() {
+            rs = executeQueryCursor("select id from role");
+            return rs.getInt("id");
+        }
+        """
+        with pytest.raises(Exception):
+            run(source, database)
+
+    def test_qualified_column_access(self, database):
+        source = """
+        main() {
+            rows = executeQuery("select u.name from wilosuser u join role r on r.id = u.role_id");
+            xs = new ArrayList();
+            for (t : rows) { xs.add(t.getName()); }
+            return xs;
+        }
+        """
+        result, _, _ = run(source, database)
+        assert result == ["ann", "bob", "cat"]
+
+
+class TestEntitySemantics:
+    def test_entities_compare_by_plain_columns(self, database):
+        source = """
+        main() {
+            a = executeQuery("select id from role where id = 1");
+            b = executeQuery("select r.id from role r where r.id = 1");
+            return a.get(0) == b.get(0);
+        }
+        """
+        result, _, _ = run(source, database)
+        assert result is True
+
+    def test_entity_in_set_dedups(self, database):
+        source = """
+        main() {
+            s = new HashSet();
+            a = executeQuery("select id from role where id = 1");
+            s.add(a.get(0));
+            b = executeQuery("select id from role where id = 1");
+            s.add(b.get(0));
+            return s.size();
+        }
+        """
+        result, _, _ = run(source, database)
+        assert result == 1
+
+    def test_missing_column_raises(self, database):
+        source = """
+        main() {
+            rows = executeQuery("select id from role");
+            for (t : rows) { return t.getNothing(); }
+        }
+        """
+        with pytest.raises(Exception):
+            run(source, database)
+
+
+class TestStringsAndNulls:
+    def test_string_methods_chain(self, database):
+        result, _, _ = run(
+            'main() { return "  HeLLo ".trim().toLowerCase().substring(0, 4); }',
+            database,
+        )
+        assert result == "hell"
+
+    def test_null_method_call_raises(self, database):
+        with pytest.raises(InterpreterError):
+            run("main() { x = null; return x.size(); }", database)
+
+    def test_equals_ignore_case(self, database):
+        result, _, _ = run(
+            'main() { return "ABC".equalsIgnoreCase("abc"); }', database
+        )
+        assert result is True
+
+
+class TestOutputVar:
+    def test_last_out_tracks_final_state(self, database):
+        source = """
+        main() {
+            __out__ = new ArrayList();
+            __out__.add(1);
+            __out__.add(2);
+            return 0;
+        }
+        """
+        _, interp, _ = run(source, database)
+        assert interp.last_out == [1, 2]
+
+    def test_last_out_none_without_out_var(self, database):
+        _, interp, _ = run("main() { return 0; }", database)
+        assert interp.last_out is None

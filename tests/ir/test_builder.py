@@ -1,0 +1,254 @@
+"""D-IR construction tests (paper Sections 3.2–3.3, Appendix D)."""
+
+from repro.ir import (
+    EAttr,
+    EBoundVar,
+    EConst,
+    ELoop,
+    EOp,
+    EQuery,
+    EScalarQuery,
+    EVar,
+    OPAQUE,
+    RET_VAR,
+    build_dir,
+    contains_opaque,
+    preprocess_program,
+)
+from repro.lang import parse_program
+
+
+def ve_of(source, function="f"):
+    program = preprocess_program(parse_program(source))
+    ve, ctx = build_dir(program, function)
+    return ve, ctx
+
+
+class TestStraightLine:
+    def test_constant_propagation(self):
+        """Paper Figure 5: intermediate variables resolve to inputs."""
+        ve, _ = ve_of("f() { x = 5; y = 10; z = x + y; }")
+        assert ve["z"] == EOp("+", (EConst(5), EConst(10)))
+
+    def test_chained_assignments(self):
+        ve, _ = ve_of("f() { x = 1; x = x + 1; x = x * 2; }")
+        assert ve["x"] == EOp("*", (EOp("+", (EConst(1), EConst(1))), EConst(2)))
+
+    def test_unassigned_var_is_region_input(self):
+        ve, _ = ve_of("f(a) { y = a + 1; }")
+        assert ve["y"] == EOp("+", (EVar("a"), EConst(1)))
+
+    def test_return_value(self):
+        ve, _ = ve_of("f() { x = 2; return x * 3; }")
+        assert ve[RET_VAR] == EOp("*", (EConst(2), EConst(3)))
+
+    def test_math_max(self):
+        ve, _ = ve_of("f(a, b) { m = Math.max(a, b); }")
+        assert ve["m"] == EOp("max", (EVar("a"), EVar("b")))
+
+    def test_common_subexpression_shared(self):
+        ve, ctx = ve_of("f(a) { x = a + 1; y = a + 1; }")
+        assert ve["x"] is ve["y"]
+
+
+class TestConditional:
+    def test_conditional_merge(self):
+        ve, _ = ve_of("f(c) { if (c) { x = 1; } else { x = 2; } }")
+        node = ve["x"]
+        assert node == EOp("?", (EVar("c"), EConst(1), EConst(2)))
+
+    def test_conditional_without_else_uses_input(self):
+        ve, _ = ve_of("f(c, x) { if (c) { x = 1; } }")
+        assert ve["x"] == EOp("?", (EVar("c"), EConst(1), EVar("x")))
+
+    def test_minmax_pattern_canonicalised(self):
+        """Section 4.2: `if (e > v) v = e` becomes max."""
+        ve, _ = ve_of("f(e, v) { if (e > v) { v = e; } }")
+        assert ve["v"] == EOp("max", (EVar("v"), EVar("e")))
+
+    def test_boolean_flag_becomes_or(self):
+        ve, _ = ve_of("f(p, found) { if (p) { found = true; } }")
+        assert ve["found"] == EOp("or", (EVar("found"), EVar("p")))
+
+
+class TestQueries:
+    def test_constant_query_text(self):
+        ve, _ = ve_of('f() { q = executeQuery("from Board as b"); }')
+        assert isinstance(ve["q"], EQuery)
+
+    def test_literal_params_inlined(self):
+        ve, _ = ve_of(
+            'f() { r = 1; q = executeQuery("select * from board where rnd_id = :r"); }'
+        )
+        query = ve["q"]
+        assert isinstance(query, EQuery)
+        assert query.params == ()  # resolved to the literal 1
+        assert "1" in str(query.rel)
+
+    def test_variable_param_kept_symbolic(self):
+        ve, _ = ve_of(
+            'f(r) { q = executeQuery("select * from board where rnd_id = :r"); }'
+        )
+        query = ve["q"]
+        assert dict(query.params)["r"] == EVar("r")
+
+    def test_string_concat_query(self):
+        ve, _ = ve_of(
+            'f(uid) { q = executeQuery("select * from t where id = " + uid); }'
+        )
+        query = ve["q"]
+        assert isinstance(query, EQuery)
+        assert len(query.params) == 1
+
+    def test_quoted_string_concat_strips_quotes(self):
+        ve, _ = ve_of(
+            "f(name) { q = executeQuery(\"select * from t where name = '\" + name + \"'\"); }"
+        )
+        query = ve["q"]
+        assert isinstance(query, EQuery)
+        assert len(query.params) == 1
+
+    def test_execute_scalar(self):
+        ve, _ = ve_of('f() { s = executeScalar("select max(p1) from board"); }')
+        assert isinstance(ve["s"], EScalarQuery)
+
+    def test_malformed_query_is_opaque(self):
+        ve, _ = ve_of('f() { q = executeQuery("not really sql ]["); }')
+        assert contains_opaque(ve["q"])
+
+
+class TestLoops:
+    def test_loop_node_created(self):
+        ve, _ = ve_of(
+            """
+            f() {
+                q = executeQuery("from T");
+                s = 0;
+                for (t : q) { s = s + t.getX(); }
+            }
+            """
+        )
+        node = ve["s"]
+        assert isinstance(node, ELoop)
+        assert node.var == "s"
+        assert node.cursor == "t"
+        assert node.init == EConst(0)
+        assert isinstance(node.source, EQuery)
+
+    def test_loop_body_uses_bound_vars(self):
+        ve, _ = ve_of(
+            'f() { q = executeQuery("from T"); s = 0; for (t : q) { s = s + t.getX(); } }'
+        )
+        body = ve["s"].body
+        assert body == EOp(
+            "+", (EBoundVar("s"), EAttr(EBoundVar("t"), "x"))
+        )
+
+    def test_getter_becomes_attribute(self):
+        ve, _ = ve_of(
+            'f() { q = executeQuery("from T"); for (t : q) { v = v + t.getRnd_id(); } }'
+        )
+        body = ve["v"].body
+        assert EAttr(EBoundVar("t"), "rnd_id") in body.operands
+
+    def test_collection_append(self):
+        ve, _ = ve_of(
+            """
+            f() {
+                q = executeQuery("from T");
+                xs = new ArrayList();
+                for (t : q) { xs.add(t.getX()); }
+            }
+            """
+        )
+        node = ve["xs"]
+        assert isinstance(node, ELoop)
+        assert node.body.op == "append"
+        assert node.init == EOp("empty_list", ())
+
+    def test_set_insert(self):
+        ve, _ = ve_of(
+            """
+            f() {
+                q = executeQuery("from T");
+                xs = new HashSet();
+                for (t : q) { xs.add(t.getX()); }
+            }
+            """
+        )
+        assert ve["xs"].body.op == "insert"
+
+    def test_while_loop_is_opaque(self):
+        ve, _ = ve_of("f(n) { x = 0; while (x < n) { x = x + 1; } }")
+        assert contains_opaque(ve["x"])
+
+    def test_db_write_in_loop_marks_updated(self):
+        ve, _ = ve_of(
+            """
+            f() {
+                q = executeQuery("from T");
+                for (t : q) { executeUpdate("delete from U"); s = s + 1; }
+            }
+            """
+        )
+        assert "@db" in ve["s"].updated
+
+
+class TestFunctionInlining:
+    def test_value_inlining(self):
+        ve, _ = ve_of(
+            """
+            double(x) { return x * 2; }
+            f(a) { y = double(a + 1); }
+            """
+        )
+        assert ve["y"] == EOp("*", (EOp("+", (EVar("a"), EConst(1))), EConst(2)))
+
+    def test_inlining_with_conditional(self):
+        ve, _ = ve_of(
+            """
+            pick(c) { if (c) { return 1; } return 2; }
+            f(c) { y = pick(c); }
+            """
+        )
+        assert ve["y"] == EOp("?", (EVar("c"), EConst(1), EConst(2)))
+
+    def test_recursion_is_opaque(self):
+        ve, _ = ve_of(
+            """
+            loop(x) { return loop(x); }
+            f(a) { y = loop(a); }
+            """
+        )
+        assert contains_opaque(ve["y"])
+
+    def test_unknown_function_is_opaque(self):
+        ve, _ = ve_of("f(a) { y = mystery(a); }")
+        assert contains_opaque(ve["y"])
+
+    def test_procedure_appending_output(self):
+        ve, _ = ve_of(
+            """
+            show(x) { print(x); }
+            f(a) { show(a); }
+            """
+        )
+        from repro.ir import OUT_VAR
+
+        assert OUT_VAR in ve
+        node = ve[OUT_VAR]
+        assert node.op == "append"
+
+
+class TestUnsupportedConstructs:
+    def test_custom_comparator_is_opaque(self):
+        ve, _ = ve_of("f(a, b) { c = a.compareTo(b); }")
+        assert contains_opaque(ve["c"])
+
+    def test_setter_taints_receiver(self):
+        ve, _ = ve_of("f(t) { t.setScore(1); }")
+        assert ve["t"] == OPAQUE
+
+    def test_map_put_is_representable_but_flagged(self):
+        ve, _ = ve_of("f(k, v) { m = new HashMap(); m.put(k, v); }")
+        assert ve["m"].op == "map_put"

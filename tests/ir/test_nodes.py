@@ -1,0 +1,143 @@
+"""ee-DAG node and DagBuilder tests, including hash-consing and the
+Section 4.2 canonicalisations."""
+
+from repro.ir import (
+    DagBuilder,
+    EAttr,
+    EBoundVar,
+    EConst,
+    EOp,
+    EVar,
+    bound_vars,
+    contains_opaque,
+    dag_size,
+    free_bound_vars,
+    free_vars,
+    tree_size,
+    OPAQUE,
+)
+
+
+class TestInterning:
+    def test_equal_nodes_share_instance(self):
+        dag = DagBuilder()
+        a = dag.op("+", dag.var("x"), dag.const(1))
+        b = dag.op("+", dag.var("x"), dag.const(1))
+        assert a is b
+
+    def test_different_nodes_differ(self):
+        dag = DagBuilder()
+        assert dag.const(1) is not dag.const(2)
+
+    def test_hit_miss_counters(self):
+        dag = DagBuilder()
+        dag.const(1)
+        dag.const(1)
+        assert dag.hits >= 1 and dag.misses >= 1
+
+    def test_interning_can_be_disabled(self):
+        dag = DagBuilder(enable_interning=False)
+        a = dag.op("+", EVar("x"), EConst(1))
+        b = dag.op("+", EVar("x"), EConst(1))
+        assert a is not b
+        assert a == b  # structural equality still holds
+
+    def test_shared_subexpression_counted_once(self):
+        dag = DagBuilder()
+        shared = dag.op("+", dag.var("x"), dag.const(1))
+        root = dag.op("*", shared, shared)
+        assert dag_size(root) == 4  # *, +, x, 1
+        assert tree_size(root) == 7
+
+
+class TestCanonicalisation:
+    """`if (e OP v) v = e` → max/min (Section 4.2), booleans (Appendix B)."""
+
+    def setup_method(self):
+        self.dag = DagBuilder()
+        self.v = self.dag.bound("v")
+        self.e = self.dag.attr(self.dag.bound("t"), "x")
+
+    def test_greater_becomes_max(self):
+        cond = self.dag.op(">", self.e, self.v)
+        node = self.dag.op("?", cond, self.e, self.v)
+        assert node == EOp("max", (self.v, self.e))
+
+    def test_geq_becomes_max(self):
+        cond = self.dag.op(">=", self.e, self.v)
+        node = self.dag.op("?", cond, self.e, self.v)
+        assert node.op == "max"
+
+    def test_less_becomes_min(self):
+        cond = self.dag.op("<", self.e, self.v)
+        node = self.dag.op("?", cond, self.e, self.v)
+        assert node.op == "min"
+
+    def test_swapped_comparison(self):
+        # `if (v < e) v = e` is still a max.
+        cond = self.dag.op("<", self.v, self.e)
+        node = self.dag.op("?", cond, self.e, self.v)
+        assert node.op == "max"
+
+    def test_conditional_true_becomes_or(self):
+        pred = self.dag.op(">", self.e, self.dag.const(0))
+        node = self.dag.op("?", pred, self.dag.const(True), self.v)
+        assert node == EOp("or", (self.v, pred))
+
+    def test_conditional_false_becomes_and_not(self):
+        pred = self.dag.op(">", self.e, self.dag.const(0))
+        node = self.dag.op("?", pred, self.dag.const(False), self.v)
+        assert node.op == "and"
+
+    def test_unrelated_conditional_stays(self):
+        pred = self.dag.op(">", self.e, self.dag.const(0))
+        node = self.dag.op("?", pred, self.dag.const(1), self.dag.const(2))
+        assert node.op == "?"
+
+
+class TestTraversal:
+    def test_free_vars(self):
+        dag = DagBuilder()
+        node = dag.op("+", dag.var("x"), dag.op("*", dag.var("y"), dag.bound("z")))
+        assert free_vars(node) == {"x", "y"}
+
+    def test_bound_vars(self):
+        dag = DagBuilder()
+        node = dag.op("+", dag.bound("v"), dag.attr(dag.bound("t"), "a"))
+        assert bound_vars(node) == {"v", "t"}
+
+    def test_free_bound_vars_respects_binders(self):
+        dag = DagBuilder()
+        inner = dag.loop(
+            source=dag.var("q"),
+            body=dag.op("+", dag.bound("total"), dag.attr(dag.bound("o"), "x")),
+            init=dag.const(0),
+            var="total",
+            cursor="o",
+        )
+        outer_body = dag.op("tuple", dag.attr(dag.bound("c"), "id"), inner)
+        free = free_bound_vars(outer_body)
+        assert free == {"c"}  # total and o are captured by the inner loop
+
+    def test_free_bound_vars_sees_init(self):
+        dag = DagBuilder()
+        # inner loop accumulating into the *outer* variable: init = ⟨v⟩.
+        inner = dag.loop(
+            source=dag.var("q2"),
+            body=dag.op("append", dag.bound("v"), dag.attr(dag.bound("r"), "x")),
+            init=dag.bound("v"),
+            var="v",
+            cursor="r",
+        )
+        assert "v" in free_bound_vars(inner)
+
+    def test_contains_opaque(self):
+        dag = DagBuilder()
+        node = dag.op("+", dag.var("x"), OPAQUE)
+        assert contains_opaque(node)
+        assert not contains_opaque(dag.var("x"))
+
+    def test_str_representations(self):
+        dag = DagBuilder()
+        assert str(dag.var("x")) == "x₀"
+        assert "⟨t⟩" in str(dag.attr(dag.bound("t"), "p1"))

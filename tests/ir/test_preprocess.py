@@ -1,0 +1,153 @@
+"""AST preprocessing tests (print rewriting, cursor-while, tail returns)."""
+
+from repro.ir import OUT_VAR, preprocess_program
+from repro.lang import (
+    Assign,
+    Break,
+    ForEach,
+    If,
+    MethodCall,
+    Return,
+    While,
+    parse_program,
+    walk_statements,
+)
+
+
+def preprocess(source):
+    return preprocess_program(parse_program(source))
+
+
+class TestPrintRewriting:
+    def test_print_becomes_out_append(self):
+        program = preprocess('f() { print("x"); }')
+        body = program.function("f").body.statements
+        assert isinstance(body[0], Assign) and body[0].target == OUT_VAR
+        call = body[1].expr
+        assert isinstance(call, MethodCall)
+        assert call.receiver.ident == OUT_VAR
+        assert call.method == "add"
+
+    def test_system_out_println_rewritten(self):
+        program = preprocess('f() { System.out.println("x"); }')
+        statements = list(walk_statements(program.function("f").body))
+        assert any(
+            isinstance(s, Assign) and s.target == OUT_VAR for s in statements
+        ) or any(
+            isinstance(getattr(s, "expr", None), MethodCall)
+            and s.expr.receiver.ident == OUT_VAR
+            for s in statements
+            if hasattr(s, "expr")
+        )
+
+    def test_no_prints_no_out_var(self):
+        program = preprocess("f() { x = 1; }")
+        body = program.function("f").body.statements
+        assert not any(
+            isinstance(s, Assign) and s.target == OUT_VAR for s in body
+        )
+
+    def test_print_inside_loop_rewritten(self):
+        program = preprocess('f() { for (t : q) { print(t); } }')
+        loop = next(
+            s for s in walk_statements(program.function("f").body)
+            if isinstance(s, ForEach)
+        )
+        call = loop.body.statements[0].expr
+        assert call.receiver.ident == OUT_VAR
+
+
+class TestCursorWhile:
+    def test_while_rs_next_becomes_foreach(self):
+        source = """
+        f() {
+            rs = executeQuery("from T");
+            while (rs.next()) { x = rs.getInt("a"); }
+        }
+        """
+        program = preprocess(source)
+        statements = program.function("f").body.statements
+        assert any(isinstance(s, ForEach) for s in statements)
+        assert not any(isinstance(s, While) for s in statements)
+
+    def test_unrelated_while_untouched(self):
+        program = preprocess("f(n) { while (n > 0) { n = n - 1; } }")
+        statements = program.function("f").body.statements
+        assert any(isinstance(s, While) for s in statements)
+
+    def test_while_on_other_cursor_untouched(self):
+        source = """
+        f(other) {
+            rs = executeQuery("from T");
+            while (other.next()) { x = 1; }
+        }
+        """
+        program = preprocess(source)
+        statements = program.function("f").body.statements
+        assert any(isinstance(s, While) for s in statements)
+
+
+class TestTailReturns:
+    def test_early_return_moved_to_else(self):
+        source = """
+        f(c) {
+            if (c) { return 1; }
+            x = 2;
+            return x;
+        }
+        """
+        program = preprocess(source)
+        body = program.function("f").body.statements
+        assert len(body) == 1
+        branch = body[0]
+        assert isinstance(branch, If)
+        assert branch.else_body is not None
+        assert isinstance(branch.else_body.statements[-1], Return)
+
+    def test_unreachable_after_return_dropped(self):
+        program = preprocess("f() { return 1; x = 2; }")
+        body = program.function("f").body.statements
+        assert len(body) == 1
+        assert isinstance(body[0], Return)
+
+
+class TestBooleanBreak:
+    def test_boolean_break_removed(self):
+        source = """
+        f() {
+            found = false;
+            for (t : q) {
+                if (t.getX() > 0) { found = true; break; }
+            }
+            return found;
+        }
+        """
+        program = preprocess(source)
+        statements = list(walk_statements(program.function("f").body))
+        assert not any(isinstance(s, Break) for s in statements)
+
+    def test_other_breaks_kept(self):
+        source = """
+        f() {
+            for (t : q) {
+                if (t.getX() > 0) { s = s + 1; break; }
+            }
+        }
+        """
+        program = preprocess(source)
+        statements = list(walk_statements(program.function("f").body))
+        assert any(isinstance(s, Break) for s in statements)
+
+
+def test_preprocess_renumbers_statements():
+    program = preprocess('f() { print("a"); print("b"); }')
+    sids = [s.sid for s in walk_statements(program.function("f").body)]
+    assert sids == sorted(sids)
+    assert len(sids) == len(set(sids))
+
+
+def test_preprocess_does_not_mutate_input():
+    original = parse_program('f() { print("x"); }')
+    before = len(original.function("f").body.statements)
+    preprocess_program(original)
+    assert len(original.function("f").body.statements) == before

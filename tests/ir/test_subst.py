@@ -1,0 +1,93 @@
+"""Substitution tests for ee-DAG expressions."""
+
+from repro.ir import (
+    DagBuilder,
+    EBoundVar,
+    EConst,
+    EOp,
+    EVar,
+    bind_vars,
+    substitute,
+    unbind_var,
+)
+
+
+def test_substitute_replaces_free_vars():
+    dag = DagBuilder()
+    node = dag.op("+", dag.var("x"), dag.var("y"))
+    result = substitute(node, {"x": dag.const(1)}, dag)
+    assert result == EOp("+", (EConst(1), EVar("y")))
+
+
+def test_substitute_leaves_bound_vars():
+    dag = DagBuilder()
+    node = dag.op("+", dag.bound("x"), dag.var("x"))
+    result = substitute(node, {"x": dag.const(1)}, dag)
+    assert result == EOp("+", (EBoundVar("x"), EConst(1)))
+
+
+def test_substitute_inside_query_params():
+    dag = DagBuilder()
+    from repro.sqlparse import parse_query
+
+    query = dag.query(parse_query("select * from t where id = :p"), (("p", dag.var("uid")),))
+    result = substitute(query, {"uid": dag.const(7)}, dag)
+    assert dict(result.params)["p"] == EConst(7)
+
+
+def test_substitute_inside_loop_init_and_body():
+    dag = DagBuilder()
+    loop = dag.loop(
+        source=dag.var("q"),
+        body=dag.op("+", dag.bound("s"), dag.var("delta")),
+        init=dag.var("s"),
+        var="s",
+        cursor="t",
+    )
+    result = substitute(loop, {"s": dag.const(0), "delta": dag.const(5)}, dag)
+    assert result.init == EConst(0)
+    assert result.body == EOp("+", (EBoundVar("s"), EConst(5)))
+
+
+def test_substitute_is_identity_when_nothing_matches():
+    dag = DagBuilder()
+    node = dag.op("+", dag.var("x"), dag.const(1))
+    assert substitute(node, {"zz": dag.const(9)}, dag) is node
+
+
+def test_bind_vars():
+    dag = DagBuilder()
+    node = dag.op("+", dag.var("s"), dag.attr(dag.var("t"), "x"))
+    result = bind_vars(node, {"s", "t"}, dag)
+    assert result == EOp(
+        "+", (EBoundVar("s"), dag.attr(dag.bound("t"), "x"))
+    )
+
+
+def test_unbind_var():
+    dag = DagBuilder()
+    node = dag.op("+", dag.bound("v"), dag.const(1))
+    result = unbind_var(node, "v", dag.const(10), dag)
+    assert result == EOp("+", (EConst(10), EConst(1)))
+
+
+def test_unbind_var_stops_at_binder():
+    dag = DagBuilder()
+    inner = dag.fold(
+        func=dag.op("+", dag.bound("v"), dag.const(1)),
+        init=dag.const(0),
+        source=dag.var("q"),
+        var="v",
+        cursor="t",
+    )
+    result = unbind_var(inner, "v", dag.const(99), dag)
+    # the fold binds its own v; the function body must be untouched
+    assert result.func == EOp("+", (EBoundVar("v"), EConst(1)))
+
+
+def test_substitution_memoizes_shared_nodes():
+    dag = DagBuilder()
+    shared = dag.op("+", dag.var("x"), dag.const(1))
+    root = dag.op("*", shared, shared)
+    result = substitute(root, {"x": dag.const(2)}, dag)
+    assert result.operands[0] is result.operands[1]

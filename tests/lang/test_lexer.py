@@ -1,0 +1,160 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenType
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_integer_literal(self):
+        assert kinds("42") == [TokenType.INT]
+
+    def test_float_literal(self):
+        assert kinds("3.14") == [TokenType.FLOAT]
+
+    def test_integer_followed_by_dot_method(self):
+        # `1.toString` must not lex 1. as a float
+        assert kinds("1.x") == [TokenType.INT, TokenType.DOT, TokenType.IDENT]
+
+    def test_identifier(self):
+        assert kinds("scoreMax") == [TokenType.IDENT]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("rnd_id2") == ["rnd_id2"]
+
+    def test_keywords(self):
+        assert kinds("if else for while return") == [
+            TokenType.IF,
+            TokenType.ELSE,
+            TokenType.FOR,
+            TokenType.WHILE,
+            TokenType.RETURN,
+        ]
+
+    def test_boolean_and_null_literals(self):
+        assert kinds("true false null") == [
+            TokenType.TRUE,
+            TokenType.FALSE,
+            TokenType.NULL,
+        ]
+
+
+class TestOperators:
+    def test_two_char_operators_win_over_single(self):
+        assert kinds("== != <= >= && || += ++") == [
+            TokenType.EQ,
+            TokenType.NEQ,
+            TokenType.LE,
+            TokenType.GE,
+            TokenType.AND,
+            TokenType.OR,
+            TokenType.PLUS_ASSIGN,
+            TokenType.PLUS_PLUS,
+        ]
+
+    def test_single_char_operators(self):
+        assert kinds("+ - * / % < > ! = ? :") == [
+            TokenType.PLUS,
+            TokenType.MINUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+            TokenType.PERCENT,
+            TokenType.LT,
+            TokenType.GT,
+            TokenType.NOT,
+            TokenType.ASSIGN,
+            TokenType.QUESTION,
+            TokenType.COLON,
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) { } [ ] ; , .") == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.SEMI,
+            TokenType.COMMA,
+            TokenType.DOT,
+        ]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = tokenize('"hello"')
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello"
+
+    def test_string_with_escapes(self):
+        tokens = tokenize(r'"a\nb\t\"c\""')
+        assert tokens[0].value == 'a\nb\t"c"'
+
+    def test_string_containing_sql(self):
+        tokens = tokenize('"select * from t where x = 1"')
+        assert tokens[0].value == "select * from t where x = 1"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_string_with_newline_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+
+class TestComments:
+    def test_line_comment_is_skipped(self):
+        assert kinds("x // comment here\ny") == [TokenType.IDENT, TokenType.IDENT]
+
+    def test_block_comment_is_skipped(self):
+        assert kinds("x /* multi\nline */ y") == [TokenType.IDENT, TokenType.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("x /* never ends")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("x @ y")
+        assert excinfo.value.line == 1
+
+    def test_column_after_string(self):
+        tokens = tokenize('"ab" x')
+        assert tokens[1].column == 6
+
+
+def test_full_statement():
+    source = 'boards = executeQuery("from Board as b");'
+    types = kinds(source)
+    assert types == [
+        TokenType.IDENT,
+        TokenType.ASSIGN,
+        TokenType.IDENT,
+        TokenType.LPAREN,
+        TokenType.STRING,
+        TokenType.RPAREN,
+        TokenType.SEMI,
+    ]

@@ -1,0 +1,257 @@
+"""Parser tests for MiniJava."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Call,
+    ExprStmt,
+    FieldAccess,
+    ForEach,
+    If,
+    IntLit,
+    MethodCall,
+    Name,
+    New,
+    ParseError,
+    Return,
+    StringLit,
+    Ternary,
+    TryCatch,
+    Unary,
+    While,
+    parse_function,
+    parse_program,
+    parse_statements,
+    walk_statements,
+)
+
+
+class TestFunctions:
+    def test_simple_function(self):
+        func = parse_function("f() { return 1; }")
+        assert func.name == "f"
+        assert func.params == []
+        assert isinstance(func.body.statements[0], Return)
+
+    def test_function_with_params(self):
+        func = parse_function("f(a, b) { return a; }")
+        assert func.params == ["a", "b"]
+
+    def test_function_with_typed_params(self):
+        func = parse_function("f(int a, String b) { return a; }")
+        assert func.params == ["a", "b"]
+
+    def test_function_with_return_type(self):
+        func = parse_function("int f() { return 1; }")
+        assert func.name == "f"
+
+    def test_multiple_functions(self):
+        program = parse_program("f() { return 1; } g() { return 2; }")
+        assert [f.name for f in program.functions] == ["f", "g"]
+
+    def test_program_function_lookup(self):
+        program = parse_program("f() { return 1; }")
+        assert program.function("f").name == "f"
+        with pytest.raises(KeyError):
+            program.function("missing")
+
+
+class TestStatements:
+    def test_assignment(self):
+        block = parse_statements("x = 5;")
+        stmt = block.statements[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.target == "x"
+        assert isinstance(stmt.value, IntLit)
+
+    def test_typed_declaration(self):
+        block = parse_statements("int x = 5;")
+        stmt = block.statements[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.declared_type == "int"
+
+    def test_generic_typed_declaration(self):
+        block = parse_statements("List<Board> boards = executeQuery(\"from Board\");")
+        stmt = block.statements[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.target == "boards"
+
+    def test_augmented_assignment_desugars(self):
+        block = parse_statements("x += 2;")
+        stmt = block.statements[0]
+        assert isinstance(stmt.value, Binary)
+        assert stmt.value.op == "+"
+
+    def test_increment_desugars(self):
+        block = parse_statements("x++;")
+        stmt = block.statements[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.value.op == "+"
+
+    def test_if_without_else(self):
+        block = parse_statements("if (x > 0) y = 1;")
+        stmt = block.statements[0]
+        assert isinstance(stmt, If)
+        assert stmt.else_body is None
+        assert isinstance(stmt.then_body, Block)
+
+    def test_if_with_else(self):
+        block = parse_statements("if (a) b = 1; else b = 2;")
+        stmt = block.statements[0]
+        assert stmt.else_body is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        block = parse_statements("if (a) if (b) x = 1; else x = 2;")
+        outer = block.statements[0]
+        assert outer.else_body is None
+        inner = outer.then_body.statements[0]
+        assert inner.else_body is not None
+
+    def test_foreach(self):
+        block = parse_statements("for (t : boards) { x = t; }")
+        stmt = block.statements[0]
+        assert isinstance(stmt, ForEach)
+        assert stmt.var == "t"
+        assert isinstance(stmt.iterable, Name)
+
+    def test_typed_foreach(self):
+        block = parse_statements("for (Board t : boards) { x = t; }")
+        stmt = block.statements[0]
+        assert stmt.var == "t"
+
+    def test_while(self):
+        block = parse_statements("while (x < 10) { x = x + 1; }")
+        stmt = block.statements[0]
+        assert isinstance(stmt, While)
+
+    def test_classic_for_desugars_to_while(self):
+        block = parse_statements("for (i = 0; i < 5; i++) { s = s + i; }")
+        wrapper = block.statements[0]
+        assert isinstance(wrapper, Block)
+        init, loop = wrapper.statements
+        assert isinstance(init, Assign)
+        assert isinstance(loop, While)
+        # update folded into the body tail
+        assert isinstance(loop.body.statements[-1], Assign)
+
+    def test_try_catch(self):
+        block = parse_statements("try { x = 1; } catch (Exception e) { y = 2; }")
+        stmt = block.statements[0]
+        assert isinstance(stmt, TryCatch)
+        assert stmt.catch_var == "e"
+
+    def test_try_finally(self):
+        block = parse_statements("try { x = 1; } finally { y = 2; }")
+        stmt = block.statements[0]
+        assert stmt.finally_body is not None
+
+    def test_break_and_continue(self):
+        block = parse_statements("for (t : xs) { break; }")
+        from repro.lang import Break
+
+        assert isinstance(block.statements[0].body.statements[0], Break)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_statements("x = 5")
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_statements(f"__v = {text};").statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_and(self):
+        expr = self.expr("a > 1 && b < 2")
+        assert expr.op == "&&"
+        assert expr.left.op == ">"
+
+    def test_parentheses_override(self):
+        expr = self.expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_ternary(self):
+        expr = self.expr("a > 0 ? 1 : 2")
+        assert isinstance(expr, Ternary)
+
+    def test_unary_not(self):
+        expr = self.expr("!done")
+        assert isinstance(expr, Unary)
+        assert expr.op == "!"
+
+    def test_unary_minus(self):
+        expr = self.expr("-x")
+        assert expr.op == "-"
+
+    def test_method_call_chain(self):
+        expr = self.expr("t.getP1()")
+        assert isinstance(expr, MethodCall)
+        assert expr.method == "getP1"
+
+    def test_static_method_call(self):
+        expr = self.expr("Math.max(a, b)")
+        assert isinstance(expr, MethodCall)
+        assert isinstance(expr.receiver, Name)
+        assert expr.receiver.ident == "Math"
+
+    def test_field_access(self):
+        expr = self.expr("t.score")
+        assert isinstance(expr, FieldAccess)
+        assert expr.field == "score"
+
+    def test_chained_member_access(self):
+        expr = self.expr("a.b.c()")
+        assert isinstance(expr, MethodCall)
+        assert isinstance(expr.receiver, FieldAccess)
+
+    def test_free_call(self):
+        expr = self.expr('executeQuery("from T")')
+        assert isinstance(expr, Call)
+        assert isinstance(expr.args[0], StringLit)
+
+    def test_new_with_generics(self):
+        expr = self.expr("new ArrayList<String>()")
+        assert isinstance(expr, New)
+        assert expr.class_name == "ArrayList"
+
+    def test_string_concat(self):
+        expr = self.expr('"a" + x + "b"')
+        assert expr.op == "+"
+
+    def test_comparison_not_confused_with_generics(self):
+        expr = self.expr("a < b")
+        assert isinstance(expr, Binary)
+        assert expr.op == "<"
+
+    def test_boolean_literals(self):
+        assert isinstance(self.expr("true"), BoolLit)
+
+
+class TestStatementNumbering:
+    def test_sids_are_unique_and_ordered(self):
+        program = parse_program(
+            """
+            f() {
+                x = 1;
+                if (x > 0) { y = 2; }
+                for (t : xs) { z = 3; }
+            }
+            """
+        )
+        sids = [s.sid for s in walk_statements(program.function("f").body)]
+        assert sids == sorted(sids)
+        assert len(sids) == len(set(sids))
+
+    def test_all_statements_numbered(self):
+        program = parse_program("f() { x = 1; y = 2; }")
+        for stmt in walk_statements(program.function("f").body):
+            assert stmt.sid >= 0

@@ -1,0 +1,124 @@
+"""Unparser tests, including parse→unparse→parse round-trip properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import parse_program, unparse_expr, unparse_program, parse_statements
+
+SAMPLE = """
+findMaxScore() {
+    boards = executeQuery("from Board as b where b.rnd_id = 1");
+    scoreMax = 0;
+    for (t : boards) {
+        score = Math.max(t.getP1(), t.getP2());
+        if (score > scoreMax) {
+            scoreMax = score;
+        }
+    }
+    return scoreMax;
+}
+"""
+
+
+def normalize(program):
+    return unparse_program(program)
+
+
+def test_roundtrip_is_fixpoint():
+    once = normalize(parse_program(SAMPLE))
+    twice = normalize(parse_program(once))
+    assert once == twice
+
+
+def test_unparse_preserves_string_escapes():
+    source = 'f() { x = "a\\"b\\nc"; return x; }'
+    once = normalize(parse_program(source))
+    reparsed = parse_program(once)
+    stmt = reparsed.function("f").body.statements[0]
+    assert stmt.value.value == 'a"b\nc'
+
+
+def test_unparse_ternary_and_precedence():
+    source = "f() { x = (a + b) * c; y = p ? 1 : 2; return x; }"
+    once = normalize(parse_program(source))
+    twice = normalize(parse_program(once))
+    assert once == twice
+    assert "(a + b) * c" in once
+
+
+def test_unparse_while_and_try():
+    source = """
+    f() {
+        try {
+            while (x < 3) {
+                x = x + 1;
+            }
+        } catch (e) {
+            x = 0;
+        }
+    }
+    """
+    once = normalize(parse_program(source))
+    assert "while" in once and "catch" in once
+    assert once == normalize(parse_program(once))
+
+
+# ----------------------------------------------------------------------
+# Property: generated expressions round-trip through unparse/parse.
+
+_names = st.sampled_from(["a", "b", "count", "scoreMax", "total"])
+
+
+def _exprs():
+    literals = st.one_of(
+        st.integers(min_value=0, max_value=1000).map(str),
+        st.sampled_from(["true", "false", "null"]),
+        _names,
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, st.sampled_from(["+", "-", "*"]), children).map(
+                lambda t: f"({t[0]} {t[1]} {t[2]})"
+            ),
+            st.tuples(children, st.sampled_from(["<", ">", "=="]), children).map(
+                lambda t: f"({t[0]} {t[1]} {t[2]})"
+            ),
+            st.tuples(children, children).map(lambda t: f"Math.max({t[0]}, {t[1]})"),
+            children.map(lambda c: f"(-{c})"),
+        )
+
+    return st.recursive(literals, extend, max_leaves=8)
+
+
+@given(_exprs())
+@settings(max_examples=150, deadline=None)
+def test_expression_roundtrip_property(text):
+    block = parse_statements(f"__v = {text};")
+    rendered = unparse_expr(block.statements[0].value)
+    block2 = parse_statements(f"__v = {rendered};")
+    assert unparse_expr(block2.statements[0].value) == rendered
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            [
+                "x = 1;",
+                "y = x + 2;",
+                "if (x > 0) { y = 2; } else { y = 3; }",
+                "for (t : items) { s = s + 1; }",
+                "while (x < 3) { x = x + 1; }",
+                "return y;",
+            ]
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_program_roundtrip_property(statements):
+    source = "f() {\n" + "\n".join(statements) + "\n}"
+    once = normalize(parse_program(source))
+    twice = normalize(parse_program(once))
+    assert once == twice

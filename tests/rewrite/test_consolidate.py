@@ -1,0 +1,102 @@
+"""Query consolidation tests (paper Appendix B, Figures 12–13)."""
+
+from repro.algebra import Catalog
+from repro.db import Connection
+from repro.interp import Interpreter
+from repro.ir import preprocess_program
+from repro.lang import parse_program, unparse_program
+from repro.rewrite import consolidate_loops
+
+JOBPORTAL = """
+report() {
+    rs = executeQuery("from Applicants as a where a.jobId = 7");
+    for (a : rs) {
+        id = a.getApplicantId();
+        name = executeScalar("select p.name from Personal p where p.applicantId = " + id);
+        print(name);
+        if (a.getApplnMode() == "online") {
+            s = executeScalar("select f.score1 from Feedback1 f where f.applicantId = " + id);
+            print(s);
+        }
+    }
+}
+"""
+
+
+def consolidate(source, catalog, function="report"):
+    program = preprocess_program(parse_program(source))
+    return consolidate_loops(program, function, catalog)
+
+
+class TestConsolidation:
+    def test_queries_merged(self, catalog):
+        _, records = consolidate(JOBPORTAL, catalog)
+        assert len(records) == 1
+        assert records[0].queries_merged == 3
+
+    def test_sql_shape_matches_figure13(self, catalog):
+        _, records = consolidate(JOBPORTAL, catalog)
+        sql = records[0].sql
+        assert sql.count("OUTER APPLY") == 2
+        assert "applnMode = 'online'" in sql  # guard pushed into the apply
+
+    def test_scalar_calls_become_attribute_reads(self, catalog):
+        program, _ = consolidate(JOBPORTAL, catalog)
+        rendered = unparse_program(program)
+        assert "executeScalar" not in rendered
+        assert ".getC0()" in rendered and ".getC1()" in rendered
+
+    def test_equivalence_and_query_count(self, catalog, database):
+        original = preprocess_program(parse_program(JOBPORTAL))
+        rewritten, records = consolidate_loops(original, "report", catalog)
+        assert records
+        c1, c2 = Connection(database), Connection(database)
+        i1 = Interpreter(original, c1)
+        i1.run("report")
+        i2 = Interpreter(rewritten, c2)
+        i2.run("report")
+        assert i1.last_out == i2.last_out == ["ann", 9, "bob"]
+        assert c1.stats.queries_executed == 4
+        assert c2.stats.queries_executed == 1
+
+    def test_loop_without_scalar_queries_untouched(self, catalog):
+        source = """
+        f() {
+            q = executeQuery("from Project as p");
+            for (t : q) { print(t.getName()); }
+        }
+        """
+        _, records = consolidate(source, catalog, "f")
+        assert records == []
+
+    def test_uncorrelated_scalar_query_untouched(self, catalog):
+        source = """
+        f() {
+            q = executeQuery("from Project as p");
+            for (t : q) {
+                m = executeScalar("select max(p1) from board");
+                print(m);
+            }
+        }
+        """
+        _, records = consolidate(source, catalog, "f")
+        assert records == []
+
+    def test_inline_iterable_supported(self, catalog, database):
+        source = """
+        f() {
+            for (a : executeQuery("from Applicants as a")) {
+                n = executeScalar("select p.name from Personal p where p.applicantId = " + a.getApplicantId());
+                print(n);
+            }
+        }
+        """
+        program = preprocess_program(parse_program(source))
+        rewritten, records = consolidate_loops(program, "f", catalog)
+        assert len(records) == 1
+        c1, c2 = Connection(database), Connection(database)
+        i1 = Interpreter(program, c1)
+        i1.run("f")
+        i2 = Interpreter(rewritten, c2)
+        i2.run("f")
+        assert i1.last_out == i2.last_out

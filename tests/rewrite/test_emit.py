@@ -1,0 +1,133 @@
+"""Emitter unit tests: extracted expressions → MiniJava statements."""
+
+import pytest
+
+from repro.algebra import (
+    AggCall,
+    AggItem,
+    Aggregate,
+    BinOp,
+    Col,
+    Distinct,
+    Lit,
+    Project,
+    ProjectItem,
+    Select,
+    Table,
+)
+from repro.ir import DagBuilder
+from repro.lang import Assign, Block, ForEach, If, unparse_stmt
+from repro.rewrite import EmitError, Emitter
+
+
+@pytest.fixture
+def dag():
+    return DagBuilder()
+
+
+def render(statements):
+    return "\n".join(unparse_stmt(s) for s in statements)
+
+
+class TestScalarEmission:
+    def test_constant(self, dag):
+        statements = Emitter().statements_for("x", dag.const(5))
+        assert render(statements) == "x = 5;"
+
+    def test_scalar_query(self, dag):
+        rel = Aggregate(Table("t"), (), (AggItem(AggCall("max", Col("v")), "agg"),))
+        statements = Emitter().statements_for("m", dag.scalar_query(rel))
+        assert 'executeScalar("SELECT MAX(v) AS agg FROM t")' in render(statements)
+
+    def test_exists(self, dag):
+        statements = Emitter().statements_for("found", dag.exists(Table("t")))
+        assert 'executeExists("SELECT * FROM t")' in render(statements)
+
+    def test_not_exists_negates(self, dag):
+        statements = Emitter().statements_for(
+            "ok", dag.exists(Table("t"), negated=True)
+        )
+        assert "!executeExists" in render(statements)
+
+    def test_combine_max_emits_null_check(self, dag):
+        rel = Aggregate(Table("t"), (), (AggItem(AggCall("max", Col("v")), "agg"),))
+        node = dag.op("combine_max", dag.const(0), dag.scalar_query(rel))
+        statements = Emitter().statements_for("m", node)
+        text = render(statements)
+        assert "== null" in text
+        assert "Math.max(0," in text
+
+    def test_ternary(self, dag):
+        node = dag.op("?", dag.op(">", dag.var("a"), dag.const(0)), dag.const(1), dag.const(2))
+        statements = Emitter().statements_for("x", node)
+        assert "a > 0 ? 1 : 2" in render(statements)
+
+    def test_comparison_with_scalar_query_guards_null(self, dag):
+        rel = Aggregate(Table("t"), (), (AggItem(AggCall("max", Col("v")), "agg"),))
+        node = dag.op(">", dag.scalar_query(rel), dag.const(0))
+        statements = Emitter().statements_for("x", node)
+        text = render(statements)
+        assert "!= null &&" in text
+
+    def test_unemittable_raises(self, dag):
+        with pytest.raises(EmitError):
+            Emitter().statements_for("x", dag.op("append", dag.var("a"), dag.const(1)))
+
+
+class TestCollectionEmission:
+    def test_whole_rows_direct_assignment(self, dag):
+        statements = Emitter().statements_for("xs", dag.query(Table("t")))
+        assert render(statements) == 'xs = executeQuery("SELECT * FROM t");'
+
+    def test_single_column_unwraps(self, dag):
+        rel = Project(Table("t"), (ProjectItem(Col("name")),))
+        statements = Emitter().statements_for("xs", dag.query(rel))
+        text = render(statements)
+        assert "getName()" in text
+        assert "new ArrayList()" in text
+        assert isinstance(statements[-1], ForEach)
+
+    def test_distinct_builds_set(self, dag):
+        rel = Distinct(Project(Table("t"), (ProjectItem(Col("name")),)))
+        statements = Emitter().statements_for("xs", dag.query(rel))
+        assert "new HashSet()" in render(statements)
+
+    def test_pair_unwrapping(self, dag):
+        rel = Project(
+            Table("t"),
+            (ProjectItem(Col("k"), "k"), ProjectItem(Col("v"), "col1")),
+        )
+        node = dag.op("as_pairs", dag.query(rel))
+        statements = Emitter().statements_for("xs", node)
+        text = render(statements)
+        assert "new Pair(" in text
+        assert "getK()" in text and "getCol1()" in text
+
+    def test_param_binding_preamble(self, dag):
+        rel = Select(Table("t"), BinOp("=", Col("k"), Lit(1)))
+        node = dag.query(rel, (("u__role_id", dag.attr(dag.var("u"), "role_id")),))
+        statements = Emitter().statements_for("xs", node)
+        text = render(statements)
+        assert "u__role_id = u.getRole_id();" in text
+
+    def test_plain_var_param_needs_no_preamble(self, dag):
+        from repro.algebra import Param
+
+        rel = Select(Table("t"), BinOp("=", Col("k"), Param("uid")))
+        node = dag.query(rel, (("uid", dag.var("uid")),))
+        statements = Emitter().statements_for("xs", node)
+        assert ":uid" in render(statements)
+        assert len([s for s in statements if isinstance(s, Assign)]) == 1
+
+
+class TestTemporaries:
+    def test_fresh_names_unique(self):
+        emitter = Emitter()
+        names = {emitter.fresh() for _ in range(10)}
+        assert len(names) == 10
+
+    def test_dialect_threaded_through(self, dag):
+        rel = Aggregate(Table("t"), (), (AggItem(AggCall("max", Col("v")), "agg"),))
+        node = dag.op("combine_max", dag.const(0), dag.scalar_query(rel))
+        text = render(Emitter(dialect="ansi").statements_for("m", node))
+        assert "GREATEST" not in text  # ANSI uses CASE WHEN

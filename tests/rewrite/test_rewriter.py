@@ -1,0 +1,194 @@
+"""Program rewriting and dead-code elimination tests (Section 5.2)."""
+
+from repro.algebra import Catalog
+from repro.core import optimize_program
+from repro.lang import (
+    Assign,
+    Call,
+    ForEach,
+    parse_program,
+    unparse_program,
+    walk_statements,
+)
+from repro.rewrite import eliminate_dead_code
+
+
+class TestDeadCodeElimination:
+    def run_dce(self, source, function="f"):
+        return eliminate_dead_code(parse_program(source), function)
+
+    def test_unused_assignment_removed(self):
+        result = self.run_dce("f() { x = 1; y = 2; return y; }")
+        targets = [
+            s.target
+            for s in walk_statements(result.function("f").body)
+            if isinstance(s, Assign)
+        ]
+        assert targets == ["y"]
+
+    def test_transitively_dead_chain_removed(self):
+        result = self.run_dce("f() { a = 1; b = a + 1; c = b + 1; return 0; }")
+        assert len(result.function("f").body.statements) == 1
+
+    def test_live_chain_kept(self):
+        result = self.run_dce("f() { a = 1; b = a + 1; return b; }")
+        assert len(result.function("f").body.statements) == 3
+
+    def test_overwritten_value_removed(self):
+        result = self.run_dce("f() { x = 1; x = 2; return x; }")
+        values = [
+            s.value.value
+            for s in result.function("f").body.statements
+            if isinstance(s, Assign)
+        ]
+        assert values == [2]
+
+    def test_loop_with_dead_body_removed(self):
+        result = self.run_dce(
+            'f() { q = executeQuery("from T"); for (t : q) { s = s + 1; } return 0; }'
+        )
+        assert not any(
+            isinstance(s, ForEach)
+            for s in walk_statements(result.function("f").body)
+        )
+
+    def test_loop_with_live_accumulator_kept(self):
+        result = self.run_dce(
+            'f() { q = executeQuery("from T"); s = 0; for (t : q) { s = s + 1; } return s; }'
+        )
+        assert any(
+            isinstance(s, ForEach)
+            for s in walk_statements(result.function("f").body)
+        )
+
+    def test_loop_carried_helper_kept(self):
+        """b feeds a across iterations; removing b would be unsound."""
+        result = self.run_dce(
+            """
+            f(b) {
+                q = executeQuery("from T");
+                a = 0;
+                for (t : q) { a = a + b; b = t.getX(); }
+                return a;
+            }
+            """
+        )
+        loop = next(
+            s for s in walk_statements(result.function("f").body)
+            if isinstance(s, ForEach)
+        )
+        targets = {s.target for s in loop.body.statements if isinstance(s, Assign)}
+        assert targets == {"a", "b"}
+
+    def test_db_update_never_removed(self):
+        result = self.run_dce(
+            'f() { executeUpdate("delete from T"); return 0; }'
+        )
+        assert len(result.function("f").body.statements) == 2
+
+    def test_print_never_removed(self):
+        result = self.run_dce('f() { print("hello"); return 0; }')
+        assert len(result.function("f").body.statements) == 2
+
+    def test_unknown_call_conservatively_kept(self):
+        result = self.run_dce("f() { x = mystery(); return 0; }")
+        assert len(result.function("f").body.statements) == 2
+
+    def test_pure_query_with_unused_result_removed(self):
+        result = self.run_dce(
+            'f() { q = executeQuery("from T"); return 1; }'
+        )
+        assert len(result.function("f").body.statements) == 1
+
+    def test_empty_if_removed(self):
+        result = self.run_dce("f(c) { if (c) { x = 1; } return 0; }")
+        from repro.lang import If
+
+        assert not any(
+            isinstance(s, If) for s in walk_statements(result.function("f").body)
+        )
+
+    def test_condition_reads_stay_live_through_if(self):
+        result = self.run_dce("f(c, a) { y = 0; if (c) { y = a; } return y; }")
+        assert len(result.function("f").body.statements) == 3
+
+
+class TestEndToEndRewrite:
+    def test_loop_fully_replaced(self, catalog, database):
+        from tests.conftest import run_both
+
+        source = """
+        f() {
+            q = executeQuery("from Board as b where b.rnd_id = 1");
+            m = 0;
+            for (t : q) {
+                if (t.getP1() > m) { m = t.getP1(); }
+            }
+            return m;
+        }
+        """
+        report = optimize_program(source, "f", catalog)
+        assert report.rewritten is not None
+        rendered = unparse_program(report.rewritten)
+        assert "for (" not in rendered
+        v1, v2, s1, s2 = run_both(report, database, "f")
+        assert v1 == v2 == 10
+
+    def test_partial_extraction_keeps_loop(self, catalog, database):
+        """Paper Section 5.3 / Figure 7(a): when another live variable in the
+        loop cannot be extracted, the heuristic declines the rewrite."""
+        source = """
+        f(x) {
+            q = executeQuery("from Board as b");
+            agg = 0;
+            weird = 0;
+            for (t : q) {
+                agg = agg + t.getP1();
+                weird = weird + agg;
+            }
+            return agg + weird;
+        }
+        """
+        report = optimize_program(source, "f", catalog)
+        # agg alone extracts, weird does not; all-or-nothing heuristic
+        assert report.variables["agg"].ok
+        assert not report.variables["weird"].ok
+        assert not report.rewritten_loops
+
+    def test_rewritten_program_parses_and_runs(self, catalog, database):
+        from tests.conftest import run_both
+
+        source = """
+        f() {
+            q = executeQuery("from Project as p");
+            names = new ArrayList();
+            for (t : q) {
+                if (t.getBudget() > 8) { names.add(t.getName()); }
+            }
+            return names;
+        }
+        """
+        report = optimize_program(source, "f", catalog)
+        v1, v2, s1, s2 = run_both(report, database, "f")
+        assert v1 == v2 == ["alpha", "beta", "gamma"]
+        assert s2.rows_transferred <= s1.rows_transferred
+
+    def test_preamble_binds_attribute_params(self, catalog, database):
+        """Bindings like `u.getRole_id()` become preamble assignments."""
+        from tests.conftest import run_both
+
+        source = """
+        f(u) {
+            q = executeQuery("from Role as r");
+            names = new ArrayList();
+            for (t : q) {
+                if (t.getId() == u.getRole_id()) { names.add(t.getRole_name()); }
+            }
+            return names;
+        }
+        """
+        report = optimize_program(source, "f", catalog)
+        if report.rewritten is None:
+            return  # acceptable: parameterised on entity attribute
+        rendered = unparse_program(report.rewritten)
+        assert "u__role_id" in rendered

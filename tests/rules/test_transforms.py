@@ -1,0 +1,324 @@
+"""Transformation rule tests (paper Section 5.1 rules T1–T7)."""
+
+import pytest
+
+from repro.algebra import Catalog
+from repro.ir import (
+    EConst,
+    EExists,
+    EFold,
+    EOp,
+    EQuery,
+    EScalarQuery,
+    build_dir,
+    contains_fold,
+    preprocess_program,
+)
+from repro.fir import loop_to_fold
+from repro.lang import parse_program
+from repro.rules import RuleEngine
+
+
+@pytest.fixture
+def engine(catalog):
+    return RuleEngine(catalog)
+
+
+def fir_of(source, variable, function="f"):
+    program = preprocess_program(parse_program(source))
+    ve, ctx = build_dir(program, function)
+    outcome = loop_to_fold(ve[variable], ctx.dag)
+    assert outcome.ok, outcome.reason
+    return outcome.node, ctx
+
+
+def transform(source, variable, catalog, function="f"):
+    node, ctx = fir_of(source, variable, function)
+    engine = RuleEngine(catalog, ctx.dag)
+    return engine.transform(node)
+
+
+class TestT1T3Collection:
+    def test_whole_tuple_append_is_query(self, catalog):
+        result, trace = transform(
+            """
+            f() {
+                q = executeQuery("from Project as p");
+                xs = new ArrayList();
+                for (t : q) { xs.add(t); }
+            }
+            """,
+            "xs",
+            catalog,
+        )
+        assert isinstance(result, EQuery)
+        assert "T1" in trace
+
+    def test_scalar_payload_becomes_projection(self, catalog):
+        result, trace = transform(
+            """
+            f() {
+                q = executeQuery("from Project as p");
+                xs = new ArrayList();
+                for (t : q) { xs.add(t.getName()); }
+            }
+            """,
+            "xs",
+            catalog,
+        )
+        assert isinstance(result, EQuery)
+        assert "π" in str(result.rel)
+        assert "T1+T3" in trace
+
+    def test_set_insert_gets_distinct(self, catalog):
+        result, _ = transform(
+            """
+            f() {
+                q = executeQuery("from Project as p");
+                xs = new HashSet();
+                for (t : q) { xs.add(t.getName()); }
+            }
+            """,
+            "xs",
+            catalog,
+        )
+        assert "δ" in str(result.rel)
+
+    def test_computed_payload_pushed(self, catalog):
+        """T3: scalar functions pushed into the query."""
+        result, _ = transform(
+            """
+            f() {
+                q = executeQuery("from Board as b");
+                xs = new ArrayList();
+                for (t : q) { xs.add(Math.max(t.getP1(), t.getP2())); }
+            }
+            """,
+            "xs",
+            catalog,
+        )
+        assert "GREATEST" in str(result.rel)
+
+
+class TestT2PredicatePush:
+    def test_selection_pushed(self, catalog):
+        result, trace = transform(
+            """
+            f() {
+                q = executeQuery("from Project as p");
+                xs = new ArrayList();
+                for (t : q) { if (t.getFinished() == false) { xs.add(t.getName()); } }
+            }
+            """,
+            "xs",
+            catalog,
+        )
+        assert isinstance(result, EQuery)
+        assert "T2" in trace
+        assert "σ" in str(result.rel)
+
+    def test_inverted_branch_negates(self, catalog):
+        result, trace = transform(
+            """
+            f() {
+                q = executeQuery("from Project as p");
+                n = 0;
+                for (t : q) { if (t.getFinished()) { } else { n = n + 1; } }
+            }
+            """,
+            "n",
+            catalog,
+        )
+        assert "T2" in trace
+        assert "NOT" in str(result)
+
+
+class TestT5Aggregation:
+    def test_sum(self, catalog):
+        result, trace = transform(
+            'f() { q = executeQuery("from Orders as o"); s = 0; for (t : q) { s = s + t.getAmount(); } }',
+            "s",
+            catalog,
+        )
+        assert "T5.1" in trace
+        assert result.op == "combine_sum"
+        assert isinstance(result.operands[1], EScalarQuery)
+
+    def test_count(self, catalog):
+        result, trace = transform(
+            'f() { q = executeQuery("from Orders as o"); n = 0; for (t : q) { n = n + 1; } }',
+            "n",
+            catalog,
+        )
+        assert "T5.1-count" in trace
+        assert isinstance(result, EScalarQuery)
+        assert "COUNT" in str(result.rel)
+
+    def test_max_with_nonzero_init_combines(self, catalog):
+        result, _ = transform(
+            'f() { q = executeQuery("from Board as b"); m = 100; for (t : q) { m = Math.max(m, t.getP1()); } }',
+            "m",
+            catalog,
+        )
+        assert result.op == "combine_max"
+        assert result.operands[0] == EConst(100)
+
+    def test_conditional_sum_via_case(self, catalog):
+        result, _ = transform(
+            """
+            f() {
+                q = executeQuery("from Orders as o");
+                s = 0;
+                for (t : q) { s = s + (t.getAmount() > 10 ? t.getAmount() : 0); }
+            }
+            """,
+            "s",
+            catalog,
+        )
+        assert "CASE WHEN" in str(result)
+
+
+class TestExistsForms:
+    def test_or_becomes_exists(self, catalog):
+        result, trace = transform(
+            """
+            f() {
+                q = executeQuery("from Project as p");
+                found = false;
+                for (t : q) { if (t.getBudget() > 20) { found = true; } }
+            }
+            """,
+            "found",
+            catalog,
+        )
+        assert isinstance(result, EExists)
+        assert not result.negated
+        assert "T-exists" in trace
+
+    def test_and_becomes_not_exists(self, catalog):
+        result, trace = transform(
+            """
+            f() {
+                q = executeQuery("from Project as p");
+                all_ok = true;
+                for (t : q) { if (t.getBudget() > 20) { } else { all_ok = false; } }
+            }
+            """,
+            "all_ok",
+            catalog,
+        )
+        assert isinstance(result, EExists)
+        assert result.negated
+
+
+class TestT4Join:
+    JOIN_SOURCE = """
+    f() {
+        users = executeQuery("from WilosUser as u");
+        xs = new ArrayList();
+        for (u : users) {
+            roles = executeQuery("select r.role_name from Role r where r.id = " + u.getRole_id());
+            for (r : roles) { xs.add(r.getRole_name()); }
+        }
+    }
+    """
+
+    def test_join_identified(self, catalog):
+        result, trace = transform(self.JOIN_SOURCE, "xs", catalog)
+        assert isinstance(result, EQuery)
+        assert "T4.1" in trace
+        assert "⋈" in str(result.rel)
+
+    def test_t6_fires_before_t4(self, catalog):
+        _, trace = transform(self.JOIN_SOURCE, "xs", catalog)
+        assert "T6" in trace
+
+    def test_list_append_requires_outer_key(self):
+        bare = Catalog()
+        bare.define("wilosuser", ["id", "name", "role_id"])  # no key!
+        bare.define("role", ["id", "role_name"])
+        node, ctx = fir_of(self.JOIN_SOURCE, "xs")
+        engine = RuleEngine(bare, ctx.dag)
+        result, trace = engine.transform(node)
+        assert contains_fold(result)  # T4.1 precondition fails
+        assert "T4.1" not in trace
+
+    def test_set_insert_works_without_key(self):
+        bare = Catalog()
+        bare.define("wilosuser", ["id", "name", "role_id"])
+        bare.define("role", ["id", "role_name"])
+        source = self.JOIN_SOURCE.replace("new ArrayList", "new HashSet")
+        node, ctx = fir_of(source, "xs")
+        engine = RuleEngine(bare, ctx.dag)
+        result, trace = engine.transform(node)
+        assert isinstance(result, EQuery)
+        assert "T4.2" in trace
+        assert "δ" in str(result.rel)
+
+
+class TestT7Apply:
+    def test_correlated_scalar_query_applied(self, catalog):
+        result, trace = transform(
+            """
+            f() {
+                custs = executeQuery("from Customers as c");
+                xs = new ArrayList();
+                for (c : custs) {
+                    total = 0;
+                    orders = executeQuery("select o.amount from Orders o where o.cust = '" + c.getCust() + "'");
+                    for (o : orders) { total = total + o.getAmount(); }
+                    xs.add(new Pair(c.getCust(), total));
+                }
+            }
+            """,
+            "xs",
+            catalog,
+        )
+        assert "T7" in trace
+        assert "OApply" in str(result)
+
+    def test_direct_execute_scalar_applied(self, catalog):
+        result, trace = transform(
+            """
+            f() {
+                custs = executeQuery("from Customers as c");
+                xs = new ArrayList();
+                for (c : custs) {
+                    t = executeScalar("select sum(o.amount) from Orders o where o.cust = '" + c.getCust() + "'");
+                    xs.add(t);
+                }
+            }
+            """,
+            "xs",
+            catalog,
+        )
+        assert "T7" in trace
+
+
+class TestRuleEngineProperties:
+    def test_trace_records_rules(self, catalog):
+        _, trace = transform(
+            'f() { q = executeQuery("from Orders as o"); s = 0; for (t : q) { s = s + t.getAmount(); } }',
+            "s",
+            catalog,
+        )
+        assert trace
+
+    def test_disabled_rule_prevents_rewrite(self, catalog):
+        node, ctx = fir_of(
+            'f() { q = executeQuery("from Orders as o"); s = 0; for (t : q) { s = s + t.getAmount(); } }',
+            "s",
+        )
+        engine = RuleEngine(catalog, ctx.dag, disabled=frozenset({"T5"}))
+        result, _ = engine.transform(node)
+        assert contains_fold(result)
+
+    def test_transform_is_idempotent(self, catalog):
+        node, ctx = fir_of(
+            'f() { q = executeQuery("from Orders as o"); s = 0; for (t : q) { s = s + t.getAmount(); } }',
+            "s",
+        )
+        engine = RuleEngine(catalog, ctx.dag)
+        once, _ = engine.transform(node)
+        twice, _ = engine.transform(once)
+        assert once == twice

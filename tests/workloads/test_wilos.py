@@ -1,0 +1,103 @@
+"""Table 1 reproduction tests: every sample's disposition must match."""
+
+import pytest
+
+from repro.core import extract_sql
+from repro.db import Connection
+from repro.interp import Interpreter
+from repro.workloads import (
+    EXPECT_CAPABLE,
+    EXPECT_FAILED,
+    EXPECT_SUCCESS,
+    SAMPLE_30_SIMPLIFIED,
+    WILOS_SAMPLES,
+    expected_counts,
+    sample,
+    wilos_catalog,
+    wilos_database,
+)
+
+_CATALOG = wilos_catalog()
+
+
+class TestTable1Dispositions:
+    @pytest.mark.parametrize("wilos_sample", WILOS_SAMPLES, ids=lambda s: f"{s.number:02d}-{s.file}")
+    def test_status_matches_paper(self, wilos_sample):
+        report = extract_sql(wilos_sample.source, wilos_sample.function, _CATALOG)
+        assert report.status == wilos_sample.expected
+
+    def test_totals(self):
+        counts = expected_counts()
+        assert counts == {
+            EXPECT_SUCCESS: 17,
+            EXPECT_CAPABLE: 7,
+            EXPECT_FAILED: 9,
+        }
+
+    def test_qbs_reference_totals(self):
+        from repro.baselines import qbs_success_count
+
+        assert qbs_success_count() == 21
+
+    def test_every_sample_parses(self):
+        from repro.lang import parse_program
+
+        for wilos_sample in WILOS_SAMPLES:
+            program = parse_program(wilos_sample.source)
+            assert program.function(wilos_sample.function)
+
+
+class TestSuccessfulSamplesExecute:
+    """Each rewritten success sample must be runtime-equivalent."""
+
+    _ARGS = {
+        "getChecklists": (1,),
+        "hasTemplate": (1,),
+        "checkLogin": ("login1", "pw1"),
+        "isActiveUser": ("login2",),
+        "allPhasesDone": (3,),
+    }
+
+    @pytest.mark.parametrize(
+        "wilos_sample",
+        [s for s in WILOS_SAMPLES if s.expected == EXPECT_SUCCESS],
+        ids=lambda s: f"{s.number:02d}-{s.function}",
+    )
+    def test_equivalence(self, wilos_sample):
+        from repro.core import optimize_program
+
+        report = optimize_program(wilos_sample.source, wilos_sample.function, _CATALOG)
+        assert report.rewritten is not None, "success sample must be rewritten"
+        db = wilos_database(scale=40, catalog=_CATALOG)
+        args = self._ARGS.get(wilos_sample.function, ())
+        c1, c2 = Connection(db), Connection(db)
+        r1 = Interpreter(report.original, c1).run(wilos_sample.function, *args)
+        r2 = Interpreter(report.rewritten, c2).run(wilos_sample.function, *args)
+        if isinstance(r1, list):
+            assert list(map(str, r1)) == list(map(str, r2))
+        elif isinstance(r1, set):
+            assert set(map(str, r1)) == set(map(str, r2))
+        else:
+            assert r1 == r2
+        assert c2.stats.queries_executed <= c1.stats.queries_executed
+
+
+def test_sample_30_simplified_joins(database=None):
+    """Experiment 6's variant of #30 must extract a join."""
+    from repro.core import extract_sql
+
+    report = extract_sql(SAMPLE_30_SIMPLIFIED, "userRoleReport", _CATALOG)
+    assert report.status == EXPECT_SUCCESS
+    assert "JOIN" in (report.variables["result"].sql or "")
+
+
+def test_sample_accessor():
+    assert sample(6).line == 297
+    assert sample(1).number == 1
+
+
+def test_database_generator_is_deterministic():
+    db1 = wilos_database(scale=20, seed=3)
+    db2 = wilos_database(scale=20, seed=3)
+    assert db1.rows("project") == db2.rows("project")
+    assert db1.rows("wilosuser") == db2.rows("wilosuser")

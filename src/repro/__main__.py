@@ -4,7 +4,10 @@ Subcommands:
 
 ``extract``   run EqSQL on a MiniJava source file and print the extracted
               SQL (optionally the rewritten program);
-``demo``      the paper's Figure 2 → Figure 3(d) walk-through.
+``demo``      the paper's Figure 2 → Figure 3(d) walk-through;
+``difftest``  the differential equivalence fuzzer (random programs vs.
+              their extracted-SQL rewrites; failures are shrunk and filed
+              as corpus repros).
 
 Schemas are given either as a JSON file (``--schema``) of the form::
 
@@ -103,6 +106,28 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _cmd_difftest(args) -> int:
+    from .difftest import run_difftest
+
+    stats = run_difftest(
+        seed=args.seed,
+        iters=args.iters,
+        budget_s=args.budget_s,
+        corpus_dir=args.corpus_dir,
+        do_shrink=not args.no_shrink,
+        log=print,
+    )
+    print(stats.summary())
+    for finding in stats.findings:
+        case = finding.minimized or finding.case
+        print(f"\n--- {finding.verdict.kind} (case {stats.seed}:{case.case_id}) ---")
+        print(finding.verdict.detail)
+        print("program:")
+        print(case.source)
+        print(f"rows: {case.rows}")
+    return 1 if stats.failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -140,6 +165,27 @@ def main(argv: list[str] | None = None) -> int:
 
     demo = sub.add_parser("demo", help="run the Figure 2 walk-through")
     demo.set_defaults(func=_cmd_demo)
+
+    difftest = sub.add_parser(
+        "difftest", help="differential equivalence fuzzer (Theorem 1)"
+    )
+    difftest.add_argument("--seed", type=int, default=0)
+    difftest.add_argument("--iters", type=int, default=200)
+    difftest.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        help="stop after this many seconds even if --iters cases have not run",
+    )
+    difftest.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="write shrunk failing cases to this directory as JSON repros",
+    )
+    difftest.add_argument(
+        "--no-shrink", action="store_true", help="skip delta-debugging of failures"
+    )
+    difftest.set_defaults(func=_cmd_difftest)
 
     args = parser.parse_args(argv)
     return args.func(args)

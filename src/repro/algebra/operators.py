@@ -272,7 +272,21 @@ def replace_child(expr: RelExpr, old: RelExpr, new: RelExpr) -> RelExpr:
 
 
 def strip_sort(expr: RelExpr) -> RelExpr:
-    """Remove top-level τ operators (used when result order is irrelevant)."""
-    while isinstance(expr, Sort):
-        expr = expr.child
+    """Remove τ operators feeding an order-insensitive consumer.
+
+    A fold with a commutative ⊕ (SUM/COUNT/MAX/MIN), a set insert, or an
+    EXISTS test ignores iteration order, so a τ in its source is
+    semantically dead — and it would render as an ORDER BY over columns the
+    enclosing aggregate/DISTINCT block no longer exposes, which engines
+    reject.  Recurses through the order-preserving unary operators so a τ
+    buried under a σ is found too.
+    """
+    if isinstance(expr, Sort):
+        return strip_sort(expr.child)
+    if isinstance(expr, Select):
+        child = strip_sort(expr.child)
+        return expr if child is expr.child else Select(child, expr.pred)
+    if isinstance(expr, Alias):
+        child = strip_sort(expr.child)
+        return expr if child is expr.child else Alias(child, expr.name)
     return expr

@@ -1,0 +1,77 @@
+"""Differential equivalence fuzzer (randomized Theorem 1 checking).
+
+The paper's central claim is that loop-to-fold conversion plus rules T1–T7
+preserve program semantics.  This package checks the claim mechanically:
+randomized MiniJava programs over randomized schemas and database instances
+are run twice — as written, and as rewritten by ``optimize_program`` — and
+any observable difference is shrunk to a minimal repro and filed in a
+corpus for permanent regression replay.
+
+Entry points:
+
+* ``python -m repro difftest --seed N --iters K [--budget-s S]`` — CLI;
+* :func:`run_difftest` — the same loop, programmatic;
+* :func:`run_case` / :func:`generate_case` — one-case building blocks;
+* :mod:`repro.difftest.corpus` — repro file persistence and replay.
+"""
+
+from .corpus import (
+    CorpusEntry,
+    case_from_dict,
+    case_to_dict,
+    corpus_files,
+    load_entry,
+    replay_entry,
+    replay_file,
+    save_entry,
+)
+from .dbgen import build_database, populate_case
+from .generator import CaseGenerator, GeneratedCase, TableSpec, generate_case
+from .oracle import (
+    FAILING_KINDS,
+    KIND_CONTRACT,
+    KIND_CRASH,
+    KIND_DIVERGENCE,
+    KIND_NO_REWRITE,
+    KIND_OK,
+    KIND_ORIGINAL_ERROR,
+    KIND_REWRITTEN_ERROR,
+    Verdict,
+    normalize,
+    run_case,
+)
+from .runner import DiffTestStats, Finding, run_difftest
+from .shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "CaseGenerator",
+    "CorpusEntry",
+    "DiffTestStats",
+    "FAILING_KINDS",
+    "Finding",
+    "GeneratedCase",
+    "KIND_CONTRACT",
+    "KIND_CRASH",
+    "KIND_DIVERGENCE",
+    "KIND_NO_REWRITE",
+    "KIND_OK",
+    "KIND_ORIGINAL_ERROR",
+    "KIND_REWRITTEN_ERROR",
+    "ShrinkResult",
+    "TableSpec",
+    "Verdict",
+    "build_database",
+    "case_from_dict",
+    "case_to_dict",
+    "corpus_files",
+    "generate_case",
+    "load_entry",
+    "normalize",
+    "populate_case",
+    "replay_entry",
+    "replay_file",
+    "run_case",
+    "run_difftest",
+    "save_entry",
+    "shrink",
+]

@@ -1,0 +1,128 @@
+"""Corpus persistence: minimized failing cases as JSON regression files.
+
+Every fuzzer find is shrunk and written here; ``tests/difftest/corpus/``
+replays the checked-in ones on every test run, so past finds become
+permanent regression tests.  Files are plain JSON so a human can read the
+repro at a glance::
+
+    {
+      "name": "case-0-17-divergence",
+      "comment": "root cause: ...",
+      "expect": "ok",                 # verdict kind required at replay time
+      "function": "f",
+      "source": "f() { ... }",
+      "tables": [{"name": "orders", "columns": [...], "key": ["id"]}],
+      "rows": {"orders": [{"id": 1, "amount": 3}]}
+    }
+
+``expect`` records the verdict the *fixed* system must produce (usually
+``ok`` or ``no-rewrite``); a corpus replay fails if the verdict regresses
+to a failing kind or drifts from the recorded one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .generator import GeneratedCase, TableSpec
+from .oracle import Verdict, run_case
+
+
+@dataclass
+class CorpusEntry:
+    name: str
+    comment: str
+    expect: str
+    case: GeneratedCase
+
+
+def case_to_dict(case: GeneratedCase) -> dict:
+    return {
+        "function": case.function,
+        "source": case.source,
+        "tables": [
+            {
+                "name": t.name,
+                "columns": list(t.columns),
+                "key": list(t.key),
+                "str_columns": list(t.str_columns),
+            }
+            for t in case.tables
+        ],
+        "notnull": {k: list(v) for k, v in case.notnull.items()},
+        "rows": case.rows,
+    }
+
+
+def case_from_dict(data: dict, case_id: int = -1) -> GeneratedCase:
+    tables = [
+        TableSpec(
+            name=t["name"],
+            columns=list(t["columns"]),
+            key=tuple(t.get("key", ())),
+            str_columns=list(t.get("str_columns", ())),
+        )
+        for t in data["tables"]
+    ]
+    return GeneratedCase(
+        case_id=case_id,
+        tables=tables,
+        source=data["source"],
+        function=data.get("function", "f"),
+        notnull={k: list(v) for k, v in data.get("notnull", {}).items()},
+        rows={k: list(v) for k, v in data.get("rows", {}).items()},
+    )
+
+
+def save_entry(
+    directory: Path | str,
+    name: str,
+    case: GeneratedCase,
+    found_verdict: Verdict,
+    expect: str,
+    comment: str = "",
+) -> Path:
+    """Write one corpus file; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "name": name,
+        "comment": comment,
+        "found_kind": found_verdict.kind,
+        "found_detail": found_verdict.detail,
+        "expect": expect,
+        **case_to_dict(case),
+    }
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_entry(path: Path | str) -> CorpusEntry:
+    path = Path(path)
+    data = json.loads(path.read_text())
+    return CorpusEntry(
+        name=data.get("name", path.stem),
+        comment=data.get("comment", ""),
+        expect=data.get("expect", "ok"),
+        case=case_from_dict(data),
+    )
+
+
+def corpus_files(directory: Path | str) -> list[Path]:
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def replay_entry(entry: CorpusEntry) -> Verdict:
+    """Re-run a corpus case through the oracle."""
+    return run_case(entry.case)
+
+
+def replay_file(path: Path | str) -> tuple[CorpusEntry, Verdict]:
+    entry = load_entry(path)
+    return entry, replay_entry(entry)

@@ -1,0 +1,96 @@
+"""Random database instance generation for differential testing.
+
+Instances deliberately stress the data shapes the engine and the rewrite
+rules must agree on:
+
+* empty tables (aggregates over zero rows — SQL returns NULL, the
+  imperative fold returns its initial value);
+* skewed value distributions with many duplicates (grouping, DISTINCT,
+  argmax tie-breaking);
+* NULLs in every column the program does not use arithmetically (SQL
+  three-valued logic vs. the interpreter's Java-like semantics);
+* duplicate ids in tables declared keyless (rule T4/T5's unique-key
+  precondition must then block order-sensitive rewrites).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..db import Database
+from .generator import GeneratedCase, TableSpec, _STR_POOL
+
+#: Skewed integer pool: duplicates are very likely in any non-trivial table.
+_INT_POOL = [0, 0, 1, 1, 2, 3, 5, 7, 10, 10, 15, 20, 25, 42, 100, -1, -7]
+
+
+def _row_count(rng: random.Random) -> int:
+    roll = rng.random()
+    if roll < 0.12:
+        return 0
+    if roll < 0.62:
+        return rng.randint(1, 6)
+    return rng.randint(7, 25)
+
+
+def _int_value(rng: random.Random) -> int:
+    if rng.random() < 0.7:
+        return rng.choice(_INT_POOL)
+    return rng.randint(-50, 120)
+
+
+def generate_rows(
+    rng: random.Random, table: TableSpec, notnull: list[str], fk_ids: list[int]
+) -> list[dict]:
+    count = _row_count(rng)
+    rows = []
+    for index in range(count):
+        row: dict = {}
+        if table.key:
+            row["id"] = index + 1
+        else:
+            # Keyless table: duplicate ids on purpose.
+            row["id"] = rng.randint(1, max(2, count // 2 + 1))
+        for column in table.int_columns:
+            if column not in notnull and rng.random() < 0.15:
+                row[column] = None
+            else:
+                row[column] = _int_value(rng)
+        for column in table.str_columns:
+            if column not in notnull and rng.random() < 0.15:
+                row[column] = None
+            else:
+                row[column] = rng.choice(_STR_POOL)
+        if "fk" in table.columns:
+            # Point at a real outer id most of the time; dangle sometimes.
+            if fk_ids and rng.random() < 0.85:
+                row["fk"] = rng.choice(fk_ids)
+            else:
+                row["fk"] = rng.randint(1, 30)
+        rows.append(row)
+    return rows
+
+
+def populate_case(rng: random.Random, case: GeneratedCase) -> None:
+    """Fill ``case.rows`` with a random instance for its schema."""
+    fk_ids: list[int] = []
+    for table in case.tables:
+        rows = generate_rows(
+            rng, table, case.notnull.get(table.name, []), fk_ids
+        )
+        case.rows[table.name] = rows
+        if not fk_ids:
+            fk_ids = [row["id"] for row in rows]
+
+
+def build_database(case: GeneratedCase) -> Database:
+    """A fresh :class:`Database` holding the case's instance.
+
+    Built from scratch on every call so the two interpreter runs (original
+    vs. rewritten program) cannot observe each other's side effects (e.g.
+    shipped temporary tables).
+    """
+    db = Database(case.catalog())
+    for table in case.tables:
+        db.insert_many(table.name, case.rows.get(table.name, []))
+    return db

@@ -1,0 +1,542 @@
+"""Seeded, grammar-directed random MiniJava program generator.
+
+Each :class:`GeneratedCase` is a self-contained differential-testing input:
+a random schema, a random MiniJava function exercising the constructs the
+paper analyses (cursor loops over ``executeQuery``, nested/sequenced loops,
+if/else inside loops, scalar and collection accumulators, aggregations,
+string concatenation, early returns), and the set of columns the function
+reads arithmetically (which the instance generator must keep NOT NULL so
+the imperative semantics stay defined).
+
+Determinism contract: all choices come from the ``random.Random`` instance
+passed in, so a fixed seed reproduces the exact same case stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..algebra import Catalog
+
+#: Name pools.  Fixed and ordered so generation is reproducible.
+_TABLE_NAMES = ["orders", "items", "events", "players", "visits", "reviews"]
+_INT_COLUMNS = ["amount", "qty", "score", "price", "rank", "age", "hits"]
+_STR_COLUMNS = ["name", "tag", "city"]
+_STR_POOL = ["a", "b", "north", "south", "x"]
+
+
+@dataclass
+class TableSpec:
+    """One random base table. ``key`` is empty when duplicate ids are
+    allowed (the catalog then declares no unique key, so rewrites cannot
+    assume uniqueness — this is how the fuzzer covers duplicate-key data
+    without violating declared invariants)."""
+
+    name: str
+    columns: list[str]
+    key: tuple[str, ...]
+    str_columns: list[str] = field(default_factory=list)
+
+    @property
+    def int_columns(self) -> list[str]:
+        return [c for c in self.columns if c != "id" and c not in self.str_columns]
+
+    @property
+    def entity(self) -> str:
+        """The HQL-style entity name (``orders`` → ``Orders``)."""
+        return self.name[0].upper() + self.name[1:]
+
+
+@dataclass
+class GeneratedCase:
+    """A complete differential-testing input (program + schema + data)."""
+
+    case_id: int
+    tables: list[TableSpec]
+    source: str
+    function: str = "f"
+    #: table name → columns the program compares/adds arithmetically; the
+    #: instance generator never puts NULL in these.
+    notnull: dict[str, list[str]] = field(default_factory=dict)
+    #: table name → rows (filled in by :mod:`repro.difftest.dbgen` or a
+    #: corpus file).
+    rows: dict[str, list[dict]] = field(default_factory=dict)
+
+    def catalog(self) -> Catalog:
+        catalog = Catalog()
+        for table in self.tables:
+            catalog.define(table.name, list(table.columns), key=table.key)
+        return catalog
+
+
+# ----------------------------------------------------------------------
+# Generation
+
+
+def _getter(column: str) -> str:
+    return "get" + column[0].upper() + column[1:]
+
+
+class _Emitter:
+    """Indentation-aware source assembly."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+
+    def line(self, text: str) -> None:
+        self._lines.append("    " * self._depth + text)
+
+    def open(self, text: str) -> None:
+        self.line(text + " {")
+        self._depth += 1
+
+    def close(self) -> None:
+        self._depth -= 1
+        self.line("}")
+
+    def source(self) -> str:
+        return "\n".join(self._lines)
+
+
+@dataclass
+class _Accumulator:
+    """One accumulator variable updated inside a loop."""
+
+    kind: str
+    var: str
+    init_lines: list[str]
+    update_lines: list[str]
+    result_vars: list[str]
+    needs_guard: bool = False
+
+
+class CaseGenerator:
+    """Draws random cases from a ``random.Random`` stream."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+        self._acc_counter = 0
+
+    # ------------------------------------------------------------------
+    # Schema
+
+    def schema(self) -> list[TableSpec]:
+        rng = self._rng
+        count = rng.choice([1, 1, 2, 2, 3])
+        names = rng.sample(_TABLE_NAMES, count)
+        tables = []
+        for index, name in enumerate(names):
+            ints = rng.sample(_INT_COLUMNS, rng.randint(2, 4))
+            strs = rng.sample(_STR_COLUMNS, rng.choice([0, 0, 1]))
+            columns = ["id"] + ints + strs
+            if index > 0:
+                columns.append("fk")  # join column back to the first table
+            # ~20% of tables allow duplicate ids: declared keyless.
+            key = () if rng.random() < 0.2 else ("id",)
+            tables.append(TableSpec(name, columns, key, str_columns=strs))
+        return tables
+
+    # ------------------------------------------------------------------
+    # Programs
+
+    def case(self, case_id: int) -> GeneratedCase:
+        self._acc_counter = 0
+        tables = self.schema()
+        notnull: dict[str, set[str]] = {t.name: set() for t in tables}
+        emit = _Emitter()
+        emit.open("f()")
+        shape = self._rng.choices(
+            ["single", "sequenced", "nested", "cursor_while", "early_return"],
+            weights=[40, 15, 18, 12, 15],
+        )[0]
+        if shape == "single":
+            results = self._single_loop(emit, tables[0], notnull)
+        elif shape == "sequenced":
+            results = self._single_loop(emit, tables[0], notnull)
+            results += self._single_loop(emit, tables[-1], notnull, suffix="1")
+        elif shape == "nested":
+            results = self._nested_loops(emit, tables, notnull)
+        elif shape == "cursor_while":
+            results = self._cursor_while(emit, tables[0], notnull)
+        else:
+            results = self._single_loop(
+                emit, tables[0], notnull, early_return=True
+            )
+        emit.line(f"return {self._combine(results)};")
+        emit.close()
+        return GeneratedCase(
+            case_id=case_id,
+            tables=tables,
+            source=emit.source(),
+            notnull={name: sorted(cols) for name, cols in notnull.items()},
+        )
+
+    @staticmethod
+    def _combine(results: list[str]) -> str:
+        """Fold every observable variable into one return expression."""
+        if not results:
+            return "0"
+        combined = results[-1]
+        for var in reversed(results[:-1]):
+            combined = f"new Pair({var}, {combined})"
+        return combined
+
+    # ------------------------------------------------------------------
+    # Loop shapes
+
+    def _query_text(
+        self, table: TableSpec, alias: str, notnull: dict[str, set[str]]
+    ) -> str:
+        rng = self._rng
+        text = f"from {table.entity} as {alias}"
+        if rng.random() < 0.55 and table.int_columns:
+            column = rng.choice(table.int_columns)
+            op = rng.choice([">", "<", ">=", "=", "!="])
+            text += f" where {alias}.{column} {op} {rng.randint(0, 20)}"
+            if rng.random() < 0.3:
+                other = rng.choice(table.int_columns)
+                connective = rng.choice(["and", "or"])
+                text += (
+                    f" {connective} {alias}.{other} "
+                    f"{rng.choice(['>', '<'])} {rng.randint(0, 20)}"
+                )
+        if rng.random() < 0.25:
+            column = rng.choice(table.int_columns)
+            direction = rng.choice(["asc", "desc"])
+            text += f" order by {alias}.{column} {direction}"
+            # A non-unique sort key makes result order underdetermined in
+            # real SQL; the engine's stable sort keeps both runs aligned,
+            # and ties are broken deterministically by insertion order.
+        return text
+
+    def _single_loop(
+        self,
+        emit: _Emitter,
+        table: TableSpec,
+        notnull: dict[str, set[str]],
+        suffix: str = "0",
+        early_return: bool = False,
+    ) -> list[str]:
+        rng = self._rng
+        cursor = f"t{suffix}"
+        accs = self._pick_accumulators(table, cursor, notnull)
+        for acc in accs:
+            for line in acc.init_lines:
+                emit.line(line)
+        query = self._query_text(table, f"a{suffix}", notnull)
+        emit.line(f'q{suffix} = executeQuery("{query}");')
+        emit.open(f"for ({cursor} : q{suffix})")
+        self._emit_body(emit, table, cursor, accs, notnull)
+        if rng.random() < 0.12:
+            cond = self._condition(table, cursor, notnull)
+            emit.open(f"if ({cond})")
+            emit.line("break;")
+            emit.close()
+        if early_return:
+            cond = self._condition(table, cursor, notnull)
+            results = [v for acc in accs for v in acc.result_vars]
+            emit.open(f"if ({cond})")
+            emit.line(f"return {self._combine(results)};")
+            emit.close()
+        emit.close()
+        return [v for acc in accs for v in acc.result_vars]
+
+    def _cursor_while(
+        self, emit: _Emitter, table: TableSpec, notnull: dict[str, set[str]]
+    ) -> list[str]:
+        cursor = "rs"
+        accs = self._pick_accumulators(table, cursor, notnull, limit=2)
+        for acc in accs:
+            for line in acc.init_lines:
+                emit.line(line)
+        query = self._query_text(table, "a0", notnull)
+        emit.line(f'rs = executeQueryCursor("{query}");')
+        emit.open("while (rs.next())")
+        self._emit_body(emit, table, cursor, accs, notnull)
+        emit.close()
+        return [v for acc in accs for v in acc.result_vars]
+
+    def _nested_loops(
+        self,
+        emit: _Emitter,
+        tables: list[TableSpec],
+        notnull: dict[str, set[str]],
+    ) -> list[str]:
+        """Correlated N+1 pattern: inner per-row query keyed on the outer id."""
+        rng = self._rng
+        outer = tables[0]
+        inner = tables[-1] if len(tables) > 1 else tables[0]
+        inner_fk = "fk" if "fk" in inner.columns else "id"
+        notnull[outer.name].add("id")
+        inner_acc = self._pick_accumulators(
+            inner, "t1", notnull, limit=1, kinds=["sum", "count", "max"]
+        )[0]
+        collect = rng.random() < 0.6
+        if collect:
+            emit.line("out = new ArrayList();")
+        else:
+            emit.line("grand = 0;")
+        emit.line(f'q0 = executeQuery("from {outer.entity} as a0");')
+        emit.open("for (t0 : q0)")
+        for line in inner_acc.init_lines:
+            emit.line(line)
+        emit.line(
+            f'q1 = executeQuery("select * from {inner.entity} as a1 '
+            f'where a1.{inner_fk} = " + t0.getId());'
+        )
+        emit.open("for (t1 : q1)")
+        for line in inner_acc.update_lines:
+            emit.line(line)
+        emit.close()
+        if collect:
+            emit.line(f"out.add(new Pair(t0.getId(), {inner_acc.var}));")
+        else:
+            emit.line(f"grand = grand + {inner_acc.var};")
+        emit.close()
+        return ["out" if collect else "grand"]
+
+    def _emit_body(
+        self,
+        emit: _Emitter,
+        table: TableSpec,
+        cursor: str,
+        accs: list[_Accumulator],
+        notnull: dict[str, set[str]],
+    ) -> None:
+        rng = self._rng
+        if len(accs) >= 2 and rng.random() < 0.35:
+            # if/else splitting two accumulators across branches.
+            cond = self._condition(table, cursor, notnull)
+            emit.open(f"if ({cond})")
+            for line in accs[0].update_lines:
+                emit.line(line)
+            emit.close()
+            emit.open("else")
+            for line in accs[1].update_lines:
+                emit.line(line)
+            emit.close()
+            rest = accs[2:]
+        else:
+            rest = accs
+        for acc in rest:
+            guarded = acc.needs_guard or rng.random() < 0.4
+            if guarded:
+                cond = self._condition(table, cursor, notnull)
+                emit.open(f"if ({cond})")
+            for line in acc.update_lines:
+                emit.line(line)
+            if guarded:
+                emit.close()
+        if rng.random() < 0.15:
+            # Printed output is always observable (the __out__ stream).
+            emit.line(f"println({self._collectable(table, cursor, notnull)});")
+
+    # ------------------------------------------------------------------
+    # Accumulators and expressions
+
+    def _pick_accumulators(
+        self,
+        table: TableSpec,
+        cursor: str,
+        notnull: dict[str, set[str]],
+        limit: int = 3,
+        kinds: list[str] | None = None,
+    ) -> list[_Accumulator]:
+        rng = self._rng
+        pool = kinds or [
+            "sum",
+            "count",
+            "max",
+            "min",
+            "argmax",
+            "list",
+            "set",
+            "concat",
+            "exists",
+            "last",
+            "rows",
+        ]
+        count = rng.randint(1, limit)
+        return [
+            self._accumulator(rng.choice(pool), table, cursor, notnull)
+            for _ in range(count)
+        ]
+
+    def _value_expr(
+        self, table: TableSpec, cursor: str, notnull: dict[str, set[str]]
+    ) -> str:
+        """An integer-valued expression over the cursor row (NOT NULL)."""
+        rng = self._rng
+        column = rng.choice(table.int_columns)
+        notnull[table.name].add(column)
+        roll = rng.random()
+        if roll < 0.6:
+            return f"{cursor}.{_getter(column)}()"
+        if roll < 0.8:
+            other = rng.choice(table.int_columns)
+            notnull[table.name].add(other)
+            return f"{cursor}.{_getter(column)}() + {cursor}.{_getter(other)}()"
+        other = rng.choice(table.int_columns)
+        notnull[table.name].add(other)
+        return (
+            f"Math.max({cursor}.{_getter(column)}(), {cursor}.{_getter(other)}())"
+        )
+
+    def _condition(
+        self, table: TableSpec, cursor: str, notnull: dict[str, set[str]]
+    ) -> str:
+        rng = self._rng
+        roll = rng.random()
+        if roll < 0.25 and table.str_columns:
+            column = rng.choice(table.str_columns)
+            notnull[table.name].add(column)
+            value = rng.choice(_STR_POOL)
+            op = rng.choice(["equals", "!equals"])
+            call = f'{cursor}.{_getter(column)}().equals("{value}")'
+            return call if op == "equals" else f"!{call}"
+        column = rng.choice(table.int_columns)
+        notnull[table.name].add(column)
+        op = rng.choice([">", "<", ">=", "<=", "==", "!="])
+        if roll < 0.75:
+            return f"{cursor}.{_getter(column)}() {op} {rng.randint(0, 30)}"
+        other = rng.choice(table.int_columns)
+        notnull[table.name].add(other)
+        return f"{cursor}.{_getter(column)}() {op} {cursor}.{_getter(other)}()"
+
+    def _accumulator(
+        self,
+        kind: str,
+        table: TableSpec,
+        cursor: str,
+        notnull: dict[str, set[str]],
+    ) -> _Accumulator:
+        rng = self._rng
+        var = f"v{self._acc_counter}"
+        self._acc_counter += 1
+        if kind == "sum":
+            value = self._value_expr(table, cursor, notnull)
+            return _Accumulator(
+                kind, var, [f"{var} = 0;"], [f"{var} = {var} + {value};"], [var]
+            )
+        if kind == "count":
+            return _Accumulator(
+                kind,
+                var,
+                [f"{var} = 0;"],
+                [f"{var} = {var} + 1;"],
+                [var],
+                needs_guard=rng.random() < 0.7,
+            )
+        if kind == "max":
+            value = self._value_expr(table, cursor, notnull)
+            return _Accumulator(
+                kind,
+                var,
+                [f"{var} = 0;"],
+                [f"if ({value} > {var}) {{ {var} = {value}; }}"],
+                [var],
+            )
+        if kind == "min":
+            value = self._value_expr(table, cursor, notnull)
+            return _Accumulator(
+                kind,
+                var,
+                [f"{var} = 1000000;"],
+                [f"if ({value} < {var}) {{ {var} = {value}; }}"],
+                [var],
+            )
+        if kind == "argmax":
+            column = rng.choice(table.int_columns)
+            notnull[table.name].add(column)
+            witness = rng.choice([c for c in table.columns if c != column])
+            best = f"{var}b"
+            return _Accumulator(
+                kind,
+                var,
+                [f"{var} = 0;", f"{best} = null;"],
+                [
+                    f"if ({cursor}.{_getter(column)}() > {var}) "
+                    f"{{ {var} = {cursor}.{_getter(column)}(); "
+                    f"{best} = {cursor}.{_getter(witness)}(); }}"
+                ],
+                [var, best],
+            )
+        if kind == "list":
+            value = self._collectable(table, cursor, notnull)
+            return _Accumulator(
+                kind,
+                var,
+                [f"{var} = new ArrayList();"],
+                [f"{var}.add({value});"],
+                [var],
+            )
+        if kind == "set":
+            value = self._collectable(table, cursor, notnull)
+            return _Accumulator(
+                kind,
+                var,
+                [f"{var} = new HashSet();"],
+                [f"{var}.add({value});"],
+                [var],
+            )
+        if kind == "concat":
+            column = rng.choice(table.columns[1:] or ["id"])
+            return _Accumulator(
+                kind,
+                var,
+                [f'{var} = "";'],
+                [f'{var} = {var} + {cursor}.{_getter(column)}() + "|";'],
+                [var],
+            )
+        if kind == "exists":
+            return _Accumulator(
+                kind,
+                var,
+                [f"{var} = false;"],
+                [f"{var} = true;"],
+                [var],
+                needs_guard=True,
+            )
+        if kind == "last":
+            value = self._collectable(table, cursor, notnull)
+            return _Accumulator(
+                kind, var, [f"{var} = null;"], [f"{var} = {value};"], [var]
+            )
+        if kind == "rows":
+            # Whole-entity collection — the paper's plain "materialise the
+            # query result" pattern (rule T1 territory).
+            return _Accumulator(
+                kind,
+                var,
+                [f"{var} = new ArrayList();"],
+                [f"{var}.add({cursor});"],
+                [var],
+            )
+        raise ValueError(f"unknown accumulator kind {kind!r}")
+
+    def _collectable(
+        self, table: TableSpec, cursor: str, notnull: dict[str, set[str]]
+    ) -> str:
+        """A value safe to store without arithmetic (may be NULL)."""
+        rng = self._rng
+        if rng.random() < 0.25:
+            return self._value_expr(table, cursor, notnull)
+        column = rng.choice(table.columns)
+        return f"{cursor}.{_getter(column)}()"
+
+
+def generate_case(seed: int, case_id: int) -> GeneratedCase:
+    """Generate case ``case_id`` of the stream for ``seed``.
+
+    Cases are independent of each other: case ``i`` is identical no matter
+    how many other iterations ran, which keeps ``--budget-s`` runs replayable
+    case by case.
+    """
+    rng = random.Random(seed * 1_000_003 + case_id)
+    case = CaseGenerator(rng).case(case_id)
+    from .dbgen import populate_case
+
+    populate_case(rng, case)
+    return case

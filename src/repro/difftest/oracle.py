@@ -1,0 +1,177 @@
+"""The differential oracle: original vs. rewritten program on one instance.
+
+Contract (paper Theorem 1, specialised to this reproduction):
+
+* ``optimize_program`` must never raise on a parseable program — extraction
+  failures are *classifications* (``STATUS_FAILED``), not crashes;
+* every ``success`` variable must carry SQL and an F-IR node; every
+  ``failed`` variable must carry a reason;
+* when a rewritten program exists, running it against an identical database
+  instance must produce the same return value, the same printed output, and
+  the same observable ``__out__`` stream as the original;
+* round-trip counts of both runs are recorded (a rewrite may legitimately
+  issue more queries than the original — Figure 7(a) — so they are reported,
+  not asserted).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core import optimize_program
+from ..db import Connection
+from ..interp import Interpreter
+from ..interp.values import Entity, ResultCursor, StringBuilder
+from .dbgen import build_database
+from .generator import GeneratedCase
+
+KIND_OK = "ok"
+KIND_NO_REWRITE = "no-rewrite"
+KIND_DIVERGENCE = "divergence"
+KIND_CRASH = "crash"
+KIND_ORIGINAL_ERROR = "original-error"
+KIND_REWRITTEN_ERROR = "rewritten-error"
+KIND_CONTRACT = "contract"
+
+#: Verdicts that fail a fuzzing run.
+FAILING_KINDS = frozenset(
+    {KIND_DIVERGENCE, KIND_CRASH, KIND_ORIGINAL_ERROR, KIND_REWRITTEN_ERROR, KIND_CONTRACT}
+)
+
+
+@dataclass
+class Verdict:
+    """Outcome of one differential run."""
+
+    kind: str
+    detail: str = ""
+    statuses: dict[str, str] = field(default_factory=dict)
+    original_round_trips: int = 0
+    rewritten_round_trips: int | None = None
+    rewritten_loops: int = 0
+    consolidations: int = 0
+
+    @property
+    def failing(self) -> bool:
+        return self.kind in FAILING_KINDS
+
+
+def normalize(value: Any) -> Any:
+    """Canonicalise interpreter values for structural comparison.
+
+    Entities compare by their plain (unqualified) columns; containers are
+    normalised recursively.  Sets become sorted tuples so two runs compare
+    independently of iteration order.
+    """
+    if isinstance(value, Entity):
+        return (
+            "entity",
+            tuple(sorted((k, v) for k, v in value.row.items() if "." not in k)),
+        )
+    if isinstance(value, ResultCursor):
+        return tuple(normalize(Entity(row)) for row in value._rows)
+    if isinstance(value, StringBuilder):
+        return value.to_string()
+    if isinstance(value, tuple):
+        return tuple(normalize(v) for v in value)
+    if isinstance(value, list):
+        return [normalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((repr(normalize(v)) for v in value)))
+    if isinstance(value, dict):
+        return tuple(
+            sorted((repr(normalize(k)), repr(normalize(v))) for k, v in value.items())
+        )
+    return value
+
+
+def _check_report_contract(report) -> str | None:
+    """Classification invariants: statuses must be self-consistent."""
+    from ..core import STATUS_FAILED, STATUS_SUCCESS
+
+    for name, extraction in report.variables.items():
+        if extraction.status == STATUS_SUCCESS:
+            if extraction.sql is None or extraction.node is None:
+                return f"success variable {name!r} has no SQL/node"
+        if extraction.status == STATUS_FAILED and not extraction.reason:
+            return f"failed variable {name!r} has no reason"
+    if report.extraction_time_ms < 0:
+        return "negative extraction_time_ms"
+    return None
+
+
+def run_case(case: GeneratedCase) -> Verdict:
+    """Run the full differential check for one case."""
+    catalog = case.catalog()
+    try:
+        report = optimize_program(case.source, case.function, catalog)
+    except Exception:
+        return Verdict(
+            kind=KIND_CRASH,
+            detail=f"optimize_program raised:\n{traceback.format_exc()}",
+        )
+
+    statuses = {n: v.status for n, v in report.variables.items()}
+    contract_error = _check_report_contract(report)
+    if contract_error is not None:
+        return Verdict(kind=KIND_CONTRACT, detail=contract_error, statuses=statuses)
+
+    original_conn = Connection(build_database(case))
+    original_interp = Interpreter(report.original, original_conn)
+    try:
+        original_result = original_interp.run(case.function)
+    except Exception:
+        return Verdict(
+            kind=KIND_ORIGINAL_ERROR,
+            detail=f"original program raised:\n{traceback.format_exc()}",
+            statuses=statuses,
+        )
+
+    verdict = Verdict(
+        kind=KIND_NO_REWRITE,
+        statuses=statuses,
+        original_round_trips=original_conn.stats.round_trips,
+        rewritten_loops=len(report.rewritten_loops),
+        consolidations=len(report.consolidations),
+    )
+    if report.rewritten is None:
+        return verdict
+
+    rewritten_conn = Connection(build_database(case))
+    rewritten_interp = Interpreter(report.rewritten, rewritten_conn)
+    try:
+        rewritten_result = rewritten_interp.run(case.function)
+    except Exception:
+        verdict.kind = KIND_REWRITTEN_ERROR
+        verdict.detail = (
+            f"rewritten program raised (original succeeded):\n"
+            f"{traceback.format_exc()}"
+        )
+        return verdict
+
+    verdict.rewritten_round_trips = rewritten_conn.stats.round_trips
+    mismatches = []
+    if normalize(original_result) != normalize(rewritten_result):
+        mismatches.append(
+            "return value: original="
+            f"{normalize(original_result)!r} rewritten={normalize(rewritten_result)!r}"
+        )
+    if original_interp.output != rewritten_interp.output:
+        mismatches.append(
+            f"printed output: original={original_interp.output!r} "
+            f"rewritten={rewritten_interp.output!r}"
+        )
+    if normalize(original_interp.last_out) != normalize(rewritten_interp.last_out):
+        mismatches.append(
+            "__out__ stream: original="
+            f"{normalize(original_interp.last_out)!r} "
+            f"rewritten={normalize(rewritten_interp.last_out)!r}"
+        )
+    if mismatches:
+        verdict.kind = KIND_DIVERGENCE
+        verdict.detail = "; ".join(mismatches)
+    else:
+        verdict.kind = KIND_OK
+    return verdict

@@ -1,0 +1,112 @@
+"""The fuzzing loop: generate → oracle → (on failure) shrink → corpus.
+
+Determinism: case ``i`` of seed ``s`` is a pure function of ``(s, i)``;
+``--budget-s`` only decides how many cases a run gets through, never what
+any individual case contains.  Two runs with the same ``--seed --iters``
+therefore produce identical program streams and identical verdicts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .generator import GeneratedCase, generate_case
+from .oracle import KIND_OK, Verdict, run_case
+from .shrinker import shrink
+
+
+@dataclass
+class Finding:
+    """One failing case, possibly minimized, possibly persisted."""
+
+    case: GeneratedCase
+    verdict: Verdict
+    minimized: GeneratedCase | None = None
+    corpus_path: Path | None = None
+
+
+@dataclass
+class DiffTestStats:
+    seed: int
+    iterations: int = 0
+    verdicts: dict[str, int] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    total_round_trips_saved: int = 0
+
+    @property
+    def failures(self) -> int:
+        return len(self.findings)
+
+    def summary(self) -> str:
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.verdicts.items()))
+        return (
+            f"difftest seed={self.seed}: {self.iterations} cases in "
+            f"{self.elapsed_s:.1f}s [{counts}] "
+            f"round-trips saved by rewrites: {self.total_round_trips_saved}; "
+            f"{self.failures} failure(s)"
+        )
+
+
+def run_difftest(
+    seed: int,
+    iters: int = 200,
+    budget_s: float | None = None,
+    corpus_dir: Path | str | None = None,
+    do_shrink: bool = True,
+    shrink_budget: int = 500,
+    log=None,
+) -> DiffTestStats:
+    """Run the differential fuzzer; returns aggregate statistics.
+
+    ``budget_s`` bounds wall-clock time (whichever of iters/budget is hit
+    first stops the run).  When ``corpus_dir`` is given, every finding is
+    shrunk (unless ``do_shrink`` is off) and written there as a JSON repro.
+    """
+    stats = DiffTestStats(seed=seed)
+    start = time.perf_counter()
+    for index in range(iters):
+        if budget_s is not None and time.perf_counter() - start > budget_s:
+            break
+        case = generate_case(seed, index)
+        verdict = run_case(case)
+        stats.iterations += 1
+        stats.verdicts[verdict.kind] = stats.verdicts.get(verdict.kind, 0) + 1
+        if verdict.kind == KIND_OK and verdict.rewritten_round_trips is not None:
+            stats.total_round_trips_saved += (
+                verdict.original_round_trips - verdict.rewritten_round_trips
+            )
+        if verdict.failing:
+            finding = Finding(case=case, verdict=verdict)
+            if log:
+                log(
+                    f"[difftest] case {seed}:{index} -> {verdict.kind}: "
+                    f"{verdict.detail.splitlines()[-1] if verdict.detail else ''}"
+                )
+            if do_shrink:
+                result = shrink(case, verdict, max_runs=shrink_budget)
+                finding.minimized = result.case
+                if log:
+                    log(
+                        f"[difftest]   shrunk: -{result.removed_statements} stmts, "
+                        f"-{result.removed_rows} rows in {result.runs} runs"
+                    )
+            if corpus_dir is not None:
+                from .corpus import save_entry
+
+                to_save = finding.minimized or case
+                finding.corpus_path = save_entry(
+                    corpus_dir,
+                    f"case-{seed}-{index}-{verdict.kind}",
+                    to_save,
+                    verdict,
+                    expect=verdict.kind,
+                    comment="auto-filed by difftest; root cause pending triage",
+                )
+                if log:
+                    log(f"[difftest]   corpus: {finding.corpus_path}")
+            stats.findings.append(finding)
+    stats.elapsed_s = time.perf_counter() - start
+    return stats

@@ -26,6 +26,8 @@ from ..algebra import (
     Lit,
     Project,
     ProjectItem,
+    RelExpr,
+    Select,
     Sort,
     SortKey,
 )
@@ -97,6 +99,19 @@ def detect_argmax(loop: ELoop, siblings: dict[str, ELoop]) -> ArgmaxMatch | None
     )
 
 
+def _peel_sort(rel: RelExpr) -> tuple[RelExpr, tuple[SortKey, ...]]:
+    """Split a source into its unordered form and its τ keys, if any."""
+    if isinstance(rel, Sort):
+        inner, keys = _peel_sort(rel.child)
+        return inner, rel.keys + keys
+    if isinstance(rel, Select):
+        inner, keys = _peel_sort(rel.child)
+        if keys:
+            return Select(inner, rel.pred), keys
+        return rel, ()
+    return rel, ()
+
+
 def argmax_to_algebra(
     loop: ELoop, match: ArgmaxMatch, sibling_init: ENode, dag: DagBuilder
 ) -> ENode | None:
@@ -119,15 +134,21 @@ def argmax_to_algebra(
         return None
 
     ascending = match.direction == "min"
+    # The original picks the *first* strict improvement in iteration order,
+    # so among measure ties the first row of the source query wins.  An HQL
+    # `order by` on the source therefore becomes the tiebreaker keys, and the
+    # source itself is used unordered (a τ under γ/LIMIT-1 renders as an
+    # ORDER BY the enclosing block cannot resolve).
+    unordered, tiebreak = _peel_sort(source.rel)
     pick = Project(
-        Limit(Sort(source.rel, (SortKey(measure_s, ascending),)), 1),
+        Limit(Sort(unordered, (SortKey(measure_s, ascending),) + tiebreak), 1),
         (ProjectItem(payload_s, "picked"),),
     )
     picked = dag.scalar_query(pick, source.params)
 
     agg_query = dag.scalar_query(
         Aggregate(
-            source.rel,
+            unordered,
             (),
             (AggItem(AggCall(match.direction, measure_s), "agg"),),
         ),

@@ -173,7 +173,9 @@ def _process_stmt(stmt: Stmt, live: set[str]) -> tuple[bool, bool]:
         removed = _eliminate_block(stmt.body, body_live_out)
         if not stmt.body.statements and _iterable_is_pure(stmt):
             return False, removed
-        live.clear()
+        # The loop may run zero times, so a body assignment never *kills*
+        # liveness for the code above the loop: everything live after the
+        # loop stays live before it, in addition to what the body reads.
         live.update(body_live_out)
         if isinstance(stmt, ForEach):
             live.discard(stmt.var)

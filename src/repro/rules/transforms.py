@@ -43,6 +43,7 @@ from ..algebra import (
     bind_rel_params,
     conjoin,
     has_unique_key,
+    strip_sort,
 )
 from ..fir import CapableButUnimplemented, NotScalarizable, scalarize
 from ..ir import (
@@ -250,10 +251,15 @@ def rule_t5_aggregate(fold: EFold, ctx: RuleContext) -> ENode | None:
     if op not in _AGG_OF_OP and op not in ctx.custom_aggregates:
         return None
 
+    # Scalar aggregation ignores iteration order, so any τ in the source
+    # (an HQL `order by`) is dropped rather than rendered as an ORDER BY
+    # over columns the aggregate block no longer exposes.
+    agg_source = strip_sort(source.rel)
+
     # COUNT: `v = v + 1`.
     if op == "+" and payload == EConst(1):
         agg_rel: RelExpr = Aggregate(
-            source.rel, (), (AggItem(AggCall("count", None), "agg"),)
+            agg_source, (), (AggItem(AggCall("count", None), "agg"),)
         )
         scalar = ctx.dag.scalar_query(agg_rel, source.params)
         ctx.fire("T5.1-count")
@@ -268,7 +274,7 @@ def rule_t5_aggregate(fold: EFold, ctx: RuleContext) -> ENode | None:
     params = _merge_params(source.params, _collect_bindings(payload, fold.cursor))
     if op in _AGG_OF_OP:
         agg_rel = Aggregate(
-            source.rel, (), (AggItem(AggCall(_AGG_OF_OP[op], value), "agg"),)
+            agg_source, (), (AggItem(AggCall(_AGG_OF_OP[op], value), "agg"),)
         )
         scalar = ctx.dag.scalar_query(agg_rel, params)
         ctx.fire("T5.1")
@@ -278,7 +284,7 @@ def rule_t5_aggregate(fold: EFold, ctx: RuleContext) -> ENode | None:
     # Custom (user-defined) aggregate: combine via the fold operator itself,
     # defaulting the empty-input NULL to the operator's identity.
     agg_name, identity = ctx.custom_aggregates[op]
-    agg_rel = Aggregate(source.rel, (), (AggItem(AggCall(agg_name, value), "agg"),))
+    agg_rel = Aggregate(agg_source, (), (AggItem(AggCall(agg_name, value), "agg"),))
     scalar = ctx.dag.scalar_query(agg_rel, params)
     ctx.fire("T5.1-custom")
     if isinstance(fold.init, EConst) and fold.init.value is None:
@@ -297,7 +303,8 @@ def _exists_form(
         return None
     if negated:
         pred = UnOp("NOT", pred)
-    rel = Select(source.rel, pred)
+    # EXISTS only asks whether a row survives the predicate — order is moot.
+    rel = Select(strip_sort(source.rel), pred)
     params = _merge_params(source.params, _collect_bindings(payload, fold.cursor))
     exists = ctx.dag.exists(rel, params, negated=negated)
     ctx.fire("T-exists" if not negated else "T-notexists")
@@ -418,19 +425,21 @@ def rule_t1_t3_collect(fold: EFold, ctx: RuleContext) -> ENode | None:
         return None
     source = fold.source
 
-    # T1: the payload is the whole tuple.
+    # T1: the payload is the whole tuple.  A set insert ignores iteration
+    # order, so the source's τ (if any) is dropped before the δ.
     if isinstance(payload, EBoundVar) and payload.name == fold.cursor:
         ctx.fire("T1")
         rel: RelExpr = source.rel
         if func.op == "insert":
-            rel = Distinct(rel)
+            rel = Distinct(strip_sort(rel))
         return ctx.dag.query(rel, source.params)
 
     # T3: scalar payload(s) pushed into a projection.
     items = _payload_items(payload, fold.cursor)
     if items is None:
         return None
-    rel = Project(source.rel, items)
+    base = strip_sort(source.rel) if func.op == "insert" else source.rel
+    rel = Project(base, items)
     if func.op == "insert":
         rel = Distinct(rel)
     params = _merge_params(source.params, _collect_bindings(payload, fold.cursor))

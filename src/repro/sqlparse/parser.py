@@ -455,6 +455,18 @@ class _SqlParser:
         if token.startswith("'"):
             self._advance()
             return Lit(token[1:-1].replace("''", "'"))
+        if token == "-":
+            # Unary minus: the generator prints Lit(-5) as "-5" and
+            # UnOp("-", e) as "-(e)", so both must read back.
+            self._advance()
+            follower = self._peek()
+            if follower and re.fullmatch(r"\d+", follower):
+                self._advance()
+                return Lit(-int(follower))
+            if follower and re.fullmatch(r"\d+\.\d+", follower):
+                self._advance()
+                return Lit(-float(follower))
+            return UnOp("-", self._parse_primary())
         if re.fullmatch(r"\d+", token):
             self._advance()
             return Lit(int(token))

@@ -72,6 +72,24 @@ class TestFigure2WalkThrough:
         # the paper reports < 1–2 s per sample; we are well under
         assert report.extraction_time_ms < 2000
 
+    def test_optimize_time_includes_rewrite_phase(self, catalog, monkeypatch):
+        """``optimize_program`` used to report only ``extract_sql``'s elapsed
+        time; the rewrite/DCE/consolidation phase ran after the stamp.  Delay
+        consolidation artificially and check the report notices."""
+        import time as time_module
+
+        import repro.rewrite as rewrite_module
+
+        real = rewrite_module.consolidate_loops
+
+        def slow_consolidate(*args, **kwargs):
+            time_module.sleep(0.05)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(rewrite_module, "consolidate_loops", slow_consolidate)
+        report = optimize_program(FIGURE2, "findMaxScore", catalog)
+        assert report.extraction_time_ms >= 50.0
+
 
 class TestStatusClassification:
     def test_capable_for_unimplemented_string_ops(self, catalog):

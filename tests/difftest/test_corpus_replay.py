@@ -1,0 +1,37 @@
+"""Replay every corpus repro against the current pipeline.
+
+Each file in ``tests/difftest/corpus/`` is a minimized, shrunk repro of a
+bug the differential fuzzer once found, together with the verdict kind the
+*fixed* system must produce (``expect``, normally ``ok``).  Replaying them
+here makes every fuzzer find a permanent regression test: a reintroduced
+bug flips the verdict back to a failing kind and the assert names the
+original root-cause comment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.difftest import FAILING_KINDS, corpus_files, replay_file
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+_FILES = corpus_files(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert _FILES, "corpus directory lost its repro files"
+
+
+@pytest.mark.parametrize(
+    "path", _FILES, ids=[os.path.splitext(os.path.basename(p))[0] for p in _FILES]
+)
+def test_corpus_entry_replays_clean(path):
+    entry, verdict = replay_file(path)
+    assert verdict.kind == entry.expect, (
+        f"{entry.name}: expected verdict {entry.expect!r}, got {verdict.kind!r}"
+        f" ({verdict.detail})\nroot cause on file: {entry.comment}"
+    )
+    assert verdict.kind not in FAILING_KINDS

@@ -1,0 +1,172 @@
+"""The differential fuzzer's own tests: determinism, smoke, shrinking.
+
+The smoke run doubles as the tier-1 gate on the fuzzer: a bounded number
+of random cases must complete with zero failing verdicts.  It is sized to
+stay well under a minute; the CI workflow additionally runs a larger
+budgeted sweep (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.difftest import (
+    FAILING_KINDS,
+    KIND_DIVERGENCE,
+    KIND_OK,
+    Verdict,
+    case_from_dict,
+    case_to_dict,
+    generate_case,
+    run_case,
+    run_difftest,
+    shrink,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_cases(self):
+        """Case (s, i) is a pure function of the pair: identical sources,
+        schemas, and instances on regeneration."""
+        for index in (0, 7, 41):
+            a = generate_case(3, index)
+            b = generate_case(3, index)
+            assert a.source == b.source
+            assert a.rows == b.rows
+            assert [t.name for t in a.tables] == [t.name for t in b.tables]
+            assert a.notnull == b.notnull
+
+    def test_different_seeds_differ(self):
+        sources = {generate_case(s, 0).source for s in range(8)}
+        assert len(sources) > 1
+
+    def test_case_stream_independent_of_iteration_count(self):
+        """Running 10 iters then asking for case 9 again gives the same
+        case — --budget-s can truncate a run without changing content."""
+        before = generate_case(5, 9).source
+        run_difftest(seed=5, iters=10, do_shrink=False)
+        assert generate_case(5, 9).source == before
+
+    def test_verdicts_reproducible(self):
+        first = run_difftest(seed=11, iters=30, do_shrink=False)
+        second = run_difftest(seed=11, iters=30, do_shrink=False)
+        assert first.verdicts == second.verdicts
+        assert first.failures == second.failures
+
+
+class TestSmoke:
+    def test_bounded_smoke_run_is_clean(self):
+        """Tier-1 gate: 60 random cases, zero failing verdicts."""
+        stats = run_difftest(seed=0, iters=60, do_shrink=False)
+        assert stats.iterations == 60
+        assert stats.failures == 0, "\n".join(
+            f"{f.verdict.kind}: {f.verdict.detail}" for f in stats.findings
+        )
+        # The run must actually exercise the rewriter, not just no-rewrite.
+        assert stats.verdicts.get(KIND_OK, 0) > 0
+
+    def test_budget_stops_early(self):
+        stats = run_difftest(seed=0, iters=10_000, budget_s=0.0, do_shrink=False)
+        assert stats.iterations < 10_000
+
+    def test_generated_programs_parse_and_run(self):
+        """The original program of every generated case must be executable
+        (a generator that crashes the interpreter fuzzes nothing)."""
+        for index in range(25):
+            verdict = run_case(generate_case(2, index))
+            assert verdict.kind not in (
+                "original-error",
+                "crash",
+            ), verdict.detail
+
+
+class TestCorpusSerialization:
+    def test_case_round_trips_through_dict(self):
+        case = generate_case(1, 4)
+        restored = case_from_dict(case_to_dict(case))
+        assert restored.source == case.source
+        assert restored.rows == case.rows
+        assert restored.notnull == case.notnull
+        assert [dataclasses.astuple(t) for t in restored.tables] == [
+            dataclasses.astuple(t) for t in case.tables
+        ]
+        assert run_case(restored).kind == run_case(case).kind
+
+
+class TestShrinker:
+    def _divergence_oracle(self, trigger_column: str = "qty"):
+        """A fake oracle: 'diverges' iff any row has qty > 50.  Lets the
+        shrinker be tested deterministically without a real bug."""
+
+        def oracle(case) -> Verdict:
+            for rows in case.rows.values():
+                for row in rows:
+                    value = row.get(trigger_column)
+                    if value is not None and value > 50:
+                        return Verdict(kind=KIND_DIVERGENCE, detail="fake")
+            return Verdict(kind=KIND_OK)
+
+        return oracle
+
+    def _case_with_qty(self, values):
+        case = generate_case(0, 3)  # 20 rows: enough for ddmin to bite
+        case = dataclasses.replace(
+            case,
+            rows={
+                table: [
+                    {**row, "qty": values[i % len(values)]}
+                    for i, row in enumerate(rows)
+                ]
+                for table, rows in case.rows.items()
+            },
+        )
+        return case
+
+    def test_rows_minimized_to_single_trigger(self):
+        case = self._case_with_qty([1, 2, 99, 3, 4, 5])
+        oracle = self._divergence_oracle()
+        verdict = oracle(case)
+        assert verdict.kind == KIND_DIVERGENCE
+        result = shrink(case, verdict, oracle=oracle)
+        remaining = sum(len(r) for r in result.case.rows.values())
+        triggers = [
+            row
+            for rows in result.case.rows.values()
+            for row in rows
+            if (row.get("qty") or 0) > 50
+        ]
+        assert triggers, "shrinker dropped the triggering row"
+        assert remaining <= max(1, len(triggers))
+        assert result.verdict.kind == KIND_DIVERGENCE
+
+    def test_verdict_kind_preserved(self):
+        case = self._case_with_qty([99, 99, 99])
+        oracle = self._divergence_oracle()
+        result = shrink(case, oracle(case), oracle=oracle)
+        assert oracle(result.case).kind == KIND_DIVERGENCE
+
+    def test_shrink_respects_budget(self):
+        case = self._case_with_qty([1, 99] * 10)
+        oracle = self._divergence_oracle()
+        result = shrink(case, oracle(case), oracle=oracle, max_runs=5)
+        assert result.runs <= 5
+
+    def test_program_shrinking_deletes_statements(self):
+        """With an oracle that only looks at the data, every statement is
+        deletable — the minimized program should be (near) empty."""
+        case = self._case_with_qty([99])
+        oracle = self._divergence_oracle()
+        result = shrink(case, oracle(case), oracle=oracle, max_runs=2000)
+        assert result.removed_statements > 0
+        assert len(result.case.source) < len(case.source)
+
+
+class TestFailingKinds:
+    def test_ok_and_no_rewrite_are_not_failures(self):
+        assert KIND_OK not in FAILING_KINDS
+        assert "no-rewrite" not in FAILING_KINDS
+
+    def test_divergence_is_a_failure(self):
+        assert KIND_DIVERGENCE in FAILING_KINDS

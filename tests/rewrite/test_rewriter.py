@@ -112,6 +112,28 @@ class TestDeadCodeElimination:
         result = self.run_dce("f(c, a) { y = 0; if (c) { y = a; } return y; }")
         assert len(result.function("f").body.statements) == 3
 
+    def test_zero_trip_loop_keeps_preloop_initializer(self):
+        """A cursor loop may run zero times, so a body assignment must not
+        kill liveness above the loop.  Regression for difftest case 0:622
+        (corpus: case-0-622-dce-zero-trip-init), where `v = null;` was
+        removed and the program read an unbound variable on an empty table."""
+        result = self.run_dce(
+            """
+            f() {
+                v = null;
+                q = executeQuery("from T");
+                for (t : q) { v = t.getX(); }
+                return v;
+            }
+            """
+        )
+        assignments_to_v = [
+            s
+            for s in walk_statements(result.function("f").body)
+            if isinstance(s, Assign) and s.target == "v"
+        ]
+        assert len(assignments_to_v) == 2  # initializer AND body assignment
+
 
 class TestEndToEndRewrite:
     def test_loop_fully_replaced(self, catalog, database):

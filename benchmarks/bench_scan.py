@@ -1,0 +1,134 @@
+"""Scan throughput — cold vs. warm vs. ``-j N`` over the bundled workloads.
+
+Materializes the paper's workload corpus (Wilos Table 1 samples, the RUBiS
+servlet suite, Matoso, JobPortal) as MiniJava files on disk, replicated
+with distinguishing headers so content addressing cannot dedup them, then
+measures:
+
+* a cold serial scan (``-j 1``, empty cache);
+* a warm re-scan of the same cache (zero extractions expected);
+* cold parallel scans (``-j 2`` / ``-j 4``, fresh caches).
+
+Parallel scaling is asserted only when the machine actually has the cores;
+the table records the measurements either way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from conftest import record_table
+
+from repro.batch import scan_directory
+from repro.workloads import (
+    FIND_MAX_SCORE,
+    FIND_MAX_SCORE_WITH_PLAYER,
+    JOB_REPORT,
+    RUBIS_SERVLETS,
+    WILOS_SAMPLES,
+    jobportal_catalog,
+    matoso_catalog,
+    rubis_catalog,
+    wilos_catalog,
+)
+
+#: Each workload is written this many times (with unique headers) so the
+#: corpus is large enough for pool startup to amortize.
+REPLICAS = 8
+
+
+def _materialize(root: Path):
+    """Write the workload corpus to disk; one (name, dir, catalog) per app."""
+    corpora = []
+
+    wilos_dir = root / "wilos"
+    wilos_dir.mkdir(parents=True)
+    for replica in range(REPLICAS):
+        for sample in WILOS_SAMPLES:
+            path = wilos_dir / f"r{replica}_sample{sample.number:02d}.mj"
+            path.write_text(f"// wilos sample {sample.number} replica {replica}\n{sample.source}")
+    corpora.append(("wilos", wilos_dir, wilos_catalog()))
+
+    rubis_dir = root / "rubis"
+    rubis_dir.mkdir(parents=True)
+    for replica in range(REPLICAS):
+        for servlet in RUBIS_SERVLETS:
+            path = rubis_dir / f"r{replica}_{servlet.name}.mj"
+            path.write_text(f"// rubis {servlet.name} replica {replica}\n{servlet.source}")
+    corpora.append(("rubis", rubis_dir, rubis_catalog()))
+
+    matoso_dir = root / "matoso"
+    matoso_dir.mkdir(parents=True)
+    for replica in range(REPLICAS):
+        (matoso_dir / f"r{replica}_ranking.mj").write_text(
+            f"// matoso replica {replica}\n{FIND_MAX_SCORE}\n{FIND_MAX_SCORE_WITH_PLAYER}"
+        )
+    corpora.append(("matoso", matoso_dir, matoso_catalog()))
+
+    jobportal_dir = root / "jobportal"
+    jobportal_dir.mkdir(parents=True)
+    for replica in range(REPLICAS):
+        (jobportal_dir / f"r{replica}_report.mj").write_text(
+            f"// jobportal replica {replica}\n{JOB_REPORT}"
+        )
+    corpora.append(("jobportal", jobportal_dir, jobportal_catalog()))
+
+    return corpora
+
+
+def _scan_all(corpora, jobs: int, cache_root: Path | None):
+    """Scan every workload; returns (wall_s, units, extracted, cache_hits)."""
+    start = time.perf_counter()
+    units = extracted = hits = 0
+    for name, directory, catalog in corpora:
+        report = scan_directory(
+            directory,
+            catalog,
+            jobs=jobs,
+            cache_dir=cache_root / name if cache_root is not None else None,
+            use_cache=cache_root is not None,
+        )
+        assert not report.parse_errors, report.parse_errors
+        units += len(report.units)
+        extracted += report.extracted
+        hits += report.cache_hits
+    return time.perf_counter() - start, units, extracted, hits
+
+
+def test_scan_scaling(tmp_path):
+    corpora = _materialize(tmp_path / "corpus")
+
+    cold_s, units, extracted, _ = _scan_all(corpora, 1, tmp_path / "cache-j1")
+    assert extracted == units  # cold: everything runs
+
+    warm_s, warm_units, warm_extracted, warm_hits = _scan_all(
+        corpora, 1, tmp_path / "cache-j1"
+    )
+    assert warm_units == units
+    assert warm_extracted == 0, "warm scan must be 100% cache hits"
+    assert warm_hits == units
+
+    cold2_s, _, _, _ = _scan_all(corpora, 2, tmp_path / "cache-j2")
+    cold4_s, _, _, _ = _scan_all(corpora, 4, tmp_path / "cache-j4")
+
+    warm_speedup = cold_s / warm_s
+    rows = [
+        ["cold -j 1", f"{cold_s:.3f}", f"{units / cold_s:,.0f}", "1.0×"],
+        ["cold -j 2", f"{cold2_s:.3f}", f"{units / cold2_s:,.0f}", f"{cold_s / cold2_s:.2f}×"],
+        ["cold -j 4", f"{cold4_s:.3f}", f"{units / cold4_s:,.0f}", f"{cold_s / cold4_s:.2f}×"],
+        ["warm -j 1", f"{warm_s:.3f}", f"{units / warm_s:,.0f}", f"{warm_speedup:.2f}×"],
+    ]
+    record_table(
+        f"Scan throughput — {units} units ({len(corpora)} workloads × "
+        f"{REPLICAS} replicas), {os.cpu_count()} CPU(s)",
+        ["Configuration", "Wall (s)", "Units/s", "Speedup vs cold -j 1"],
+        rows,
+    )
+
+    # The cache must pay for itself: a warm scan only re-parses and probes.
+    assert warm_speedup >= 2.0, f"warm speedup only {warm_speedup:.2f}x"
+    # Parallel scaling needs physical cores to mean anything.
+    if (os.cpu_count() or 1) >= 4:
+        assert cold_s / cold4_s >= 2.0, f"-j 4 speedup only {cold_s / cold4_s:.2f}x"

@@ -5,12 +5,21 @@ SIGMOD 2016).
 Public API
 ----------
 
-The headline entry points:
+The stable facade is ``extract_sql``, ``optimize_program``,
+``ExtractOptions``, ``Catalog``, ``ScanReport`` (plus the report types
+they return); everything else is internal and may move between releases.
 
->>> from repro import extract_sql, optimize_program, Catalog
->>> catalog = Catalog()
->>> _ = catalog.define("board", ["id", "rnd_id", "p1", "p2"], key=("id",))
->>> report = extract_sql(SOURCE, "findMaxScore", catalog)  # doctest: +SKIP
+>>> from repro import Catalog, ExtractOptions, extract_sql
+>>> catalog = Catalog.from_dict(
+...     {"board": {"columns": ["id", "rnd_id", "p1", "p2"], "key": ["id"]}}
+... )
+>>> options = ExtractOptions(dialect="postgres")
+>>> report = extract_sql(SOURCE, "findMaxScore", catalog, options=options)  # doctest: +SKIP
+
+Batch scans (``python -m repro scan DIR``) live in :mod:`repro.batch`:
+
+>>> from repro.batch import scan_directory
+>>> report = scan_directory("src/", catalog, jobs=4)  # doctest: +SKIP
 
 Sub-packages:
 
@@ -26,11 +35,14 @@ Sub-packages:
 ``repro.workloads`` the paper's applications (Wilos, Matoso, JobPortal...)
 ``repro.baselines`` batching / prefetching / QBS reference data
 ``repro.cost``      Volcano/Cascades-style cost-based rewriting (App. C)
+``repro.batch``     directory scans, result cache, worker pool
 """
 
 from .algebra import Catalog
+from .batch import ScanReport, scan_directory
 from .core import (
     ExtractionReport,
+    ExtractOptions,
     STATUS_CAPABLE,
     STATUS_FAILED,
     STATUS_SUCCESS,
@@ -41,21 +53,24 @@ from .core import (
 from .db import Connection, CostParameters, Database
 from .interp import Interpreter, run_program
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Catalog",
     "Connection",
     "CostParameters",
     "Database",
+    "ExtractOptions",
     "ExtractionReport",
     "Interpreter",
     "STATUS_CAPABLE",
     "STATUS_FAILED",
     "STATUS_SUCCESS",
+    "ScanReport",
     "VariableExtraction",
     "extract_sql",
     "optimize_program",
     "run_program",
+    "scan_directory",
     "__version__",
 ]

@@ -4,6 +4,9 @@ Subcommands:
 
 ``extract``   run EqSQL on a MiniJava source file and print the extracted
               SQL (optionally the rewritten program);
+``scan``      batch-extract from every function of every MiniJava source
+              under a directory, with a persistent result cache and a
+              ``-j N`` worker pool;
 ``demo``      the paper's Figure 2 → Figure 3(d) walk-through;
 ``difftest``  the differential equivalence fuzzer (random programs vs.
               their extracted-SQL rewrites; failures are shrunk and filed
@@ -23,52 +26,32 @@ import json
 import sys
 
 from .algebra import Catalog
-from .core import extract_sql, optimize_program
+from .batch.cli import add_scan_parser, build_catalog
+from .core import ExtractOptions, extract_sql, optimize_program
 from .lang import unparse_program
 
 
 def _build_catalog(args) -> Catalog:
-    catalog = Catalog()
-    if args.schema:
-        with open(args.schema) as handle:
-            spec = json.load(handle)
-        for name, table in spec.items():
-            catalog.define(
-                name, table["columns"], tuple(table.get("key", ()))
-            )
-    for entry in args.table or []:
-        parts = entry.split(":")
-        if len(parts) < 2:
-            raise SystemExit(f"--table expects name:col1,col2[:keycol], got {entry!r}")
-        name = parts[0]
-        columns = parts[1].split(",")
-        key = tuple(parts[2].split(",")) if len(parts) > 2 else ()
-        catalog.define(name, columns, key)
-    if not catalog.tables:
-        raise SystemExit("no schema given: use --schema FILE or --table name:cols[:key]")
-    return catalog
+    return build_catalog(args.schema, args.table)
 
 
 def _cmd_extract(args) -> int:
     catalog = _build_catalog(args)
     source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    options = ExtractOptions(
+        dialect=args.dialect,
+        policy=args.policy,
+        ordering_matters=not args.unordered,
+        allow_temp_tables=args.temp_tables,
+    )
     if args.rewrite:
-        report = optimize_program(
-            source,
-            args.function,
-            catalog,
-            dialect=args.dialect,
-            policy=args.policy,
-        )
+        report = optimize_program(source, args.function, catalog, options=options)
     else:
-        report = extract_sql(
-            source,
-            args.function,
-            catalog,
-            dialect=args.dialect,
-            ordering_matters=not args.unordered,
-            allow_temp_tables=args.temp_tables,
-        )
+        report = extract_sql(source, args.function, catalog, options=options)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.status != "failed" else 1
 
     print(f"function: {args.function}")
     print(f"status:   {report.status}")
@@ -161,7 +144,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="allow shipping non-query collections as temporary tables",
     )
+    extract.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
     extract.set_defaults(func=_cmd_extract)
+
+    add_scan_parser(sub)
 
     demo = sub.add_parser("demo", help="run the Figure 2 walk-through")
     demo.set_defaults(func=_cmd_demo)

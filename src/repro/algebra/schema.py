@@ -71,6 +71,89 @@ class Catalog:
     def __contains__(self, name: str) -> bool:
         return name.lower() in self.tables
 
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Catalog":
+        """Build a catalog from a schema spec mapping.
+
+        The spec is the documented CLI/corpus schema format::
+
+            {"board": {"columns": ["id", "rnd_id", "p1"], "key": ["id"]}}
+
+        Columns are names, or ``{"name": ..., "type": ...}`` mappings when a
+        column type matters.  Malformed specs raise :class:`ValueError` with
+        the offending table named.
+        """
+        if not isinstance(spec, dict):
+            raise ValueError(
+                f"schema spec must be a mapping of table name to table spec, "
+                f"got {type(spec).__name__}"
+            )
+        catalog = cls()
+        for name, table in spec.items():
+            if not isinstance(table, dict):
+                raise ValueError(
+                    f"table {name!r}: expected a mapping with 'columns', "
+                    f"got {type(table).__name__}"
+                )
+            unknown = set(table) - {"columns", "key"}
+            if unknown:
+                raise ValueError(f"table {name!r}: unknown field(s) {sorted(unknown)}")
+            raw_columns = table.get("columns")
+            if not isinstance(raw_columns, (list, tuple)) or not raw_columns:
+                raise ValueError(f"table {name!r}: 'columns' must be a non-empty list")
+            columns: list[ColumnDef] = []
+            for entry in raw_columns:
+                if isinstance(entry, str):
+                    columns.append(ColumnDef(entry))
+                elif isinstance(entry, dict) and isinstance(entry.get("name"), str):
+                    columns.append(ColumnDef(entry["name"], entry.get("type", "any")))
+                else:
+                    raise ValueError(
+                        f"table {name!r}: column entries must be names or "
+                        f"{{'name': ..., 'type': ...}} mappings, got {entry!r}"
+                    )
+            key = table.get("key", ())
+            if isinstance(key, str) or not all(isinstance(k, str) for k in key):
+                raise ValueError(f"table {name!r}: 'key' must be a list of column names")
+            column_names = [col.name for col in columns]
+            missing = [k for k in key if k not in column_names]
+            if missing:
+                raise ValueError(
+                    f"table {name!r}: key column(s) {missing} not in columns"
+                )
+            catalog.add(TableDef(name=name, columns=columns, key=tuple(key)))
+        return catalog
+
+    @classmethod
+    def from_json_file(cls, path) -> "Catalog":
+        """Load a catalog from a JSON schema file (the ``--schema`` format)."""
+        import json
+
+        with open(path) as handle:
+            try:
+                spec = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+        try:
+            return cls.from_dict(spec)
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        """The inverse of :meth:`from_dict`; stable for hashing/caching."""
+        spec: dict = {}
+        for table in self.tables.values():
+            spec[table.name] = {
+                "columns": [
+                    col.name
+                    if col.type == "any"
+                    else {"name": col.name, "type": col.type}
+                    for col in table.columns
+                ],
+                "key": list(table.key),
+            }
+        return spec
+
 
 def output_columns(expr: RelExpr, catalog: Catalog) -> list[str]:
     """Infer the output column names of a relational expression."""

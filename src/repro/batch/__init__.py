@@ -1,0 +1,36 @@
+"""Batch extraction service: repo-wide scans with caching and parallelism.
+
+The paper's pipeline analyses one function of one file per invocation;
+real deployments run over entire applications.  This package adds the
+throughput layer:
+
+``discovery``  find MiniJava sources under a directory and plan one work
+               unit per (file, function);
+``cache``      persistent content-addressed result cache (key = SHA-256 of
+               source + catalog spec + options; store = JSON files under
+               ``.repro-cache/``);
+``pool``       serial or ``multiprocessing`` execution of work units;
+``report``     :class:`ScanReport` aggregation and rendering;
+``service``    :func:`scan_directory`, the orchestrator gluing the above;
+``cli``        the ``python -m repro scan`` subcommand.
+"""
+
+from .cache import NullCache, ResultCache, cache_key
+from .discovery import Discovery, WorkUnit, discover_sources, plan_units
+from .pool import extract_unit, run_units
+from .report import ScanReport
+from .service import scan_directory
+
+__all__ = [
+    "Discovery",
+    "NullCache",
+    "ResultCache",
+    "ScanReport",
+    "WorkUnit",
+    "cache_key",
+    "discover_sources",
+    "extract_unit",
+    "plan_units",
+    "run_units",
+    "scan_directory",
+]

@@ -1,0 +1,114 @@
+"""Content-addressed result cache.
+
+The key is the SHA-256 of everything that determines a unit's result:
+source text, function name, catalog spec, and extraction options (plus a
+format version so stale entries from older layouts self-invalidate).
+Editing a file, the schema, or the options therefore changes the key —
+warm re-scans skip extraction for everything else.
+
+The store is plain JSON files under ``.repro-cache/``, sharded by the
+first two hex digits of the key (``.repro-cache/ab/abcdef....json``), so
+a human can inspect any entry and ``rm -rf`` is the only eviction tool
+needed.  Writes are atomic (temp file + ``os.replace``), so concurrent
+scans never observe half-written entries; corrupt or foreign files are
+treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..algebra import Catalog
+from ..core import ExtractOptions
+
+#: Bump when the cached payload layout changes; old entries become misses.
+CACHE_FORMAT = 1
+
+#: Default cache directory name, created under the scan root.
+CACHE_DIR_NAME = ".repro-cache"
+
+
+def cache_key(
+    source: str, function: str, catalog: Catalog, options: ExtractOptions
+) -> str:
+    """SHA-256 over the canonical JSON of all result-determining inputs."""
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "source": source,
+            "function": function,
+            "catalog": catalog.to_dict(),
+            "options": options.to_dict(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """JSON-file cache with hit/miss/store counters."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached result dict, or ``None`` (and a counted miss)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CACHE_FORMAT
+            or "result" not in payload
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(self, key: str, unit_path: str, function: str, result: dict) -> None:
+        """Store one unit result atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "file": unit_path,
+            "function": function,
+            "result": result,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+        self.stores += 1
+
+
+class NullCache:
+    """Cache-off stand-in: every lookup misses, stores are dropped."""
+
+    directory = None
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def get(self, key: str) -> None:
+        self.misses += 1
+        return None
+
+    def put(self, key: str, unit_path: str, function: str, result: dict) -> None:
+        pass

@@ -1,0 +1,111 @@
+"""The ``python -m repro scan`` subcommand.
+
+Lives here (not in ``repro.__main__``) so the batch layer owns its whole
+vertical; ``__main__`` just registers the parser.  Also provides
+:func:`build_catalog`, the one place CLI schema arguments (``--schema``
+JSON files and inline ``--table`` specs) become a :class:`Catalog` — the
+``extract`` command reuses it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..algebra import Catalog
+from ..core import DIALECTS, ExtractOptions
+from .service import scan_directory
+
+
+def build_catalog(schema: str | None, tables: list[str] | None) -> Catalog:
+    """Build a catalog from CLI arguments; exits with a message on bad input."""
+    catalog = Catalog()
+    if schema:
+        try:
+            catalog = Catalog.from_json_file(schema)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+    for entry in tables or []:
+        parts = entry.split(":")
+        if len(parts) < 2:
+            raise SystemExit(f"--table expects name:col1,col2[:keycol], got {entry!r}")
+        name = parts[0]
+        columns = parts[1].split(",")
+        key = tuple(parts[2].split(",")) if len(parts) > 2 else ()
+        try:
+            catalog.add(Catalog.from_dict({name: {"columns": columns, "key": list(key)}}).get(name))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    if not catalog.tables:
+        raise SystemExit("no schema given: use --schema FILE or --table name:cols[:key]")
+    return catalog
+
+
+def add_scan_parser(sub) -> None:
+    """Register the ``scan`` subcommand on an argparse subparsers object."""
+    scan = sub.add_parser(
+        "scan",
+        help="batch-extract SQL from every function under a directory",
+    )
+    scan.add_argument("directory", help="directory to scan for MiniJava sources")
+    scan.add_argument("--schema", help="JSON schema file")
+    scan.add_argument(
+        "--table", action="append", help="inline table: name:col1,col2[:keycol]"
+    )
+    scan.add_argument("--dialect", default="repro", choices=list(DIALECTS))
+    scan.add_argument(
+        "--unordered",
+        action="store_true",
+        help="result ordering irrelevant (keyword-search mode)",
+    )
+    scan.add_argument(
+        "--temp-tables",
+        action="store_true",
+        help="allow shipping non-query collections as temporary tables",
+    )
+    scan.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial)",
+    )
+    scan.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache location (default: DIRECTORY/.repro-cache)",
+    )
+    scan.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    scan.add_argument("--json", action="store_true", help="emit the report as JSON")
+    scan.add_argument(
+        "-v", "--verbose", action="store_true", help="per-variable detail in text output"
+    )
+    scan.set_defaults(func=cmd_scan)
+
+
+def cmd_scan(args) -> int:
+    catalog = build_catalog(args.schema, args.table)
+    options = ExtractOptions(
+        dialect=args.dialect,
+        ordering_matters=not args.unordered,
+        allow_temp_tables=args.temp_tables,
+    )
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    report = scan_directory(
+        args.directory,
+        catalog,
+        options=options,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text(verbose=args.verbose))
+    if not report.units and not report.parse_errors:
+        print(f"no MiniJava sources found under {args.directory}")
+        return 1
+    return 0

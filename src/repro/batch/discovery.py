@@ -1,0 +1,86 @@
+"""Source discovery: MiniJava files under a directory → work units.
+
+A *work unit* is one (file, function) pair: the scan granularity, the
+cache granularity, and the parallelism granularity are all the same thing.
+Files that fail to parse produce no units; they are reported as
+file-level errors instead of aborting the scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..lang import parse_program
+
+#: File suffixes treated as MiniJava sources.
+SOURCE_SUFFIXES = (".mj", ".minijava")
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One (file, function) extraction task.
+
+    ``path`` is relative to the scan root (POSIX-style), so reports and
+    cache payloads are stable across machines and checkouts.
+    """
+
+    path: str
+    function: str
+    source: str
+
+
+@dataclass
+class Discovery:
+    """Everything found under a scan root."""
+
+    root: str
+    files: list[str] = field(default_factory=list)
+    units: list[WorkUnit] = field(default_factory=list)
+    #: path → parse error message, for files no units could be planned from.
+    errors: dict[str, str] = field(default_factory=dict)
+
+
+def discover_sources(root: Path | str) -> list[Path]:
+    """All MiniJava source files under ``root``, sorted for determinism.
+
+    Hidden directories (``.git``, ``.repro-cache``, ...) are skipped.
+    A file path may also be given directly.
+    """
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    found = [
+        path
+        for path in root.rglob("*")
+        if path.is_file()
+        and path.suffix in SOURCE_SUFFIXES
+        and not any(part.startswith(".") for part in path.relative_to(root).parts)
+    ]
+    return sorted(found)
+
+
+def plan_units(root: Path | str) -> Discovery:
+    """Parse every discovered file and plan one unit per function.
+
+    Functions are planned in source order within a file; files in sorted
+    path order — the unit list is therefore deterministic for a given tree.
+    """
+    root = Path(root)
+    discovery = Discovery(root=str(root))
+    for path in discover_sources(root):
+        rel = (
+            path.relative_to(root).as_posix() if not root.is_file() else path.name
+        )
+        discovery.files.append(rel)
+        try:
+            source = path.read_text()
+            program = parse_program(source)
+        except Exception as exc:  # parse/lex/io errors become per-file reports
+            discovery.errors[rel] = f"{type(exc).__name__}: {exc}"
+            continue
+        for func in program.functions:
+            discovery.units.append(
+                WorkUnit(path=rel, function=func.name, source=source)
+            )
+    return discovery

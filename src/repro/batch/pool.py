@@ -1,0 +1,77 @@
+"""Work-unit execution: serial, or fanned out over a process pool.
+
+Extraction is pure CPU (parsing, dataflow, rule rewriting), so threads
+would serialize on the GIL; ``multiprocessing`` gives real scaling.  The
+catalog and options are shipped once per worker through the pool
+initializer rather than once per unit, and workers return plain dicts
+(:meth:`ExtractionReport.to_dict`) so nothing AST-shaped crosses the
+process boundary.
+
+``pool.map`` preserves submission order, and each unit's result depends
+only on its own (source, function, catalog, options) — a parallel scan is
+bit-identical to a serial one apart from timing fields.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from ..algebra import Catalog
+from ..core import ExtractOptions, extract_sql
+from .discovery import WorkUnit
+
+#: Per-worker process state, set once by :func:`_init_worker`.
+_WORKER_STATE: dict = {}
+
+
+def extract_unit(unit: WorkUnit, catalog: Catalog, options: ExtractOptions) -> dict:
+    """Run extraction for one unit; never raises.
+
+    Any crash inside the pipeline is converted into a ``failed`` result
+    carrying the exception, so one pathological file cannot take down a
+    repo-wide scan (or a worker process).
+    """
+    start = time.perf_counter()
+    try:
+        result = extract_sql(unit.source, unit.function, catalog, options=options).to_dict()
+    except Exception as exc:
+        result = {
+            "function": unit.function,
+            "status": "failed",
+            "error": f"{type(exc).__name__}: {exc}",
+            "variables": {},
+            "rewritten_loops": [],
+            "consolidations": [],
+            "rewritten": None,
+        }
+    result["file"] = unit.path
+    result["duration_ms"] = (time.perf_counter() - start) * 1000.0
+    return result
+
+
+def _init_worker(catalog: Catalog, options: ExtractOptions) -> None:
+    _WORKER_STATE["catalog"] = catalog
+    _WORKER_STATE["options"] = options
+
+
+def _run_one(unit: WorkUnit) -> dict:
+    return extract_unit(unit, _WORKER_STATE["catalog"], _WORKER_STATE["options"])
+
+
+def run_units(
+    units: list[WorkUnit],
+    catalog: Catalog,
+    options: ExtractOptions,
+    jobs: int = 1,
+) -> list[dict]:
+    """Execute units and return their result dicts in submission order."""
+    if jobs <= 1 or len(units) <= 1:
+        return [extract_unit(unit, catalog, options) for unit in units]
+    processes = min(jobs, len(units))
+    with multiprocessing.Pool(
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(catalog, options),
+    ) as pool:
+        return pool.map(_run_one, units, chunksize=max(1, len(units) // (processes * 4)))

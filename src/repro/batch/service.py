@@ -1,0 +1,92 @@
+"""The scan orchestrator: discovery → cache probe → pool → report.
+
+:func:`scan_directory` is the programmatic face of ``python -m repro scan``
+and the substrate later scaling layers (sharding, async serving) build on.
+Only cache *misses* reach the worker pool; results come back as plain
+dicts and are stored immediately, so an interrupted scan still warms the
+cache for everything it finished.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from ..algebra import Catalog
+from ..core import ExtractOptions
+from .cache import CACHE_DIR_NAME, NullCache, ResultCache, cache_key
+from .discovery import plan_units
+from .pool import run_units
+from .report import ScanReport
+
+
+def scan_directory(
+    root: Path | str,
+    catalog: Catalog,
+    options: ExtractOptions | None = None,
+    jobs: int = 1,
+    cache_dir: Path | str | None = None,
+    use_cache: bool = True,
+) -> ScanReport:
+    """Scan ``root`` for MiniJava sources and extract SQL from every function.
+
+    ``jobs > 1`` fans cache misses out over a ``multiprocessing`` pool.
+    The cache defaults to ``<root>/.repro-cache`` (``cache_dir`` overrides,
+    ``use_cache=False`` disables).  Unit order in the returned report is
+    deterministic: files in sorted path order, functions in source order.
+    """
+    options = options if options is not None else ExtractOptions()
+    start = time.perf_counter()
+    discovery = plan_units(root)
+    discover_ms = (time.perf_counter() - start) * 1000.0
+
+    if not use_cache:
+        cache: ResultCache | NullCache = NullCache()
+    else:
+        root_path = Path(root)
+        base = root_path if root_path.is_dir() else root_path.parent
+        cache = ResultCache(cache_dir if cache_dir is not None else base / CACHE_DIR_NAME)
+
+    keys = [
+        cache_key(unit.source, unit.function, catalog, options)
+        for unit in discovery.units
+    ]
+    results: list[dict | None] = []
+    pending: list[int] = []
+    for index, (unit, key) in enumerate(zip(discovery.units, keys)):
+        hit = cache.get(key)
+        if hit is not None:
+            hit = dict(hit)
+            hit["cached"] = True
+            results.append(hit)
+        else:
+            results.append(None)
+            pending.append(index)
+
+    extract_start = time.perf_counter()
+    fresh = run_units([discovery.units[i] for i in pending], catalog, options, jobs)
+    extract_ms = (time.perf_counter() - extract_start) * 1000.0
+
+    for index, result in zip(pending, fresh):
+        unit = discovery.units[index]
+        cache.put(keys[index], unit.path, unit.function, result)
+        result = dict(result)
+        result["cached"] = False
+        results[index] = result
+
+    return ScanReport(
+        root=str(root),
+        units=[r for r in results if r is not None],
+        parse_errors=dict(discovery.errors),
+        files=list(discovery.files),
+        jobs=jobs,
+        cache_dir=str(cache.directory) if cache.directory is not None else None,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+        cache_stores=cache.stores,
+        timings_ms={
+            "discover": discover_ms,
+            "extract": extract_ms,
+            "total": (time.perf_counter() - start) * 1000.0,
+        },
+    )

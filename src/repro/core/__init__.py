@@ -9,9 +9,13 @@ from .extractor import (
     extract_sql,
     optimize_program,
 )
+from .options import DIALECTS, POLICIES, ExtractOptions
 
 __all__ = [
+    "DIALECTS",
+    "ExtractOptions",
     "ExtractionReport",
+    "POLICIES",
     "STATUS_CAPABLE",
     "STATUS_FAILED",
     "STATUS_SUCCESS",

@@ -44,6 +44,7 @@ from ..lang import Program, parse_program
 from ..rewrite import EmitError, Emitter, eliminate_dead_code, insert_extractions
 from ..rules import RuleEngine
 from ..sqlgen import SqlGenError, render_rel
+from .options import UNSET, ExtractOptions, resolve_options
 
 STATUS_SUCCESS = "success"
 STATUS_CAPABLE = "capable"
@@ -65,6 +66,17 @@ class VariableExtraction:
     @property
     def ok(self) -> bool:
         return self.status == STATUS_SUCCESS
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view (the internal F-IR node is omitted)."""
+        return {
+            "variable": self.variable,
+            "status": self.status,
+            "loop_sid": self.loop_sid,
+            "sql": self.sql,
+            "reason": self.reason,
+            "rule_trace": list(self.rule_trace),
+        }
 
 
 @dataclass
@@ -101,30 +113,78 @@ class ExtractionReport:
     def queries(self) -> list[str]:
         return [v.sql for v in self.variables.values() if v.sql]
 
+    def to_dict(self) -> dict:
+        """A JSON-ready view of the report.
+
+        ASTs are rendered back to source (``rewritten``) rather than
+        serialized structurally; the result round-trips through
+        ``json.dumps``/``json.loads`` unchanged.
+        """
+        from ..lang import unparse_program
+
+        return {
+            "function": self.function,
+            "status": self.status,
+            "extraction_time_ms": self.extraction_time_ms,
+            "variables": {
+                name: extraction.to_dict()
+                for name, extraction in self.variables.items()
+            },
+            "rewritten_loops": list(self.rewritten_loops),
+            "consolidations": [
+                {
+                    "loop_sid": c.loop_sid,
+                    "queries_merged": c.queries_merged,
+                    "sql": c.sql,
+                }
+                for c in self.consolidations
+            ],
+            "rewritten": (
+                unparse_program(self.rewritten)
+                if self.rewritten is not None
+                else None
+            ),
+        }
+
 
 def extract_sql(
     source: str | Program,
     function: str,
     catalog: Catalog,
     targets: list[str] | None = None,
-    dialect: str = "repro",
+    dialect: str = UNSET,
     disabled_rules: frozenset[str] = frozenset(),
-    ordering_matters: bool = True,
-    allow_temp_tables: bool = False,
+    ordering_matters: bool = UNSET,
+    allow_temp_tables: bool = UNSET,
     custom_aggregates: dict | None = None,
+    *,
+    options: ExtractOptions | None = None,
 ) -> ExtractionReport:
     """Run the extraction pipeline without rewriting the program.
 
-    ``ordering_matters=False`` enables the keyword-search relaxation
-    (Experiment 3): result order is irrelevant, so rule T4's unique-key
-    precondition is waived.
+    Pass behavioural knobs through ``options=`` (an
+    :class:`~repro.core.ExtractOptions`); the loose ``dialect``,
+    ``ordering_matters`` and ``allow_temp_tables`` keywords remain as a
+    deprecated compatibility path.
 
-    ``allow_temp_tables=True`` enables the paper's Section 2 fallback for
-    loops over collections that are not query results: the collection is
-    shipped to the database as a temporary table, which a query over it
-    then replaces.  Off by default (the paper's implementation focuses on
-    the query-derived case, and Table 1 sample 29 fails accordingly).
+    ``ExtractOptions(ordering_matters=False)`` enables the keyword-search
+    relaxation (Experiment 3): result order is irrelevant, so rule T4's
+    unique-key precondition is waived.
+
+    ``ExtractOptions(allow_temp_tables=True)`` enables the paper's Section 2
+    fallback for loops over collections that are not query results: the
+    collection is shipped to the database as a temporary table, which a
+    query over it then replaces.  Off by default (the paper's implementation
+    focuses on the query-derived case, and Table 1 sample 29 fails
+    accordingly).
     """
+    options = resolve_options(
+        options,
+        api="extract_sql",
+        dialect=dialect,
+        ordering_matters=ordering_matters,
+        allow_temp_tables=allow_temp_tables,
+    )
     start = time.perf_counter()
     program = (
         parse_program(source) if isinstance(source, str) else source
@@ -139,14 +199,14 @@ def extract_sql(
         catalog,
         ctx.dag,
         disabled=disabled_rules,
-        ordering_matters=ordering_matters,
+        ordering_matters=options.ordering_matters,
         custom_aggregates=custom_aggregates,
     )
     variables: dict[str, VariableExtraction] = {}
     for target in targets:
         variables[target] = _extract_variable(
-            target, ve, ctx, engine, program, function, dialect,
-            allow_temp_tables=allow_temp_tables,
+            target, ve, ctx, engine, program, function, options.dialect,
+            allow_temp_tables=options.allow_temp_tables,
         )
 
     elapsed = (time.perf_counter() - start) * 1000.0
@@ -163,15 +223,19 @@ def optimize_program(
     function: str,
     catalog: Catalog,
     targets: list[str] | None = None,
-    dialect: str = "repro",
-    policy: str = "heuristic",
+    dialect: str = UNSET,
+    policy: str = UNSET,
     database=None,
-    ordering_matters: bool = True,
-    allow_temp_tables: bool = False,
+    ordering_matters: bool = UNSET,
+    allow_temp_tables: bool = UNSET,
+    *,
+    options: ExtractOptions | None = None,
 ) -> ExtractionReport:
     """Extract SQL and rewrite the program (Section 5.2).
 
-    ``policy`` selects how loops are chosen for rewriting:
+    Behavioural knobs travel in ``options=`` (the loose keywords remain as
+    a deprecated compatibility path).  ``options.policy`` selects how loops
+    are chosen for rewriting:
 
     * ``"heuristic"`` — the Section 5.3 rule: rewrite a loop only when every
       variable live after it was successfully extracted;
@@ -180,15 +244,21 @@ def optimize_program(
       cardinalities), may additionally decline heuristic-eligible loops
       whose extraction does not pay off.
     """
+    options = resolve_options(
+        options,
+        api="optimize_program",
+        dialect=dialect,
+        policy=policy,
+        ordering_matters=ordering_matters,
+        allow_temp_tables=allow_temp_tables,
+    )
     start = time.perf_counter()
     report = extract_sql(
         source,
         function,
         catalog,
         targets,
-        dialect,
-        ordering_matters=ordering_matters,
-        allow_temp_tables=allow_temp_tables,
+        options=options,
     )
     program = report.original
     func = program.function(function)
@@ -199,12 +269,10 @@ def optimize_program(
             by_loop.setdefault(extraction.loop_sid, []).append(extraction)
 
     allowed_loops: set[int] | None = None
-    if policy == "cost":
+    if options.policy == "cost":
         from ..cost import cost_based_plan
 
         allowed_loops = cost_based_plan(report, database).rewrite_loops
-    elif policy != "heuristic":
-        raise ValueError(f"unknown policy {policy!r}")
 
     plan: dict[int, list[tuple[str, ENode]]] = {}
     loop_stmts = _loop_statements(program, function)
@@ -233,7 +301,7 @@ def optimize_program(
     rewritten = program
     if plan:
         try:
-            rewritten = insert_extractions(program, function, plan, dialect)
+            rewritten = insert_extractions(program, function, plan, options.dialect)
             rewritten = eliminate_dead_code(rewritten, function)
             report.rewritten_loops = sorted(plan)
         except EmitError:
@@ -243,7 +311,7 @@ def optimize_program(
     from ..rewrite import consolidate_loops
 
     rewritten, consolidations = consolidate_loops(
-        rewritten, function, catalog, dialect
+        rewritten, function, catalog, options.dialect
     )
     report.consolidations = consolidations
 

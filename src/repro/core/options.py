@@ -1,0 +1,120 @@
+"""Extraction options: one frozen value object instead of kwarg sprawl.
+
+:class:`ExtractOptions` consolidates the knobs that used to be loose
+keyword arguments on :func:`~repro.core.extract_sql` and
+:func:`~repro.core.optimize_program` (``dialect``, ``policy``,
+``ordering_matters``, ``allow_temp_tables``).  Being frozen and
+dict-convertible makes it safe to hash into cache keys and to ship across
+process boundaries, which the batch scanner (:mod:`repro.batch`) relies on.
+
+The legacy keyword arguments still work but are deprecated; passing both
+``options=`` and a legacy keyword is an error (there is no sensible merge
+order).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+
+DIALECTS = ("repro", "postgres", "mysql", "sqlserver", "ansi")
+POLICIES = ("heuristic", "cost")
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit value, so the
+#: deprecation path only fires when a caller actually uses a legacy kwarg.
+UNSET = object()
+
+
+@dataclass(frozen=True)
+class ExtractOptions:
+    """Options controlling extraction and rewriting.
+
+    ``dialect``            target SQL dialect for rendered queries;
+    ``policy``             loop-selection policy for rewriting (Section 5.3
+                           heuristic or the Appendix C cost-based search) —
+                           ignored by plain extraction;
+    ``ordering_matters``   ``False`` enables the keyword-search relaxation
+                           (Experiment 3): rule T4's unique-key precondition
+                           is waived because result order is irrelevant;
+    ``allow_temp_tables``  enables the Section 2 fallback of shipping
+                           non-query collections as temporary tables.
+    """
+
+    dialect: str = "repro"
+    policy: str = "heuristic"
+    ordering_matters: bool = True
+    allow_temp_tables: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dialect not in DIALECTS:
+            raise ValueError(
+                f"unknown dialect {self.dialect!r}; expected one of {DIALECTS}"
+            )
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES}"
+            )
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping; stable across processes and runs."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExtractOptions":
+        if not isinstance(data, dict):
+            raise ValueError(f"options spec must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown option(s): {sorted(unknown)}")
+        return cls(**data)
+
+    def replace(self, **changes) -> "ExtractOptions":
+        """A copy with the given fields changed (validation re-runs)."""
+        return replace(self, **changes)
+
+
+def resolve_options(
+    options: ExtractOptions | None,
+    *,
+    api: str,
+    dialect=UNSET,
+    policy=UNSET,
+    ordering_matters=UNSET,
+    allow_temp_tables=UNSET,
+) -> ExtractOptions:
+    """Reconcile ``options=`` with the deprecated legacy keywords.
+
+    Exactly one style may be used per call.  Legacy keywords build an
+    equivalent :class:`ExtractOptions` and emit a :class:`DeprecationWarning`.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("dialect", dialect),
+            ("policy", policy),
+            ("ordering_matters", ordering_matters),
+            ("allow_temp_tables", allow_temp_tables),
+        )
+        if value is not UNSET
+    }
+    if options is not None:
+        if legacy:
+            raise TypeError(
+                f"{api}() got options= together with legacy keyword(s) "
+                f"{sorted(legacy)}; pass everything through options="
+            )
+        if not isinstance(options, ExtractOptions):
+            raise TypeError(
+                f"{api}() options= expects ExtractOptions, got {type(options).__name__}"
+            )
+        return options
+    if legacy:
+        warnings.warn(
+            f"passing {sorted(legacy)} to {api}() is deprecated; "
+            f"use options=ExtractOptions(...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ExtractOptions(**legacy)
+    return ExtractOptions()

@@ -64,10 +64,12 @@ class GeneratedCase:
     rows: dict[str, list[dict]] = field(default_factory=dict)
 
     def catalog(self) -> Catalog:
-        catalog = Catalog()
-        for table in self.tables:
-            catalog.define(table.name, list(table.columns), key=table.key)
-        return catalog
+        return Catalog.from_dict(
+            {
+                table.name: {"columns": list(table.columns), "key": list(table.key)}
+                for table in self.tables
+            }
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,81 @@
+"""Catalog.from_dict / from_json_file / to_dict."""
+
+import json
+
+import pytest
+
+from repro.algebra import Catalog
+
+SPEC = {
+    "board": {"columns": ["id", "rnd_id", "p1"], "key": ["id"]},
+    "orders": {"columns": ["id", "amount"]},
+}
+
+
+class TestFromDict:
+    def test_basic(self):
+        catalog = Catalog.from_dict(SPEC)
+        assert "board" in catalog
+        assert catalog.get("board").key == ("id",)
+        assert catalog.get("orders").column_names() == ["id", "amount"]
+        assert catalog.get("orders").key == ()
+
+    def test_typed_columns(self):
+        catalog = Catalog.from_dict(
+            {"t": {"columns": ["id", {"name": "amount", "type": "int"}]}}
+        )
+        assert catalog.get("t").columns[1].type == "int"
+
+    def test_round_trip(self):
+        catalog = Catalog.from_dict(SPEC)
+        assert Catalog.from_dict(catalog.to_dict()).to_dict() == catalog.to_dict()
+
+    def test_matches_define(self):
+        by_hand = Catalog()
+        by_hand.define("board", ["id", "rnd_id", "p1"], key=("id",))
+        assert by_hand.to_dict() == Catalog.from_dict(
+            {"board": {"columns": ["id", "rnd_id", "p1"], "key": ["id"]}}
+        ).to_dict()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "not a mapping",
+            {"t": ["id"]},
+            {"t": {}},
+            {"t": {"columns": []}},
+            {"t": {"columns": "id"}},
+            {"t": {"columns": [42]}},
+            {"t": {"columns": [{"type": "int"}]}},
+            {"t": {"columns": ["id"], "key": "id"}},
+            {"t": {"columns": ["id"], "key": ["missing"]}},
+            {"t": {"columns": ["id"], "keys": ["id"]}},
+        ],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            Catalog.from_dict(spec)
+
+
+class TestFromJsonFile:
+    def test_loads(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(SPEC))
+        catalog = Catalog.from_json_file(path)
+        assert catalog.get("board").column_names() == ["id", "rnd_id", "p1"]
+
+    def test_invalid_json_names_the_file(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="schema.json"):
+            Catalog.from_json_file(path)
+
+    def test_malformed_spec_names_the_file(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps({"t": {"columns": []}}))
+        with pytest.raises(ValueError, match="schema.json"):
+            Catalog.from_json_file(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            Catalog.from_json_file(tmp_path / "absent.json")

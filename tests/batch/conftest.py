@@ -1,0 +1,62 @@
+"""Shared fixtures: a small MiniJava tree and its catalog."""
+
+import pytest
+
+from repro import Catalog
+
+GOOD_SOURCE = """
+unfinished() {
+    projects = executeQuery("from Project as p");
+    names = new ArrayList();
+    for (p : projects) {
+        if (p.getFinished() == false) { names.add(p.getName()); }
+    }
+    return names;
+}
+
+totalBudget() {
+    projects = executeQuery("from Project as p");
+    total = 0;
+    for (p : projects) {
+        total = total + p.getBudget();
+    }
+    return total;
+}
+"""
+
+MAX_SOURCE = """
+maxBudget() {
+    projects = executeQuery("from Project as p");
+    best = 0;
+    for (p : projects) {
+        if (p.getBudget() > best) { best = p.getBudget(); }
+    }
+    return best;
+}
+"""
+
+BROKEN_SOURCE = "this is ( not MiniJava"
+
+
+@pytest.fixture
+def catalog():
+    return Catalog.from_dict(
+        {
+            "project": {
+                "columns": ["id", "name", "finished", "budget"],
+                "key": ["id"],
+            }
+        }
+    )
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A scan root: two good files (three functions), one nested, one broken."""
+    (tmp_path / "app.mj").write_text(GOOD_SOURCE)
+    nested = tmp_path / "sub"
+    nested.mkdir()
+    (nested / "more.mj").write_text(MAX_SOURCE)
+    (tmp_path / "broken.mj").write_text(BROKEN_SOURCE)
+    (tmp_path / "ignored.py").write_text("print('not minijava')")
+    return tmp_path

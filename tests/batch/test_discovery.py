@@ -1,0 +1,42 @@
+"""Discovery: source finding and (file, function) unit planning."""
+
+from repro.batch import discover_sources, plan_units
+
+
+def test_discovers_only_minijava_sources(tree):
+    found = [p.name for p in discover_sources(tree)]
+    assert found == ["app.mj", "broken.mj", "more.mj"]
+
+
+def test_hidden_directories_are_skipped(tree):
+    cache = tree / ".repro-cache"
+    cache.mkdir()
+    (cache / "sneaky.mj").write_text("f() { return 1; }")
+    assert all(".repro-cache" not in str(p) for p in discover_sources(tree))
+
+
+def test_single_file_root(tree):
+    discovery = plan_units(tree / "app.mj")
+    assert [u.function for u in discovery.units] == ["unfinished", "totalBudget"]
+
+
+def test_one_unit_per_function_in_order(tree):
+    discovery = plan_units(tree)
+    assert [(u.path, u.function) for u in discovery.units] == [
+        ("app.mj", "unfinished"),
+        ("app.mj", "totalBudget"),
+        ("sub/more.mj", "maxBudget"),
+    ]
+
+
+def test_parse_failures_become_errors_not_crashes(tree):
+    discovery = plan_units(tree)
+    assert list(discovery.errors) == ["broken.mj"]
+    assert "broken.mj" in discovery.files
+    assert all(u.path != "broken.mj" for u in discovery.units)
+
+
+def test_paths_are_relative_posix(tree):
+    discovery = plan_units(tree)
+    assert all(not u.path.startswith("/") for u in discovery.units)
+    assert any("/" in u.path for u in discovery.units)  # nested file stays nested

@@ -1,0 +1,173 @@
+"""End-to-end scans: caching behaviour, parallel determinism, CLI."""
+
+import json
+
+from repro import Catalog, ExtractOptions
+from repro.__main__ import main
+from repro.batch import scan_directory
+from repro.batch.report import stable_view
+
+from .conftest import MAX_SOURCE
+
+
+class TestScanDirectory:
+    def test_cold_scan_outcomes(self, tree, catalog):
+        report = scan_directory(tree, catalog)
+        assert report.successes == 3
+        assert report.cache_hits == 0
+        assert report.cache_misses == 3
+        assert report.cache_stores == 3
+        assert list(report.parse_errors) == ["broken.mj"]
+        by_unit = {
+            (u["file"], u["function"]): u["variables"] for u in report.units
+        }
+        sql = by_unit[("app.mj", "unfinished")]["names"]["sql"]
+        assert "SELECT name FROM Project p" in sql
+
+    def test_warm_scan_is_all_hits(self, tree, catalog):
+        scan_directory(tree, catalog)
+        warm = scan_directory(tree, catalog)
+        assert warm.cache_hits == 3
+        assert warm.cache_misses == 0
+        assert warm.extracted == 0
+        assert all(u["cached"] for u in warm.units)
+
+    def test_warm_equals_cold_modulo_timings(self, tree, catalog):
+        cold = scan_directory(tree, catalog)
+        warm = scan_directory(tree, catalog)
+        assert stable_view(cold) == stable_view(warm)
+
+    def test_source_edit_invalidates_only_that_file(self, tree, catalog):
+        scan_directory(tree, catalog)
+        (tree / "app.mj").write_text(MAX_SOURCE.replace("best = 0", "best = 1"))
+        rescanned = scan_directory(tree, catalog)
+        # app.mj now has one (changed) function; sub/more.mj still hits.
+        assert rescanned.cache_hits == 1
+        assert rescanned.cache_misses == 1
+        refreshed = {u["file"]: u["cached"] for u in rescanned.units}
+        assert refreshed == {"app.mj": False, "sub/more.mj": True}
+
+    def test_identical_sources_share_cache_entries(self, tree, catalog):
+        # Content addressing dedups across files: a copy of an already
+        # scanned file is a hit on its very first scan.
+        scan_directory(tree, catalog)
+        (tree / "copy.mj").write_text(MAX_SOURCE)
+        rescanned = scan_directory(tree, catalog)
+        assert rescanned.cache_misses == 0
+        assert rescanned.cache_hits == 4
+
+    def test_schema_edit_invalidates_everything(self, tree, catalog):
+        scan_directory(tree, catalog)
+        widened = Catalog.from_dict(
+            {
+                "project": {
+                    "columns": ["id", "name", "finished", "budget", "extra"],
+                    "key": ["id"],
+                }
+            }
+        )
+        rescanned = scan_directory(tree, widened)
+        assert rescanned.cache_hits == 0
+        assert rescanned.cache_misses == 3
+
+    def test_options_change_invalidates(self, tree, catalog):
+        scan_directory(tree, catalog)
+        rescanned = scan_directory(
+            tree, catalog, options=ExtractOptions(dialect="postgres")
+        )
+        assert rescanned.cache_hits == 0
+
+    def test_no_cache_mode(self, tree, catalog):
+        first = scan_directory(tree, catalog, use_cache=False)
+        second = scan_directory(tree, catalog, use_cache=False)
+        assert first.cache_dir is None
+        assert second.cache_hits == 0
+        assert not (tree / ".repro-cache").exists()
+
+    def test_explicit_cache_dir(self, tree, catalog, tmp_path):
+        elsewhere = tmp_path / "elsewhere"
+        scan_directory(tree, catalog, cache_dir=elsewhere)
+        assert elsewhere.is_dir()
+        warm = scan_directory(tree, catalog, cache_dir=elsewhere)
+        assert warm.cache_hits == 3
+
+    def test_parallel_matches_serial(self, tree, catalog):
+        serial = scan_directory(tree, catalog, jobs=1, use_cache=False)
+        parallel = scan_directory(tree, catalog, jobs=2, use_cache=False)
+        assert stable_view(serial) == stable_view(parallel)
+
+    def test_report_to_dict_is_json_ready(self, tree, catalog):
+        report = scan_directory(tree, catalog)
+        data = report.to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert data["counts"]["success"] == 3
+        assert data["counts"]["parse_errors"] == 1
+        assert set(data["timings_ms"]) == {"discover", "extract", "total"}
+
+    def test_crash_in_one_unit_does_not_kill_scan(self, tree, catalog, monkeypatch):
+        import repro.batch.pool as pool_mod
+
+        real = pool_mod.extract_sql
+
+        def explode(source, function, catalog, **kwargs):
+            if function == "maxBudget":
+                raise RuntimeError("boom")
+            return real(source, function, catalog, **kwargs)
+
+        monkeypatch.setattr(pool_mod, "extract_sql", explode)
+        report = scan_directory(tree, catalog, use_cache=False)
+        failed = [u for u in report.units if u.get("error")]
+        assert len(failed) == 1
+        assert "boom" in failed[0]["error"]
+        assert report.successes == 2
+
+
+class TestScanCli:
+    def _schema(self, tmp_path, catalog):
+        path = tmp_path / "schema.json"
+        path.write_text(json.dumps(catalog.to_dict()))
+        return str(path)
+
+    def test_text_output(self, tree, catalog, tmp_path, capsys):
+        code = main(["scan", str(tree), "--schema", self._schema(tmp_path, catalog)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "units: 3" in out
+        assert "app.mj::unfinished: success" in out
+        assert "parse errors: 1" in out
+
+    def test_json_output_and_warm_run(self, tree, catalog, tmp_path, capsys):
+        schema = self._schema(tmp_path, catalog)
+        main(["scan", str(tree), "--schema", schema, "--json"])
+        cold = json.loads(capsys.readouterr().out)
+        main(["scan", str(tree), "--schema", schema, "-j", "2", "--json"])
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["cache"]["misses"] == 3
+        assert warm["cache"]["hits"] == 3 and warm["cache"]["misses"] == 0
+        assert [u["status"] for u in cold["units"]] == [
+            u["status"] for u in warm["units"]
+        ]
+
+    def test_empty_directory_exits_nonzero(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main(
+            ["scan", str(empty), "--table", "t:id:id"]
+        )
+        assert code == 1
+        assert "no MiniJava sources" in capsys.readouterr().out
+
+    def test_inline_table_schema(self, tree, capsys):
+        code = main(
+            ["scan", str(tree), "--table", "project:id,name,finished,budget:id"]
+        )
+        assert code == 0
+        assert "success 3" in capsys.readouterr().out
+
+    def test_bad_schema_file_exits_with_message(self, tree, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["scan", str(tree), "--schema", str(bad)])

@@ -105,6 +105,41 @@ class TestExtractCommand:
         )
         assert code == 1
 
+    def test_json_flag(self, source_file, capsys):
+        code = main(
+            [
+                "extract",
+                source_file,
+                "-f",
+                "unfinished",
+                "--table",
+                "project:id,name,finished:id",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "success"
+        assert "SELECT name FROM Project p" in data["variables"]["names"]["sql"]
+
+    def test_json_flag_with_rewrite(self, source_file, capsys):
+        code = main(
+            [
+                "extract",
+                source_file,
+                "-f",
+                "unfinished",
+                "--table",
+                "project:id,name,finished:id",
+                "--rewrite",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["rewritten"] is not None
+        assert "executeQuery" in data["rewritten"]
+
     def test_missing_schema_errors(self, source_file):
         with pytest.raises(SystemExit):
             main(["extract", source_file, "-f", "unfinished"])

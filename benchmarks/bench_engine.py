@@ -1,0 +1,216 @@
+"""Planned vs. reference engine benchmark — emits ``BENCH_engine.json``.
+
+Measures both execution engines on the operator shapes the planner
+optimizes, at several scale factors:
+
+* ``point_select`` — repeated key lookups (hash index vs. full scan);
+* ``join``        — equi-join (hash join vs. nested loop);
+* ``exists``      — correlated EXISTS (hash semi-join vs. per-row subquery);
+* ``aggregation`` — grouped sum (incremental fold vs. materialize+fold);
+* ``topn``        — ORDER BY + LIMIT (bounded heap vs. full sort).
+
+Every measurement first asserts the engines return identical rows, so the
+numbers can never come from diverging semantics.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--smoke] [--out PATH]
+
+``--smoke`` runs the small scale factors and asserts the planned engine
+beats the reference engine on the join workload at the largest smoke scale
+(the CI gate); the full run additionally asserts the ≥5× equi-join speedup
+recorded in BENCH_engine.json.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algebra import (
+    AggCall,
+    AggItem,
+    Aggregate,
+    BinOp,
+    Catalog,
+    Col,
+    ExistsExpr,
+    Join,
+    Limit,
+    Lit,
+    Select,
+    Sort,
+    SortKey,
+    Table,
+)
+from repro.db import Database
+
+SMOKE_SCALES = [50, 200]
+FULL_SCALES = [100, 400, 1600]
+
+#: Required speedups on the equi-join workload at the largest scale.
+SMOKE_MIN_JOIN_SPEEDUP = 1.0
+FULL_MIN_JOIN_SPEEDUP = 5.0
+
+
+def build_database(scale: int, seed: int = 1234) -> Database:
+    rng = random.Random(seed + scale)
+    catalog = Catalog()
+    catalog.define("bench_left", ["id", "grp", "val"], key=("id",))
+    catalog.define("bench_right", ["id", "fk", "amount"], key=("id",))
+    db = Database(catalog)
+    db.insert_many(
+        "bench_left",
+        [
+            {"id": i, "grp": i % 17, "val": rng.randint(0, 1000)}
+            for i in range(1, scale + 1)
+        ],
+    )
+    db.insert_many(
+        "bench_right",
+        [
+            {"id": i, "fk": rng.randint(1, scale), "amount": rng.randint(0, 500)}
+            for i in range(1, scale + 1)
+        ],
+    )
+    return db
+
+
+def workloads(scale: int) -> dict:
+    """Query (factory) per workload; point_select is a batch of lookups."""
+    point_ids = [1 + (i * 37) % scale for i in range(50)]
+    return {
+        "point_select": [
+            Select(Table("bench_left"), BinOp("=", Col("id"), Lit(i)))
+            for i in point_ids
+        ],
+        "join": [
+            Join(
+                Table("bench_left", "l"),
+                Table("bench_right", "r"),
+                BinOp("=", Col("id", "l"), Col("fk", "r")),
+            )
+        ],
+        "exists": [
+            Select(
+                Table("bench_left", "l"),
+                ExistsExpr(
+                    Select(
+                        Table("bench_right", "r"),
+                        BinOp(
+                            "AND",
+                            BinOp("=", Col("fk", "r"), Col("id", "l")),
+                            BinOp(">", Col("amount", "r"), Lit(400)),
+                        ),
+                    )
+                ),
+            )
+        ],
+        "aggregation": [
+            Aggregate(
+                Table("bench_right"),
+                (Col("fk"),),
+                (AggItem(AggCall("sum", Col("amount")), "total"),),
+            )
+        ],
+        "topn": [
+            Limit(
+                Sort(
+                    Table("bench_right"),
+                    (SortKey(Col("amount"), ascending=False), SortKey(Col("id"))),
+                ),
+                5,
+            )
+        ],
+    }
+
+
+def _time_engine(db: Database, queries, engine: str, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for query in queries:
+            db.execute(query, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def run(scales, repeats: int = 3) -> dict:
+    results: dict = {name: [] for name in workloads(scales[0])}
+    for scale in scales:
+        db = build_database(scale)
+        for name, queries in workloads(scale).items():
+            for query in queries:  # semantics gate before any timing
+                planned = db.execute(query, engine="planned")
+                reference = db.execute(query, engine="reference")
+                assert planned == reference, (
+                    f"ENGINE DIVERGENCE in {name} at scale {scale}: {query}"
+                )
+            planned_ms = _time_engine(db, queries, "planned", repeats)
+            reference_ms = _time_engine(db, queries, "reference", repeats)
+            speedup = reference_ms / planned_ms if planned_ms > 0 else float("inf")
+            results[name].append(
+                {
+                    "scale": scale,
+                    "planned_ms": round(planned_ms, 3),
+                    "reference_ms": round(reference_ms, 3),
+                    "speedup": round(speedup, 2),
+                }
+            )
+            print(
+                f"{name:>12} scale={scale:>5}: planned {planned_ms:8.2f} ms   "
+                f"reference {reference_ms:8.2f} ms   speedup {speedup:6.2f}x"
+            )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small scales + CI join-speedup gate"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    args = parser.parse_args(argv)
+
+    scales = SMOKE_SCALES if args.smoke else FULL_SCALES
+    results = run(scales, repeats=args.repeats)
+
+    largest_join = results["join"][-1]
+    report = {
+        "benchmark": "planned vs reference execution engine",
+        "mode": "smoke" if args.smoke else "full",
+        "scales": scales,
+        "workloads": results,
+        "join_speedup_at_largest_scale": largest_join["speedup"],
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    required = SMOKE_MIN_JOIN_SPEEDUP if args.smoke else FULL_MIN_JOIN_SPEEDUP
+    if largest_join["speedup"] < required:
+        print(
+            f"FAIL: join speedup {largest_join['speedup']}x at scale "
+            f"{largest_join['scale']} is below the required {required}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: join speedup {largest_join['speedup']}x at scale "
+        f"{largest_join['scale']} (required ≥ {required}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,6 +119,25 @@ class CostModel:
             + estimate.rows * estimate.width_bytes / self.cost.bytes_per_ms
         )
 
+    def explain_cost_ms(self, explain: dict) -> float:
+        """Cost of an *executed* physical plan from its ``explain()`` tree.
+
+        Uses the plan's actual per-operator row counts (``rows_scanned``
+        summed over the tree, result rows at the root) in place of the
+        selectivity-based estimates — the feedback path from the execution
+        engine back into the cost model."""
+        from ..db.physical import total_scanned
+
+        scanned = float(total_scanned(explain))
+        result_rows = float(explain.get("rows_out") or 0)
+        return (
+            self.cost.round_trip_ms
+            + self.cost.per_query_overhead_ms
+            + scanned * self.cost.per_scanned_row_ms
+            + result_rows * self.cost.per_result_row_ms
+            + result_rows * ROW_BYTES / self.cost.bytes_per_ms
+        )
+
     def client_loop_cost_ms(self, rows: float, work_per_row: float = 0.001) -> float:
         """Cost of iterating ``rows`` results client-side."""
         return rows * work_per_row

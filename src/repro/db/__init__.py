@@ -1,7 +1,7 @@
 """In-memory database substrate with a simulated client/server boundary."""
 
 from .connection import Connection, ConnectionStats, CostParameters, describe_plan
-from .engine import Database, EngineError
+from .engine import Database, EngineDivergenceError, EngineError, ReferenceEvaluator
 from .types import Row, row_size_bytes, value_size_bytes
 
 __all__ = [
@@ -9,7 +9,9 @@ __all__ = [
     "ConnectionStats",
     "CostParameters",
     "Database",
+    "EngineDivergenceError",
     "EngineError",
+    "ReferenceEvaluator",
     "Row",
     "describe_plan",
     "row_size_bytes",

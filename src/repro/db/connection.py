@@ -32,6 +32,7 @@ from ..algebra import (
     walk_relational,
 )
 from .engine import Database
+from .physical import total_scanned
 from .types import Row, row_size_bytes
 
 
@@ -89,9 +90,17 @@ class Connection:
     def execute_query(
         self, query: RelExpr, params: dict[str, Any] | None = None
     ) -> list[Row]:
-        """Execute a query, accounting one round trip plus transfer costs."""
-        rows = self.database.execute(query, params)
-        scanned = self._estimate_scanned_rows(query)
+        """Execute a query, accounting one round trip plus transfer costs.
+
+        With the planned engine, server-side work is charged from the
+        executed physical plan's actual per-operator scan counts; the
+        reference engine (no plan) falls back to the static estimate.
+        """
+        rows, explain = self.database.execute_explained(query, params)
+        if explain is not None:
+            scanned = total_scanned(explain)
+        else:
+            scanned = self._estimate_scanned_rows(query)
         transferred_bytes = sum(row_size_bytes(row) for row in rows)
 
         self.stats.queries_executed += 1

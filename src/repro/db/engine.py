@@ -4,10 +4,26 @@ This is the database substrate for the reproduction: the paper ran against
 MySQL 5.5; we evaluate the same algebra the extractor produces directly over
 in-memory tables, with SQL NULL semantics, stable sorts, grouped
 aggregation, DISTINCT, LIMIT, and OUTER APPLY.
+
+Two execution engines share this module's :class:`Database`:
+
+* ``reference`` — :class:`ReferenceEvaluator`, the original tree-walking
+  interpreter.  Deliberately naive (nested-loop joins, per-row subquery
+  re-evaluation) but obviously correct; it is the oracle every optimization
+  is differentially checked against.
+* ``planned`` — the physical planning layer in :mod:`repro.db.planner` /
+  :mod:`repro.db.physical`: hash joins, hash semi/anti-joins, Top-N, index
+  lookups, and streaming pipelines.  Must produce *identical* rows (values
+  and order) to the reference evaluator on every query.
+
+``engine="both"`` runs both and raises :class:`EngineDivergenceError` on
+any mismatch — the differential safety net used by the fuzzer.
 """
 
 from __future__ import annotations
 
+import re
+from functools import lru_cache
 from typing import Any
 
 from ..algebra import (
@@ -41,20 +57,34 @@ from .types import (
     is_truthy,
     nulls_last_key,
     sql_and,
+    sql_avg,
     sql_compare,
     sql_not,
     sql_or,
 )
+
+#: Engines `Database.execute` understands.
+ENGINES = ("planned", "reference", "both")
+
+#: Plan-cache size bound: beyond this many distinct trees the cache resets.
+_PLAN_CACHE_LIMIT = 256
 
 
 class EngineError(Exception):
     """Raised on evaluation failures (unknown table/column/function)."""
 
 
+class EngineDivergenceError(EngineError):
+    """Raised by ``engine="both"`` when planned and reference rows differ."""
+
+
 class Database:
     """A named collection of in-memory tables plus their catalog."""
 
-    def __init__(self, catalog: Catalog | None = None):
+    #: Engine used when ``execute`` is called without an explicit one.
+    default_engine = "planned"
+
+    def __init__(self, catalog: Catalog | None = None, default_engine: str | None = None):
         self.catalog = catalog or Catalog()
         self._tables: dict[str, list[Row]] = {
             name: [] for name in self.catalog.tables
@@ -63,6 +93,17 @@ class Database:
         #: The paper's Section 5.2 fallback when a folding function has no
         #: built-in SQL aggregate.
         self.aggregates: dict[str, object] = {}
+        if default_engine is not None:
+            self.default_engine = default_engine
+        #: Registered hash indexes: (table, column) → value → rows, or
+        #: ``None`` while dirty/unbuilt (rebuilt lazily on next lookup).
+        self._indexes: dict[tuple[str, str], dict | None] = {}
+        #: (table, column) pairs whose values turned out unhashable.
+        self._unindexable: set[tuple[str, str]] = set()
+        #: Physical plan cache keyed on the (hashable) algebra tree.
+        self._plan_cache: dict[RelExpr, Any] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     def register_aggregate(self, name: str, fn) -> None:
         """Register a user-defined aggregate (and teach the SQL parser
@@ -81,12 +122,16 @@ class Database:
         """Create an empty table and register it in the catalog."""
         self.catalog.define(name, columns, key)
         self._tables[name.lower()] = []
+        self._invalidate(name)
+        # New tables can change name resolution and index choices.
+        self._plan_cache.clear()
 
     def insert(self, name: str, row: Row) -> None:
         """Insert one row (missing columns become NULL)."""
         table = self.catalog.get(name)
         stored = {col: row.get(col) for col in table.column_names()}
         self._tables[name.lower()].append(stored)
+        self._invalidate(name)
 
     def insert_many(self, name: str, rows: list[Row]) -> None:
         for row in rows:
@@ -104,16 +149,146 @@ class Database:
 
     def clear(self, name: str) -> None:
         self._tables[name.lower()] = []
+        self._invalidate(name)
+        self._unindexable = {
+            key for key in self._unindexable if key[0] != name.lower()
+        }
+
+    # ------------------------------------------------------------------
+    # Hash indexes
+
+    def create_index(self, name: str, column: str) -> None:
+        """Register a hash index on ``table.column`` (built lazily).
+
+        The planner uses registered indexes for index-nested-loop join
+        plans and point lookups; indexes on declared key columns are also
+        auto-registered the first time a point lookup needs one.
+        """
+        table = self.catalog.get(name)
+        if not table.has_column(column):
+            raise EngineError(f"no column {column!r} on table {name!r}")
+        self._indexes.setdefault((name.lower(), column), None)
+        # Index availability changes plan choices.
+        self._plan_cache.clear()
+
+    def has_index(self, name: str, column: str) -> bool:
+        return (name.lower(), column) in self._indexes
+
+    def index_on(self, name: str, column: str, auto: bool = False) -> dict | None:
+        """Return the value→rows mapping for an index, building it lazily.
+
+        With ``auto=True`` the index is registered on first use (the lazy
+        auto-indexing path for equality lookups).  Returns ``None`` when no
+        index is registered (and ``auto`` is off) or when the column's
+        values are unhashable — callers must then fall back to a scan.
+        """
+        key = (name.lower(), column)
+        if key in self._unindexable:
+            return None
+        if key not in self._indexes:
+            if not auto:
+                return None
+            self._indexes[key] = None
+        index = self._indexes[key]
+        if index is None:
+            index = {}
+            try:
+                for row in self.rows(name):
+                    value = row.get(column)
+                    if value is None:
+                        continue  # NULL never matches an equality probe
+                    index.setdefault(value, []).append(row)
+            except TypeError:
+                self._unindexable.add(key)
+                return None
+            self._indexes[key] = index
+        return index
+
+    def _invalidate(self, name: str) -> None:
+        """Mark every index of ``name`` dirty (rebuilt on next lookup)."""
+        lowered = name.lower()
+        for key in self._indexes:
+            if key[0] == lowered:
+                self._indexes[key] = None
 
     # ------------------------------------------------------------------
     # Query evaluation
 
-    def execute(self, query: RelExpr, params: dict[str, Any] | None = None) -> list[Row]:
-        """Evaluate a relational algebra tree and return the result rows."""
-        return _Evaluator(self, params or {}).eval_rel(query)
+    def plan(self, query: RelExpr):
+        """Return the (cached) physical plan for an algebra tree."""
+        plan = self._plan_cache.get(query)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            return plan
+        from .planner import Planner
+
+        self.plan_cache_misses += 1
+        plan = Planner(self).lower(query)
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[query] = plan
+        return plan
+
+    def execute(
+        self,
+        query: RelExpr,
+        params: dict[str, Any] | None = None,
+        engine: str | None = None,
+    ) -> list[Row]:
+        """Evaluate a relational algebra tree and return the result rows.
+
+        ``engine`` selects the execution engine: ``"planned"`` (physical
+        operators), ``"reference"`` (the tree-walking oracle), or
+        ``"both"`` (run both, raise :class:`EngineDivergenceError` on any
+        mismatch).  Defaults to :attr:`default_engine`.
+        """
+        rows, _ = self.execute_explained(query, params, engine)
+        return rows
+
+    def execute_explained(
+        self,
+        query: RelExpr,
+        params: dict[str, Any] | None = None,
+        engine: str | None = None,
+    ) -> tuple[list[Row], dict | None]:
+        """Like :meth:`execute` but also returns the executed physical
+        plan's ``explain()`` tree (``None`` for the reference engine)."""
+        engine = engine or self.default_engine
+        if engine == "reference":
+            return ReferenceEvaluator(self, params or {}).eval_rel(query), None
+        if engine not in ENGINES:
+            raise EngineError(f"unknown engine {engine!r}")
+
+        from .physical import ExecContext, explain_plan
+
+        plan = self.plan(query)
+        ctx = ExecContext(self, params or {})
+        rows = list(plan.execute(ctx))
+        explain = explain_plan(plan, ctx)
+        if engine == "both":
+            reference = ReferenceEvaluator(self, params or {}).eval_rel(query)
+            if rows != reference:
+                raise EngineDivergenceError(
+                    f"planned and reference engines disagree on {query}:\n"
+                    f"  planned   ({len(rows)} rows): {rows[:5]!r}...\n"
+                    f"  reference ({len(reference)} rows): {reference[:5]!r}..."
+                )
+        return rows, explain
+
+    def explain(self, query: RelExpr, params: dict[str, Any] | None = None) -> dict:
+        """Execute ``query`` on the planned engine and return its explain
+        tree: one node per physical operator with the rows it produced."""
+        _, explain = self.execute_explained(query, params, engine="planned")
+        return explain
 
 
-class _Evaluator:
+class ReferenceEvaluator:
+    """The slow, obviously-correct tree-walking oracle.
+
+    Every optimized engine is differentially tested against this class;
+    keep it simple rather than fast.
+    """
+
     def __init__(self, database: Database, params: dict[str, Any]):
         self._db = database
         self._params = params
@@ -150,10 +325,9 @@ class _Evaluator:
             child = self.eval_rel(node.child, outer)
             seen = set()
             result = []
+            fingerprint_columns = _FingerprintColumns()
             for row in child:
-                fingerprint = tuple(
-                    sorted((k, _hashable(v)) for k, v in row.items() if "." not in k)
-                )
+                fingerprint = fingerprint_columns.fingerprint(row)
                 if fingerprint not in seen:
                     seen.add(fingerprint)
                     result.append(row)
@@ -205,10 +379,7 @@ class _Evaluator:
                 matched = True
                 result.append(combined)
             if node.kind == "left" and not matched:
-                padded = dict(left)
-                for key in right_rows[0] if right_rows else ():
-                    padded.setdefault(key, None)
-                result.append(padded)
+                result.append(_pad_left_row(left, right_rows, node.right, self._db))
         return result
 
     def _eval_outer_apply(self, node: OuterApply, outer: Row | None) -> list[Row]:
@@ -226,7 +397,7 @@ class _Evaluator:
                     result.append(combined)
             else:
                 padded = dict(left)
-                for name in _output_names_best_effort(node.right):
+                for name in _output_names_best_effort(node.right, self._db.catalog):
                     padded.setdefault(name, None)
                 result.append(padded)
         return result
@@ -283,7 +454,7 @@ class _Evaluator:
         if call.func == "max":
             return max(values)
         if call.func == "avg":
-            return sum(values) / len(values)
+            return sql_avg(values)
         custom = self._db.aggregates.get(call.func.lower())
         if custom is not None:
             return custom(values)
@@ -449,11 +620,18 @@ class _Evaluator:
         raise EngineError(f"unknown scalar function {expr.name!r}")
 
 
-def _sql_like(value: str, pattern: str) -> bool:
-    import re
+#: Backwards-compatible private alias (pre-planner name).
+_Evaluator = ReferenceEvaluator
 
-    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-    return re.fullmatch(regex, value) is not None
+
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> re.Pattern:
+    """Compile a SQL LIKE pattern once per distinct pattern string."""
+    return re.compile(re.escape(pattern).replace("%", ".*").replace("_", "."))
+
+
+def _sql_like(value: str, pattern: str) -> bool:
+    return _like_regex(pattern).fullmatch(value) is not None
 
 
 def _hashable(value: Any) -> Any:
@@ -466,8 +644,52 @@ def _unhashable(value: Any) -> Any:
     return value
 
 
-def _output_names_best_effort(node: RelExpr) -> list[str]:
-    """Column names an empty OUTER APPLY branch must pad with NULLs."""
+class _FingerprintColumns:
+    """Per-Distinct cache of the sorted plain-column order.
+
+    The fingerprint column order is computed once per distinct row layout
+    (the full key tuple) instead of re-sorting every row's items; rows from
+    one relation almost always share a single layout.
+    """
+
+    __slots__ = ("_layouts",)
+
+    def __init__(self):
+        self._layouts: dict[tuple, tuple[str, ...]] = {}
+
+    def fingerprint(self, row: Row) -> tuple:
+        layout = tuple(row)
+        columns = self._layouts.get(layout)
+        if columns is None:
+            columns = tuple(sorted(k for k in layout if "." not in k))
+            self._layouts[layout] = columns
+        return tuple((k, _hashable(row[k])) for k in columns)
+
+
+def _pad_left_row(
+    left: Row, right_rows: list[Row], right_rel: RelExpr, db: Database
+) -> Row:
+    """NULL-pad an unmatched left-join row.
+
+    When the right side produced rows, its actual keys are authoritative;
+    when it is empty, the pad set comes from the right relation's statically
+    inferable output names (so a left join against an empty relation still
+    emits the right side's columns as NULLs).
+    """
+    padded = dict(left)
+    if right_rows:
+        names = right_rows[0]
+    else:
+        names = _output_names_best_effort(right_rel, db.catalog)
+    for key in names:
+        padded.setdefault(key, None)
+    return padded
+
+
+def _output_names_best_effort(
+    node: RelExpr, catalog: Catalog | None = None
+) -> list[str]:
+    """Column names an empty join/apply branch must pad with NULLs."""
     if isinstance(node, Project):
         return [item.output_name for item in node.items]
     if isinstance(node, Aggregate):
@@ -476,6 +698,19 @@ def _output_names_best_effort(node: RelExpr) -> list[str]:
         ]
         names.extend(item.output_name for item in node.aggs)
         return names
+    if isinstance(node, Table):
+        if catalog is None or node.name not in catalog:
+            return []
+        columns = catalog.get(node.name).column_names()
+        alias = node.alias or node.name
+        return columns + [f"{alias}.{c}" for c in columns]
+    if isinstance(node, Join):
+        left = _output_names_best_effort(node.left, catalog)
+        right = _output_names_best_effort(node.right, catalog)
+        return left + [name for name in right if name not in left]
+    if isinstance(node, Alias):
+        child = _output_names_best_effort(node.child, catalog)
+        return child + [f"{node.name}.{c}" for c in child if "." not in c]
     if isinstance(node, (Select, Sort, Distinct, Limit)):
-        return _output_names_best_effort(node.child)
+        return _output_names_best_effort(node.child, catalog)
     return []

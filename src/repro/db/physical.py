@@ -1,0 +1,914 @@
+"""Physical operators for the planned execution engine.
+
+The planner (:mod:`repro.db.planner`) lowers relational algebra trees into
+trees of :class:`PhysicalOp` objects.  Operators are immutable and
+stateless: one plan object is cached per algebra tree per
+:class:`~repro.db.engine.Database` and re-executed with fresh
+:class:`ExecContext` state (parameters, per-operator row counters), so a
+cached plan can also serve correlated subqueries with different outer rows.
+
+Execution is generator-based: every operator's ``execute`` yields rows, so
+a ``LIMIT`` at the top of a pipeline stops pulling from its producer after
+``n`` rows instead of materializing the whole input.  Blocking operators
+(hash build sides, sorts, aggregation) materialize only what they must.
+
+The golden rule of this module: every operator must produce *exactly* the
+rows, values, and row order of :class:`~repro.db.engine.ReferenceEvaluator`
+on every input, including NULL semantics and error behavior.  Anything the
+planner cannot prove safe falls back to an operator that mirrors the
+reference implementation line for line.
+"""
+
+from __future__ import annotations
+
+from heapq import nsmallest
+from itertools import islice
+from typing import Any, Iterator
+
+from ..algebra import AggCall, Aggregate, Join, OuterApply, Project, RelExpr, Sort
+from .engine import (
+    Database,
+    ReferenceEvaluator,
+    _hashable,
+    _FingerprintColumns,
+    _output_names_best_effort,
+    _pad_left_row,
+)
+from .types import Row, is_truthy, sql_compare
+
+#: Operator labels whose ``rows_scanned`` explain field reports base-table
+#: rows actually read (wired into the connection's transfer accounting).
+SCAN_LABELS = frozenset({"SeqScan", "IndexLookup", "IndexNLJoin"})
+
+
+class PlannedScalarEvaluator(ReferenceEvaluator):
+    """Scalar evaluator whose relational subqueries run on planned plans.
+
+    Inherits every scalar rule from the reference evaluator (so the two
+    engines share one implementation of NULL semantics, functions, and
+    column lookup) but routes ``EXISTS``/scalar-subquery evaluation through
+    the plan cache instead of re-walking the algebra tree.
+    """
+
+    def __init__(self, ctx: "ExecContext"):
+        super().__init__(ctx.db, ctx.params)
+        self._ctx = ctx
+
+    def eval_rel(self, node: RelExpr, outer: Row | None = None) -> list[Row]:
+        plan = self._ctx.db.plan(node)
+        return list(plan.execute(self._ctx, outer))
+
+
+class ExecContext:
+    """Per-execution state: database, parameters, and row counters."""
+
+    __slots__ = ("db", "params", "rows_out", "probed", "scalar")
+
+    def __init__(self, db: Database, params: dict[str, Any]):
+        self.db = db
+        self.params = params
+        #: id(op) → rows the operator produced in this execution.
+        self.rows_out: dict[int, int] = {}
+        #: id(op) → base-table rows an index join touched.
+        self.probed: dict[int, int] = {}
+        self.scalar = PlannedScalarEvaluator(self)
+
+    def merge(self, row: Row, outer: Row | None) -> Row:
+        if not outer:
+            return row
+        merged = dict(outer)
+        merged.update(row)
+        return merged
+
+
+class PhysicalOp:
+    """One node of a physical plan."""
+
+    label = "op"
+
+    def children(self) -> tuple["PhysicalOp", ...]:
+        return ()
+
+    def detail(self) -> str:
+        return ""
+
+    def execute(self, ctx: ExecContext, outer: Row | None = None) -> Iterator[Row]:
+        """Yield result rows, tracking the operator's output cardinality."""
+        produced = 0
+        iterator = self._rows(ctx, outer)
+        try:
+            for row in iterator:
+                produced += 1
+                yield row
+        finally:
+            key = id(self)
+            ctx.rows_out[key] = ctx.rows_out.get(key, 0) + produced
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def scanned_rows(self, ctx: ExecContext) -> int:
+        """Base-table rows this operator read (0 for non-scan operators)."""
+        return 0
+
+
+def explain_plan(op: PhysicalOp, ctx: ExecContext | None = None) -> dict:
+    """Render a physical plan (optionally with actual row counts) as a
+    nested dict: ``{"op", "detail", "rows_out", "rows_scanned", "children"}``.
+
+    ``rows_out`` is the operator's output cardinality from the execution
+    ``ctx`` (``None`` when the plan has not run); ``rows_scanned`` is the
+    number of base-table rows the operator itself touched — the quantity the
+    simulated server-side cost accounting charges for.
+    """
+    return {
+        "op": op.label,
+        "detail": op.detail(),
+        "rows_out": None if ctx is None else ctx.rows_out.get(id(op), 0),
+        "rows_scanned": 0 if ctx is None else op.scanned_rows(ctx),
+        "children": [explain_plan(child, ctx) for child in op.children()],
+    }
+
+
+def total_scanned(explain: dict) -> int:
+    """Sum the ``rows_scanned`` fields of an executed explain tree."""
+    return explain["rows_scanned"] + sum(
+        total_scanned(child) for child in explain["children"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Scans
+
+
+class SeqScan(PhysicalOp):
+    """Full scan of a base table, adding alias-qualified keys."""
+
+    label = "SeqScan"
+
+    def __init__(self, name: str, alias: str | None):
+        self.name = name
+        self.alias = alias or name
+
+    def detail(self) -> str:
+        if self.alias != self.name:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+    def scanned_rows(self, ctx: ExecContext) -> int:
+        return ctx.rows_out.get(id(self), 0)
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        alias = self.alias
+        for row in ctx.db.rows(self.name):
+            copy = dict(row)
+            for column, value in row.items():
+                copy[f"{alias}.{column}"] = value
+            yield copy
+
+
+class IndexLookup(PhysicalOp):
+    """Point lookup ``σ[col = expr](T)`` through a lazily built hash index.
+
+    ``key_expr`` contains no columns of ``T`` (literals, parameters, or
+    outer-correlated columns only), so it is evaluated once per execution
+    against the outer scope.  A remaining ``residual`` predicate (the other
+    conjuncts of the original selection) filters the bucket.  When the index
+    cannot be built (unhashable values) or the probe key is unhashable, the
+    operator delegates to ``fallback`` — a plain filtered scan with the full
+    original predicate.
+    """
+
+    label = "IndexLookup"
+
+    def __init__(self, name, alias, column, key_expr, residual, fallback):
+        self.name = name
+        self.alias = alias or name
+        self.column = column
+        self.key_expr = key_expr
+        self.residual = residual
+        self.fallback = fallback
+
+    def detail(self) -> str:
+        return f"{self.name}.{self.column} = {self.key_expr}"
+
+    def scanned_rows(self, ctx: ExecContext) -> int:
+        return ctx.rows_out.get(id(self), 0)
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        index = ctx.db.index_on(self.name, self.column, auto=True)
+        if index is None:
+            yield from self.fallback.execute(ctx, outer)
+            return
+        key = ctx.scalar.eval_scalar(self.key_expr, outer or {})
+        if key is None:
+            return  # col = NULL is unknown: no rows qualify
+        try:
+            bucket = index.get(key, ())
+        except TypeError:  # unhashable probe value
+            yield from self.fallback.execute(ctx, outer)
+            return
+        alias = self.alias
+        scalar = ctx.scalar
+        residual = self.residual
+        for row in bucket:
+            copy = dict(row)
+            for column, value in row.items():
+                copy[f"{alias}.{column}"] = value
+            if residual is not None and not is_truthy(
+                scalar.eval_scalar(residual, ctx.merge(copy, outer))
+            ):
+                continue
+            yield copy
+
+
+# ----------------------------------------------------------------------
+# Row-at-a-time operators
+
+
+class FilterOp(PhysicalOp):
+    """σ — streaming selection."""
+
+    label = "Filter"
+
+    def __init__(self, child: PhysicalOp, pred):
+        self.child = child
+        self.pred = pred
+
+    def children(self):
+        return (self.child,)
+
+    def detail(self) -> str:
+        return str(self.pred)
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        scalar = ctx.scalar
+        pred = self.pred
+        for row in self.child.execute(ctx, outer):
+            if is_truthy(scalar.eval_scalar(pred, ctx.merge(row, outer))):
+                yield row
+
+
+class ProjectOp(PhysicalOp):
+    """π — streaming projection (shares the reference row builder)."""
+
+    label = "Project"
+
+    def __init__(self, child: PhysicalOp, node: Project):
+        self.child = child
+        self.node = node
+
+    def children(self):
+        return (self.child,)
+
+    def detail(self) -> str:
+        return ", ".join(str(item) for item in self.node.items)
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        scalar = ctx.scalar
+        node = self.node
+        for row in self.child.execute(ctx, outer):
+            yield scalar._project_row(node, row, outer)
+
+
+class AliasOp(PhysicalOp):
+    """Derived-table alias: re-qualifies plain columns."""
+
+    label = "Alias"
+
+    def __init__(self, child: PhysicalOp, name: str):
+        self.child = child
+        self.name = name
+
+    def children(self):
+        return (self.child,)
+
+    def detail(self) -> str:
+        return self.name
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        name = self.name
+        for row in self.child.execute(ctx, outer):
+            copy = dict(row)
+            for column, value in row.items():
+                if "." not in column:
+                    copy[f"{name}.{column}"] = value
+            yield copy
+
+
+class LimitOp(PhysicalOp):
+    """Streaming LIMIT: stops pulling from the producer after ``count``."""
+
+    label = "Limit"
+
+    def __init__(self, child: PhysicalOp, count: int):
+        self.child = child
+        self.count = count
+
+    def children(self):
+        return (self.child,)
+
+    def detail(self) -> str:
+        return str(self.count)
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        if self.count < 0:
+            # Degenerate negative limit: match Python slice semantics of the
+            # reference implementation exactly.
+            yield from list(self.child.execute(ctx, outer))[: self.count]
+            return
+        yield from islice(self.child.execute(ctx, outer), self.count)
+
+
+class DistinctOp(PhysicalOp):
+    """δ — streaming duplicate elimination with a cached fingerprint layout."""
+
+    label = "Distinct"
+
+    def __init__(self, child: PhysicalOp):
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        seen = set()
+        fingerprint_columns = _FingerprintColumns()
+        for row in self.child.execute(ctx, outer):
+            fingerprint = fingerprint_columns.fingerprint(row)
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                yield row
+
+
+# ----------------------------------------------------------------------
+# Sorting
+
+
+class SortOp(PhysicalOp):
+    """τ — full materializing sort (single pass over a composite key)."""
+
+    label = "Sort"
+
+    def __init__(self, child: PhysicalOp, node: Sort):
+        self.child = child
+        self.node = node
+
+    def children(self):
+        return (self.child,)
+
+    def detail(self) -> str:
+        return ", ".join(str(k) for k in self.node.keys)
+
+    def _key_fn(self, ctx: ExecContext, outer: Row | None):
+        scalar = ctx.scalar
+        keys = self.node.keys
+
+        def sort_key(row: Row):
+            scope = ctx.merge(row, outer)
+            return tuple(scalar._sort_key(k, scope) for k in keys)
+
+        return sort_key
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        rows = list(self.child.execute(ctx, outer))
+        rows.sort(key=self._key_fn(ctx, outer))
+        yield from rows
+
+
+class TopN(SortOp):
+    """Sort+Limit fused into a bounded heap (``heapq.nsmallest``).
+
+    ``nsmallest`` is documented to be equivalent to ``sorted(...)[:n]``
+    (including stability), so the fusion cannot change tie-breaking.
+    """
+
+    label = "TopN"
+
+    def __init__(self, child: PhysicalOp, node: Sort, count: int):
+        super().__init__(child, node)
+        self.count = count
+
+    def detail(self) -> str:
+        return f"{self.count} by {super().detail()}"
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        if self.count <= 0:
+            # Fall back to exact reference slice semantics for 0/negative.
+            rows = list(self.child.execute(ctx, outer))
+            rows.sort(key=self._key_fn(ctx, outer))
+            yield from rows[: self.count]
+            return
+        yield from nsmallest(
+            self.count, self.child.execute(ctx, outer), key=self._key_fn(ctx, outer)
+        )
+
+
+# ----------------------------------------------------------------------
+# Joins
+
+
+def _combine(left: Row, right: Row) -> Row:
+    # Left values win on bare-name collisions; qualified keys of both sides
+    # are preserved because they never collide (same construction as the
+    # reference evaluator's join).
+    return {**right, **left}
+
+
+class NestedLoopJoin(PhysicalOp):
+    """⋈ — the general join; mirrors the reference evaluator exactly."""
+
+    label = "NestedLoopJoin"
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp, node: Join):
+        self.left = left
+        self.right = right
+        self.node = node
+
+    def children(self):
+        return (self.left, self.right)
+
+    def detail(self) -> str:
+        text = self.node.kind
+        if self.node.pred is not None:
+            text += f" on {self.node.pred}"
+        return text
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        node = self.node
+        scalar = ctx.scalar
+        right_rows = list(self.right.execute(ctx, outer))
+        pred = node.pred
+        left_kind = node.kind == "left"
+        for left in self.left.execute(ctx, outer):
+            matched = False
+            for right in right_rows:
+                combined = _combine(left, right)
+                if pred is not None and not is_truthy(
+                    scalar.eval_scalar(pred, ctx.merge(combined, outer))
+                ):
+                    continue
+                matched = True
+                yield combined
+            if left_kind and not matched:
+                yield _pad_left_row(left, right_rows, node.right, ctx.db)
+
+
+class HashJoin(PhysicalOp):
+    """Hash equi-join: build a hash table on the right input, probe with
+    the left.
+
+    ``left_keys``/``right_keys`` are the parallel equality-conjunct sides
+    extracted by the planner; ``residual`` holds the remaining conjuncts and
+    is evaluated on the combined row exactly like the reference predicate.
+    Rows whose key contains NULL never match (SQL ``=`` is unknown on NULL).
+    Unhashable key values degrade to the nested-loop strategy so semantics
+    never change.
+    """
+
+    label = "HashJoin"
+
+    def __init__(self, left, right, node: Join, left_keys, right_keys, residual):
+        self.left = left
+        self.right = right
+        self.node = node
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+        self.residual = residual
+
+    def children(self):
+        return (self.left, self.right)
+
+    def detail(self) -> str:
+        keys = ", ".join(
+            f"{l} = {r}" for l, r in zip(self.left_keys, self.right_keys)
+        )
+        text = f"{self.node.kind} on {keys}"
+        if self.residual is not None:
+            text += f" residual {self.residual}"
+        return text
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        node = self.node
+        scalar = ctx.scalar
+        right_rows = list(self.right.execute(ctx, outer))
+        table: dict[tuple, list[Row]] = {}
+        for right in right_rows:
+            scope = ctx.merge(right, outer)
+            key = tuple(scalar.eval_scalar(e, scope) for e in self.right_keys)
+            if any(v is None for v in key):
+                continue  # NULL keys can never satisfy the equality
+            try:
+                table.setdefault(key, []).append(right)
+            except TypeError:
+                # Unhashable join key: the nested loop is the only strategy
+                # that preserves Python/SQL equality semantics exactly.
+                yield from self._nested(ctx, outer, right_rows)
+                return
+
+        residual = self.residual
+        left_kind = node.kind == "left"
+        for left in self.left.execute(ctx, outer):
+            scope = ctx.merge(left, outer)
+            key = tuple(scalar.eval_scalar(e, scope) for e in self.left_keys)
+            if any(v is None for v in key):
+                bucket = ()
+            else:
+                try:
+                    bucket = table.get(key, ())
+                except TypeError:
+                    bucket = [
+                        right
+                        for right in right_rows
+                        if self._keys_equal(ctx, outer, key, right)
+                    ]
+            matched = False
+            for right in bucket:
+                combined = _combine(left, right)
+                if residual is not None and not is_truthy(
+                    scalar.eval_scalar(residual, ctx.merge(combined, outer))
+                ):
+                    continue
+                matched = True
+                yield combined
+            if left_kind and not matched:
+                yield _pad_left_row(left, right_rows, node.right, ctx.db)
+
+    def _keys_equal(self, ctx, outer, left_key, right: Row) -> bool:
+        scalar = ctx.scalar
+        scope = ctx.merge(right, outer)
+        for value, expr in zip(left_key, self.right_keys):
+            if not is_truthy(sql_compare("=", value, scalar.eval_scalar(expr, scope))):
+                return False
+        return True
+
+    def _nested(self, ctx, outer, right_rows) -> Iterator[Row]:
+        node = self.node
+        scalar = ctx.scalar
+        pred = node.pred
+        left_kind = node.kind == "left"
+        for left in self.left.execute(ctx, outer):
+            matched = False
+            for right in right_rows:
+                combined = _combine(left, right)
+                if pred is not None and not is_truthy(
+                    scalar.eval_scalar(pred, ctx.merge(combined, outer))
+                ):
+                    continue
+                matched = True
+                yield combined
+            if left_kind and not matched:
+                yield _pad_left_row(left, right_rows, node.right, ctx.db)
+
+
+class IndexNLJoin(PhysicalOp):
+    """Index nested-loop join: probe a registered hash index on the right
+    base table once per left row.
+
+    Chosen by the planner only when the right side is a bare table with an
+    explicitly registered index on the join column; the index persists
+    across executions, which is what makes this beat a hash join for
+    repeated (N+1-style) query workloads.  Delegates to ``fallback`` (the
+    hash join) when the index cannot be built.
+    """
+
+    label = "IndexNLJoin"
+
+    def __init__(self, left, node: Join, table, alias, column, left_key, residual, fallback):
+        self.left = left
+        self.node = node
+        self.table = table
+        self.alias = alias or table
+        self.column = column
+        self.left_key = left_key
+        self.residual = residual
+        self.fallback = fallback
+
+    def children(self):
+        return (self.left,)
+
+    def detail(self) -> str:
+        return f"{self.node.kind} {self.table}.{self.column} = {self.left_key}"
+
+    def scanned_rows(self, ctx: ExecContext) -> int:
+        return ctx.probed.get(id(self), 0)
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        index = ctx.db.index_on(self.table, self.column)
+        if index is None:
+            yield from self.fallback.execute(ctx, outer)
+            return
+        node = self.node
+        scalar = ctx.scalar
+        alias = self.alias
+        residual = self.residual
+        left_kind = node.kind == "left"
+        base_rows = ctx.db.rows(self.table)
+        probed = 0
+        try:
+            for left in self.left.execute(ctx, outer):
+                scope = ctx.merge(left, outer)
+                key = scalar.eval_scalar(self.left_key, scope)
+                if key is None:
+                    bucket = ()
+                else:
+                    try:
+                        bucket = index.get(key, ())
+                    except TypeError:
+                        bucket = [
+                            row
+                            for row in base_rows
+                            if is_truthy(sql_compare("=", key, row.get(self.column)))
+                        ]
+                matched = False
+                for base in bucket:
+                    probed += 1
+                    right = dict(base)
+                    for column, value in base.items():
+                        right[f"{alias}.{column}"] = value
+                    combined = _combine(left, right)
+                    if residual is not None and not is_truthy(
+                        scalar.eval_scalar(residual, ctx.merge(combined, outer))
+                    ):
+                        continue
+                    matched = True
+                    yield combined
+                if left_kind and not matched:
+                    if base_rows:
+                        first = dict(base_rows[0])
+                        for column, value in base_rows[0].items():
+                            first[f"{alias}.{column}"] = value
+                        pad_rows = [first]
+                    else:
+                        pad_rows = []
+                    yield _pad_left_row(left, pad_rows, node.right, ctx.db)
+        finally:
+            ctx.probed[id(self)] = ctx.probed.get(id(self), 0) + probed
+
+
+class HashSemiJoin(PhysicalOp):
+    """Decorrelated EXISTS / NOT EXISTS as a hash semi/anti-join.
+
+    The build side is the inner query with its correlation conjuncts
+    removed (proved uncorrelated by the planner); its key tuples form a
+    hash set probed once per outer row.  NULL build keys are excluded (the
+    inner equality would be unknown) and NULL probe keys never match — the
+    outer row is then dropped for EXISTS and kept for NOT EXISTS, exactly
+    the reference three-valued behavior.  With no keys, this degenerates to
+    the constant-EXISTS case: the build side decides emptiness once instead
+    of once per outer row.  Unhashable keys delegate to ``fallback`` (the
+    per-row reference strategy).
+    """
+
+    label = "HashSemiJoin"
+
+    def __init__(self, child, build, outer_keys, inner_keys, negated, fallback):
+        self.child = child
+        self.build = build
+        self.outer_keys = tuple(outer_keys)
+        self.inner_keys = tuple(inner_keys)
+        self.negated = negated
+        self.fallback = fallback
+        if negated:
+            self.label = "HashAntiJoin"
+
+    def children(self):
+        return (self.child, self.build)
+
+    def detail(self) -> str:
+        if not self.outer_keys:
+            return "uncorrelated"
+        return ", ".join(
+            f"{o} = {i}" for o, i in zip(self.outer_keys, self.inner_keys)
+        )
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        scalar = ctx.scalar
+        keys: set[tuple] = set()
+        nonempty = False
+        for row in self.build.execute(ctx, outer):
+            nonempty = True
+            if not self.inner_keys:
+                break  # emptiness is all the uncorrelated case needs
+            scope = ctx.merge(row, outer)
+            key = tuple(scalar.eval_scalar(e, scope) for e in self.inner_keys)
+            if any(v is None for v in key):
+                continue
+            try:
+                keys.add(key)
+            except TypeError:
+                yield from self.fallback.execute(ctx, outer)
+                return
+
+        negated = self.negated
+        if not self.outer_keys:
+            keep = (not nonempty) if negated else nonempty
+            if keep:
+                yield from self.child.execute(ctx, outer)
+            return
+
+        for row in self.child.execute(ctx, outer):
+            scope = ctx.merge(row, outer)
+            key = tuple(scalar.eval_scalar(e, scope) for e in self.outer_keys)
+            if any(v is None for v in key):
+                hit = False
+            else:
+                try:
+                    hit = key in keys
+                except TypeError:
+                    hit = any(_tuples_equal(key, k) for k in keys)
+            if (not hit) if negated else hit:
+                yield row
+
+
+def _tuples_equal(left: tuple, right: tuple) -> bool:
+    return all(is_truthy(sql_compare("=", l, r)) for l, r in zip(left, right))
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+
+
+class _AggState:
+    """Incremental state for one simple aggregate call within one group."""
+
+    __slots__ = ("call", "count", "total", "best")
+
+    def __init__(self, call: AggCall):
+        self.call = call
+        self.count = 0  # non-NULL values seen (rows for COUNT(*))
+        self.total = None
+        self.best = None
+
+    def add(self, value: Any) -> None:
+        func = self.call.func
+        if func == "count" and self.call.arg is None:
+            self.count += 1
+            return
+        if value is None:
+            return  # SQL: aggregates skip NULLs
+        self.count += 1
+        if func in ("sum", "avg"):
+            # Start from 0 + value so non-summable types (strings) raise the
+            # same TypeError the reference's sum(values) raises.
+            self.total = 0 + value if self.total is None else self.total + value
+        elif func == "min":
+            if self.best is None or value < self.best:
+                self.best = value
+        elif func == "max":
+            if self.best is None or value > self.best:
+                self.best = value
+
+    def result(self) -> Any:
+        func = self.call.func
+        if func == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if func == "sum":
+            return self.total
+        if func == "avg":
+            return self.total / self.count
+        return self.best
+
+
+def _simple_aggs(node: Aggregate) -> bool:
+    """True when every aggregate folds incrementally (no DISTINCT, no
+    custom aggregates needing the full value list)."""
+    for item in node.aggs:
+        if item.call.distinct:
+            return False
+        if item.call.func not in ("count", "sum", "min", "max", "avg"):
+            return False
+    return True
+
+
+class HashAggregate(PhysicalOp):
+    """γ — hash group-by with incremental folding for built-in aggregates.
+
+    Groups in first-seen order (matching the reference).  Simple aggregates
+    (COUNT/SUM/MIN/MAX/AVG without DISTINCT) accumulate row by row without
+    materializing the group's rows; DISTINCT and custom aggregates fall
+    back to the reference's materialize-then-fold path per group.
+    """
+
+    label = "HashAggregate"
+
+    def __init__(self, child: PhysicalOp, node: Aggregate):
+        self.child = child
+        self.node = node
+        self.simple = _simple_aggs(node)
+
+    def children(self):
+        return (self.child,)
+
+    def detail(self) -> str:
+        groups = ", ".join(str(g) for g in self.node.group_by)
+        calls = ", ".join(str(a) for a in self.node.aggs)
+        return f"[{groups}; {calls}]" + ("" if self.simple else " (materialized)")
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        node = self.node
+        scalar = ctx.scalar
+        child = self.child.execute(ctx, outer)
+
+        if not self.simple:
+            yield from self._materialized(ctx, outer, child)
+            return
+
+        if not node.group_by:
+            states = [_AggState(item.call) for item in node.aggs]
+            for row in child:
+                scope = ctx.merge(row, outer)
+                for state in states:
+                    arg = state.call.arg
+                    state.add(
+                        None if arg is None else scalar.eval_scalar(arg, scope)
+                    )
+            yield self._emit((), states)
+            return
+
+        groups: dict[tuple, list[_AggState]] = {}
+        group_by = node.group_by
+        for row in child:
+            scope = ctx.merge(row, outer)
+            key = tuple(
+                _hashable(scalar.eval_scalar(g, scope)) for g in group_by
+            )
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(item.call) for item in node.aggs]
+                groups[key] = states
+            for state in states:
+                arg = state.call.arg
+                state.add(None if arg is None else scalar.eval_scalar(arg, scope))
+        for key, states in groups.items():
+            yield self._emit(key, states)
+
+    def _emit(self, key: tuple, states: list[_AggState]) -> Row:
+        from ..algebra import Col
+
+        node = self.node
+        result: Row = {}
+        for group_expr, value in zip(node.group_by, key):
+            name = group_expr.name if isinstance(group_expr, Col) else str(group_expr)
+            result[name] = value
+        for item, state in zip(node.aggs, states):
+            result[item.output_name] = state.result()
+        return result
+
+    def _materialized(self, ctx, outer, child) -> Iterator[Row]:
+        node = self.node
+        scalar = ctx.scalar
+        if not node.group_by:
+            yield scalar._fold_group(node, (), list(child), outer)
+            return
+        groups: dict[tuple, list[Row]] = {}
+        for row in child:
+            scope = ctx.merge(row, outer)
+            key = tuple(
+                _hashable(scalar.eval_scalar(g, scope)) for g in node.group_by
+            )
+            groups.setdefault(key, []).append(row)
+        for key, rows in groups.items():
+            yield scalar._fold_group(node, key, rows, outer)
+
+
+# ----------------------------------------------------------------------
+# Apply
+
+
+class ApplyOp(PhysicalOp):
+    """OUTER APPLY: evaluate the (correlated) right plan once per left row.
+
+    The right side is a planned subtree, so point lookups inside it can use
+    indexes; padding on an empty right side mirrors the reference exactly.
+    """
+
+    label = "OuterApply"
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp, node: OuterApply):
+        self.left = left
+        self.right = right
+        self.node = node
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        node = self.node
+        for left in self.left.execute(ctx, outer):
+            scope = ctx.merge(left, outer)
+            inner_rows = list(self.right.execute(ctx, scope))
+            if inner_rows:
+                for inner in inner_rows:
+                    combined = dict(left)
+                    for key, value in inner.items():
+                        if key not in combined:
+                            combined[key] = value
+                    yield combined
+            else:
+                padded = dict(left)
+                for name in _output_names_best_effort(node.right, ctx.db.catalog):
+                    padded.setdefault(name, None)
+                yield padded

@@ -1,0 +1,578 @@
+"""Logical→physical plan lowering.
+
+The :class:`Planner` turns a relational algebra tree into a tree of
+:mod:`repro.db.physical` operators.  Every lowering decision here is
+*conservative*: an optimization is chosen only when static analysis over
+exact scope-name sets proves the optimized operator resolves every column
+reference to the same value the reference evaluator would, under any outer
+row.  Whenever that proof fails — inexact scopes, suffix-fallback column
+lookups, expressions hiding subqueries — the planner emits the general
+operator that mirrors the reference evaluator line for line.
+
+Lowerings performed:
+
+* ``σ`` with equality conjuncts over a base table → :class:`IndexLookup`
+  (auto-indexed on declared key columns, or on explicitly registered
+  indexes).
+* ``σ`` whose predicate conjoins an ``EXISTS`` subquery → hash
+  semi/anti-join, decorrelating equality conjuncts between inner and outer
+  columns; uncorrelated ``EXISTS`` degenerates to a single emptiness probe.
+* ``⋈`` with extractable equality keys → :class:`HashJoin`, or
+  :class:`IndexNLJoin` when the right side is a base table with an
+  explicitly registered index on the join column.
+* ``τ`` under ``LIMIT`` → :class:`TopN` (bounded heap).
+* Everything else → streaming counterparts of the reference operators.
+"""
+
+from __future__ import annotations
+
+from ..algebra import (
+    Aggregate,
+    Alias,
+    BinOp,
+    Catalog,
+    Col,
+    Distinct,
+    ExistsExpr,
+    Join,
+    Limit,
+    OuterApply,
+    Project,
+    RelExpr,
+    ScalarExpr,
+    ScalarSubquery,
+    Select,
+    Sort,
+    Table,
+    UnOp,
+    conjoin,
+    walk_scalar,
+)
+from .engine import Database, EngineError
+from .physical import (
+    AliasOp,
+    ApplyOp,
+    DistinctOp,
+    FilterOp,
+    HashAggregate,
+    HashJoin,
+    HashSemiJoin,
+    IndexLookup,
+    IndexNLJoin,
+    LimitOp,
+    NestedLoopJoin,
+    PhysicalOp,
+    ProjectOp,
+    SeqScan,
+    SortOp,
+    TopN,
+)
+
+#: Wrapper operators that preserve (non-)emptiness of their child, so an
+#: EXISTS test can see through them.  Limit needs ``count >= 1`` (checked
+#: separately); Aggregate without GROUP BY always returns one row and must
+#: NOT be peeled.
+_EMPTINESS_PRESERVING = (Project, Distinct, Sort, Alias)
+
+
+def split_conjuncts(pred: ScalarExpr | None) -> list[ScalarExpr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if pred is None:
+        return []
+    if isinstance(pred, BinOp) and pred.op.upper() == "AND":
+        return split_conjuncts(pred.left) + split_conjuncts(pred.right)
+    return [pred]
+
+
+def _has_subquery(expr: ScalarExpr) -> bool:
+    """True when ``expr`` hides column references inside a subquery.
+
+    ``walk_scalar`` does not descend into subquery relational trees, so any
+    classification of such an expression by its visible columns would be
+    unsound.
+    """
+    return any(
+        isinstance(node, (ExistsExpr, ScalarSubquery)) for node in walk_scalar(expr)
+    )
+
+
+def _cols_of(expr: ScalarExpr) -> list[Col]:
+    return [node for node in walk_scalar(expr) if isinstance(node, Col)]
+
+
+def scope_names(node: RelExpr, catalog: Catalog) -> frozenset[str] | None:
+    """The *exact* set of row keys ``node`` produces, or ``None`` if it
+    cannot be determined statically.
+
+    Exactness is what makes side-classification sound: a column reference
+    resolves directly (before the evaluator's suffix-fallback) if and only
+    if its name is in this set.
+    """
+    if isinstance(node, Table):
+        if node.name not in catalog:
+            return None
+        columns = catalog.get(node.name).column_names()
+        alias = node.alias or node.name
+        return frozenset(columns) | frozenset(f"{alias}.{c}" for c in columns)
+    if isinstance(node, (Select, Sort, Distinct, Limit)):
+        return scope_names(node.child, catalog)
+    if isinstance(node, Alias):
+        child = scope_names(node.child, catalog)
+        if child is None:
+            return None
+        return child | frozenset(
+            f"{node.name}.{c}" for c in child if "." not in c
+        )
+    if isinstance(node, Project):
+        child = scope_names(node.child, catalog)
+        if child is None:
+            return None
+        star = any(
+            isinstance(item.expr, Col) and item.expr.name == "*"
+            for item in node.items
+        )
+        names = {
+            item.output_name
+            for item in node.items
+            if not (isinstance(item.expr, Col) and item.expr.name == "*")
+        }
+        # Qualified source columns always pass through the projection.
+        names.update(c for c in child if "." in c)
+        if star:
+            names.update(child)
+        return frozenset(names)
+    if isinstance(node, Aggregate):
+        names = {
+            g.name if isinstance(g, Col) else str(g) for g in node.group_by
+        }
+        names.update(item.output_name for item in node.aggs)
+        return frozenset(names)
+    if isinstance(node, Join):
+        left = scope_names(node.left, catalog)
+        right = scope_names(node.right, catalog)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None  # OuterApply and anything unknown: inexact
+
+
+def _resolves_strictly(col: Col, names: frozenset[str]) -> bool:
+    """True when ``col`` gets a direct hit in a row with exactly ``names``
+    (no bare-name fallback of a qualified reference, no suffix fallback) —
+    the condition under which its value cannot be diverted by merged outer
+    rows."""
+    if col.qualifier:
+        return f"{col.qualifier}.{col.name}" in names
+    return col.name in names
+
+
+def _interferes(col: Col, names: frozenset[str]) -> bool:
+    """True when resolving ``col`` against a row *merged with* a row of
+    ``names`` could produce a different value than without it (direct hit,
+    qualified bare-name fallback, or suffix-fallback candidate)."""
+    if col.qualifier:
+        if f"{col.qualifier}.{col.name}" in names:
+            return True
+        return col.name in names  # qualified lookup falls back to bare
+    if col.name in names:
+        return True
+    suffix = f".{col.name}"
+    return any(name.endswith(suffix) for name in names)
+
+
+def _outer_side_safe(
+    col: Col, inner_names: frozenset[str], outer_names: frozenset[str] | None
+) -> bool:
+    """True when ``col`` resolves to the same value on the outer scope alone
+    as on the outer scope merged with an inner row (inner keys winning) —
+    the soundness condition for moving an EXISTS correlation column from the
+    inner predicate to the semi-join's probe side.
+
+    The lookup order is qualified name, then bare name, then suffix
+    fallback; the inner row can only divert a step the outer scope does not
+    already satisfy."""
+    if outer_names is None:
+        return not _interferes(col, inner_names)
+    if col.qualifier:
+        qualified = f"{col.qualifier}.{col.name}"
+        if qualified in inner_names:
+            return False  # inner row wins the qualified lookup
+        if qualified in outer_names:
+            return True
+        # Qualified miss on both: falls back to the bare name either way.
+    if col.name in inner_names:
+        return False  # inner row wins the bare lookup
+    if col.name in outer_names:
+        return True
+    if col.qualifier is None:
+        # Suffix fallback: the inner row must contribute no candidates,
+        # else the merged lookup sees a different (possibly ambiguous) set.
+        suffix = f".{col.name}"
+        return not any(name.endswith(suffix) for name in inner_names)
+    return True  # resolves (or errors) identically via the ambient scope
+
+
+def _side_of_col(col: Col, left: frozenset[str], right: frozenset[str]) -> str | None:
+    """Which join input a column resolves against on the combined row.
+
+    Mirrors the evaluator's lookup order on ``{**right, **left}``: the
+    qualified name is checked on both sides before the bare-name fallback,
+    and the left side wins collisions.  ``None`` means the reference would
+    use the suffix fallback (or the outer row) — unclassifiable.
+    """
+    if col.qualifier:
+        qualified = f"{col.qualifier}.{col.name}"
+        if qualified in left:
+            return "left"
+        if qualified in right:
+            return "right"
+    if col.name in left:
+        return "left"
+    if col.name in right:
+        return "right"
+    return None
+
+
+def _side_of_expr(
+    expr: ScalarExpr, left: frozenset[str], right: frozenset[str]
+) -> str | None:
+    """Classify an expression to the single join side all its columns
+    resolve against.  Column-free expressions and mixed-side expressions
+    return ``None`` (kept in the residual predicate)."""
+    if _has_subquery(expr):
+        return None
+    sides = {_side_of_col(c, left, right) for c in _cols_of(expr)}
+    if len(sides) == 1:
+        return sides.pop()
+    return None
+
+
+class Planner:
+    """Lowers algebra trees to physical plans for one :class:`Database`."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.catalog = db.catalog
+
+    # ------------------------------------------------------------------
+
+    def lower(self, node: RelExpr) -> PhysicalOp:
+        if isinstance(node, Table):
+            return SeqScan(node.name, node.alias)
+        if isinstance(node, Select):
+            return self._lower_select(node)
+        if isinstance(node, Project):
+            return ProjectOp(self.lower(node.child), node)
+        if isinstance(node, Join):
+            return self._lower_join(node)
+        if isinstance(node, Aggregate):
+            return HashAggregate(self.lower(node.child), node)
+        if isinstance(node, Sort):
+            return SortOp(self.lower(node.child), node)
+        if isinstance(node, Distinct):
+            return DistinctOp(self.lower(node.child))
+        if isinstance(node, Limit):
+            if isinstance(node.child, Sort):
+                return TopN(self.lower(node.child.child), node.child, node.count)
+            return LimitOp(self.lower(node.child), node.count)
+        if isinstance(node, OuterApply):
+            return ApplyOp(self.lower(node.left), self.lower(node.right), node)
+        if isinstance(node, Alias):
+            return AliasOp(self.lower(node.child), node.name)
+        raise EngineError(f"cannot evaluate {type(node).__name__}")
+
+    # ------------------------------------------------------------------
+    # Selection
+
+    def _lower_select(self, node: Select) -> PhysicalOp:
+        conjuncts = split_conjuncts(node.pred)
+
+        exists, negated, others = self._find_exists_conjunct(conjuncts)
+        if exists is not None:
+            semi = self._try_semi_join(node, exists, negated, others)
+            if semi is not None:
+                return semi
+
+        lookup = self._try_index_lookup(node, conjuncts)
+        if lookup is not None:
+            return lookup
+
+        return FilterOp(self.lower(node.child), node.pred)
+
+    @staticmethod
+    def _find_exists_conjunct(conjuncts):
+        """Pop the first (possibly NOT-wrapped) EXISTS conjunct."""
+        for i, conjunct in enumerate(conjuncts):
+            negated = False
+            expr = conjunct
+            while isinstance(expr, UnOp) and expr.op.upper() == "NOT":
+                negated = not negated
+                expr = expr.operand
+            if isinstance(expr, ExistsExpr):
+                others = conjuncts[:i] + conjuncts[i + 1 :]
+                return expr, negated ^ expr.negated, others
+        return None, False, conjuncts
+
+    def _try_semi_join(self, node, exists, negated, others):
+        """Lower ``σ[... AND EXISTS(Q)]`` to a hash semi/anti-join.
+
+        Returns ``None`` (caller falls back to a per-row filter) unless the
+        inner query, stripped of its correlation equality conjuncts, is
+        provably closed — i.e. evaluates to the same rows under any outer
+        scope."""
+        core = exists.query
+        while True:
+            if isinstance(core, _EMPTINESS_PRESERVING):
+                core = core.child
+                continue
+            if isinstance(core, Limit) and core.count >= 1:
+                core = core.child
+                continue
+            break
+        if isinstance(core, (Aggregate, OuterApply)):
+            # γ without grouping returns a row over empty input; APPLY is
+            # correlated by construction.  Both void the emptiness argument.
+            return None
+
+        if isinstance(core, Select):
+            inner_rel = core.child
+            inner_conjuncts = split_conjuncts(core.pred)
+        else:
+            inner_rel = core
+            inner_conjuncts = []
+
+        inner_names = scope_names(inner_rel, self.catalog)
+        if inner_names is None:
+            return None
+        outer_names = scope_names(node.child, self.catalog)
+
+        outer_keys: list[ScalarExpr] = []
+        inner_keys: list[ScalarExpr] = []
+        residual: list[ScalarExpr] = []
+        for conjunct in inner_conjuncts:
+            pair = self._correlation_pair(conjunct, inner_names, outer_names)
+            if pair is not None:
+                inner_keys.append(pair[0])
+                outer_keys.append(pair[1])
+            else:
+                residual.append(conjunct)
+
+        build_rel: RelExpr = inner_rel
+        if residual:
+            build_rel = Select(inner_rel, conjoin(*residual))
+        if not self._closed(build_rel):
+            return None
+
+        child_plan = self._filtered_child(node, others)
+        return HashSemiJoin(
+            child_plan,
+            self.lower(build_rel),
+            outer_keys,
+            inner_keys,
+            negated,
+            fallback=FilterOp(child_plan, ExistsExpr(exists.query, negated)),
+        )
+
+    def _filtered_child(self, node: Select, others) -> PhysicalOp:
+        """Lower the Select's child with the non-EXISTS conjuncts applied
+        (re-entering selection lowering so point lookups still trigger)."""
+        if not others:
+            return self.lower(node.child)
+        return self._lower_select(Select(node.child, conjoin(*others)))
+
+    def _correlation_pair(self, conjunct, inner_names, outer_names):
+        """Split ``inner_col = outer_expr`` (either orientation) out of an
+        EXISTS predicate.  Returns ``(inner_expr, outer_expr)`` or ``None``.
+
+        The inner side must resolve strictly inside the inner scope; every
+        column of the outer side must resolve the same with or without an
+        inner row merged in (:func:`_outer_side_safe`)."""
+        if not (isinstance(conjunct, BinOp) and conjunct.op == "="):
+            return None
+        for inner, outer in ((conjunct.left, conjunct.right),
+                             (conjunct.right, conjunct.left)):
+            if _has_subquery(inner) or _has_subquery(outer):
+                return None
+            inner_cols = _cols_of(inner)
+            outer_cols = _cols_of(outer)
+            if not inner_cols or not outer_cols:
+                continue
+            if not all(_resolves_strictly(c, inner_names) for c in inner_cols):
+                continue
+            if not all(
+                _outer_side_safe(c, inner_names, outer_names) for c in outer_cols
+            ):
+                continue
+            return inner, outer
+        return None
+
+    def _closed(self, rel: RelExpr) -> bool:
+        """True when every column reference in ``rel`` resolves strictly
+        against its local scope, making the subtree's result independent of
+        any outer row it is merged with."""
+        if isinstance(rel, Table):
+            return rel.name in self.catalog
+        if isinstance(rel, Select):
+            scope = scope_names(rel.child, self.catalog)
+            return (
+                scope is not None
+                and self._scalars_closed([rel.pred], scope)
+                and self._closed(rel.child)
+            )
+        if isinstance(rel, Project):
+            scope = scope_names(rel.child, self.catalog)
+            return (
+                scope is not None
+                and self._scalars_closed(
+                    [i.expr for i in rel.items
+                     if not (isinstance(i.expr, Col) and i.expr.name == "*")],
+                    scope,
+                )
+                and self._closed(rel.child)
+            )
+        if isinstance(rel, Join):
+            left = scope_names(rel.left, self.catalog)
+            right = scope_names(rel.right, self.catalog)
+            if left is None or right is None:
+                return False
+            preds = [] if rel.pred is None else [rel.pred]
+            return (
+                self._scalars_closed(preds, left | right)
+                and self._closed(rel.left)
+                and self._closed(rel.right)
+            )
+        if isinstance(rel, Aggregate):
+            scope = scope_names(rel.child, self.catalog)
+            exprs = list(rel.group_by)
+            exprs.extend(
+                item.call.arg for item in rel.aggs if item.call.arg is not None
+            )
+            return (
+                scope is not None
+                and self._scalars_closed(exprs, scope)
+                and self._closed(rel.child)
+            )
+        if isinstance(rel, Sort):
+            scope = scope_names(rel.child, self.catalog)
+            return (
+                scope is not None
+                and self._scalars_closed([k.expr for k in rel.keys], scope)
+                and self._closed(rel.child)
+            )
+        if isinstance(rel, (Distinct, Limit, Alias)):
+            return self._closed(rel.child)
+        return False  # OuterApply or unknown node
+
+    def _scalars_closed(self, exprs, scope: frozenset[str]) -> bool:
+        for expr in exprs:
+            if _has_subquery(expr):
+                return False
+            if not all(_resolves_strictly(c, scope) for c in _cols_of(expr)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Point lookups
+
+    def _try_index_lookup(self, node: Select, conjuncts) -> PhysicalOp | None:
+        """Lower ``σ[col = expr AND ...](T)`` to a hash-index point lookup.
+
+        Applies when the probed column is part of the table's declared key
+        (auto-indexed on first use) or carries an explicitly registered
+        index, and the probe expression cannot see the table's row."""
+        table = node.child
+        if not isinstance(table, Table) or table.name not in self.catalog:
+            return None
+        names = scope_names(table, self.catalog)
+        columns = set(self.catalog.get(table.name).column_names())
+        declared_key = set(self.catalog.get(table.name).key)
+
+        for i, conjunct in enumerate(conjuncts):
+            if not (isinstance(conjunct, BinOp) and conjunct.op == "="):
+                continue
+            for col, probe in ((conjunct.left, conjunct.right),
+                               (conjunct.right, conjunct.left)):
+                if not isinstance(col, Col) or col.name not in columns:
+                    continue
+                if not _resolves_strictly(col, names):
+                    continue
+                if _has_subquery(probe):
+                    continue
+                if any(_interferes(c, names) for c in _cols_of(probe)):
+                    continue
+                indexed = col.name in declared_key or self.db.has_index(
+                    table.name, col.name
+                )
+                if not indexed:
+                    continue
+                residual = conjoin(*(conjuncts[:i] + conjuncts[i + 1 :]))
+                fallback = FilterOp(SeqScan(table.name, table.alias), node.pred)
+                return IndexLookup(
+                    table.name, table.alias, col.name, probe, residual, fallback
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Joins
+
+    def _lower_join(self, node: Join) -> PhysicalOp:
+        left_plan = self.lower(node.left)
+        right_plan = self.lower(node.right)
+        if node.pred is None:
+            return NestedLoopJoin(left_plan, right_plan, node)
+
+        left_names = scope_names(node.left, self.catalog)
+        right_names = scope_names(node.right, self.catalog)
+        if left_names is None or right_names is None:
+            return NestedLoopJoin(left_plan, right_plan, node)
+
+        left_keys: list[ScalarExpr] = []
+        right_keys: list[ScalarExpr] = []
+        residual: list[ScalarExpr] = []
+        for conjunct in split_conjuncts(node.pred):
+            keyed = False
+            if isinstance(conjunct, BinOp) and conjunct.op == "=":
+                a_side = _side_of_expr(conjunct.left, left_names, right_names)
+                b_side = _side_of_expr(conjunct.right, left_names, right_names)
+                if a_side == "left" and b_side == "right":
+                    left_keys.append(conjunct.left)
+                    right_keys.append(conjunct.right)
+                    keyed = True
+                elif a_side == "right" and b_side == "left":
+                    left_keys.append(conjunct.right)
+                    right_keys.append(conjunct.left)
+                    keyed = True
+            if not keyed:
+                residual.append(conjunct)
+
+        if not left_keys:
+            return NestedLoopJoin(left_plan, right_plan, node)
+
+        residual_pred = conjoin(*residual)
+        hash_join = HashJoin(
+            left_plan, right_plan, node, left_keys, right_keys, residual_pred
+        )
+
+        # Index nested-loop only on explicit opt-in (create_index): for a
+        # one-shot join the hash build is at least as good, but a
+        # registered index persists across queries.
+        right_key = right_keys[0]
+        if (
+            len(right_keys) == 1
+            and isinstance(node.right, Table)
+            and isinstance(right_key, Col)
+            and right_key.name
+            in set(self.catalog.get(node.right.name).column_names())
+            and self.db.has_index(node.right.name, right_key.name)
+        ):
+            return IndexNLJoin(
+                left_plan,
+                node,
+                node.right.name,
+                node.right.alias,
+                right_key.name,
+                left_keys[0],
+                residual_pred,
+                fallback=hash_join,
+            )
+        return hash_join

@@ -70,6 +70,20 @@ def is_truthy(value: bool | None) -> bool:
     return value is True
 
 
+def sql_avg(values: list) -> Any:
+    """AVG over non-NULL values — the single source of division semantics.
+
+    Uses Python true division, so integer inputs produce a float (matching
+    MySQL, which returns a DECIMAL/float-typed average for integer columns,
+    not an integer).  Returns NULL (``None``) over zero values.  Both the
+    reference evaluator and the planned engine MUST call this helper so the
+    engines can never disagree on rounding.
+    """
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
 def value_size_bytes(value: Any) -> int:
     """Estimate the wire size of one value (for transfer accounting).
 

@@ -89,8 +89,13 @@ def build_database(case: GeneratedCase) -> Database:
     Built from scratch on every call so the two interpreter runs (original
     vs. rewritten program) cannot observe each other's side effects (e.g.
     shipped temporary tables).
+
+    Uses ``engine="both"``: every query the fuzzer executes runs on the
+    planned engine *and* the reference oracle, so a planner/physical-
+    operator bug surfaces as an :class:`~repro.db.EngineDivergenceError`
+    on the very iteration that triggers it.
     """
-    db = Database(case.catalog())
+    db = Database(case.catalog(), default_engine="both")
     for table in case.tables:
         db.insert_many(table.name, case.rows.get(table.name, []))
     return db

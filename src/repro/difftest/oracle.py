@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core import optimize_program
-from ..db import Connection
+from ..db import Connection, EngineDivergenceError
 from ..interp import Interpreter
 from ..interp.values import Entity, ResultCursor, StringBuilder
 from .dbgen import build_database
@@ -34,10 +34,18 @@ KIND_CRASH = "crash"
 KIND_ORIGINAL_ERROR = "original-error"
 KIND_REWRITTEN_ERROR = "rewritten-error"
 KIND_CONTRACT = "contract"
+KIND_ENGINE_DIVERGENCE = "engine-divergence"
 
 #: Verdicts that fail a fuzzing run.
 FAILING_KINDS = frozenset(
-    {KIND_DIVERGENCE, KIND_CRASH, KIND_ORIGINAL_ERROR, KIND_REWRITTEN_ERROR, KIND_CONTRACT}
+    {
+        KIND_DIVERGENCE,
+        KIND_CRASH,
+        KIND_ORIGINAL_ERROR,
+        KIND_REWRITTEN_ERROR,
+        KIND_CONTRACT,
+        KIND_ENGINE_DIVERGENCE,
+    }
 )
 
 
@@ -122,6 +130,13 @@ def run_case(case: GeneratedCase) -> Verdict:
     original_interp = Interpreter(report.original, original_conn)
     try:
         original_result = original_interp.run(case.function)
+    except EngineDivergenceError:
+        return Verdict(
+            kind=KIND_ENGINE_DIVERGENCE,
+            detail=f"planned vs reference engines disagree (original run):\n"
+            f"{traceback.format_exc()}",
+            statuses=statuses,
+        )
     except Exception:
         return Verdict(
             kind=KIND_ORIGINAL_ERROR,
@@ -143,6 +158,13 @@ def run_case(case: GeneratedCase) -> Verdict:
     rewritten_interp = Interpreter(report.rewritten, rewritten_conn)
     try:
         rewritten_result = rewritten_interp.run(case.function)
+    except EngineDivergenceError:
+        verdict.kind = KIND_ENGINE_DIVERGENCE
+        verdict.detail = (
+            f"planned vs reference engines disagree (rewritten run):\n"
+            f"{traceback.format_exc()}"
+        )
+        return verdict
     except Exception:
         verdict.kind = KIND_REWRITTEN_ERROR
         verdict.detail = (

@@ -36,6 +36,13 @@ Sub-packages:
 ``repro.baselines`` batching / prefetching / QBS reference data
 ``repro.cost``      Volcano/Cascades-style cost-based rewriting (App. C)
 ``repro.batch``     directory scans, result cache, worker pool
+``repro.lint``      soundness checker + coded diagnostics (EQ1xx/2xx/3xx)
+
+Linting (``python -m repro lint DIR``) lives in :mod:`repro.lint`:
+
+>>> from repro import lint_program
+>>> report = lint_program(SOURCE)  # doctest: +SKIP
+>>> [d.code for d in report.diagnostics]  # doctest: +SKIP
 """
 
 from .algebra import Catalog
@@ -52,23 +59,40 @@ from .core import (
 )
 from .db import Connection, CostParameters, Database
 from .interp import Interpreter, run_program
+from .lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceSpan,
+    lint_function,
+    lint_program,
+)
+from .lint.service import LintScanReport, lint_directory
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Catalog",
     "Connection",
     "CostParameters",
     "Database",
+    "Diagnostic",
     "ExtractOptions",
     "ExtractionReport",
     "Interpreter",
+    "LintReport",
+    "LintScanReport",
     "STATUS_CAPABLE",
     "STATUS_FAILED",
     "STATUS_SUCCESS",
     "ScanReport",
+    "Severity",
+    "SourceSpan",
     "VariableExtraction",
     "extract_sql",
+    "lint_directory",
+    "lint_function",
+    "lint_program",
     "optimize_program",
     "run_program",
     "scan_directory",

@@ -7,6 +7,8 @@ Subcommands:
 ``scan``      batch-extract from every function of every MiniJava source
               under a directory, with a persistent result cache and a
               ``-j N`` worker pool;
+``lint``      run the soundness/anti-pattern checker (coded EQ1xx/EQ2xx/
+              EQ3xx diagnostics) over a directory, no schema needed;
 ``demo``      the paper's Figure 2 → Figure 3(d) walk-through;
 ``difftest``  the differential equivalence fuzzer (random programs vs.
               their extracted-SQL rewrites; failures are shrunk and filed
@@ -29,6 +31,7 @@ from .algebra import Catalog
 from .batch.cli import add_scan_parser, build_catalog
 from .core import ExtractOptions, extract_sql, optimize_program
 from .lang import unparse_program
+from .lint.cli import add_lint_parser
 
 
 def _build_catalog(args) -> Catalog:
@@ -62,8 +65,15 @@ def _cmd_extract(args) -> int:
             print(f"  SQL: {extraction.sql}")
         if extraction.reason:
             print(f"  reason: {extraction.reason}")
+        for diag in extraction.diagnostics:
+            print(f"  {diag.render(args.file if args.file != '-' else '')}")
         if extraction.rule_trace:
             print(f"  rules: {' → '.join(extraction.rule_trace)}")
+    function_diags = [d for d in report.diagnostics]
+    if function_diags:
+        print("\ndiagnostics:")
+        for diag in function_diags:
+            print(f"  {diag.render(args.file if args.file != '-' else '')}")
     for consolidation in report.consolidations:
         print(
             f"\nconsolidated loop @{consolidation.loop_sid}: "
@@ -150,6 +160,7 @@ def main(argv: list[str] | None = None) -> int:
     extract.set_defaults(func=_cmd_extract)
 
     add_scan_parser(sub)
+    add_lint_parser(sub)
 
     demo = sub.add_parser("demo", help="run the Figure 2 walk-through")
     demo.set_defaults(func=_cmd_demo)

@@ -1,0 +1,180 @@
+"""Transitive side-effect summaries of user functions.
+
+The D-IR builder inlines calls to user functions; calls it cannot resolve
+(undefined names, recursion) are assumed pure in statement position.  The
+lint passes (:mod:`repro.lint`) need to know, for a call inside a cursor
+loop, whether the callee — directly or through further calls — writes the
+database, produces output, mutates a parameter, or bottoms out in something
+unknown.  This module computes those summaries once per program with a
+fixpoint over the call graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interp.values import setter_to_column
+from ..lang import (
+    Call,
+    FieldAccess,
+    FunctionDef,
+    MethodCall,
+    Name,
+    Program,
+    statement_expressions,
+    walk_expressions,
+    walk_statements,
+)
+from .dataflow import (
+    DB_READ_CALLS,
+    DB_WRITE_CALLS,
+    OUTPUT_CALLS,
+    STATIC_RECEIVERS,
+    _MUTATING_METHODS,
+)
+
+#: Free-call names with modelled semantics (not user functions).
+BUILTIN_CALLS = DB_READ_CALLS | DB_WRITE_CALLS | OUTPUT_CALLS
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    """What calling a user function may do, transitively."""
+
+    db_read: bool = False
+    db_write: bool = False
+    output: bool = False
+    calls_unknown: bool = False  # reaches a call with no definition
+    recursive: bool = False  # participates in a call-graph cycle
+    mutates_params: frozenset[int] = frozenset()  # parameter positions
+
+    @property
+    def opaque(self) -> bool:
+        """True when the builder cannot faithfully model a statement-position
+        call to this function (it would silently assume purity)."""
+        return self.calls_unknown or self.recursive
+
+
+@dataclass
+class _Facts:
+    db_read: bool = False
+    db_write: bool = False
+    output: bool = False
+    calls_unknown: bool = False
+    mutates_params: set[int] = field(default_factory=set)
+    #: (callee name, arg-position → caller-param-position) for user calls
+    calls: list[tuple[str, dict[int, int]]] = field(default_factory=list)
+
+
+def function_effects(program: Program) -> dict[str, EffectSummary]:
+    """Compute an :class:`EffectSummary` for every function in ``program``."""
+    defined = {func.name for func in program.functions}
+    facts = {func.name: _direct_facts(func, defined) for func in program.functions}
+    recursive = _functions_on_cycles(facts)
+
+    # Fixpoint propagation over the call graph.
+    changed = True
+    while changed:
+        changed = False
+        for name, fact in facts.items():
+            for callee, arg_map in fact.calls:
+                other = facts[callee]
+                before = (
+                    fact.db_read,
+                    fact.db_write,
+                    fact.output,
+                    fact.calls_unknown,
+                    frozenset(fact.mutates_params),
+                )
+                fact.db_read |= other.db_read
+                fact.db_write |= other.db_write
+                fact.output |= other.output
+                fact.calls_unknown |= other.calls_unknown
+                for pos in other.mutates_params:
+                    if pos in arg_map:
+                        fact.mutates_params.add(arg_map[pos])
+                after = (
+                    fact.db_read,
+                    fact.db_write,
+                    fact.output,
+                    fact.calls_unknown,
+                    frozenset(fact.mutates_params),
+                )
+                changed |= before != after
+
+    return {
+        name: EffectSummary(
+            db_read=fact.db_read,
+            db_write=fact.db_write,
+            output=fact.output,
+            calls_unknown=fact.calls_unknown,
+            recursive=name in recursive,
+            mutates_params=frozenset(fact.mutates_params),
+        )
+        for name, fact in facts.items()
+    }
+
+
+def _direct_facts(func: FunctionDef, defined: set[str]) -> _Facts:
+    fact = _Facts()
+    params = {name: i for i, name in enumerate(func.params)}
+    for stmt in walk_statements(func.body):
+        for expr in statement_expressions(stmt):
+            for node in walk_expressions(expr):
+                if isinstance(node, Call):
+                    if node.func in DB_WRITE_CALLS:
+                        fact.db_write = True
+                    elif node.func in DB_READ_CALLS:
+                        fact.db_read = True
+                    elif node.func in OUTPUT_CALLS:
+                        fact.output = True
+                    elif node.func in defined:
+                        arg_map = {
+                            i: params[arg.ident]
+                            for i, arg in enumerate(node.args)
+                            if isinstance(arg, Name) and arg.ident in params
+                        }
+                        fact.calls.append((node.func, arg_map))
+                    else:
+                        fact.calls_unknown = True
+                elif isinstance(node, MethodCall):
+                    if (
+                        node.method in ("println", "print")
+                        and isinstance(node.receiver, FieldAccess)
+                        and isinstance(node.receiver.receiver, Name)
+                        and node.receiver.receiver.ident == "System"
+                    ):
+                        fact.output = True
+                        continue
+                    mutating = (
+                        node.method in _MUTATING_METHODS
+                        or setter_to_column(node.method) is not None
+                    )
+                    if (
+                        mutating
+                        and isinstance(node.receiver, Name)
+                        and node.receiver.ident not in STATIC_RECEIVERS
+                        and node.receiver.ident in params
+                    ):
+                        fact.mutates_params.add(params[node.receiver.ident])
+    return fact
+
+
+def _functions_on_cycles(facts: dict[str, _Facts]) -> set[str]:
+    """Names of functions that can (transitively) call themselves."""
+    edges = {name: {callee for callee, _ in fact.calls} for name, fact in facts.items()}
+
+    # Transitive closure of reachability; a function is recursive when it
+    # reaches itself.  Program call graphs here are tiny, so O(n·e) is fine.
+    reach: dict[str, set[str]] = {name: set(out) for name, out in edges.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name, out in reach.items():
+            extra: set[str] = set()
+            for callee in out:
+                extra |= reach.get(callee, set())
+            if not extra <= out:
+                out |= extra
+                changed = True
+    return {name for name, out in reach.items() if name in out}

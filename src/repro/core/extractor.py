@@ -41,6 +41,11 @@ from ..ir import (
     walk_enodes,
 )
 from ..lang import Program, parse_program
+# Submodule imports (not ``..lint``) keep the import graph acyclic: the
+# lint package's __init__ pulls in the batch layer, which imports core.
+from ..lint.codes import code_info
+from ..lint.diagnostics import Diagnostic, SourceSpan
+from ..lint.engine import blockers_for, lint_preprocessed, loop_nesting
 from ..rewrite import EmitError, Emitter, eliminate_dead_code, insert_extractions
 from ..rules import RuleEngine
 from ..sqlgen import SqlGenError, render_rel
@@ -60,8 +65,11 @@ class VariableExtraction:
     loop_sid: int = -1
     node: ENode | None = None
     sql: str | None = None
+    #: ``reason`` is derived: the first diagnostic's message (kept as a
+    #: plain field for backward compatibility with existing consumers).
     reason: str = ""
     rule_trace: list[str] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -76,6 +84,7 @@ class VariableExtraction:
             "sql": self.sql,
             "reason": self.reason,
             "rule_trace": list(self.rule_trace),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
 
@@ -92,6 +101,8 @@ class ExtractionReport:
     #: Figure 12→13 style consolidations: loops whose correlated scalar
     #: queries were merged into one OUTER APPLY query.
     consolidations: list = field(default_factory=list)
+    #: Function-level lint findings (all severities), computed once per run.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     @property
     def status(self) -> str:
@@ -144,6 +155,7 @@ class ExtractionReport:
                 if self.rewritten is not None
                 else None
             ),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
 
 
@@ -186,14 +198,19 @@ def extract_sql(
         allow_temp_tables=allow_temp_tables,
     )
     start = time.perf_counter()
-    program = (
+    raw_program = (
         parse_program(source) if isinstance(source, str) else source
     )
-    program = preprocess_program(program)
+    program = preprocess_program(raw_program)
     ve, ctx = build_dir(program, function)
 
     if targets is None:
         targets = _default_targets(program, function, ve, ctx)
+
+    # Soundness gate: run the lint passes once; EQ1xx findings forbid
+    # extraction from the loops (or variables) they cover.
+    lint_diags = lint_preprocessed(program, raw_program, function)
+    nesting = loop_nesting(program.function(function))
 
     engine = RuleEngine(
         catalog,
@@ -207,6 +224,7 @@ def extract_sql(
         variables[target] = _extract_variable(
             target, ve, ctx, engine, program, function, options.dialect,
             allow_temp_tables=options.allow_temp_tables,
+            lint_diags=lint_diags, nesting=nesting,
         )
 
     elapsed = (time.perf_counter() - start) * 1000.0
@@ -215,6 +233,7 @@ def extract_sql(
         variables=variables,
         original=program,
         extraction_time_ms=elapsed,
+        diagnostics=lint_diags,
     )
 
 
@@ -357,21 +376,88 @@ def _loop_statements(program, function):
     }
 
 
+def _bail_diagnostic(
+    code: str, span: SourceSpan, message: str, function: str, variable: str,
+    loop_sid: int,
+) -> Diagnostic:
+    """A coded diagnostic for one extractor bail-out."""
+    info = code_info(code)
+    return Diagnostic(
+        span=span,
+        code=code,
+        severity=info.severity,
+        message=message,
+        function=function,
+        variable=variable,
+        loop_sid=loop_sid,
+        hint=info.hint,
+    )
+
+
+def _span_for(target, loop_sid, loop_stmts, func) -> SourceSpan:
+    """Best source span for a bail-out: the loop statement, else the
+    variable's last assignment, else the function header."""
+    stmt = loop_stmts.get(loop_sid)
+    if stmt is not None and stmt.line:
+        return SourceSpan(stmt.line, stmt.col)
+    from ..lang import Assign, walk_statements
+
+    best = None
+    for s in walk_statements(func.body):
+        if isinstance(s, Assign) and s.target == target and s.line:
+            best = s
+    if best is not None:
+        return SourceSpan(best.line, best.col)
+    return SourceSpan(func.line, func.col)
+
+
 def _extract_variable(
-    target, ve, ctx, engine, program, function, dialect, allow_temp_tables=False
+    target, ve, ctx, engine, program, function, dialect, allow_temp_tables=False,
+    lint_diags=(), nesting=None,
 ) -> VariableExtraction:
+    nesting = nesting if nesting is not None else {}
+    func = program.function(function)
+    loop_stmts = _loop_statements(program, function)
+
+    def fail(code, reason, loop_sid, *, status=STATUS_FAILED, extra=None,
+             trace=None, node_=None):
+        diag = _bail_diagnostic(
+            code, _span_for(target, loop_sid, loop_stmts, func), reason,
+            function, target, loop_sid,
+        )
+        return VariableExtraction(
+            variable=target,
+            status=status,
+            loop_sid=loop_sid,
+            node=node_,
+            reason=reason,
+            rule_trace=trace or [],
+            diagnostics=(extra or []) + [diag],
+        )
+
     node = ve.get(target)
     if node is None:
-        return VariableExtraction(
-            variable=target, status=STATUS_FAILED, reason="variable not assigned"
-        )
+        return fail("EQ206", "variable not assigned", -1)
     loop_sid = _primary_loop_sid(node, target)
-    if contains_opaque(node):
+
+    # Soundness gate: an EQ1xx finding covering this loop (or naming this
+    # variable) forbids extraction regardless of what the translation
+    # pipeline would make of it.
+    blockers = blockers_for(list(lint_diags), nesting, loop_sid, target)
+    if blockers:
         return VariableExtraction(
             variable=target,
             status=STATUS_FAILED,
             loop_sid=loop_sid,
-            reason="unsupported construct in the variable's computation",
+            reason=blockers[0].message,
+            diagnostics=list(blockers),
+        )
+
+    if contains_opaque(node):
+        return fail(
+            "EQ201",
+            "unsupported construct in the variable's computation",
+            loop_sid,
         )
 
     temp_table: tuple[str, str] | None = None
@@ -383,12 +469,7 @@ def _extract_variable(
         # Appendix B relaxation: dependent aggregation (argmax/argmin).
         relaxed = _try_argmax(node, ve, ctx)
         if relaxed is None:
-            return VariableExtraction(
-                variable=target,
-                status=STATUS_FAILED,
-                loop_sid=loop_sid,
-                reason=outcome.reason,
-            )
+            return fail(outcome.code or "EQ201", outcome.reason, loop_sid)
         fir_node = relaxed
     else:
         fir_node = outcome.node
@@ -396,23 +477,23 @@ def _extract_variable(
     result, trace = engine.transform(fir_node)
     if contains_fold(result) or contains_loop(result):
         status = STATUS_CAPABLE if _capable_hits(trace, result) else STATUS_FAILED
-        return VariableExtraction(
-            variable=target,
+        return fail(
+            "EQ204",
+            "transformation incomplete: fold remains",
+            loop_sid,
             status=status,
-            loop_sid=loop_sid,
-            reason="transformation incomplete: fold remains",
-            rule_trace=trace,
+            trace=trace,
         )
 
     sql = _sql_of(result, dialect)
     if sql is None:
-        return VariableExtraction(
-            variable=target,
+        return fail(
+            "EQ205",
+            "F-IR extracted but no SQL emitter for some construct",
+            loop_sid,
             status=STATUS_CAPABLE,
-            loop_sid=loop_sid,
-            node=result,
-            reason="F-IR extracted but no SQL emitter for some construct",
-            rule_trace=trace,
+            trace=trace,
+            node_=result,
         )
     if temp_table is not None:
         table_name, source_var = temp_table
@@ -447,7 +528,8 @@ def _substitute_temp_source(node: ENode, ctx) -> tuple[ENode, tuple[str, str] | 
     table_name = f"__temp_{source_var}"
     query = ctx.dag.query(Table(table_name))
     replaced = ctx.dag.loop(
-        query, node.body, node.init, node.var, node.cursor, node.updated, node.loop_sid
+        query, node.body, node.init, node.var, node.cursor, node.updated,
+        node.loop_sid, node.span,
     )
     return replaced, (table_name, source_var)
 

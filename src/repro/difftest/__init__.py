@@ -32,6 +32,7 @@ from .oracle import (
     KIND_CONTRACT,
     KIND_CRASH,
     KIND_DIVERGENCE,
+    KIND_LINT_UNSOUND,
     KIND_NO_REWRITE,
     KIND_OK,
     KIND_ORIGINAL_ERROR,
@@ -53,6 +54,7 @@ __all__ = [
     "KIND_CONTRACT",
     "KIND_CRASH",
     "KIND_DIVERGENCE",
+    "KIND_LINT_UNSOUND",
     "KIND_NO_REWRITE",
     "KIND_OK",
     "KIND_ORIGINAL_ERROR",

@@ -35,6 +35,7 @@ KIND_ORIGINAL_ERROR = "original-error"
 KIND_REWRITTEN_ERROR = "rewritten-error"
 KIND_CONTRACT = "contract"
 KIND_ENGINE_DIVERGENCE = "engine-divergence"
+KIND_LINT_UNSOUND = "lint-unsound"
 
 #: Verdicts that fail a fuzzing run.
 FAILING_KINDS = frozenset(
@@ -45,6 +46,7 @@ FAILING_KINDS = frozenset(
         KIND_REWRITTEN_ERROR,
         KIND_CONTRACT,
         KIND_ENGINE_DIVERGENCE,
+        KIND_LINT_UNSOUND,
     }
 )
 
@@ -110,6 +112,33 @@ def _check_report_contract(report) -> str | None:
     return None
 
 
+def _check_lint_soundness(report) -> str | None:
+    """Lint/extractor cross-check: success must imply no EQ1xx blocker.
+
+    The extractor gates on the lint layer's blockers, so a successfully
+    extracted variable whose loop still carries one means one of the two
+    layers regressed — a program the checker calls unsound was silently
+    extracted anyway.
+    """
+    from ..core import STATUS_SUCCESS
+    from ..lint.engine import blockers_for, loop_nesting
+
+    nesting = loop_nesting(report.original.function(report.function))
+    for name, extraction in report.variables.items():
+        if extraction.status != STATUS_SUCCESS:
+            continue
+        blockers = blockers_for(
+            list(report.diagnostics), nesting, extraction.loop_sid, name
+        )
+        if blockers:
+            codes = ", ".join(sorted({d.code for d in blockers}))
+            return (
+                f"variable {name!r} extracted successfully despite "
+                f"soundness blocker(s) {codes}"
+            )
+    return None
+
+
 def run_case(case: GeneratedCase) -> Verdict:
     """Run the full differential check for one case."""
     catalog = case.catalog()
@@ -125,6 +154,10 @@ def run_case(case: GeneratedCase) -> Verdict:
     contract_error = _check_report_contract(report)
     if contract_error is not None:
         return Verdict(kind=KIND_CONTRACT, detail=contract_error, statuses=statuses)
+
+    lint_error = _check_lint_soundness(report)
+    if lint_error is not None:
+        return Verdict(kind=KIND_LINT_UNSOUND, detail=lint_error, statuses=statuses)
 
     original_conn = Connection(build_database(case))
     original_interp = Interpreter(report.original, original_conn)

@@ -50,19 +50,24 @@ from ..lang import ForEach
 
 @dataclass
 class FoldOutcome:
-    """Result of attempting to translate one variable's Loop into fold."""
+    """Result of attempting to translate one variable's Loop into fold.
+
+    ``code`` is the stable diagnostic code (see :mod:`repro.lint.codes`)
+    classifying the failure; empty on success.
+    """
 
     node: ENode | None
     ok: bool
     reason: str = ""
+    code: str = ""
 
     @staticmethod
     def success(node: ENode) -> "FoldOutcome":
         return FoldOutcome(node=node, ok=True)
 
     @staticmethod
-    def failure(reason: str) -> "FoldOutcome":
-        return FoldOutcome(node=None, ok=False, reason=reason)
+    def failure(reason: str, code: str = "EQ201") -> "FoldOutcome":
+        return FoldOutcome(node=None, ok=False, reason=reason, code=code)
 
 
 def loop_to_fold(node: ENode, dag: DagBuilder) -> FoldOutcome:
@@ -75,13 +80,14 @@ def loop_to_fold(node: ENode, dag: DagBuilder) -> FoldOutcome:
     try:
         converted = _convert(node, dag)
     except _FoldFailure as failure:
-        return FoldOutcome.failure(failure.reason)
+        return FoldOutcome.failure(failure.reason, failure.code)
     return FoldOutcome.success(converted)
 
 
 class _FoldFailure(Exception):
-    def __init__(self, reason: str):
+    def __init__(self, reason: str, code: str = "EQ201"):
         self.reason = reason
+        self.code = code
         super().__init__(reason)
 
 
@@ -112,6 +118,7 @@ def _convert(node: ENode, dag: DagBuilder) -> ENode:
             node.var,
             node.cursor,
             node.loop_sid,
+            node.span,
         )
     if isinstance(node, ELoop):
         return _convert_loop(node, dag)
@@ -125,7 +132,9 @@ def _convert_loop(loop: ELoop, dag: DagBuilder) -> ENode:
     source = _convert(loop.source, dag)
 
     check_preconditions_dag(loop, body)
-    return dag.fold(body, init, source, loop.var, loop.cursor, loop.loop_sid)
+    return dag.fold(
+        body, init, source, loop.var, loop.cursor, loop.loop_sid, loop.span
+    )
 
 
 def check_preconditions_dag(loop: ELoop, body: ENode | None = None) -> None:
@@ -136,22 +145,28 @@ def check_preconditions_dag(loop: ELoop, body: ENode | None = None) -> None:
             f"loop body for {loop.var!r} contains an unsupported construct"
         )
     if DB_LOCATION in loop.updated:
-        raise _FoldFailure("P3: loop body writes the database (external dependence)")
+        raise _FoldFailure(
+            "P3: loop body writes the database (external dependence)",
+            code="EQ101",
+        )
     bound = free_bound_vars(body)
     extra = (bound - {loop.var, loop.cursor}) & set(loop.updated)
     if extra:
         raise _FoldFailure(
             "P2: loop-carried dependence on other updated variable(s): "
-            + ", ".join(sorted(extra))
+            + ", ".join(sorted(extra)),
+            code="EQ203",
         )
     if loop.var not in bound:
         raise _FoldFailure(
             f"P1: no dependence cycle — {loop.var!r} is recomputed each "
-            "iteration rather than accumulated"
+            "iteration rather than accumulated",
+            code="EQ202",
         )
     if not isinstance(loop.source, (EQuery, EFold, ELoop)):
         raise _FoldFailure(
-            "iterated collection cannot be expressed as a query result"
+            "iterated collection cannot be expressed as a query result",
+            code="EQ207",
         )
 
 

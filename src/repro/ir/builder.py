@@ -248,6 +248,7 @@ class DIRBuilder:
                 cursor=cursor,
                 updated=updated,
                 loop_sid=region.stmt.sid,
+                span=(region.stmt.line, region.stmt.col),
             )
         return ve
 

@@ -177,6 +177,10 @@ class ELoop(ENode):
     cursor: str
     updated: tuple[str, ...] = ()
     loop_sid: int = -1
+    #: (line, col) of the source loop statement.  Excluded from equality so
+    #: interning still merges structurally-equal nodes; ``loop_sid`` (which
+    #: does compare) already distinguishes distinct source loops.
+    span: tuple[int, int] | None = field(default=None, compare=False)
 
     def children(self) -> tuple[ENode, ...]:
         return (self.source, self.body, self.init)
@@ -199,6 +203,8 @@ class EFold(ENode):
     var: str
     cursor: str
     loop_sid: int = -1
+    #: (line, col) of the originating loop statement (see :class:`ELoop`).
+    span: tuple[int, int] | None = field(default=None, compare=False)
 
     def children(self) -> tuple[ENode, ...]:
         return (self.func, self.init, self.source)
@@ -449,8 +455,11 @@ class DagBuilder:
         cursor: str,
         updated: tuple[str, ...] = (),
         loop_sid: int = -1,
+        span: tuple[int, int] | None = None,
     ) -> ENode:
-        return self.intern(ELoop(source, body, init, var, cursor, updated, loop_sid))
+        return self.intern(
+            ELoop(source, body, init, var, cursor, updated, loop_sid, span)
+        )
 
     def fold(
         self,
@@ -460,8 +469,9 @@ class DagBuilder:
         var: str,
         cursor: str,
         loop_sid: int = -1,
+        span: tuple[int, int] | None = None,
     ) -> ENode:
-        return self.intern(EFold(func, init, source, var, cursor, loop_sid))
+        return self.intern(EFold(func, init, source, var, cursor, loop_sid, span))
 
     # ------------------------------------------------------------------
     # Canonicalisations (Section 4.2 / Appendix B)

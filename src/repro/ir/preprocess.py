@@ -84,6 +84,7 @@ def _rewrite_prints(block: Block) -> bool:
                         receiver=Name(OUT_VAR), method="add", args=[printed]
                     ),
                     line=stmt.line,
+                    col=stmt.col,
                 )
                 changed = True
                 continue
@@ -136,13 +137,15 @@ def _normalize_cursor_while(block: Block) -> None:
         if defining is None:
             continue
         defining.value = Call(
-            func="executeQuery", args=defining.value.args, line=defining.line
+            func="executeQuery", args=defining.value.args,
+            line=defining.line, col=defining.col,
         )
         # `for (rs : rs)` — the iterable is evaluated before the cursor
         # variable is rebound per row, so the self-shadowing is sound, and
         # the body's `rs.getX(...)` accessors keep working unchanged.
         block.statements[i] = ForEach(
-            var=cursor, iterable=Name(cursor), body=stmt.body, line=stmt.line
+            var=cursor, iterable=Name(cursor), body=stmt.body,
+            line=stmt.line, col=stmt.col,
         )
 
 

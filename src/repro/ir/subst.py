@@ -73,7 +73,7 @@ def substitute(node: ENode, mapping: dict[str, ENode], builder: DagBuilder) -> E
             if source is n.source and body is n.body and init is n.init:
                 return n
             return builder.loop(
-                source, body, init, n.var, n.cursor, n.updated, n.loop_sid
+                source, body, init, n.var, n.cursor, n.updated, n.loop_sid, n.span
             )
         if isinstance(n, EFold):
             func = visit(n.func)
@@ -81,7 +81,9 @@ def substitute(node: ENode, mapping: dict[str, ENode], builder: DagBuilder) -> E
             source = visit(n.source)
             if func is n.func and init is n.init and source is n.source:
                 return n
-            return builder.fold(func, init, source, n.var, n.cursor, n.loop_sid)
+            return builder.fold(
+                func, init, source, n.var, n.cursor, n.loop_sid, n.span
+            )
         raise TypeError(f"cannot substitute into {type(n).__name__}")
 
     return visit(node)
@@ -148,9 +150,16 @@ def unbind_var(node: ENode, name: str, replacement: ENode, builder: DagBuilder) 
                     n.cursor,
                     n.updated,
                     n.loop_sid,
+                    n.span,
                 )
             return builder.fold(
-                visit(n.func), visit(n.init), visit(n.source), n.var, n.cursor, n.loop_sid
+                visit(n.func),
+                visit(n.init),
+                visit(n.source),
+                n.var,
+                n.cursor,
+                n.loop_sid,
+                n.span,
             )
         raise TypeError(f"cannot substitute into {type(n).__name__}")
 

@@ -4,6 +4,11 @@ Nodes are plain dataclasses.  Statements carry a mutable ``sid`` (statement
 id) assigned by :func:`number_statements`; the ids are used by the dataflow
 analyses (data-dependence graph, slicing) and by the program rewriter, which
 must locate and replace statements in the tree.
+
+Every node also carries its source position (``line``, ``col``, both
+1-based; 0 means "synthetic" — built by preprocessing or a rewrite rather
+than parsed from source).  Diagnostics and parse errors use these to point
+at code.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ class Node:
     """Base class for all AST nodes."""
 
     line: int = 0
+    col: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -29,29 +35,34 @@ class Expr(Node):
 class IntLit(Expr):
     value: int
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class FloatLit(Expr):
     value: float
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class StringLit(Expr):
     value: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class BoolLit(Expr):
     value: bool
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class NullLit(Expr):
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -60,6 +71,7 @@ class Name(Expr):
 
     ident: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -70,6 +82,7 @@ class Binary(Expr):
     left: Expr
     right: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -79,6 +92,7 @@ class Unary(Expr):
     op: str
     operand: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -89,6 +103,7 @@ class Ternary(Expr):
     if_true: Expr
     if_false: Expr
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -98,6 +113,7 @@ class Call(Expr):
     func: str
     args: list[Expr]
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -108,6 +124,7 @@ class MethodCall(Expr):
     method: str
     args: list[Expr]
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -117,6 +134,7 @@ class FieldAccess(Expr):
     receiver: Expr
     field: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -126,6 +144,7 @@ class New(Expr):
     class_name: str
     args: list[Expr]
     line: int = 0
+    col: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -153,6 +172,7 @@ class Assign(Stmt):
     declared_type: str | None = None
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -162,6 +182,7 @@ class ExprStmt(Stmt):
     expr: Expr
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -169,6 +190,7 @@ class Block(Stmt):
     statements: list[Stmt] = field(default_factory=list)
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -178,6 +200,7 @@ class If(Stmt):
     else_body: Block | None = None
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -189,6 +212,7 @@ class ForEach(Stmt):
     body: Block = field(default_factory=Block)
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -197,6 +221,7 @@ class While(Stmt):
     body: Block = field(default_factory=Block)
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -204,18 +229,21 @@ class Return(Stmt):
     value: Expr | None = None
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Break(Stmt):
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Continue(Stmt):
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -233,6 +261,7 @@ class TryCatch(Stmt):
     finally_body: Block | None = None
     sid: int = -1
     line: int = 0
+    col: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +274,7 @@ class FunctionDef(Node):
     params: list[str]
     body: Block
     line: int = 0
+    col: int = 0
 
 
 @dataclass

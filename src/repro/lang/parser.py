@@ -118,7 +118,7 @@ class Parser:
                 params.append(self._parse_param())
         self._expect(TokenType.RPAREN)
         body = self._parse_block()
-        return FunctionDef(name=name, params=params, body=body, line=name_token.line)
+        return FunctionDef(name=name, params=params, body=body, line=name_token.line, col=name_token.column)
 
     def _parse_param(self) -> str:
         name = self._expect(TokenType.IDENT).value
@@ -136,7 +136,7 @@ class Parser:
         while not self._at(TokenType.RBRACE):
             statements.append(self._parse_statement())
         self._expect(TokenType.RBRACE)
-        return Block(statements=statements, line=brace.line)
+        return Block(statements=statements, line=brace.line, col=brace.column)
 
     def _parse_statement(self) -> Stmt:
         token = self._peek()
@@ -156,15 +156,15 @@ class Parser:
             if not self._at(TokenType.SEMI):
                 value = self._parse_expression()
             self._expect(TokenType.SEMI)
-            return Return(value=value, line=token.line)
+            return Return(value=value, line=token.line, col=token.column)
         if token.type is TokenType.BREAK:
             self._advance()
             self._expect(TokenType.SEMI)
-            return Break(line=token.line)
+            return Break(line=token.line, col=token.column)
         if token.type is TokenType.CONTINUE:
             self._advance()
             self._expect(TokenType.SEMI)
-            return Continue(line=token.line)
+            return Continue(line=token.line, col=token.column)
         return self._parse_simple_statement()
 
     def _parse_if(self) -> If:
@@ -176,7 +176,7 @@ class Parser:
         else_body = None
         if self._match(TokenType.ELSE):
             else_body = self._as_block(self._parse_statement())
-        return If(cond=cond, then_body=then_body, else_body=else_body, line=token.line)
+        return If(cond=cond, then_body=then_body, else_body=else_body, line=token.line, col=token.column)
 
     def _parse_for(self) -> Stmt:
         token = self._expect(TokenType.FOR)
@@ -192,7 +192,7 @@ class Parser:
             iterable = self._parse_expression()
             self._expect(TokenType.RPAREN)
             body = self._as_block(self._parse_statement())
-            return ForEach(var=var, iterable=iterable, body=body, line=token.line)
+            return ForEach(var=var, iterable=iterable, body=body, line=token.line, col=token.column)
         return self._parse_classic_for(token)
 
     def _foreach_ahead(self) -> bool:
@@ -218,7 +218,7 @@ class Parser:
         if not self._at(TokenType.SEMI):
             init = self._parse_simple_statement(consume_semi=False)
         self._expect(TokenType.SEMI)
-        cond: Expr = BoolLit(True)
+        cond: Expr = BoolLit(True, line=token.line, col=token.column)
         if not self._at(TokenType.SEMI):
             cond = self._parse_expression()
         self._expect(TokenType.SEMI)
@@ -229,12 +229,12 @@ class Parser:
         body = self._as_block(self._parse_statement())
         if update is not None:
             body.statements.append(update)
-        loop = While(cond=cond, body=body, line=token.line)
+        loop = While(cond=cond, body=body, line=token.line, col=token.column)
         statements: list[Stmt] = []
         if init is not None:
             statements.append(init)
         statements.append(loop)
-        return Block(statements=statements, line=token.line)
+        return Block(statements=statements, line=token.line, col=token.column)
 
     def _parse_while(self) -> While:
         token = self._expect(TokenType.WHILE)
@@ -242,7 +242,7 @@ class Parser:
         cond = self._parse_expression()
         self._expect(TokenType.RPAREN)
         body = self._as_block(self._parse_statement())
-        return While(cond=cond, body=body, line=token.line)
+        return While(cond=cond, body=body, line=token.line, col=token.column)
 
     def _parse_try(self) -> TryCatch:
         token = self._expect(TokenType.TRY)
@@ -265,6 +265,7 @@ class Parser:
             catch_body=catch_body,
             finally_body=finally_body,
             line=token.line,
+            col=token.column,
         )
 
     def _parse_simple_statement(self, consume_semi: bool = True) -> Stmt:
@@ -285,15 +286,17 @@ class Parser:
                 if op != "=":
                     value = Binary(
                         op=_AUGMENTED_BINOP[op],
-                        left=Name(target, line=token.line),
+                        left=Name(target, line=token.line, col=token.column),
                         right=value,
                         line=token.line,
+                        col=token.column,
                     )
                 return Assign(
                     target=target,
                     value=value,
                     declared_type=declared_type,
                     line=token.line,
+                    col=token.column,
                 )
             if next_type in (TokenType.PLUS_PLUS, TokenType.MINUS_MINUS):
                 target = self._advance().value
@@ -301,17 +304,18 @@ class Parser:
                 binop = "+" if op_token.type is TokenType.PLUS_PLUS else "-"
                 value = Binary(
                     op=binop,
-                    left=Name(target, line=token.line),
-                    right=IntLit(1, line=token.line),
+                    left=Name(target, line=token.line, col=token.column),
+                    right=IntLit(1, line=token.line, col=token.column),
                     line=token.line,
+                    col=token.column,
                 )
-                return Assign(target=target, value=value, line=token.line)
+                return Assign(target=target, value=value, line=token.line, col=token.column)
         if declared_type is not None:
             raise ParseError(
                 "expected assignment after type declaration", token.line, token.column
             )
         expr = self._parse_expression()
-        return ExprStmt(expr=expr, line=token.line)
+        return ExprStmt(expr=expr, line=token.line, col=token.column)
 
     def _maybe_consume_type_prefix(self) -> str | None:
         """Consume ``Type`` / ``Type<...>`` when followed by ``ident =``."""
@@ -354,7 +358,7 @@ class Parser:
     def _as_block(stmt: Stmt) -> Block:
         if isinstance(stmt, Block):
             return stmt
-        return Block(statements=[stmt], line=stmt.line)
+        return Block(statements=[stmt], line=stmt.line, col=stmt.col)
 
     # ------------------------------------------------------------------
     # Expressions (precedence climbing)
@@ -368,35 +372,35 @@ class Parser:
             if_true = self._parse_expression()
             self._expect(TokenType.COLON)
             if_false = self._parse_expression()
-            return Ternary(cond=cond, if_true=if_true, if_false=if_false, line=cond.line)
+            return Ternary(cond=cond, if_true=if_true, if_false=if_false, line=cond.line, col=cond.col)
         return cond
 
     def _parse_or(self) -> Expr:
         expr = self._parse_and()
         while self._at(TokenType.OR):
             self._advance()
-            expr = Binary(op="||", left=expr, right=self._parse_and(), line=expr.line)
+            expr = Binary(op="||", left=expr, right=self._parse_and(), line=expr.line, col=expr.col)
         return expr
 
     def _parse_and(self) -> Expr:
         expr = self._parse_equality()
         while self._at(TokenType.AND):
             self._advance()
-            expr = Binary(op="&&", left=expr, right=self._parse_equality(), line=expr.line)
+            expr = Binary(op="&&", left=expr, right=self._parse_equality(), line=expr.line, col=expr.col)
         return expr
 
     def _parse_equality(self) -> Expr:
         expr = self._parse_relational()
         while self._peek().type in (TokenType.EQ, TokenType.NEQ):
             op = self._advance().value
-            expr = Binary(op=op, left=expr, right=self._parse_relational(), line=expr.line)
+            expr = Binary(op=op, left=expr, right=self._parse_relational(), line=expr.line, col=expr.col)
         return expr
 
     def _parse_relational(self) -> Expr:
         expr = self._parse_additive()
         while self._peek().type in (TokenType.LT, TokenType.GT, TokenType.LE, TokenType.GE):
             op = self._advance().value
-            expr = Binary(op=op, left=expr, right=self._parse_additive(), line=expr.line)
+            expr = Binary(op=op, left=expr, right=self._parse_additive(), line=expr.line, col=expr.col)
         return expr
 
     def _parse_additive(self) -> Expr:
@@ -404,7 +408,7 @@ class Parser:
         while self._peek().type in (TokenType.PLUS, TokenType.MINUS):
             op = self._advance().value
             expr = Binary(
-                op=op, left=expr, right=self._parse_multiplicative(), line=expr.line
+                op=op, left=expr, right=self._parse_multiplicative(), line=expr.line, col=expr.col
             )
         return expr
 
@@ -412,14 +416,14 @@ class Parser:
         expr = self._parse_unary()
         while self._peek().type in (TokenType.STAR, TokenType.SLASH, TokenType.PERCENT):
             op = self._advance().value
-            expr = Binary(op=op, left=expr, right=self._parse_unary(), line=expr.line)
+            expr = Binary(op=op, left=expr, right=self._parse_unary(), line=expr.line, col=expr.col)
         return expr
 
     def _parse_unary(self) -> Expr:
         token = self._peek()
         if token.type in (TokenType.MINUS, TokenType.NOT):
             self._advance()
-            return Unary(op=token.value, operand=self._parse_unary(), line=token.line)
+            return Unary(op=token.value, operand=self._parse_unary(), line=token.line, col=token.column)
         return self._parse_postfix()
 
     def _parse_postfix(self) -> Expr:
@@ -429,37 +433,37 @@ class Parser:
             member = self._expect(TokenType.IDENT).value
             if self._at(TokenType.LPAREN):
                 args = self._parse_args()
-                expr = MethodCall(receiver=expr, method=member, args=args, line=expr.line)
+                expr = MethodCall(receiver=expr, method=member, args=args, line=expr.line, col=expr.col)
             else:
-                expr = FieldAccess(receiver=expr, field=member, line=expr.line)
+                expr = FieldAccess(receiver=expr, field=member, line=expr.line, col=expr.col)
         return expr
 
     def _parse_primary(self) -> Expr:
         token = self._peek()
         if token.type is TokenType.INT:
             self._advance()
-            return IntLit(int(token.value), line=token.line)
+            return IntLit(int(token.value), line=token.line, col=token.column)
         if token.type is TokenType.FLOAT:
             self._advance()
-            return FloatLit(float(token.value), line=token.line)
+            return FloatLit(float(token.value), line=token.line, col=token.column)
         if token.type is TokenType.STRING:
             self._advance()
-            return StringLit(token.value, line=token.line)
+            return StringLit(token.value, line=token.line, col=token.column)
         if token.type is TokenType.TRUE:
             self._advance()
-            return BoolLit(True, line=token.line)
+            return BoolLit(True, line=token.line, col=token.column)
         if token.type is TokenType.FALSE:
             self._advance()
-            return BoolLit(False, line=token.line)
+            return BoolLit(False, line=token.line, col=token.column)
         if token.type is TokenType.NULL:
             self._advance()
-            return NullLit(line=token.line)
+            return NullLit(line=token.line, col=token.column)
         if token.type is TokenType.NEW:
             self._advance()
             class_name = self._expect(TokenType.IDENT).value
             self._skip_generics()
             args = self._parse_args() if self._at(TokenType.LPAREN) else []
-            return New(class_name=class_name, args=args, line=token.line)
+            return New(class_name=class_name, args=args, line=token.line, col=token.column)
         if token.type is TokenType.LPAREN:
             self._advance()
             expr = self._parse_expression()
@@ -469,8 +473,8 @@ class Parser:
             self._advance()
             if self._at(TokenType.LPAREN):
                 args = self._parse_args()
-                return Call(func=token.value, args=args, line=token.line)
-            return Name(ident=token.value, line=token.line)
+                return Call(func=token.value, args=args, line=token.line, col=token.column)
+            return Name(ident=token.value, line=token.line, col=token.column)
         raise ParseError(f"unexpected token {token.value!r}", token.line, token.column)
 
     def _parse_args(self) -> list[Expr]:

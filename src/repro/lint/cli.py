@@ -1,0 +1,77 @@
+"""The ``python -m repro lint`` subcommand.
+
+Lives here so the lint layer owns its whole vertical, mirroring
+``repro.batch.cli``; ``__main__`` just registers the parser.  Linting
+needs no schema: the passes are purely syntactic/dataflow, so the command
+works on any directory of sources out of the box.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import Severity
+from .service import lint_directory
+
+#: ``--fail-on`` choices; ``none`` disables threshold-based failure.
+FAIL_ON_CHOICES = ("error", "warning", "info", "none")
+
+
+def fail_threshold(name: str) -> Severity | None:
+    return None if name == "none" else Severity.parse(name)
+
+
+def add_lint_parser(sub) -> None:
+    """Register the ``lint`` subcommand on an argparse subparsers object."""
+    lint = sub.add_parser(
+        "lint",
+        help="check MiniJava sources for soundness blockers and anti-patterns",
+    )
+    lint.add_argument("directory", help="directory (or file) to lint")
+    lint.add_argument(
+        "--fail-on",
+        default="error",
+        choices=FAIL_ON_CHOICES,
+        help="exit non-zero when a finding at or above this severity exists "
+        "(default: error)",
+    )
+    lint.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial)",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache location (default: DIRECTORY/.repro-cache)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    lint.add_argument("--json", action="store_true", help="emit the report as JSON")
+    lint.set_defaults(func=cmd_lint)
+
+
+def cmd_lint(args) -> int:
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    report = lint_directory(
+        args.directory,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    if not report.units and not report.parse_errors:
+        print(f"no MiniJava sources found under {args.directory}")
+        return 1
+    if report.parse_errors:
+        return 1
+    if report.exceeds(fail_threshold(args.fail_on)):
+        return 1
+    return 0

@@ -1,0 +1,176 @@
+"""The stable diagnostic code table.
+
+Code bands:
+
+* ``EQ1xx`` — **soundness blockers**.  The loop (or one variable in it)
+  violates a precondition the extractor's model cannot express; extracting
+  anyway could change program behaviour.  The extractor refuses to extract
+  anything these codes cover.
+* ``EQ2xx`` — **extraction-quality warnings**.  The program is handled
+  soundly but a variable could not be (fully) extracted; the code says why.
+* ``EQ3xx`` — **application anti-patterns**.  Database-usage smells worth
+  fixing whether or not extraction succeeds (N+1 queries, string-built SQL,
+  dead results, unclosed cursors).
+
+Codes are part of the public surface: tests, CI jobs, and downstream
+tooling match on them, so existing numbers must never be renumbered or
+reused.  New codes append within their band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+    hint: str
+
+
+def _info(code: str, severity: Severity, title: str, hint: str) -> CodeInfo:
+    return CodeInfo(code=code, severity=severity, title=title, hint=hint)
+
+
+CODES: dict[str, CodeInfo] = {
+    info.code: info
+    for info in [
+        # -- EQ1xx: soundness blockers -------------------------------------
+        _info(
+            "EQ101",
+            Severity.ERROR,
+            "database write inside a cursor loop",
+            "hoist the write out of the loop or express it as a single "
+            "set-oriented UPDATE/INSERT/DELETE statement",
+        ),
+        _info(
+            "EQ102",
+            Severity.ERROR,
+            "call to an unknown or recursive function inside a cursor loop",
+            "define the callee in the same translation unit so it can be "
+            "inlined, or move the call out of the loop",
+        ),
+        _info(
+            "EQ103",
+            Severity.ERROR,
+            "value escapes the extraction analysis",
+            "avoid mutating entities inside the loop and avoid passing the "
+            "iterated result set to functions the analysis cannot see into",
+        ),
+        _info(
+            "EQ104",
+            Severity.ERROR,
+            "query cursor consumed more than once",
+            "a forward-only cursor is exhausted by its first loop; "
+            "materialise the result with executeQuery or re-issue the query",
+        ),
+        _info(
+            "EQ105",
+            Severity.ERROR,
+            "abnormal control flow inside a cursor loop",
+            "restructure the break/continue/return so the loop body is "
+            "straight-line or conditional code",
+        ),
+        _info(
+            "EQ106",
+            Severity.ERROR,
+            "try/catch inside a cursor loop body",
+            "move the exception handling outside the loop; extraction never "
+            "crosses try/catch boundaries",
+        ),
+        # -- EQ2xx: extraction-quality warnings ----------------------------
+        _info(
+            "EQ201",
+            Severity.WARNING,
+            "unsupported construct in the variable's computation",
+            "the computation uses an operation the D-IR cannot model",
+        ),
+        _info(
+            "EQ202",
+            Severity.WARNING,
+            "P1 violation: no accumulation dependence cycle",
+            "the variable is recomputed each iteration rather than "
+            "accumulated, so there is no fold to extract",
+        ),
+        _info(
+            "EQ203",
+            Severity.WARNING,
+            "P2 violation: loop-carried dependence on another variable",
+            "the accumulation reads another loop-updated variable; only "
+            "argmax/argmin-style dependences can be rescued",
+        ),
+        _info(
+            "EQ204",
+            Severity.WARNING,
+            "transformation incomplete: a fold remains",
+            "no rewrite rule chain reduced the fold to relational algebra",
+        ),
+        _info(
+            "EQ205",
+            Severity.WARNING,
+            "F-IR extracted but no SQL emitter for some construct",
+            "the algebraic form is known but the SQL generator cannot yet "
+            "print it for the chosen dialect",
+        ),
+        _info(
+            "EQ206",
+            Severity.WARNING,
+            "target variable is never assigned",
+            "the requested variable has no value at the end of the function",
+        ),
+        _info(
+            "EQ207",
+            Severity.WARNING,
+            "iterated collection is not a query result",
+            "only loops over executeQuery results (or nested folds over "
+            "them) can be turned into SQL",
+        ),
+        # -- EQ3xx: application anti-patterns ------------------------------
+        _info(
+            "EQ301",
+            Severity.WARNING,
+            "query executed inside a loop (N+1 pattern)",
+            "combine the per-iteration query with the outer loop's query "
+            "using a join or an IN list",
+        ),
+        _info(
+            "EQ302",
+            Severity.WARNING,
+            "SQL assembled by string concatenation from non-literal parts",
+            "use query parameters (:name placeholders) instead of "
+            "concatenating values into the SQL text",
+        ),
+        _info(
+            "EQ303",
+            Severity.INFO,
+            "query result is never used",
+            "the database round-trip is wasted; delete the call or use its "
+            "result",
+        ),
+        _info(
+            "EQ304",
+            Severity.INFO,
+            "cursor is never closed",
+            "call close() on executeQueryCursor results to release the "
+            "underlying statement",
+        ),
+    ]
+}
+
+#: Codes that gate extraction (band EQ1xx).
+BLOCKER_CODES = frozenset(code for code in CODES if code.startswith("EQ1"))
+
+
+def code_info(code: str) -> CodeInfo:
+    """Look up a code, raising ``KeyError`` with the full table on miss."""
+    try:
+        return CODES[code]
+    except KeyError:
+        known = ", ".join(sorted(CODES))
+        raise KeyError(f"unknown diagnostic code {code!r} (known: {known})") from None

@@ -1,0 +1,96 @@
+"""Diagnostic objects: severity levels, source spans, coded findings.
+
+Every finding the lint passes or the extractor produce is a
+:class:`Diagnostic` with a stable code (see :mod:`repro.lint.codes`), a
+severity, a human message, and a source span pointing into the analysed
+function.  Diagnostics are value objects: frozen, hashable, orderable by
+source position, and JSON-serialisable via :meth:`Diagnostic.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from ..lang import Node
+
+
+class Severity(IntEnum):
+    """Severity ladder; comparisons follow the numeric order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+    @staticmethod
+    def parse(text: str) -> "Severity":
+        try:
+            return Severity[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True, order=True)
+class SourceSpan:
+    """A 1-based (line, column) position; (0, 0) means synthetic."""
+
+    line: int = 0
+    col: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.line <= 0
+
+    @staticmethod
+    def of(node: Node) -> "SourceSpan":
+        return SourceSpan(line=getattr(node, "line", 0), col=getattr(node, "col", 0))
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {"line": self.line, "col": self.col}
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One coded lint finding.
+
+    The field order makes diagnostics sort by source position, then code —
+    the order reports are rendered in.
+    """
+
+    span: SourceSpan
+    code: str
+    severity: Severity
+    message: str
+    function: str = ""
+    variable: str = ""  # variable-scoped findings name the affected variable
+    loop_sid: int = field(default=-1, compare=False)  # preprocessed loop sid
+    hint: str = ""
+
+    @property
+    def is_blocker(self) -> bool:
+        """EQ1xx codes are soundness blockers: extraction must not proceed."""
+        return self.code.startswith("EQ1")
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "span": self.span.to_dict(),
+            "function": self.function,
+            "variable": self.variable,
+            "loop_sid": self.loop_sid,
+            "hint": self.hint,
+        }
+
+    def render(self, path: str = "") -> str:
+        """One ``path:line:col: severity CODE message`` line."""
+        prefix = f"{path}:{self.span}" if path else str(self.span)
+        where = f" [{self.function}]" if self.function else ""
+        return f"{prefix}: {self.severity} {self.code} {self.message}{where}"

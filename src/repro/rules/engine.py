@@ -111,7 +111,9 @@ class RuleEngine:
             func = self._transform(node.func, ctx, budget)
             init = self._transform(node.init, ctx, budget)
             source = self._transform(node.source, ctx, budget)
-            return ctx.dag.fold(func, init, source, node.var, node.cursor, node.loop_sid)
+            return ctx.dag.fold(
+                func, init, source, node.var, node.cursor, node.loop_sid, node.span
+            )
         if isinstance(node, ELoop):
             return node  # untranslated Loop: no rules apply
         raise TypeError(f"cannot transform {type(node).__name__}")

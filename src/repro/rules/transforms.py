@@ -181,7 +181,9 @@ def rule_t6_init(fold: EFold, ctx: RuleContext) -> ENode | None:
     if isinstance(fold.init, EOp) and fold.init.op in ("empty_list", "empty_set"):
         return None  # already identity
     empty = ctx.dag.op("empty_list" if func.op == "append" else "empty_set")
-    inner = ctx.dag.fold(func, empty, fold.source, fold.var, fold.cursor, fold.loop_sid)
+    inner = ctx.dag.fold(
+        func, empty, fold.source, fold.var, fold.cursor, fold.loop_sid, fold.span
+    )
     combiner = "concat_list" if func.op == "append" else "union_set"
     ctx.fire("T6")
     return ctx.dag.op(combiner, fold.init, inner)
@@ -225,6 +227,7 @@ def rule_t2_predicate(fold: EFold, ctx: RuleContext) -> ENode | None:
         fold.var,
         fold.cursor,
         fold.loop_sid,
+        fold.span,
     )
 
 
@@ -383,6 +386,7 @@ def rule_t7_apply(fold: EFold, ctx: RuleContext) -> ENode | None:
         fold.var,
         fold.cursor,
         fold.loop_sid,
+        fold.span,
     )
 
 

@@ -1,0 +1,241 @@
+"""Dataflow corner cases: loop-carried defs on unusual edges, cursor
+reassignment, and the transitive effect summaries the lint layer gates on.
+
+These tests document behaviour the rest of the pipeline depends on: where
+the dependence analysis is conservative, where it is exempt (the cursor
+variable), and why each choice stays sound end to end.
+"""
+
+from repro import Catalog, extract_sql
+from repro.analysis import (
+    EffectSummary,
+    all_writes,
+    build_loop_ddg,
+    function_effects,
+    loop_carried_vars,
+    slice_statements,
+    stmt_def_use,
+)
+from repro.lang import ForEach, parse_program, walk_statements
+
+
+def first_loop(source: str, function: str = "f") -> ForEach:
+    func = parse_program(source).function(function)
+    return next(s for s in walk_statements(func.body) if isinstance(s, ForEach))
+
+
+class TestLoopCarriedDefs:
+    def test_accumulator_chain_is_loop_carried(self):
+        loop = first_loop(
+            """
+f() {
+    rs = executeQuery("from P as p");
+    a = 0;
+    b = 0;
+    for (r : rs) { a = a + r.getA(); b = b + a; }
+    return b;
+}
+"""
+        )
+        assert loop_carried_vars(loop.body, cursor_var="r") == {"a", "b"}
+
+    def test_both_arm_conditional_write_before_read_is_plain_flow(self):
+        """When every path rewrites ``x`` before the read, the read cannot
+        observe the previous iteration: no lcfd, only intra-iteration flow."""
+        loop = first_loop(
+            """
+f() {
+    rs = executeQuery("from P as p");
+    x = 0;
+    for (r : rs) {
+        if (r.getA() > 0) { x = 1; } else { x = 2; }
+        y = x + 1;
+    }
+    return y;
+}
+"""
+        )
+        assert loop_carried_vars(loop.body, cursor_var="r") == set()
+        graph = build_loop_ddg(loop.body, cursor_var="r")
+        assert any(
+            e.kind == "flow" and e.location == "x" for e in graph.edges
+        )
+
+
+class TestExceptionEdges:
+    SOURCE = """
+f() {
+    rs = executeQuery("from P as p");
+    n = 0;
+    for (r : rs) {
+        try { n = n + r.getA(); } catch (e) { n = 0; }
+    }
+    return n;
+}
+"""
+
+    def test_trycatch_def_use_is_header_only(self):
+        """``stmt_def_use`` summarises only the statement's own header; the
+        arms are separate statements for the flattened dependence graph."""
+        loop = first_loop(self.SOURCE)
+        trycatch = loop.body.statements[0]
+        assert stmt_def_use(trycatch).writes == frozenset()
+
+    def test_all_writes_sees_both_try_and_catch_defs(self):
+        loop = first_loop(self.SOURCE)
+        assert all_writes(loop.body.statements[0]) == {"n"}
+
+    def test_defs_on_exception_edges_are_loop_carried(self):
+        """The def on the normal edge and the def on the exception edge both
+        reach the next iteration — ``n`` must be loop-carried even though
+        every write sits inside a try/catch."""
+        loop = first_loop(self.SOURCE)
+        assert loop_carried_vars(loop.body, cursor_var="r") == {"n"}
+
+    def test_catch_arm_write_appears_in_the_dependence_graph(self):
+        loop = first_loop(self.SOURCE)
+        graph = build_loop_ddg(loop.body, cursor_var="r")
+        writers = {
+            stmt.sid for stmt in graph.statements if "n" in stmt_def_use(stmt).writes
+        }
+        assert len(writers) == 2  # the try def and the catch def
+
+
+class TestEarlyExitEdges:
+    SOURCE = """
+f() {
+    rs = executeQuery("from P as p");
+    n = 0;
+    for (r : rs) {
+        n = n + 1;
+        if (n > 10) { break; }
+    }
+    return n;
+}
+"""
+
+    def test_break_does_not_kill_the_loop_carried_def(self):
+        loop = first_loop(self.SOURCE)
+        assert loop_carried_vars(loop.body, cursor_var="r") == {"n"}
+
+    def test_break_is_control_dependent_on_its_guard(self):
+        loop = first_loop(self.SOURCE)
+        graph = build_loop_ddg(loop.body, cursor_var="r")
+        assert any(e.kind == "control" for e in graph.edges)
+
+    def test_slice_of_the_accumulator_excludes_the_exit_path(self):
+        """``break`` affects how many iterations run, not the value ``n``
+        takes per iteration — the slice keeps only the accumulation."""
+        loop = first_loop(self.SOURCE)
+        graph = build_loop_ddg(loop.body, cursor_var="r")
+        sliced = slice_statements(graph, "n")
+        assert len(sliced) == 1
+
+
+class TestCursorReassignment:
+    SOURCE = """
+f(other) {
+    rs = executeQuery("from P as p");
+    x = 0;
+    for (r : rs) {
+        x = x + r.getA();
+        r = other;
+        y = r.getB();
+    }
+    return x;
+}
+"""
+
+    def test_cursor_exemption_survives_reassignment(self):
+        """The P2 cursor exemption drops ``r`` from the loop-carried set even
+        when the body reassigns it: the ve-map substitutes values
+        sequentially, so each read of ``r`` resolves to whichever def
+        (cursor advance or reassignment) precedes it."""
+        loop = first_loop(self.SOURCE)
+        assert loop_carried_vars(loop.body, cursor_var="r") == {"x"}
+        assert loop_carried_vars(loop.body, cursor_var=None) == {"r", "x"}
+
+    def test_read_before_reassignment_extracts_the_cursor_column(self):
+        catalog = Catalog.from_dict({"p": {"columns": ["id", "a", "b"], "key": ["id"]}})
+        extraction = extract_sql(self.SOURCE, "f", catalog).variables["x"]
+        assert extraction.status == "success"
+        assert extraction.sql == "SELECT SUM(a) AS agg FROM P p"
+
+    def test_read_after_reassignment_extracts_the_new_value(self):
+        """Flipping the order must flip the extracted SQL: after ``r =
+        other`` the accumulation reads the parameter, not the row."""
+        source = """
+f(other) {
+    rs = executeQuery("from P as p");
+    x = 0;
+    for (r : rs) {
+        r = other;
+        x = x + r.getA();
+    }
+    return x;
+}
+"""
+        catalog = Catalog.from_dict({"p": {"columns": ["id", "a", "b"], "key": ["id"]}})
+        extraction = extract_sql(source, "f", catalog).variables["x"]
+        assert extraction.status == "success"
+        assert ":other__a" in extraction.sql  # N copies of the parameter's column
+
+
+class TestEffectSummaries:
+    SOURCE = """
+leaf(xs) { xs.add(1); return 0; }
+mid(a, b) { leaf(b); return 0; }
+top(q) { mid(0, q); return 0; }
+writer() { executeUpdate("x"); return 0; }
+chain() { writer(); return 0; }
+selfrec(n) { return selfrec(n); }
+mutual_a() { return mutual_b(); }
+mutual_b() { return mutual_a(); }
+unknown_caller() { mystery(); return 0; }
+printer() { System.out.println(1); return 0; }
+reader() { q = executeQuery("from P as p"); return q; }
+"""
+
+    def setup_method(self):
+        self.effects = function_effects(parse_program(self.SOURCE))
+
+    def test_direct_facts(self):
+        assert self.effects["writer"].db_write
+        assert self.effects["reader"].db_read
+        assert self.effects["printer"].output
+        assert self.effects["unknown_caller"].calls_unknown
+
+    def test_db_write_propagates_up_the_call_graph(self):
+        assert self.effects["chain"].db_write
+        assert not self.effects["chain"].db_read
+
+    def test_mutates_params_maps_argument_positions(self):
+        """``leaf`` mutates its parameter 0; ``mid`` passes param 1 there;
+        ``top`` passes its param 0 to ``mid``'s position 1 — the fixpoint
+        must relabel the position at every hop."""
+        assert self.effects["leaf"].mutates_params == {0}
+        assert self.effects["mid"].mutates_params == {1}
+        assert self.effects["top"].mutates_params == {0}
+
+    def test_self_recursion_is_opaque(self):
+        assert self.effects["selfrec"].recursive
+        assert self.effects["selfrec"].opaque
+
+    def test_mutual_recursion_is_opaque(self):
+        assert self.effects["mutual_a"].recursive
+        assert self.effects["mutual_b"].recursive
+
+    def test_unknown_call_is_opaque_but_not_recursive(self):
+        summary = self.effects["unknown_caller"]
+        assert summary.opaque and not summary.recursive
+
+    def test_pure_summary_is_the_default(self):
+        assert EffectSummary() == EffectSummary(
+            db_read=False,
+            db_write=False,
+            output=False,
+            calls_unknown=False,
+            recursive=False,
+            mutates_params=frozenset(),
+        )
+        assert not EffectSummary().opaque

@@ -1,0 +1,91 @@
+"""The lint/extractor cross-check wired into the differential oracle.
+
+A program the lint layer calls unsound (EQ1xx) must never be silently
+extracted; if the two layers ever disagree, the fuzzer files a
+``lint-unsound`` verdict instead of trusting either side.
+"""
+
+import dataclasses
+
+from repro import Catalog, STATUS_SUCCESS, optimize_program
+from repro.difftest import FAILING_KINDS, KIND_LINT_UNSOUND
+from repro.difftest.oracle import _check_lint_soundness
+from repro.lint import Diagnostic, Severity, SourceSpan
+
+CATALOG = Catalog.from_dict(
+    {"project": {"columns": ["id", "name", "budget"], "key": ["id"]}}
+)
+
+CLEAN_SOURCE = """
+f() {
+    rs = executeQuery("from Project as p");
+    total = 0;
+    for (r : rs) { total = total + r.getBudget(); }
+    return total;
+}
+"""
+
+UNSOUND_SOURCE = """
+f() {
+    rs = executeQuery("from Project as p");
+    total = 0;
+    for (r : rs) { executeUpdate("update project set x = 1"); total = total + r.getBudget(); }
+    return total;
+}
+"""
+
+
+def test_lint_unsound_is_a_failing_kind():
+    assert KIND_LINT_UNSOUND == "lint-unsound"
+    assert KIND_LINT_UNSOUND in FAILING_KINDS
+
+
+def test_blocked_program_never_reaches_success():
+    """End-to-end: the gate turns the EQ101 program into a failure, so the
+    cross-check has nothing to complain about."""
+    report = optimize_program(UNSOUND_SOURCE, "f", CATALOG)
+    assert report.variables["total"].status != STATUS_SUCCESS
+    assert [d.code for d in report.diagnostics] == ["EQ101"]
+    assert _check_lint_soundness(report) is None
+
+
+def test_clean_success_passes_the_cross_check():
+    report = optimize_program(CLEAN_SOURCE, "f", CATALOG)
+    assert report.variables["total"].status == STATUS_SUCCESS
+    assert _check_lint_soundness(report) is None
+
+
+def test_simulated_regression_is_caught():
+    """Force the disagreement the check exists for: a success variable whose
+    loop carries a blocker (as if the gate had been skipped)."""
+    report = optimize_program(CLEAN_SOURCE, "f", CATALOG)
+    extraction = report.variables["total"]
+    assert extraction.status == STATUS_SUCCESS
+    blocker = Diagnostic(
+        span=SourceSpan(5, 20),
+        code="EQ101",
+        severity=Severity.ERROR,
+        message="database write inside a cursor loop",
+        function="f",
+        loop_sid=extraction.loop_sid,
+    )
+    tampered = dataclasses.replace(report, diagnostics=[blocker])
+    message = _check_lint_soundness(tampered)
+    assert message is not None
+    assert "'total'" in message and "EQ101" in message
+
+
+def test_variable_scoped_blocker_on_another_variable_is_not_a_regression():
+    report = optimize_program(CLEAN_SOURCE, "f", CATALOG)
+    extraction = report.variables["total"]
+    scoped = Diagnostic(
+        span=SourceSpan(5, 20),
+        code="EQ103",
+        severity=Severity.ERROR,
+        message="entity 'r' is mutated",
+        function="f",
+        variable="r",
+        loop_sid=extraction.loop_sid,
+    )
+    tampered = dataclasses.replace(report, diagnostics=[scoped])
+    assert _check_lint_soundness(tampered) is None

@@ -1,0 +1,21 @@
+"""Shared fixtures for the lint suite."""
+
+import pytest
+
+from repro import Catalog
+
+
+@pytest.fixture
+def catalog():
+    return Catalog.from_dict(
+        {
+            "project": {
+                "columns": ["id", "name", "finished", "budget"],
+                "key": ["id"],
+            },
+            "orders": {
+                "columns": ["id", "customer", "status", "total"],
+                "key": ["id"],
+            },
+        }
+    )

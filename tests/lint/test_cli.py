@@ -1,0 +1,181 @@
+"""``python -m repro lint``: directory service, cache, exit codes, JSON."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.lint.cli import fail_threshold
+from repro.lint.service import LintScanReport, lint_cache_key, lint_directory
+from repro.lint import Severity
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+DIRTY_SOURCE = """
+report() {
+    rs = executeQueryCursor("from Project as p");
+    n = 0;
+    while (rs.next()) { n = n + 1; }
+    while (rs.next()) { n = n + 1; }
+    return n;
+}
+"""
+
+CLEAN_SOURCE = """
+total() {
+    rs = executeQuery("from Project as p");
+    t = 0;
+    for (r : rs) { t = t + r.getBudget(); }
+    return t;
+}
+"""
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "dirty.mj").write_text(DIRTY_SOURCE)
+    (tmp_path / "clean.mj").write_text(CLEAN_SOURCE)
+    (tmp_path / "broken.mj").write_text("this is ( not MiniJava")
+    return tmp_path
+
+
+class TestLintDirectory:
+    def test_findings_and_parse_errors(self, tree):
+        report = lint_directory(tree, use_cache=False)
+        assert len(report.files) == 3
+        assert set(report.parse_errors) == {"broken.mj"}
+        codes = sorted(d["code"] for _p, d in report.all_diagnostics())
+        assert codes == ["EQ104", "EQ304"]
+        assert report.max_severity is Severity.ERROR
+
+    def test_cold_then_warm_cache(self, tree):
+        cold = lint_directory(tree, cache_dir=tree / ".cache")
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        assert cold.cache_stores == 2
+        warm = lint_directory(tree, cache_dir=tree / ".cache")
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert [u["cached"] for u in warm.units] == [True, True]
+        # Cached and fresh runs agree on the findings.
+        assert [d for _p, d in warm.all_diagnostics()] == [
+            d for _p, d in cold.all_diagnostics()
+        ]
+
+    def test_cache_keys_distinguish_lint_from_scan(self, tree):
+        from repro import Catalog, ExtractOptions
+        from repro.batch.cache import cache_key
+
+        source = (tree / "dirty.mj").read_text()
+        scan_key = cache_key(source, "report", Catalog(), ExtractOptions())
+        assert lint_cache_key(source, "report") != scan_key
+
+    def test_source_edit_invalidates_the_key(self):
+        assert lint_cache_key("a", "f") != lint_cache_key("b", "f")
+        assert lint_cache_key("a", "f") != lint_cache_key("a", "g")
+
+    def test_exceeds_thresholds(self, tree):
+        report = lint_directory(tree, use_cache=False)
+        assert report.exceeds(Severity.ERROR)
+        assert report.exceeds(Severity.INFO)
+        assert not report.exceeds(None)
+
+    def test_report_round_trips_through_json(self, tree):
+        payload = json.loads(
+            json.dumps(lint_directory(tree, use_cache=False).to_dict())
+        )
+        assert payload["counts"]["error"] == 1
+        assert payload["cache"]["dir"] is None
+
+    def test_parallel_matches_serial(self, tree):
+        serial = lint_directory(tree, jobs=1, use_cache=False)
+        parallel = lint_directory(tree, jobs=2, use_cache=False)
+        assert [u["diagnostics"] for u in serial.units] == [
+            u["diagnostics"] for u in parallel.units
+        ]
+
+
+class TestFailThreshold:
+    def test_parses_choices(self):
+        assert fail_threshold("error") is Severity.ERROR
+        assert fail_threshold("warning") is Severity.WARNING
+        assert fail_threshold("info") is Severity.INFO
+        assert fail_threshold("none") is None
+
+
+class TestCliExitCodes:
+    def test_blocker_fails_the_default_threshold(self, tree, capsys):
+        (tree / "broken.mj").unlink()
+        code = main(["lint", str(tree), "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "EQ104" in out
+
+    def test_fail_on_none_always_passes(self, tree, capsys):
+        (tree / "broken.mj").unlink()
+        assert main(["lint", str(tree), "--no-cache", "--fail-on", "none"]) == 0
+
+    def test_info_only_findings_pass_the_error_threshold(self, tmp_path, capsys):
+        (tmp_path / "leak.mj").write_text(
+            """
+f() {
+    rs = executeQueryCursor("from Project as p");
+    n = 0;
+    while (rs.next()) { n = n + 1; }
+    rs.close();
+    executeQuery("from Project as p");
+    return n;
+}
+"""
+        )
+        assert main(["lint", str(tmp_path), "--no-cache"]) == 0
+        assert main(["lint", str(tmp_path), "--no-cache", "--fail-on", "info"]) == 1
+        out = capsys.readouterr().out
+        assert "EQ303" in out
+
+    def test_parse_error_fails(self, tree, capsys):
+        code = main(["lint", str(tree), "--no-cache", "--fail-on", "none"])
+        assert code == 1
+        assert "parse error" in capsys.readouterr().out
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path), "--no-cache"]) == 1
+        assert "no MiniJava sources" in capsys.readouterr().out
+
+    def test_json_output(self, tree, capsys):
+        (tree / "broken.mj").unlink()
+        main(["lint", str(tree), "--no-cache", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"info": 1, "warning": 0, "error": 1}
+        assert {u["function"] for u in payload["units"]} == {"report", "total"}
+
+
+class TestCommittedFixtures:
+    """The seeded fixture set CI asserts exact codes on."""
+
+    def test_exact_codes(self):
+        report = lint_directory(FIXTURES, use_cache=False)
+        assert not report.parse_errors
+        codes = [d["code"] for _p, d in report.all_diagnostics()]
+        assert codes == ["EQ101"]
+
+    def test_clean_fixture_is_clean(self):
+        report = lint_directory(FIXTURES, use_cache=False)
+        by_file = {
+            Path(unit["file"]).name: unit["diagnostics"] for unit in report.units
+        }
+        assert by_file["clean.mj"] == []
+        assert [d["code"] for d in by_file["side_effects.mj"]] == ["EQ101"]
+        [diag] = by_file["side_effects.mj"]
+        assert diag["span"] == {"line": 10, "col": 9}
+
+    def test_examples_lint_clean_of_blockers_via_cli(self, capsys):
+        root = Path(__file__).resolve().parents[2] / "examples" / "minijava"
+        main(["lint", str(root), "--no-cache", "--json", "--fail-on", "none"])
+        payload = json.loads(capsys.readouterr().out)
+        blockers = [
+            d
+            for unit in payload["units"]
+            for d in unit["diagnostics"]
+            if d["code"].startswith("EQ1")
+        ]
+        assert blockers == []

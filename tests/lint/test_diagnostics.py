@@ -1,0 +1,126 @@
+"""Value-object behaviour: severities, spans, diagnostics, the code table."""
+
+import json
+
+import pytest
+
+from repro.lint import BLOCKER_CODES, CODES, Diagnostic, Severity, SourceSpan, code_info
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_str_is_lowercase_name(self):
+        assert str(Severity.ERROR) == "error"
+        assert str(Severity.WARNING) == "warning"
+        assert str(Severity.INFO) == "info"
+
+    def test_parse_round_trips(self):
+        for severity in Severity:
+            assert Severity.parse(str(severity)) is severity
+
+    def test_parse_is_case_insensitive(self):
+        assert Severity.parse("ERROR") is Severity.ERROR
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="bogus"):
+            Severity.parse("bogus")
+
+
+class TestSourceSpan:
+    def test_of_reads_node_position(self):
+        from repro.lang import parse_program
+
+        func = parse_program("f() {\n    x = 1;\n    return x;\n}").functions[0]
+        span = SourceSpan.of(func.body.statements[0])
+        assert (span.line, span.col) == (2, 5)
+
+    def test_default_is_empty(self):
+        assert SourceSpan().is_empty
+        assert not SourceSpan(3, 1).is_empty
+
+    def test_str(self):
+        assert str(SourceSpan(7, 12)) == "7:12"
+
+    def test_orders_by_position(self):
+        assert SourceSpan(2, 9) < SourceSpan(3, 1)
+        assert SourceSpan(3, 1) < SourceSpan(3, 5)
+
+    def test_to_dict(self):
+        assert SourceSpan(4, 2).to_dict() == {"line": 4, "col": 2}
+
+
+def _diag(line=3, col=5, code="EQ101", severity=Severity.ERROR, **kw):
+    return Diagnostic(
+        span=SourceSpan(line, col),
+        code=code,
+        severity=severity,
+        message=kw.pop("message", "boom"),
+        **kw,
+    )
+
+
+class TestDiagnostic:
+    def test_blocker_is_the_eq1_band(self):
+        assert _diag(code="EQ101").is_blocker
+        assert _diag(code="EQ106").is_blocker
+        assert not _diag(code="EQ204", severity=Severity.WARNING).is_blocker
+        assert not _diag(code="EQ301", severity=Severity.WARNING).is_blocker
+
+    def test_sorts_by_source_position_then_code(self):
+        a = _diag(line=2, code="EQ301", severity=Severity.WARNING)
+        b = _diag(line=2, col=9, code="EQ101")
+        c = _diag(line=5, code="EQ101")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_render(self):
+        diag = _diag(function="f")
+        assert diag.render("app.mj") == "app.mj:3:5: error EQ101 boom [f]"
+        assert diag.render() == "3:5: error EQ101 boom [f]"
+
+    def test_to_dict_is_json_serialisable(self):
+        diag = _diag(function="f", variable="total", hint="fix it")
+        payload = json.loads(json.dumps(diag.to_dict()))
+        assert payload["code"] == "EQ101"
+        assert payload["severity"] == "error"
+        assert payload["span"] == {"line": 3, "col": 5}
+        assert payload["variable"] == "total"
+        assert payload["hint"] == "fix it"
+
+    def test_hashable(self):
+        assert len({_diag(), _diag()}) == 1
+
+
+class TestCodeTable:
+    EXPECTED = {
+        "EQ101", "EQ102", "EQ103", "EQ104", "EQ105", "EQ106",
+        "EQ201", "EQ202", "EQ203", "EQ204", "EQ205", "EQ206", "EQ207",
+        "EQ301", "EQ302", "EQ303", "EQ304",
+    }
+
+    def test_every_expected_code_is_registered(self):
+        assert set(CODES) == self.EXPECTED
+
+    def test_band_severities(self):
+        for code, info in CODES.items():
+            if code.startswith("EQ1"):
+                assert info.severity is Severity.ERROR, code
+            elif code.startswith("EQ2"):
+                assert info.severity is Severity.WARNING, code
+            else:
+                assert info.severity in (Severity.WARNING, Severity.INFO), code
+
+    def test_blocker_codes_are_exactly_the_eq1_band(self):
+        assert BLOCKER_CODES == {c for c in CODES if c.startswith("EQ1")}
+
+    def test_every_code_has_title_and_hint(self):
+        for info in CODES.values():
+            assert info.title and info.hint
+
+    def test_code_info_lookup(self):
+        assert code_info("EQ104").title == "query cursor consumed more than once"
+
+    def test_code_info_miss_names_the_known_codes(self):
+        with pytest.raises(KeyError, match="EQ999.*EQ101"):
+            code_info("EQ999")

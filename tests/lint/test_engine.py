@@ -1,0 +1,168 @@
+"""Engine-level behaviour: reports, the extraction gate, the corpus check."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.ir import preprocess_program
+from repro.lang import ForEach, parse_program, walk_statements
+from repro.lint import (
+    CODES,
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceSpan,
+    blockers_for,
+    lint_function,
+    lint_program,
+    loop_nesting,
+    registered_passes,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "minijava"
+
+
+class TestCorpus:
+    """Acceptance criterion: the shipped examples carry no soundness blocker."""
+
+    @pytest.mark.parametrize(
+        "path", sorted(EXAMPLES.glob("*.mj")), ids=lambda p: p.name
+    )
+    def test_examples_have_no_eq1xx(self, path):
+        report = lint_program(path.read_text())
+        assert report.blockers == [], report.render_text(str(path))
+
+
+class TestLintReport:
+    SOURCE = """
+f() {
+    rs = executeQueryCursor("from Project as p");
+    n = 0;
+    while (rs.next()) { n = n + 1; }
+    while (rs.next()) { n = n + 1; }
+    return n;
+}
+"""
+
+    def test_counts_and_max_severity(self):
+        report = lint_program(self.SOURCE)
+        assert report.counts() == {"info": 1, "warning": 0, "error": 1}
+        assert report.max_severity is Severity.ERROR
+        assert [d.code for d in report.blockers] == ["EQ104"]
+
+    def test_clean_report(self):
+        report = lint_program("f() { return 0; }")
+        assert report.functions == ["f"]
+        assert report.max_severity is None
+        assert report.render_text("app.mj") == "app.mj: clean (1 function(s) checked)"
+
+    def test_render_text_one_line_per_finding(self):
+        lines = lint_program(self.SOURCE).render_text("app.mj").splitlines()
+        assert len(lines) == 2
+        assert lines[0] == (
+            "app.mj:3:5: info EQ304 cursor is never closed: "
+            "cursor 'rs' is opened here [f]"
+        )
+        assert lines[1].startswith("app.mj:6:5: error EQ104 ")
+
+    def test_diagnostics_sorted_by_position(self):
+        spans = [d.span for d in lint_program(self.SOURCE).diagnostics]
+        assert spans == sorted(spans)
+
+    def test_to_dict(self):
+        payload = lint_program(self.SOURCE).to_dict()
+        assert payload["functions"] == ["f"]
+        assert payload["counts"]["error"] == 1
+        assert [d["code"] for d in payload["diagnostics"]] == ["EQ304", "EQ104"]
+
+    def test_lint_function_scopes_to_one_function(self):
+        source = self.SOURCE + "\ng() { return 1; }\n"
+        assert lint_function(source, "g") == []
+        assert [d.code for d in lint_function(source, "f")] == ["EQ304", "EQ104"]
+
+
+NESTED = """
+f() {
+    rs = executeQuery("from Project as p");
+    os = executeQuery("from Orders as o");
+    n = 0;
+    for (r : rs) {
+        for (o : os) { n = n + 1; }
+    }
+    for (o : os) { n = n + 1; }
+    return n;
+}
+"""
+
+
+def _loops(func):
+    return [s for s in walk_statements(func.body) if isinstance(s, ForEach)]
+
+
+class TestLoopNesting:
+    def test_outer_covers_inner(self):
+        func = preprocess_program(parse_program(NESTED)).function("f")
+        outer, inner, trailing = _loops(func)
+        nesting = loop_nesting(func)
+        assert nesting[outer.sid] == {outer.sid, inner.sid}
+        assert nesting[inner.sid] == {inner.sid}
+        assert nesting[trailing.sid] == {trailing.sid}
+
+
+def _blocker(loop_sid, variable=""):
+    return Diagnostic(
+        span=SourceSpan(3, 1),
+        code="EQ101",
+        severity=Severity.ERROR,
+        message="boom",
+        variable=variable,
+        loop_sid=loop_sid,
+    )
+
+
+class TestBlockersFor:
+    def setup_method(self):
+        func = preprocess_program(parse_program(NESTED)).function("f")
+        self.outer, self.inner, self.trailing = (loop.sid for loop in _loops(func))
+        self.nesting = loop_nesting(func)
+
+    def test_inner_blocker_widens_to_enclosing_loop(self):
+        diags = [_blocker(self.inner)]
+        assert blockers_for(diags, self.nesting, self.outer, "n") == diags
+        assert blockers_for(diags, self.nesting, self.inner, "n") == diags
+        assert blockers_for(diags, self.nesting, self.trailing, "n") == []
+
+    def test_outer_blocker_does_not_reach_the_inner_loop(self):
+        diags = [_blocker(self.outer)]
+        assert blockers_for(diags, self.nesting, self.inner, "n") == []
+
+    def test_variable_scoped_blocker_only_hits_its_target(self):
+        diags = [_blocker(self.inner, variable="r")]
+        assert blockers_for(diags, self.nesting, self.outer, "r") == diags
+        assert blockers_for(diags, self.nesting, self.outer, "n") == []
+
+    def test_no_loop_means_no_blockers(self):
+        assert blockers_for([_blocker(self.outer)], self.nesting, -1, "n") == []
+
+    def test_warnings_never_block(self):
+        warning = Diagnostic(
+            span=SourceSpan(3, 1),
+            code="EQ301",
+            severity=Severity.WARNING,
+            message="n+1",
+            loop_sid=self.outer,
+        )
+        assert blockers_for([warning], self.nesting, self.outer, "n") == []
+
+
+class TestRegistry:
+    def test_every_pass_declares_known_codes(self):
+        for name, pass_codes, _fn in registered_passes():
+            assert set(pass_codes) <= set(CODES), name
+
+    def test_every_eq1xx_and_eq3xx_code_has_a_pass(self):
+        declared = set()
+        for _name, pass_codes, _fn in registered_passes():
+            declared.update(pass_codes)
+        expected = {c for c in CODES if c.startswith(("EQ1", "EQ3"))}
+        assert expected <= declared

@@ -1,0 +1,243 @@
+"""Every extractor bail-out path emits a coded diagnostic with a real span.
+
+The `reason` strings stay byte-compatible with the pre-lint extractor (the
+workload and fuzzer suites match on them), so each case asserts both the
+legacy reason and the new code/span.
+"""
+
+import json
+
+from repro import (
+    STATUS_CAPABLE,
+    STATUS_FAILED,
+    STATUS_SUCCESS,
+    extract_sql,
+)
+
+
+def the_extraction(report, variable):
+    extraction = report.variables[variable]
+    assert extraction.variable == variable
+    return extraction
+
+
+def assert_coded(extraction, code):
+    assert [d.code for d in extraction.diagnostics] == [code]
+    [diag] = extraction.diagnostics
+    assert not diag.span.is_empty, "bail-out diagnostics must carry a span"
+    assert diag.severity is not None
+    assert diag.message
+    return diag
+
+
+class TestSoundnessGate:
+    def test_db_write_in_loop_blocks_with_eq101(self, catalog):
+        source = """
+f() {
+    rs = executeQuery("from Project as p");
+    n = 0;
+    for (r : rs) { executeUpdate("update project set done = 1"); n = n + 1; }
+    return n;
+}
+"""
+        extraction = the_extraction(extract_sql(source, "f", catalog), "n")
+        assert extraction.status == STATUS_FAILED
+        diag = assert_coded(extraction, "EQ101")
+        assert str(diag.span) == "5:20"
+        assert extraction.reason == diag.message  # reason mirrors the blocker
+
+    def test_unknown_call_blocks_an_otherwise_extractable_loop(self, catalog):
+        source = """
+f() {
+    rs = executeQuery("from Project as p");
+    total = 0;
+    for (r : rs) { audit(r); total = total + r.getBudget(); }
+    return total;
+}
+"""
+        extraction = the_extraction(extract_sql(source, "f", catalog), "total")
+        assert extraction.status == STATUS_FAILED
+        assert_coded(extraction, "EQ102")
+
+    def test_clean_extraction_has_no_diagnostics(self, catalog):
+        source = """
+f() {
+    rs = executeQuery("from Project as p");
+    total = 0;
+    for (r : rs) { total = total + r.getBudget(); }
+    return total;
+}
+"""
+        report = extract_sql(source, "f", catalog)
+        extraction = the_extraction(report, "total")
+        assert extraction.status == STATUS_SUCCESS
+        assert extraction.diagnostics == []
+        assert report.diagnostics == []
+
+
+class TestBailOutCodes:
+    def test_eq206_never_assigned(self, catalog):
+        source = """
+f() {
+    rs = executeQuery("from Project as p");
+    n = 0;
+    for (r : rs) { n = n + 1; }
+    return n;
+}
+"""
+        report = extract_sql(source, "f", catalog, targets=["ghost"])
+        extraction = the_extraction(report, "ghost")
+        assert extraction.status == STATUS_FAILED
+        assert extraction.reason == "variable not assigned"
+        diag = assert_coded(extraction, "EQ206")
+        assert diag.span.line == 2  # anchored at the function header
+
+    def test_eq201_unsupported_construct(self, catalog):
+        source = """
+f(pivot) {
+    q = executeQuery("from Project as p");
+    xs = new ArrayList();
+    for (t : q) {
+        if (t.getName().compareTo(pivot) > 0) { xs.add(t.getName()); }
+    }
+    return xs;
+}
+"""
+        extraction = the_extraction(extract_sql(source, "f", catalog), "xs")
+        assert extraction.status == STATUS_FAILED
+        diag = assert_coded(extraction, "EQ201")
+        assert diag.span.line == 5  # the loop statement
+
+    def test_eq202_p1_violation(self, catalog):
+        source = """
+f() {
+    rs = executeQuery("from Project as p");
+    last = 0;
+    for (r : rs) { last = r.getBudget(); }
+    return last;
+}
+"""
+        extraction = the_extraction(extract_sql(source, "f", catalog), "last")
+        assert extraction.status == STATUS_FAILED
+        assert extraction.reason.startswith("P1:")
+        assert_coded(extraction, "EQ202")
+
+    def test_eq203_p2_violation_beyond_argmax(self, catalog):
+        source = """
+f() {
+    rs = executeQuery("from Project as p");
+    a = 0;
+    b = 0;
+    for (r : rs) { a = a + r.getBudget(); b = b + a; }
+    return b;
+}
+"""
+        report = extract_sql(source, "f", catalog, targets=["b"])
+        extraction = the_extraction(report, "b")
+        assert extraction.status == STATUS_FAILED
+        assert extraction.reason.startswith("P2:")
+        assert_coded(extraction, "EQ203")
+
+    def test_eq207_non_query_collection(self, catalog):
+        source = """
+f(xs) {
+    s = 0;
+    for (x : xs) { s = s + x.getBudget(); }
+    return s;
+}
+"""
+        extraction = the_extraction(extract_sql(source, "f", catalog), "s")
+        assert extraction.status == STATUS_FAILED
+        assert_coded(extraction, "EQ207")
+
+    def test_eq204_transformation_incomplete(self, catalog):
+        source = """
+f() {
+    q = executeQuery("from Project as p");
+    xs = new ArrayList();
+    for (t : q) {
+        if (t.getName().startsWith("a")) { xs.add(t.getName()); }
+    }
+    return xs;
+}
+"""
+        extraction = the_extraction(extract_sql(source, "f", catalog), "xs")
+        assert extraction.status == STATUS_CAPABLE
+        assert extraction.reason == "transformation incomplete: fold remains"
+        assert_coded(extraction, "EQ204")
+
+    def test_eq205_no_sql_emitter(self, catalog, monkeypatch):
+        """The emitter gap is exercised directly: the pipeline succeeds but
+        SQL rendering reports no emitter for the result."""
+        import repro.core.extractor as extractor
+
+        monkeypatch.setattr(extractor, "_sql_of", lambda node, dialect: None)
+        source = """
+f() {
+    rs = executeQuery("from Project as p");
+    total = 0;
+    for (r : rs) { total = total + r.getBudget(); }
+    return total;
+}
+"""
+        extraction = the_extraction(extract_sql(source, "f", catalog), "total")
+        assert extraction.status == STATUS_CAPABLE
+        assert extraction.node is not None
+        assert_coded(extraction, "EQ205")
+
+
+class TestReportPlumbing:
+    SOURCE = """
+f() {
+    rs = executeQuery("from Project as p");
+    n = 0;
+    for (r : rs) { executeUpdate("update project set done = 1"); n = n + 1; }
+    return n;
+}
+"""
+
+    def test_report_carries_function_level_diagnostics(self, catalog):
+        report = extract_sql(self.SOURCE, "f", catalog)
+        assert [d.code for d in report.diagnostics] == ["EQ101"]
+
+    def test_to_dict_serialises_diagnostics(self, catalog):
+        payload = json.loads(
+            json.dumps(extract_sql(self.SOURCE, "f", catalog).to_dict())
+        )
+        assert [d["code"] for d in payload["diagnostics"]] == ["EQ101"]
+        variable = payload["variables"]["n"]
+        assert [d["code"] for d in variable["diagnostics"]] == ["EQ101"]
+        assert variable["diagnostics"][0]["span"]["line"] == 5
+
+    def test_every_failed_variable_carries_a_coded_span(self, catalog):
+        """Acceptance sweep: run a batch of failing shapes and demand a
+        non-empty span plus a code on every failure."""
+        sources = {
+            "write": self.SOURCE,
+            "p1": """
+f() {
+    rs = executeQuery("from Project as p");
+    last = 0;
+    for (r : rs) { last = r.getBudget(); }
+    return last;
+}
+""",
+            "escape": """
+f() {
+    rs = executeQuery("from Project as p");
+    n = 0;
+    for (r : rs) { n = n + 1; }
+    stash(rs);
+    return n;
+}
+""",
+        }
+        for name, source in sources.items():
+            report = extract_sql(source, "f", catalog)
+            for variable, extraction in report.variables.items():
+                if extraction.status != STATUS_FAILED:
+                    continue
+                assert extraction.diagnostics, (name, variable)
+                for diag in extraction.diagnostics:
+                    assert not diag.span.is_empty, (name, variable, diag)
+                    assert diag.code.startswith("EQ"), (name, variable, diag)

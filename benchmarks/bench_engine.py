@@ -14,7 +14,12 @@ numbers can never come from diverging semantics.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py [--smoke] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_engine.py [--smoke] [--out PATH] [--seed N]
+
+``--seed`` drives the generated instances and is echoed into the BENCH
+JSON (the shared convention across ``bench_engine.py`` / ``bench_scan.py``
+/ ``bench_rewrites.py``), so a recorded result names the exact data it
+measured.
 
 ``--smoke`` runs the small scale factors and asserts the planned engine
 beats the reference engine on the join workload at the largest smoke scale
@@ -59,7 +64,10 @@ SMOKE_MIN_JOIN_SPEEDUP = 1.0
 FULL_MIN_JOIN_SPEEDUP = 5.0
 
 
-def build_database(scale: int, seed: int = 1234) -> Database:
+DEFAULT_SEED = 1234
+
+
+def build_database(scale: int, seed: int = DEFAULT_SEED) -> Database:
     rng = random.Random(seed + scale)
     catalog = Catalog()
     catalog.define("bench_left", ["id", "grp", "val"], key=("id",))
@@ -141,10 +149,10 @@ def _time_engine(db: Database, queries, engine: str, repeats: int) -> float:
     return best * 1000.0
 
 
-def run(scales, repeats: int = 3) -> dict:
+def run(scales, repeats: int = 3, seed: int = DEFAULT_SEED) -> dict:
     results: dict = {name: [] for name in workloads(scales[0])}
     for scale in scales:
-        db = build_database(scale)
+        db = build_database(scale, seed=seed)
         for name, queries in workloads(scale).items():
             for query in queries:  # semantics gate before any timing
                 planned = db.execute(query, engine="planned")
@@ -181,15 +189,22 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (best-of)"
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="instance-generation seed, echoed into the BENCH JSON",
+    )
     args = parser.parse_args(argv)
 
     scales = SMOKE_SCALES if args.smoke else FULL_SCALES
-    results = run(scales, repeats=args.repeats)
+    results = run(scales, repeats=args.repeats, seed=args.seed)
 
     largest_join = results["join"][-1]
     report = {
         "benchmark": "planned vs reference execution engine",
         "mode": "smoke" if args.smoke else "full",
+        "seed": args.seed,
         "scales": scales,
         "workloads": results,
         "join_speedup_at_largest_scale": largest_join["speedup"],

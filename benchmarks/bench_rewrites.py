@@ -1,0 +1,192 @@
+"""Cost-based rewrite selection benchmark — emits ``BENCH_rewrites.json``.
+
+For every extraction site in the ``examples/minijava`` corpus, three
+policies are executed against the same seeded instance on the simulated
+connection of each built-in deployment profile:
+
+* ``as-written``       always keep the imperative loop;
+* ``always-pushdown``  always take the extraction-based member (full
+                       push-down, falling back to hybrid, then to the
+                       original program when no extraction exists);
+* ``chosen``           the per-site winner ``plan_rewrites`` selects under
+                       that profile.
+
+The point of the exercise: a fixed policy loses somewhere — push-down is
+the wrong answer over a WAN for small aggregate results, as-written is the
+wrong answer everywhere for N+1 loops — while the cost-based choice tracks
+the cheaper of the two on every profile.  The recorded gate asserts
+exactly that, plus the profile-sensitivity acceptance criterion (at least
+one site's winner flips between ``local`` and ``wan``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rewrites.py [--out PATH] [--seed N] [--rows N]
+
+``--seed`` drives the generated instance and is echoed into the BENCH
+JSON (the shared convention across ``bench_engine.py`` / ``bench_scan.py``
+/ ``bench_rewrites.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Catalog, extract_sql, plan_rewrites
+from repro.lang import parse_program
+from repro.rewrites import seed_database
+from repro.rewrites.verify import run_observables
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "minijava"
+
+DEFAULT_SEED = 7
+DEFAULT_ROWS = 400
+
+PROFILES = ("local", "wan")
+
+#: Tolerated overshoot of `chosen` vs. the best fixed policy: the analytic
+#: model and the simulated connection agree on shape, not to the microsecond.
+GATE_SLACK = 1.05
+
+
+def _fallback_pushdown(site):
+    """The always-push-down policy member for one site."""
+    for kind in ("pushdown", "hybrid", "as-written"):
+        alternative = site.alternative(kind)
+        if alternative is not None:
+            return alternative
+    raise AssertionError(f"site {site.function} has no members")
+
+
+def run(seed: int, rows: int) -> dict:
+    catalog = Catalog.from_json_file(str(EXAMPLES / "schema.json"))
+    functions = []
+    for path in sorted(EXAMPLES.glob("*.mj")):
+        source = path.read_text()
+        for fn in parse_program(source).functions:
+            functions.append((path.name, fn, extract_sql(source, fn.name, catalog)))
+
+    profiles: dict = {}
+    winners: dict[str, dict[str, str]] = {}
+    for profile_name in PROFILES:
+        from repro import get_profile
+
+        profile = get_profile(profile_name)
+        totals = {"as-written": 0.0, "always-pushdown": 0.0, "chosen": 0.0}
+        per_site = []
+        for file_name, fn, report in functions:
+            database = seed_database(
+                catalog, rows_per_table=rows, seed=seed, engine="planned"
+            )
+            plan = plan_rewrites(report, catalog, profile, database=database)
+            if not plan.choices:
+                continue
+            choice = plan.choices[0]
+            site = choice.site
+            args = (1,) * len(fn.params)
+            policies = {
+                "as-written": site.alternative("as-written"),
+                "always-pushdown": _fallback_pushdown(site),
+                "chosen": choice.chosen.alternative,
+            }
+            measured = {}
+            for policy, alternative in policies.items():
+                _, _, _, stats = run_observables(
+                    alternative.program,
+                    fn.name,
+                    seed_database(
+                        catalog, rows_per_table=rows, seed=seed, engine="planned"
+                    ),
+                    args=args,
+                    profile=profile,
+                )
+                measured[policy] = round(stats.simulated_time_ms, 3)
+                totals[policy] += stats.simulated_time_ms
+            winners.setdefault(f"{file_name}::{fn.name}", {})[profile_name] = (
+                choice.chosen.kind
+            )
+            per_site.append(
+                {
+                    "function": f"{file_name}::{fn.name}",
+                    "chosen": choice.chosen.kind,
+                    "estimated_ms": round(choice.chosen.cost.total_ms, 3),
+                    "simulated_ms": measured,
+                }
+            )
+        profiles[profile_name] = {
+            "totals_ms": {k: round(v, 3) for k, v in totals.items()},
+            "chosen_speedup_vs_pushdown": round(
+                totals["always-pushdown"] / totals["chosen"], 2
+            ),
+            "chosen_speedup_vs_as_written": round(
+                totals["as-written"] / totals["chosen"], 2
+            ),
+            "sites": per_site,
+        }
+
+    flipped = sorted(
+        name for name, by_profile in winners.items()
+        if len(set(by_profile.values())) > 1
+    )
+    return {
+        "benchmark": "chosen winner vs fixed rewrite policies (simulated)",
+        "seed": seed,
+        "rows_per_table": rows,
+        "profiles": profiles,
+        "winner_flips_between_profiles": flipped,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="instance-generation seed, echoed into the BENCH JSON",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=DEFAULT_ROWS, help="rows per seeded table"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_rewrites.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args.seed, args.rows)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for profile_name, entry in report["profiles"].items():
+        totals = entry["totals_ms"]
+        print(
+            f"{profile_name:>6}: as-written {totals['as-written']:10.1f} ms   "
+            f"always-pushdown {totals['always-pushdown']:10.1f} ms   "
+            f"chosen {totals['chosen']:10.1f} ms"
+        )
+    print(f"winner flips: {report['winner_flips_between_profiles']}")
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    if not report["winner_flips_between_profiles"]:
+        failures.append("no site's winner differs between profiles")
+    for profile_name, entry in report["profiles"].items():
+        totals = entry["totals_ms"]
+        best_fixed = min(totals["as-written"], totals["always-pushdown"])
+        if totals["chosen"] > best_fixed * GATE_SLACK:
+            failures.append(
+                f"{profile_name}: chosen ({totals['chosen']} ms) loses to the "
+                f"best fixed policy ({best_fixed} ms)"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: chosen policy tracks the best fixed policy on every profile")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,13 +11,29 @@ measures:
 
 Parallel scaling is asserted only when the machine actually has the cores;
 the table records the measurements either way.
+
+Also runnable as a script, following the shared BENCH convention
+(``--seed`` echoed into the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_scan.py [--out PATH] [--seed N]
+
+The seed salts the replica headers, giving every seed a distinct corpus
+under content addressing — a recorded throughput number names the exact
+corpus it scanned.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
+import sys
+import tempfile
 import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import record_table
 
@@ -38,17 +54,26 @@ from repro.workloads import (
 #: corpus is large enough for pool startup to amortize.
 REPLICAS = 8
 
+DEFAULT_SEED = 0
 
-def _materialize(root: Path):
-    """Write the workload corpus to disk; one (name, dir, catalog) per app."""
+
+def _materialize(root: Path, seed: int = DEFAULT_SEED):
+    """Write the workload corpus to disk; one (name, dir, catalog) per app.
+
+    The seed goes into every file header, so different seeds give corpora
+    that content addressing cannot conflate.
+    """
     corpora = []
+    salt = f"seed {seed}"
 
     wilos_dir = root / "wilos"
     wilos_dir.mkdir(parents=True)
     for replica in range(REPLICAS):
         for sample in WILOS_SAMPLES:
             path = wilos_dir / f"r{replica}_sample{sample.number:02d}.mj"
-            path.write_text(f"// wilos sample {sample.number} replica {replica}\n{sample.source}")
+            path.write_text(
+                f"// wilos sample {sample.number} replica {replica} {salt}\n{sample.source}"
+            )
     corpora.append(("wilos", wilos_dir, wilos_catalog()))
 
     rubis_dir = root / "rubis"
@@ -56,14 +81,16 @@ def _materialize(root: Path):
     for replica in range(REPLICAS):
         for servlet in RUBIS_SERVLETS:
             path = rubis_dir / f"r{replica}_{servlet.name}.mj"
-            path.write_text(f"// rubis {servlet.name} replica {replica}\n{servlet.source}")
+            path.write_text(
+                f"// rubis {servlet.name} replica {replica} {salt}\n{servlet.source}"
+            )
     corpora.append(("rubis", rubis_dir, rubis_catalog()))
 
     matoso_dir = root / "matoso"
     matoso_dir.mkdir(parents=True)
     for replica in range(REPLICAS):
         (matoso_dir / f"r{replica}_ranking.mj").write_text(
-            f"// matoso replica {replica}\n{FIND_MAX_SCORE}\n{FIND_MAX_SCORE_WITH_PLAYER}"
+            f"// matoso replica {replica} {salt}\n{FIND_MAX_SCORE}\n{FIND_MAX_SCORE_WITH_PLAYER}"
         )
     corpora.append(("matoso", matoso_dir, matoso_catalog()))
 
@@ -71,7 +98,7 @@ def _materialize(root: Path):
     jobportal_dir.mkdir(parents=True)
     for replica in range(REPLICAS):
         (jobportal_dir / f"r{replica}_report.mj").write_text(
-            f"// jobportal replica {replica}\n{JOB_REPORT}"
+            f"// jobportal replica {replica} {salt}\n{JOB_REPORT}"
         )
     corpora.append(("jobportal", jobportal_dir, jobportal_catalog()))
 
@@ -95,6 +122,51 @@ def _scan_all(corpora, jobs: int, cache_root: Path | None):
         extracted += report.extracted
         hits += report.cache_hits
     return time.perf_counter() - start, units, extracted, hits
+
+
+def measure(root: Path, seed: int = DEFAULT_SEED) -> dict:
+    """Cold/warm/parallel scan measurements, JSON-ready (the BENCH entry)."""
+    corpora = _materialize(root / "corpus", seed=seed)
+    configs = {}
+    cold_s, units, extracted, _ = _scan_all(corpora, 1, root / "cache-j1")
+    configs["cold-j1"] = {"wall_s": round(cold_s, 3), "extracted": extracted}
+    warm_s, _, warm_extracted, warm_hits = _scan_all(corpora, 1, root / "cache-j1")
+    configs["warm-j1"] = {
+        "wall_s": round(warm_s, 3),
+        "extracted": warm_extracted,
+        "cache_hits": warm_hits,
+    }
+    for jobs in (2, 4):
+        wall_s, _, _, _ = _scan_all(corpora, jobs, root / f"cache-j{jobs}")
+        configs[f"cold-j{jobs}"] = {"wall_s": round(wall_s, 3)}
+    return {
+        "benchmark": "batch scan throughput (cold/warm/parallel)",
+        "seed": seed,
+        "units": units,
+        "replicas": REPLICAS,
+        "cpus": os.cpu_count(),
+        "configs": configs,
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "units_per_s_cold": round(units / cold_s, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="corpus-salting seed, echoed into the BENCH JSON",
+    )
+    parser.add_argument("--out", default="BENCH_scan.json", help="output JSON path")
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="bench-scan-") as tmp:
+        report = measure(Path(tmp), seed=args.seed)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
 
 
 def test_scan_scaling(tmp_path):
@@ -132,3 +204,7 @@ def test_scan_scaling(tmp_path):
     # Parallel scaling needs physical cores to mean anything.
     if (os.cpu_count() or 1) >= 4:
         assert cold_s / cold4_s >= 2.0, f"-j 4 speedup only {cold_s / cold4_s:.2f}x"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

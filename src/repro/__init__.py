@@ -37,6 +37,14 @@ Sub-packages:
 ``repro.cost``      Volcano/Cascades-style cost-based rewriting (App. C)
 ``repro.batch``     directory scans, result cache, worker pool
 ``repro.lint``      soundness checker + coded diagnostics (EQ1xx/2xx/3xx)
+``repro.rewrites``  cost-based selection over the rewrite space (Cobra)
+
+Cost-based rewrite selection (``--profile``/``--explain-rewrites``):
+
+>>> from repro import DeploymentProfile, ExtractOptions, extract_sql
+>>> report = extract_sql(SOURCE, "orderStats", catalog,
+...                      options=ExtractOptions(profile="wan"))  # doctest: +SKIP
+>>> report.rewrite_plan.choices[0].chosen.kind  # doctest: +SKIP
 
 Linting (``python -m repro lint DIR``) lives in :mod:`repro.lint`:
 
@@ -68,20 +76,31 @@ from .lint import (
     lint_program,
 )
 from .lint.service import LintScanReport, lint_directory
+from .rewrites import (
+    DeploymentProfile,
+    RewritePlan,
+    generate_alternatives,
+    get_profile,
+    plan_rewrites,
+    register_profile,
+    verify_alternatives,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Catalog",
     "Connection",
     "CostParameters",
     "Database",
+    "DeploymentProfile",
     "Diagnostic",
     "ExtractOptions",
     "ExtractionReport",
     "Interpreter",
     "LintReport",
     "LintScanReport",
+    "RewritePlan",
     "STATUS_CAPABLE",
     "STATUS_FAILED",
     "STATUS_SUCCESS",
@@ -90,11 +109,16 @@ __all__ = [
     "SourceSpan",
     "VariableExtraction",
     "extract_sql",
+    "generate_alternatives",
+    "get_profile",
     "lint_directory",
     "lint_function",
     "lint_program",
     "optimize_program",
+    "plan_rewrites",
+    "register_profile",
     "run_program",
     "scan_directory",
+    "verify_alternatives",
     "__version__",
 ]

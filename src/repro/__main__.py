@@ -41,12 +41,19 @@ def _build_catalog(args) -> Catalog:
 def _cmd_extract(args) -> int:
     catalog = _build_catalog(args)
     source = sys.stdin.read() if args.file == "-" else open(args.file).read()
-    options = ExtractOptions(
-        dialect=args.dialect,
-        policy=args.policy,
-        ordering_matters=not args.unordered,
-        allow_temp_tables=args.temp_tables,
-    )
+    profile = args.profile
+    if profile is None and args.explain_rewrites:
+        profile = "local"  # --explain-rewrites alone: use the default profile
+    try:
+        options = ExtractOptions(
+            dialect=args.dialect,
+            policy=args.policy,
+            ordering_matters=not args.unordered,
+            allow_temp_tables=args.temp_tables,
+            profile=profile,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if args.rewrite:
         report = optimize_program(source, args.function, catalog, options=options)
     else:
@@ -80,6 +87,11 @@ def _cmd_extract(args) -> int:
             f"{consolidation.queries_merged} queries → 1"
         )
         print(f"  SQL: {consolidation.sql}")
+    if args.explain_rewrites and report.rewrite_plan is not None:
+        from .rewrites import render_explain
+
+        print()
+        print(render_explain(report.rewrite_plan))
     if args.rewrite and report.rewritten is not None:
         print("\n--- rewritten program ---")
         print(unparse_program(report.rewritten))
@@ -153,6 +165,18 @@ def main(argv: list[str] | None = None) -> int:
         "--temp-tables",
         action="store_true",
         help="allow shipping non-query collections as temporary tables",
+    )
+    extract.add_argument(
+        "--profile",
+        default=None,
+        help="deployment profile for cost-based rewrite selection "
+        "(built-ins: local, wan)",
+    )
+    extract.add_argument(
+        "--explain-rewrites",
+        action="store_true",
+        help="print the per-site alternative space with cost breakdowns "
+        "(implies --profile local when no profile is given)",
     )
     extract.add_argument(
         "--json", action="store_true", help="emit the report as JSON"

@@ -63,6 +63,12 @@ def add_scan_parser(sub) -> None:
         help="allow shipping non-query collections as temporary tables",
     )
     scan.add_argument(
+        "--profile",
+        default=None,
+        help="deployment profile for cost-based rewrite selection "
+        "(built-ins: local, wan)",
+    )
+    scan.add_argument(
         "-j",
         "--jobs",
         type=int,
@@ -86,11 +92,15 @@ def add_scan_parser(sub) -> None:
 
 def cmd_scan(args) -> int:
     catalog = build_catalog(args.schema, args.table)
-    options = ExtractOptions(
-        dialect=args.dialect,
-        ordering_matters=not args.unordered,
-        allow_temp_tables=args.temp_tables,
-    )
+    try:
+        options = ExtractOptions(
+            dialect=args.dialect,
+            ordering_matters=not args.unordered,
+            allow_temp_tables=args.temp_tables,
+            profile=args.profile,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     report = scan_directory(

@@ -49,6 +49,28 @@ class ScanReport:
     def failures(self) -> int:
         return self.count("failed")
 
+    def rewrite_choices(self) -> dict[str, int]:
+        """Chosen-alternative kinds aggregated across all units' sites.
+
+        Empty when the scan ran without a deployment profile.
+        """
+        counts: dict[str, int] = {}
+        for unit in self.units:
+            rewrites = unit.get("rewrites") or {}
+            for site in rewrites.get("sites", []):
+                chosen = site.get("chosen")
+                if chosen:
+                    counts[chosen] = counts.get(chosen, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def rewrite_profile(self) -> str | None:
+        for unit in self.units:
+            rewrites = unit.get("rewrites") or {}
+            if rewrites.get("profile"):
+                return rewrites["profile"]
+        return None
+
     @property
     def extracted(self) -> int:
         """Units that actually ran the pipeline (i.e. were not cache hits)."""
@@ -94,6 +116,10 @@ class ScanReport:
             },
             "timings_ms": dict(self.timings_ms),
             "utilisation": self.utilisation,
+            "rewrites": {
+                "profile": self.rewrite_profile,
+                "chosen": self.rewrite_choices(),
+            },
         }
 
     def render_text(self, verbose: bool = False) -> str:
@@ -112,6 +138,12 @@ class ScanReport:
             f"  cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)"
             + (f"  [{self.cache_dir}]" if self.cache_dir else "  [disabled]")
         )
+        choices = self.rewrite_choices()
+        if choices:
+            summary = ", ".join(f"{kind}×{n}" for kind, n in choices.items())
+            lines.append(
+                f"  rewrites (profile {self.rewrite_profile!r}): {summary}"
+            )
         total = self.timings_ms.get("total", 0.0)
         extract = self.timings_ms.get("extract", 0.0)
         lines.append(

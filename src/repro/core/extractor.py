@@ -70,6 +70,10 @@ class VariableExtraction:
     reason: str = ""
     rule_trace: list[str] = field(default_factory=list)
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Cost-based rewrite selection for this variable's site (the
+    #: serialized :class:`~repro.rewrites.SiteChoice`), populated when
+    #: extraction ran with ``ExtractOptions(profile=...)``.
+    rewrite: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -85,6 +89,7 @@ class VariableExtraction:
             "reason": self.reason,
             "rule_trace": list(self.rule_trace),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "rewrite": self.rewrite,
         }
 
 
@@ -103,6 +108,9 @@ class ExtractionReport:
     consolidations: list = field(default_factory=list)
     #: Function-level lint findings (all severities), computed once per run.
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Cost-based rewrite selection over the alternative space (a
+    #: :class:`~repro.rewrites.RewritePlan`), when a profile was given.
+    rewrite_plan = None
 
     @property
     def status(self) -> str:
@@ -156,6 +164,16 @@ class ExtractionReport:
                 else None
             ),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "profile": (
+                self.rewrite_plan.profile.name
+                if self.rewrite_plan is not None
+                else None
+            ),
+            "rewrites": (
+                self.rewrite_plan.to_dict()
+                if self.rewrite_plan is not None
+                else None
+            ),
         }
 
 
@@ -227,14 +245,39 @@ def extract_sql(
             lint_diags=lint_diags, nesting=nesting,
         )
 
-    elapsed = (time.perf_counter() - start) * 1000.0
-    return ExtractionReport(
+    report = ExtractionReport(
         function=function,
         variables=variables,
         original=program,
-        extraction_time_ms=elapsed,
         diagnostics=lint_diags,
     )
+    if options.profile is not None:
+        _attach_rewrite_plan(report, catalog, options)
+    report.extraction_time_ms = (time.perf_counter() - start) * 1000.0
+    return report
+
+
+def _attach_rewrite_plan(report: ExtractionReport, catalog, options) -> None:
+    """Cost-based selection over the site's rewrite space (Cobra).
+
+    Generates every alternative, costs it under the named deployment
+    profile and records the winner-with-justification on the report and on
+    each variable of the site.
+    """
+    # Function-level import: repro.rewrites depends on the rewrite/analysis
+    # layers but not on repro.core, which keeps the import graph acyclic.
+    from ..rewrites import plan_rewrites
+
+    plan = plan_rewrites(
+        report, catalog, options.profile, dialect=options.dialect
+    )
+    report.rewrite_plan = plan
+    for choice in plan.choices:
+        serialized = choice.to_dict()
+        for name in choice.site.variables:
+            extraction = report.variables.get(name)
+            if extraction is not None:
+                extraction.rewrite = serialized
 
 
 def optimize_program(

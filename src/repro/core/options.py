@@ -37,13 +37,19 @@ class ExtractOptions:
                            (Experiment 3): rule T4's unique-key precondition
                            is waived because result order is irrelevant;
     ``allow_temp_tables``  enables the Section 2 fallback of shipping
-                           non-query collections as temporary tables.
+                           non-query collections as temporary tables;
+    ``profile``            name of a deployment profile (see
+                           :mod:`repro.rewrites`): when set, extraction also
+                           generates the per-site rewrite space, costs it
+                           under the profile and records the selected winner
+                           on each :class:`~repro.core.VariableExtraction`.
     """
 
     dialect: str = "repro"
     policy: str = "heuristic"
     ordering_matters: bool = True
     allow_temp_tables: bool = False
+    profile: str | None = None
 
     def __post_init__(self) -> None:
         if self.dialect not in DIALECTS:
@@ -54,6 +60,12 @@ class ExtractOptions:
             raise ValueError(
                 f"unknown policy {self.policy!r}; expected one of {POLICIES}"
             )
+        if self.profile is not None:
+            # Function-level import: repro.rewrites pulls in layers that
+            # must not load just because options does.
+            from ..rewrites.profile import get_profile
+
+            get_profile(self.profile)  # raises ValueError on unknown names
 
     def to_dict(self) -> dict:
         """A JSON-ready mapping; stable across processes and runs."""

@@ -36,6 +36,7 @@ KIND_REWRITTEN_ERROR = "rewritten-error"
 KIND_CONTRACT = "contract"
 KIND_ENGINE_DIVERGENCE = "engine-divergence"
 KIND_LINT_UNSOUND = "lint-unsound"
+KIND_ALTERNATIVE_DIVERGED = "alternative-diverged"
 
 #: Verdicts that fail a fuzzing run.
 FAILING_KINDS = frozenset(
@@ -47,6 +48,7 @@ FAILING_KINDS = frozenset(
         KIND_CONTRACT,
         KIND_ENGINE_DIVERGENCE,
         KIND_LINT_UNSOUND,
+        KIND_ALTERNATIVE_DIVERGED,
     }
 )
 
@@ -62,6 +64,10 @@ class Verdict:
     rewritten_round_trips: int | None = None
     rewritten_loops: int = 0
     consolidations: int = 0
+    #: Non-identity rewrite-space alternatives executed and compared
+    #: against the as-written program (0 when the main verdict failed
+    #: before the alternative sweep ran).
+    alternatives_checked: int = 0
 
     @property
     def failing(self) -> bool:
@@ -185,6 +191,7 @@ def run_case(case: GeneratedCase) -> Verdict:
         consolidations=len(report.consolidations),
     )
     if report.rewritten is None:
+        _check_alternatives(case, report, catalog, verdict)
         return verdict
 
     rewritten_conn = Connection(build_database(case))
@@ -229,4 +236,45 @@ def run_case(case: GeneratedCase) -> Verdict:
         verdict.detail = "; ".join(mismatches)
     else:
         verdict.kind = KIND_OK
+        _check_alternatives(case, report, catalog, verdict)
     return verdict
+
+
+def _check_alternatives(case: GeneratedCase, report, catalog, verdict: Verdict) -> None:
+    """Execute every member of the rewrite space against the as-written run.
+
+    The contract extends Theorem 1 to the whole space: the chosen rewrite
+    being equivalent is not enough — every alternative the generator emits
+    must be, because a different deployment profile may select it.  Runs
+    only when the primary verdict is passing, so failing verdicts keep
+    their original kinds (corpus replays depend on them).
+    """
+    # Function-level import: repro.rewrites.verify imports this module for
+    # ``normalize``, so a top-level import would be circular.
+    from ..rewrites import generate_alternatives
+    from ..rewrites.verify import verify_alternatives
+
+    try:
+        sites = generate_alternatives(report, catalog)
+    except Exception:
+        verdict.kind = KIND_CRASH
+        verdict.detail = (
+            f"alternative generation raised:\n{traceback.format_exc()}"
+        )
+        return
+    checks = verify_alternatives(
+        sites, case.function, lambda: build_database(case)
+    )
+    for check in checks:
+        verdict.alternatives_checked += 1
+        if check.equivalent:
+            continue
+        if check.engine_divergence:
+            verdict.kind = KIND_ENGINE_DIVERGENCE
+        else:
+            verdict.kind = KIND_ALTERNATIVE_DIVERGED
+        verdict.detail = (
+            f"{check.kind} alternative for loop@{check.loop_sid}: "
+            f"{check.detail}"
+        )
+        return

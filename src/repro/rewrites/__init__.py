@@ -1,0 +1,77 @@
+"""Cost-based rewrite selection over the full alternative space (Cobra).
+
+The extraction pipeline (:mod:`repro.core`) commits to one rewrite per
+site; this package instead treats each site as a *space* of equivalent
+implementations, costs every member under a :class:`DeploymentProfile`,
+and selects a per-site winner with an explain-style justification:
+
+* :mod:`~repro.rewrites.profile` — deployment profiles (``local``/``wan``
+  built-ins, a registry for custom ones);
+* :mod:`~repro.rewrites.alternatives` — the generator: as-written,
+  push-down, batched, prefetch, hybrid, each a runnable program;
+* :mod:`~repro.rewrites.cost` — the profile-parameterised cost model
+  with per-component breakdowns;
+* :mod:`~repro.rewrites.selector` — ``plan_rewrites``: generate, cost,
+  select, justify;
+* :mod:`~repro.rewrites.explain` — deterministic text rendering
+  (``--explain-rewrites``);
+* :mod:`~repro.rewrites.verify` — execute every alternative and compare
+  it to the as-written program (wired into the difftest oracle as the
+  ``alternative-diverged`` verdict).
+"""
+
+from .alternatives import (
+    KIND_AS_WRITTEN,
+    KIND_BATCHED,
+    KIND_HYBRID,
+    KIND_PREFETCH,
+    KIND_PUSHDOWN,
+    Alternative,
+    InnerLookup,
+    Site,
+    generate_alternatives,
+)
+from .cost import AlternativeCostModel, CostBreakdown
+from .explain import render_explain
+from .profile import (
+    PROFILES,
+    DeploymentProfile,
+    get_profile,
+    register_profile,
+)
+from .selector import (
+    CostedAlternative,
+    RewritePlan,
+    SiteChoice,
+    plan_rewrites,
+    select_alternative,
+)
+from .verify import AlternativeCheck, run_observables, seed_database, verify_alternatives
+
+__all__ = [
+    "KIND_AS_WRITTEN",
+    "KIND_BATCHED",
+    "KIND_HYBRID",
+    "KIND_PREFETCH",
+    "KIND_PUSHDOWN",
+    "Alternative",
+    "AlternativeCheck",
+    "AlternativeCostModel",
+    "CostBreakdown",
+    "CostedAlternative",
+    "DeploymentProfile",
+    "InnerLookup",
+    "PROFILES",
+    "RewritePlan",
+    "Site",
+    "SiteChoice",
+    "generate_alternatives",
+    "get_profile",
+    "plan_rewrites",
+    "register_profile",
+    "render_explain",
+    "run_observables",
+    "seed_database",
+    "select_alternative",
+    "verify_alternatives",
+]

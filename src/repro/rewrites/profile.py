@@ -1,0 +1,154 @@
+"""Deployment profiles: the environment a rewrite is costed against.
+
+Cobra's observation (PAPERS.md) is that the best among equivalent rewrites
+depends on where the application runs: a chatty loop is fine when client
+and server share a machine, and catastrophic over a WAN.  A
+:class:`DeploymentProfile` captures exactly the parameters that decide
+this — network round-trip latency, effective transfer bandwidth, per-row
+server and client costs, and coarse table statistics (cardinalities and a
+default selectivity).
+
+Two built-ins ship:
+
+``local``  client and server on one machine (the paper's testbed): cheap
+           round trips, fast transfer;
+``wan``    client far from the server: ~40 ms round trips, slow transfer —
+           the setting where per-row query loops dominate everything else.
+
+Profiles are frozen and dict-convertible so they can ride inside
+:class:`~repro.core.ExtractOptions` cache keys by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from ..db import CostParameters
+
+
+@dataclass(frozen=True)
+class DeploymentProfile:
+    """Cost-relevant description of one deployment environment.
+
+    ``table_rows`` maps table names (case-insensitive) to assumed
+    cardinalities; tables not listed get ``default_table_rows``.  It is
+    stored as a tuple of pairs so the profile stays hashable.
+    """
+
+    name: str
+    round_trip_ms: float = 0.35
+    bytes_per_ms: float = 100_000.0
+    per_result_row_ms: float = 0.0008
+    per_scanned_row_ms: float = 0.0004
+    per_query_overhead_ms: float = 0.05
+    #: Client-side cost of touching one row (iteration, hashing, compare).
+    client_row_ms: float = 0.002
+    #: Estimated transfer size of one result row.
+    row_bytes: float = 40.0
+    table_rows: tuple[tuple[str, float], ...] = ()
+    default_table_rows: float = 2000.0
+    #: Fraction of a table a selection predicate retains.
+    selectivity: float = 0.33
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile needs a name")
+        numeric = (
+            self.round_trip_ms, self.bytes_per_ms, self.per_result_row_ms,
+            self.per_scanned_row_ms, self.per_query_overhead_ms,
+            self.client_row_ms, self.row_bytes, self.default_table_rows,
+        )
+        if any(v < 0 for v in numeric) or self.bytes_per_ms == 0:
+            raise ValueError(f"profile {self.name!r} has a negative/zero cost parameter")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValueError(f"profile {self.name!r}: selectivity must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+
+    def cardinality(self, table: str) -> float:
+        """Assumed row count of ``table`` under this profile."""
+        lowered = table.lower()
+        for name, rows in self.table_rows:
+            if name.lower() == lowered:
+                return float(rows)
+        return float(self.default_table_rows)
+
+    def cost_parameters(self) -> CostParameters:
+        """The simulated-connection parameters this profile corresponds to.
+
+        Running a program through :class:`~repro.db.Connection` with these
+        parameters yields simulated timings on the same scale the analytic
+        cost model predicts.
+        """
+        return CostParameters(
+            round_trip_ms=self.round_trip_ms,
+            bytes_per_ms=self.bytes_per_ms,
+            per_result_row_ms=self.per_result_row_ms,
+            per_scanned_row_ms=self.per_scanned_row_ms,
+            per_query_overhead_ms=self.per_query_overhead_ms,
+        )
+
+    def with_tables(self, rows: dict[str, float]) -> "DeploymentProfile":
+        """A copy with table cardinalities replaced."""
+        return replace(self, table_rows=tuple(sorted(rows.items())))
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["table_rows"] = {name: rows for name, rows in self.table_rows}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeploymentProfile":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"profile spec must be a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown profile field(s): {sorted(unknown)}")
+        payload = dict(data)
+        table_rows = payload.get("table_rows", ())
+        if isinstance(table_rows, dict):
+            payload["table_rows"] = tuple(sorted(table_rows.items()))
+        else:
+            payload["table_rows"] = tuple((n, float(r)) for n, r in table_rows)
+        return cls(**payload)
+
+
+LOCAL = DeploymentProfile(name="local")
+
+WAN = DeploymentProfile(
+    name="wan",
+    round_trip_ms=40.0,
+    bytes_per_ms=25_000.0,
+    per_query_overhead_ms=0.3,
+)
+
+#: Built-in profiles, addressable by name from ``ExtractOptions.profile``
+#: and ``--profile``.
+PROFILES: dict[str, DeploymentProfile] = {
+    LOCAL.name: LOCAL,
+    WAN.name: WAN,
+}
+
+
+def get_profile(name: str | DeploymentProfile) -> DeploymentProfile:
+    """Resolve a profile by name (or pass a profile through unchanged)."""
+    if isinstance(name, DeploymentProfile):
+        return name
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown deployment profile {name!r}; "
+            f"expected one of {sorted(PROFILES)}"
+        ) from None
+
+
+def register_profile(profile: DeploymentProfile) -> DeploymentProfile:
+    """Make a custom profile addressable by name (e.g. for ``--profile``)."""
+    PROFILES[profile.name] = profile
+    return profile

@@ -1,0 +1,112 @@
+"""The oracle's rewrite-space sweep and its ``alternative-diverged`` verdict.
+
+``run_case`` extends Theorem 1 to the whole alternative space: after the
+primary differential check passes, every non-identity alternative the
+generator emits is executed and compared against the as-written run.  These
+tests pin the wiring — the sweep actually runs on passing verdicts, a
+non-equivalent alternative flips the verdict to the dedicated failing kind,
+and generator crashes are classified as crashes, not swallowed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.rewrites
+import repro.rewrites.verify
+from repro.difftest.generator import generate_case
+from repro.difftest.oracle import (
+    FAILING_KINDS,
+    KIND_ALTERNATIVE_DIVERGED,
+    KIND_CRASH,
+    KIND_ENGINE_DIVERGENCE,
+    KIND_NO_REWRITE,
+    KIND_OK,
+    run_case,
+)
+from repro.rewrites.verify import AlternativeCheck
+
+#: A case whose program yields at least one non-identity alternative
+#: (seed 2 / case 1 — a plain accumulator loop that push-down rewrites).
+SWEPT_CASE = (2, 1)
+
+
+def test_alternative_diverged_is_a_failing_kind():
+    assert KIND_ALTERNATIVE_DIVERGED == "alternative-diverged"
+    assert KIND_ALTERNATIVE_DIVERGED in FAILING_KINDS
+
+
+def test_passing_cases_sweep_the_space():
+    """Across a window of generated cases, passing verdicts must report
+    executed alternatives — the sweep is live, not dead wiring."""
+    swept = 0
+    for index in range(12):
+        verdict = run_case(generate_case(2, index))
+        if verdict.kind in (KIND_OK, KIND_NO_REWRITE):
+            swept += verdict.alternatives_checked
+            assert not verdict.failing
+    assert swept >= 5
+
+
+def test_diverging_alternative_fails_the_case(monkeypatch):
+    case = generate_case(*SWEPT_CASE)
+    assert run_case(case).kind == KIND_OK  # passes un-patched
+
+    def fake_verify(sites, function, database_factory, args=(), profile=None):
+        return [
+            AlternativeCheck(
+                loop_sid=3,
+                kind="batched",
+                equivalent=False,
+                detail="return value: as-written=1 batched=2",
+            )
+        ]
+
+    monkeypatch.setattr(
+        repro.rewrites.verify, "verify_alternatives", fake_verify
+    )
+    verdict = run_case(case)
+    assert verdict.kind == KIND_ALTERNATIVE_DIVERGED
+    assert verdict.failing
+    assert "batched alternative for loop@3" in verdict.detail
+    assert "as-written=1 batched=2" in verdict.detail
+
+
+def test_engine_divergence_in_alternative_keeps_its_kind(monkeypatch):
+    """A planner/reference disagreement inside an alternative run is an
+    engine bug, not a generator bug — the verdict must say so."""
+    def fake_verify(sites, function, database_factory, args=(), profile=None):
+        return [
+            AlternativeCheck(
+                loop_sid=3,
+                kind="pushdown",
+                equivalent=False,
+                detail="planned vs reference engines disagree",
+                engine_divergence=True,
+            )
+        ]
+
+    monkeypatch.setattr(
+        repro.rewrites.verify, "verify_alternatives", fake_verify
+    )
+    verdict = run_case(generate_case(*SWEPT_CASE))
+    assert verdict.kind == KIND_ENGINE_DIVERGENCE
+
+
+def test_generator_crash_is_classified(monkeypatch):
+    def boom(report, catalog, dialect="repro"):
+        raise RuntimeError("generator exploded")
+
+    monkeypatch.setattr(repro.rewrites, "generate_alternatives", boom)
+    verdict = run_case(generate_case(*SWEPT_CASE))
+    assert verdict.kind == KIND_CRASH
+    assert "alternative generation raised" in verdict.detail
+    assert "generator exploded" in verdict.detail
+
+
+def test_equivalent_alternatives_keep_the_passing_kind(monkeypatch):
+    """An all-equivalent sweep must leave the primary verdict untouched
+    while still counting the checks it ran."""
+    verdict = run_case(generate_case(*SWEPT_CASE))
+    assert verdict.kind == KIND_OK
+    assert verdict.alternatives_checked >= 1

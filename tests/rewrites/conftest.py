@@ -1,0 +1,38 @@
+"""Shared fixtures for the rewrite-space tests: the examples corpus."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import Catalog, extract_sql
+from repro.lang import parse_program
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "minijava"
+
+
+def corpus_functions():
+    """Every (path, source, function-def) in the examples corpus."""
+    entries = []
+    for path in sorted(EXAMPLES.glob("*.mj")):
+        source = path.read_text()
+        program = parse_program(source)
+        for fn in program.functions:
+            entries.append((path, source, fn))
+    return entries
+
+
+@pytest.fixture(scope="session")
+def examples_catalog() -> Catalog:
+    return Catalog.from_json_file(str(EXAMPLES / "schema.json"))
+
+
+@pytest.fixture(scope="session")
+def corpus_reports(examples_catalog):
+    """(file name, function def, extraction report) for the whole corpus."""
+    reports = []
+    for path, source, fn in corpus_functions():
+        report = extract_sql(source, fn.name, examples_catalog)
+        reports.append((path.name, fn, report))
+    return reports

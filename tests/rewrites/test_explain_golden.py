@@ -1,0 +1,80 @@
+"""Golden-file tests pinning the ``--explain-rewrites`` renderings.
+
+The justification text and the ``--json`` report shape are review
+surfaces: any change to the cost formulas or the explain format shows up
+as a readable diff against ``tests/rewrites/golden/``.  Regenerate after
+an intentional change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/rewrites/test_explain_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+from .conftest import EXAMPLES
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+EXTRACT_ARGS = [
+    "extract",
+    str(EXAMPLES / "stats.mj"),
+    "-f",
+    "orderStats",
+    "--schema",
+    str(EXAMPLES / "schema.json"),
+]
+
+
+def _check(path: Path, actual: str):
+    if os.environ.get("REGEN_GOLDEN"):
+        path.write_text(actual)
+        pytest.skip(f"regenerated {path.name}")
+    expected = path.read_text()
+    assert actual == expected, (
+        f"{path.name} drifted; regenerate with REGEN_GOLDEN=1 if intentional"
+    )
+
+
+@pytest.mark.parametrize("profile", ["local", "wan"])
+def test_explain_text_golden(profile, capsys):
+    code = main(EXTRACT_ARGS + ["--profile", profile, "--explain-rewrites"])
+    assert code == 0
+    lines = [
+        line
+        for line in capsys.readouterr().out.splitlines()
+        if not line.startswith("time:")
+    ]
+    _check(
+        GOLDEN / f"orderstats_{profile}_explain.txt", "\n".join(lines) + "\n"
+    )
+
+
+def test_explain_json_golden(capsys):
+    code = main(EXTRACT_ARGS + ["--profile", "wan", "--json"])
+    assert code == 0
+    data = json.loads(capsys.readouterr().out)
+    data.pop("extraction_time_ms", None)
+    _check(
+        GOLDEN / "orderstats_wan_report.json",
+        json.dumps(data, indent=2) + "\n",
+    )
+
+
+def test_explain_without_profile_defaults_to_local(capsys):
+    """``--explain-rewrites`` alone must imply the local profile."""
+    code = main(EXTRACT_ARGS + ["--explain-rewrites"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "under profile 'local'" in out
+
+
+def test_unknown_profile_exits_with_message(capsys):
+    with pytest.raises(SystemExit, match="unknown deployment profile"):
+        main(EXTRACT_ARGS + ["--profile", "moonbase"])

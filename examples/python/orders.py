@@ -1,0 +1,35 @@
+"""Order analytics in the Python DB-API subset.
+
+Parameterised queries (``?`` placeholders become named SQL parameters),
+fetchall iteration, and a running-maximum loop — all extracted by the
+same rule engine that serves the MiniJava frontend.
+"""
+
+
+def customer_total(conn, cust):
+    cur = conn.cursor()
+    cur.execute("SELECT amount FROM orders WHERE customer = ?", (cust,))
+    total = 0
+    for o in cur:
+        total = total + o["amount"]
+    return total
+
+
+def shipped_amounts(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT status, amount FROM orders")
+    amounts = []
+    for o in cur.fetchall():
+        if o["status"] == "shipped":
+            amounts.append(o["amount"])
+    return amounts
+
+
+def max_order(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT amount FROM orders")
+    best = 0
+    for o in cur:
+        if o["amount"] > best:
+            best = o["amount"]
+    return best

@@ -1,0 +1,36 @@
+"""Project reporting loops in the Python DB-API subset.
+
+The Python twin of ``examples/minijava/projects.mj``: the same imperative
+patterns (filtered collection, count, running sum) written against a
+PEP 249 cursor.  ``python -m repro scan examples/python --schema
+examples/python/schema.json`` extracts one SQL query per loop.
+"""
+
+
+def unfinished_projects(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT name, finished FROM project")
+    names = []
+    for p in cur:
+        if p["finished"] == 0:
+            names.append(p["name"])
+    return names
+
+
+def count_launched(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT launched FROM project")
+    n = 0
+    for p in cur:
+        if p["launched"] == 1:
+            n = n + 1
+    return n
+
+
+def total_budget(conn):
+    cur = conn.cursor()
+    cur.execute("SELECT budget FROM project")
+    total = 0
+    for p in cur.fetchall():
+        total = total + p["budget"]
+    return total

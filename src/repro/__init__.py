@@ -21,9 +21,20 @@ Batch scans (``python -m repro scan DIR``) live in :mod:`repro.batch`:
 >>> from repro.batch import scan_directory
 >>> report = scan_directory("src/", catalog, jobs=4)  # doctest: +SKIP
 
+Language frontends (``repro.frontends``) make the ingestion boundary
+pluggable: the same pipeline extracts SQL from MiniJava (``.mj``) and a
+Python DB-API subset (``.py``); pick one with
+``ExtractOptions(frontend="python")`` or let the batch scanner detect it
+from the file suffix:
+
+>>> from repro import available_frontends, get_frontend
+>>> available_frontends()
+('minijava', 'python')
+
 Sub-packages:
 
 ``repro.lang``      MiniJava front end (lexer/parser/AST/unparser)
+``repro.frontends`` language-frontend protocol + registry (MiniJava, Python)
 ``repro.analysis``  CFG, dominators, regions, dataflow
 ``repro.ir``        D-IR (ee-DAG + ve-Map)
 ``repro.fir``       F-IR (fold) + preconditions + argmax
@@ -66,6 +77,15 @@ from .core import (
     optimize_program,
 )
 from .db import Connection, CostParameters, Database
+from .frontends import (
+    Frontend,
+    FrontendError,
+    available_frontends,
+    detect_frontend,
+    frontend_for_path,
+    get_frontend,
+    register_frontend,
+)
 from .interp import Interpreter, run_program
 from .lint import (
     Diagnostic,
@@ -86,7 +106,7 @@ from .rewrites import (
     verify_alternatives,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Catalog",
@@ -97,6 +117,8 @@ __all__ = [
     "Diagnostic",
     "ExtractOptions",
     "ExtractionReport",
+    "Frontend",
+    "FrontendError",
     "Interpreter",
     "LintReport",
     "LintScanReport",
@@ -108,14 +130,19 @@ __all__ = [
     "Severity",
     "SourceSpan",
     "VariableExtraction",
+    "available_frontends",
+    "detect_frontend",
     "extract_sql",
+    "frontend_for_path",
     "generate_alternatives",
+    "get_frontend",
     "get_profile",
     "lint_directory",
     "lint_function",
     "lint_program",
     "optimize_program",
     "plan_rewrites",
+    "register_frontend",
     "register_profile",
     "run_program",
     "scan_directory",

@@ -2,9 +2,10 @@
 
 Subcommands:
 
-``extract``   run EqSQL on a MiniJava source file and print the extracted
-              SQL (optionally the rewritten program);
-``scan``      batch-extract from every function of every MiniJava source
+``extract``   run EqSQL on a source file (MiniJava or Python, auto-detected
+              by suffix) and print the extracted SQL (optionally the
+              rewritten program);
+``scan``      batch-extract from every function of every source file
               under a directory, with a persistent result cache and a
               ``-j N`` worker pool;
 ``lint``      run the soundness/anti-pattern checker (coded EQ1xx/EQ2xx/
@@ -30,6 +31,7 @@ import sys
 from .algebra import Catalog
 from .batch.cli import add_scan_parser, build_catalog
 from .core import ExtractOptions, extract_sql, optimize_program
+from .frontends import available_frontends, detect_frontend, get_frontend
 from .lang import unparse_program
 from .lint.cli import add_lint_parser
 
@@ -44,6 +46,10 @@ def _cmd_extract(args) -> int:
     profile = args.profile
     if profile is None and args.explain_rewrites:
         profile = "local"  # --explain-rewrites alone: use the default profile
+    frontend = args.frontend
+    if frontend is None:
+        # Auto-detect from the file suffix; stdin falls back to the default.
+        frontend = detect_frontend(args.file) if args.file != "-" else None
     try:
         options = ExtractOptions(
             dialect=args.dialect,
@@ -51,6 +57,7 @@ def _cmd_extract(args) -> int:
             ordering_matters=not args.unordered,
             allow_temp_tables=args.temp_tables,
             profile=profile,
+            **({"frontend": frontend} if frontend is not None else {}),
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -94,7 +101,7 @@ def _cmd_extract(args) -> int:
         print(render_explain(report.rewrite_plan))
     if args.rewrite and report.rewritten is not None:
         print("\n--- rewritten program ---")
-        print(unparse_program(report.rewritten))
+        print(get_frontend(report.frontend).unparse(report.rewritten))
     return 0 if report.status != "failed" else 1
 
 
@@ -141,9 +148,16 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     extract = sub.add_parser("extract", help="extract SQL from a source file")
-    extract.add_argument("file", help="MiniJava source file ('-' for stdin)")
+    extract.add_argument("file", help="source file ('-' for stdin)")
     extract.add_argument("--function", "-f", required=True)
     extract.add_argument("--schema", help="JSON schema file")
+    extract.add_argument(
+        "--frontend",
+        default=None,
+        choices=list(available_frontends()),
+        help="language frontend parsing the file "
+        "(default: auto-detect from the file suffix; stdin: minijava)",
+    )
     extract.add_argument(
         "--table", action="append", help="inline table: name:col1,col2[:keycol]"
     )

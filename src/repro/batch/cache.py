@@ -1,8 +1,9 @@
 """Content-addressed result cache.
 
 The key is the SHA-256 of everything that determines a unit's result:
-source text, function name, catalog spec, and extraction options (plus a
-format version so stale entries from older layouts self-invalidate).
+source text, function name, catalog spec, extraction options, and the
+frontend that parses the source (plus a format version so stale entries
+from older layouts self-invalidate).
 Editing a file, the schema, or the options therefore changes the key —
 warm re-scans skip extraction for everything else.
 
@@ -23,16 +24,25 @@ from pathlib import Path
 
 from ..algebra import Catalog
 from ..core import ExtractOptions
+from ..frontends import DEFAULT_FRONTEND
 
 #: Bump when the cached payload layout changes; old entries become misses.
-CACHE_FORMAT = 1
+#: 2: the frontend name joined the key — identical source text means
+#: different things to different language frontends, so it must never
+#: collide across them.
+CACHE_FORMAT = 2
 
 #: Default cache directory name, created under the scan root.
 CACHE_DIR_NAME = ".repro-cache"
 
 
 def cache_key(
-    source: str, function: str, catalog: Catalog, options: ExtractOptions
+    source: str,
+    function: str,
+    catalog: Catalog,
+    options: ExtractOptions,
+    *,
+    frontend: str = DEFAULT_FRONTEND,
 ) -> str:
     """SHA-256 over the canonical JSON of all result-determining inputs."""
     payload = json.dumps(
@@ -42,6 +52,7 @@ def cache_key(
             "function": function,
             "catalog": catalog.to_dict(),
             "options": options.to_dict(),
+            "frontend": frontend,
         },
         sort_keys=True,
         separators=(",", ":"),

@@ -13,6 +13,7 @@ import json
 
 from ..algebra import Catalog
 from ..core import DIALECTS, ExtractOptions
+from ..frontends import available_frontends
 from .service import scan_directory
 
 
@@ -46,8 +47,15 @@ def add_scan_parser(sub) -> None:
         "scan",
         help="batch-extract SQL from every function under a directory",
     )
-    scan.add_argument("directory", help="directory to scan for MiniJava sources")
+    scan.add_argument("directory", help="directory to scan for source files")
     scan.add_argument("--schema", help="JSON schema file")
+    scan.add_argument(
+        "--frontend",
+        default=None,
+        choices=list(available_frontends()),
+        help="restrict the scan to one language frontend "
+        "(default: auto-detect every registered frontend by file suffix)",
+    )
     scan.add_argument(
         "--table", action="append", help="inline table: name:col1,col2[:keycol]"
     )
@@ -110,12 +118,13 @@ def cmd_scan(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        frontend=args.frontend,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render_text(verbose=args.verbose))
     if not report.units and not report.parse_errors:
-        print(f"no MiniJava sources found under {args.directory}")
+        print(f"no source files found under {args.directory}")
         return 1
     return 0

@@ -33,6 +33,8 @@ def extract_unit(unit: WorkUnit, catalog: Catalog, options: ExtractOptions) -> d
     repo-wide scan (or a worker process).
     """
     start = time.perf_counter()
+    if options.frontend != unit.frontend:
+        options = options.replace(frontend=unit.frontend)
     try:
         result = extract_sql(unit.source, unit.function, catalog, options=options).to_dict()
     except Exception as exc:
@@ -44,6 +46,7 @@ def extract_unit(unit: WorkUnit, catalog: Catalog, options: ExtractOptions) -> d
             "rewritten_loops": [],
             "consolidations": [],
             "rewritten": None,
+            "frontend": unit.frontend,
         }
     result["file"] = unit.path
     result["duration_ms"] = (time.perf_counter() - start) * 1000.0

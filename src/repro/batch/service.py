@@ -27,17 +27,21 @@ def scan_directory(
     jobs: int = 1,
     cache_dir: Path | str | None = None,
     use_cache: bool = True,
+    frontend: str | None = None,
 ) -> ScanReport:
-    """Scan ``root`` for MiniJava sources and extract SQL from every function.
+    """Scan ``root`` for source files and extract SQL from every function.
 
-    ``jobs > 1`` fans cache misses out over a ``multiprocessing`` pool.
-    The cache defaults to ``<root>/.repro-cache`` (``cache_dir`` overrides,
-    ``use_cache=False`` disables).  Unit order in the returned report is
-    deterministic: files in sorted path order, functions in source order.
+    Files are matched and parsed by the registered language frontends
+    (suffix auto-detection); ``frontend`` restricts the scan to one
+    frontend's files.  ``jobs > 1`` fans cache misses out over a
+    ``multiprocessing`` pool.  The cache defaults to
+    ``<root>/.repro-cache`` (``cache_dir`` overrides, ``use_cache=False``
+    disables).  Unit order in the returned report is deterministic: files
+    in sorted path order, functions in source order.
     """
     options = options if options is not None else ExtractOptions()
     start = time.perf_counter()
-    discovery = plan_units(root)
+    discovery = plan_units(root, frontend)
     discover_ms = (time.perf_counter() - start) * 1000.0
 
     if not use_cache:
@@ -48,7 +52,7 @@ def scan_directory(
         cache = ResultCache(cache_dir if cache_dir is not None else base / CACHE_DIR_NAME)
 
     keys = [
-        cache_key(unit.source, unit.function, catalog, options)
+        cache_key(unit.source, unit.function, catalog, options, frontend=unit.frontend)
         for unit in discovery.units
     ]
     results: list[dict | None] = []

@@ -40,7 +40,8 @@ from ..ir import (
     preprocess_program,
     walk_enodes,
 )
-from ..lang import Program, parse_program
+from ..frontends import get_frontend
+from ..lang import Program
 # Submodule imports (not ``..lint``) keep the import graph acyclic: the
 # lint package's __init__ pulls in the batch layer, which imports core.
 from ..lint.codes import code_info
@@ -108,6 +109,9 @@ class ExtractionReport:
     consolidations: list = field(default_factory=list)
     #: Function-level lint findings (all severities), computed once per run.
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Name of the language frontend that parsed the source (see
+    #: :mod:`repro.frontends`); rewritten programs render back through it.
+    frontend: str = "minijava"
     #: Cost-based rewrite selection over the alternative space (a
     #: :class:`~repro.rewrites.RewritePlan`), when a profile was given.
     rewrite_plan = None
@@ -137,13 +141,14 @@ class ExtractionReport:
 
         ASTs are rendered back to source (``rewritten``) rather than
         serialized structurally; the result round-trips through
-        ``json.dumps``/``json.loads`` unchanged.
+        ``json.dumps``/``json.loads`` unchanged.  The rewritten program
+        renders through the frontend that parsed the source, so a Python
+        input yields Python output.
         """
-        from ..lang import unparse_program
-
         return {
             "function": self.function,
             "status": self.status,
+            "frontend": self.frontend,
             "extraction_time_ms": self.extraction_time_ms,
             "variables": {
                 name: extraction.to_dict()
@@ -159,7 +164,7 @@ class ExtractionReport:
                 for c in self.consolidations
             ],
             "rewritten": (
-                unparse_program(self.rewritten)
+                get_frontend(self.frontend).unparse(self.rewritten)
                 if self.rewritten is not None
                 else None
             ),
@@ -217,7 +222,9 @@ def extract_sql(
     )
     start = time.perf_counter()
     raw_program = (
-        parse_program(source) if isinstance(source, str) else source
+        get_frontend(options.frontend).parse(source)
+        if isinstance(source, str)
+        else source
     )
     program = preprocess_program(raw_program)
     ve, ctx = build_dir(program, function)
@@ -250,6 +257,7 @@ def extract_sql(
         variables=variables,
         original=program,
         diagnostics=lint_diags,
+        frontend=options.frontend,
     )
     if options.profile is not None:
         _attach_rewrite_plan(report, catalog, options)

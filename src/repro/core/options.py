@@ -42,7 +42,13 @@ class ExtractOptions:
                            :mod:`repro.rewrites`): when set, extraction also
                            generates the per-site rewrite space, costs it
                            under the profile and records the selected winner
-                           on each :class:`~repro.core.VariableExtraction`.
+                           on each :class:`~repro.core.VariableExtraction`;
+    ``frontend``           name of the registered language frontend
+                           (:mod:`repro.frontends`) that parses string
+                           sources — ``"minijava"`` (the default, full
+                           backward compatibility) or ``"python"``; ignored
+                           when a pre-parsed :class:`~repro.lang.Program`
+                           is passed.
     """
 
     dialect: str = "repro"
@@ -50,8 +56,14 @@ class ExtractOptions:
     ordering_matters: bool = True
     allow_temp_tables: bool = False
     profile: str | None = None
+    frontend: str = "minijava"
 
     def __post_init__(self) -> None:
+        # Function-level import: the registry lives beside the frontends
+        # and must not load the whole pipeline just because options does.
+        from ..frontends import get_frontend
+
+        get_frontend(self.frontend)  # raises ValueError on unknown names
         if self.dialect not in DIALECTS:
             raise ValueError(
                 f"unknown dialect {self.dialect!r}; expected one of {DIALECTS}"

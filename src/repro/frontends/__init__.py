@@ -1,0 +1,50 @@
+"""Language frontends: the ingestion boundary of the pipeline.
+
+``repro.frontends`` owns everything that is allowed to know a source
+language: parsing, source spans, cursor/query-call recognition, and
+rendering rewritten programs back to text.  Downstream of a frontend the
+pipeline is language-agnostic — regions, D-IR, F-IR, rules T1–T7, SQL
+generation, lint, difftest and the rewrite space all operate on the
+shared surface AST and the D-IR, never on syntax.
+
+Built-in frontends (registered on import):
+
+``minijava``  the original Java-subset pipeline (``.mj``/``.minijava``)
+``python``    a Python DB-API subset via the stdlib ``ast`` (``.py``)
+
+Third parties register additional languages with
+:func:`register_frontend`; the batch scanner and CLI auto-detect by file
+suffix through :func:`frontend_for_path`.
+"""
+
+from .base import (
+    DEFAULT_FRONTEND,
+    Frontend,
+    FrontendError,
+    available_frontends,
+    detect_frontend,
+    frontend_for_path,
+    get_frontend,
+    register_frontend,
+    source_suffixes,
+)
+from .minijava import MiniJavaFrontend
+from .python import PythonFrontend
+
+#: The built-in frontends, registered exactly once at import time.
+MINIJAVA = register_frontend(MiniJavaFrontend())
+PYTHON = register_frontend(PythonFrontend())
+
+__all__ = [
+    "DEFAULT_FRONTEND",
+    "Frontend",
+    "FrontendError",
+    "MiniJavaFrontend",
+    "PythonFrontend",
+    "available_frontends",
+    "detect_frontend",
+    "frontend_for_path",
+    "get_frontend",
+    "register_frontend",
+    "source_suffixes",
+]

@@ -1,0 +1,171 @@
+"""The language-agnostic ``Frontend`` contract and its registry.
+
+The paper's analysis (Section 2) is explicitly language-independent: the
+rule engine (T1-T7) operates on D-IR, never on source syntax.  This module
+makes that boundary first-class.  A :class:`Frontend` owns everything that
+is allowed to know the source language:
+
+* **parse** — source text → the shared surface AST (:class:`repro.lang.Program`),
+  with real 1-based ``line``/``col`` spans on every node so lint
+  diagnostics point at the original source;
+* **cursor/query-call recognition** — the frontend lowers its language's
+  database idioms (JDBC ``executeQuery``/``rs.next()``, DB-API
+  ``cursor.execute``/``fetchall``) onto the canonical ``executeQuery`` /
+  ``executeScalar`` / ``executeUpdate`` call forms the D-IR builder
+  consumes;
+* **unparse** — the shared AST → source text in the frontend's own syntax,
+  used to render rewritten programs.
+
+Everything downstream of ``parse`` — region/CFG construction, D-IR,
+F-IR, rules, SQL generation, lint, difftest, the rewrite space — runs
+unchanged over every registered frontend.
+
+Registry
+--------
+
+Frontends self-register under a stable name (``"minijava"``,
+``"python"``).  :func:`get_frontend` resolves names, and
+:func:`frontend_for_path` implements extension-based auto-detection
+(``.mj`` → minijava, ``.py`` → python) for the batch scanner and CLI.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import Path
+
+from ..lang import Program, number_statements, unparse_program
+
+#: The frontend assumed when nothing selects one (full backward
+#: compatibility: every pre-existing entry point parsed MiniJava).
+DEFAULT_FRONTEND = "minijava"
+
+
+class FrontendError(Exception):
+    """A frontend failed to parse or lower a source text.
+
+    Carries the 1-based source position when known (0 means unknown),
+    mirroring :class:`repro.lang.errors.MiniJavaError`.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(message)
+        self.line = line
+        self.col = col
+
+
+class Frontend(abc.ABC):
+    """One source language's ingestion pipeline.
+
+    Subclasses define ``name`` (the registry key), ``language`` (a display
+    label) and ``suffixes`` (file extensions claimed for auto-detection),
+    and implement :meth:`parse`.
+    """
+
+    #: Stable registry key, e.g. ``"minijava"``.
+    name: str = ""
+    #: Human-readable language label, e.g. ``"MiniJava (Java subset)"``.
+    language: str = ""
+    #: File suffixes (with dots) this frontend claims during discovery.
+    suffixes: tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def parse(self, source: str) -> Program:
+        """Parse ``source`` into the shared surface AST.
+
+        Implementations must produce statement-numbered programs whose
+        nodes carry 1-based source spans, and must lower their language's
+        query idioms onto the canonical ``executeQuery``-family calls.
+        Parse failures raise the frontend's native error (a
+        :class:`FrontendError` subclass or the language's own exception
+        type).
+        """
+
+    def unparse(self, program: Program) -> str:
+        """Render a (possibly rewritten) shared AST back to source text.
+
+        The default renders the canonical surface syntax (MiniJava);
+        frontends with their own concrete syntax override this.
+        """
+        return unparse_program(program)
+
+    def describe(self) -> dict:
+        """A JSON-ready description, used by ``--json`` outputs and docs."""
+        return {
+            "name": self.name,
+            "language": self.language,
+            "suffixes": list(self.suffixes),
+        }
+
+    # Convenience shared by subclasses.
+    @staticmethod
+    def _number(program: Program) -> Program:
+        number_statements(program)
+        return program
+
+
+_REGISTRY: dict[str, Frontend] = {}
+
+
+def register_frontend(frontend: Frontend, replace: bool = False) -> Frontend:
+    """Register a frontend under its ``name``.
+
+    Re-registering an existing name requires ``replace=True`` so two
+    plugins cannot silently shadow each other.  Returns the frontend, so
+    the call composes as a decorator-style one-liner.
+    """
+    if not isinstance(frontend, Frontend):
+        raise TypeError(
+            f"register_frontend expects a Frontend instance, got "
+            f"{type(frontend).__name__}"
+        )
+    if not frontend.name:
+        raise ValueError("frontend has no name")
+    if frontend.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"frontend {frontend.name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _REGISTRY[frontend.name] = frontend
+    return frontend
+
+
+def get_frontend(name: str) -> Frontend:
+    """The registered frontend named ``name``; ``ValueError`` on unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown frontend {name!r}; registered: {available_frontends()}"
+        ) from None
+
+
+def available_frontends() -> tuple[str, ...]:
+    """Registered frontend names, sorted for stable display."""
+    return tuple(sorted(_REGISTRY))
+
+
+def source_suffixes() -> dict[str, str]:
+    """suffix → frontend name for every registered frontend."""
+    mapping: dict[str, str] = {}
+    for name in sorted(_REGISTRY):
+        for suffix in _REGISTRY[name].suffixes:
+            mapping.setdefault(suffix, name)
+    return mapping
+
+
+def frontend_for_path(path: Path | str) -> Frontend | None:
+    """Auto-detect the frontend for a file path by suffix, else ``None``."""
+    suffix = Path(path).suffix
+    name = source_suffixes().get(suffix)
+    return _REGISTRY[name] if name is not None else None
+
+
+def detect_frontend(path: Path | str, default: str = DEFAULT_FRONTEND) -> str:
+    """The registry *name* claiming ``path``'s suffix, else ``default``.
+
+    The name form is what :class:`~repro.core.ExtractOptions` and work
+    units carry; resolve it with :func:`get_frontend` when the instance
+    is needed.
+    """
+    return source_suffixes().get(Path(path).suffix, default)

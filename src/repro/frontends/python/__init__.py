@@ -1,0 +1,14 @@
+"""Python DB-API frontend: ``ast``-based lowering to the shared AST."""
+
+from .frontend import PythonFrontend
+from .lower import OPAQUE_CALL, PythonParseError, parse_python
+from .unparser import unparse_python_function, unparse_python_program
+
+__all__ = [
+    "OPAQUE_CALL",
+    "PythonFrontend",
+    "PythonParseError",
+    "parse_python",
+    "unparse_python_function",
+    "unparse_python_program",
+]

@@ -1,0 +1,27 @@
+"""The Python DB-API frontend."""
+
+from __future__ import annotations
+
+from ...lang import Program
+from ..base import Frontend
+from .lower import parse_python
+from .unparser import unparse_python_program
+
+
+class PythonFrontend(Frontend):
+    """Parses a Python subset over DB-API cursor idioms.
+
+    Uses the standard-library ``ast`` module; every top-level ``def``
+    becomes one analysable function.  See :mod:`.lower` for the exact
+    subset and the cursor/query recognition rules.
+    """
+
+    name = "python"
+    language = "Python (DB-API subset)"
+    suffixes = (".py",)
+
+    def parse(self, source: str) -> Program:
+        return parse_python(source)
+
+    def unparse(self, program: Program) -> str:
+        return unparse_python_program(program)

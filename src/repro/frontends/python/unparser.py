@@ -1,0 +1,200 @@
+"""Render the shared surface AST as Python source.
+
+The inverse direction of :mod:`.lower`, used to print rewritten programs
+in the frontend's own syntax (``python -m repro extract --rewrite``).
+Canonical query calls stay as ``executeQuery("...")`` — the rewritten
+program is the paper's Section 5.2 artifact, where the call form *is* the
+interface to the database layer — but control flow, collection idioms and
+literals render as idiomatic Python (``for x in q:``, ``acc.append(v)``,
+``None``/``True``/``False``).
+"""
+
+from __future__ import annotations
+
+from ...lang import (
+    Assign,
+    Binary,
+    Block,
+    BoolLit,
+    Break,
+    Call,
+    Continue,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FloatLit,
+    ForEach,
+    FunctionDef,
+    If,
+    IntLit,
+    MethodCall,
+    Name,
+    New,
+    NullLit,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    Ternary,
+    TryCatch,
+    Unary,
+    While,
+)
+
+_INDENT = "    "
+
+_BINOPS = {"&&": "and", "||": "or"}
+
+#: Shared-AST method names → Python renderings.
+_METHODS = {
+    "add": "append",
+    "append": "append",
+    "toUpperCase": "upper",
+    "toLowerCase": "lower",
+    "trim": "strip",
+    "startsWith": "startswith",
+    "endsWith": "endswith",
+    "indexOf": "find",
+}
+
+_EMPTY_NEW = {
+    "ArrayList": "[]",
+    "LinkedList": "[]",
+    "List": "[]",
+    "Vector": "[]",
+    "HashSet": "set()",
+    "TreeSet": "set()",
+    "Set": "set()",
+    "LinkedHashSet": "set()",
+    "HashMap": "{}",
+    "TreeMap": "{}",
+    "Map": "{}",
+    "LinkedHashMap": "{}",
+}
+
+
+def unparse_python_program(program: Program) -> str:
+    return "\n\n".join(unparse_python_function(f) for f in program.functions)
+
+
+def unparse_python_function(func: FunctionDef) -> str:
+    lines = [f"def {func.name}({', '.join(func.params)}):"]
+    body = _stmt_lines(func.body, 1)
+    lines.extend(body if body else [f"{_INDENT}pass"])
+    return "\n".join(lines)
+
+
+def _block_lines(block: Block | None, depth: int) -> list[str]:
+    if block is None or not block.statements:
+        return [f"{_INDENT * depth}pass"]
+    lines: list[str] = []
+    for stmt in block.statements:
+        lines.extend(_stmt_lines(stmt, depth))
+    return lines if lines else [f"{_INDENT * depth}pass"]
+
+
+def _stmt_lines(stmt: Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, Block):
+        lines: list[str] = []
+        for child in stmt.statements:
+            lines.extend(_stmt_lines(child, depth))
+        return lines
+    if isinstance(stmt, Assign):
+        return [f"{pad}{stmt.target} = {_expr(stmt.value)}"]
+    if isinstance(stmt, ExprStmt):
+        expr = stmt.expr
+        if isinstance(expr, MethodCall) and expr.method == "put" and len(expr.args) == 2:
+            receiver = _expr(expr.receiver, 2)
+            return [f"{pad}{receiver}[{_expr(expr.args[0])}] = {_expr(expr.args[1])}"]
+        return [f"{pad}{_expr(stmt.expr)}"]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {_expr(stmt.cond)}:"]
+        lines.extend(_block_lines(stmt.then_body, depth + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}else:")
+            lines.extend(_block_lines(stmt.else_body, depth + 1))
+        return lines
+    if isinstance(stmt, ForEach):
+        lines = [f"{pad}for {stmt.var} in {_expr(stmt.iterable)}:"]
+        lines.extend(_block_lines(stmt.body, depth + 1))
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{pad}while {_expr(stmt.cond)}:"]
+        lines.extend(_block_lines(stmt.body, depth + 1))
+        return lines
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return [f"{pad}return"]
+        return [f"{pad}return {_expr(stmt.value)}"]
+    if isinstance(stmt, Break):
+        return [f"{pad}break"]
+    if isinstance(stmt, Continue):
+        return [f"{pad}continue"]
+    if isinstance(stmt, TryCatch):
+        lines = [f"{pad}try:"]
+        lines.extend(_block_lines(stmt.try_body, depth + 1))
+        if stmt.catch_body is not None:
+            catch = f" as {stmt.catch_var}" if stmt.catch_var else ""
+            lines.append(f"{pad}except Exception{catch}:")
+            lines.extend(_block_lines(stmt.catch_body, depth + 1))
+        if stmt.finally_body is not None:
+            lines.append(f"{pad}finally:")
+            lines.extend(_block_lines(stmt.finally_body, depth + 1))
+        return lines
+    raise TypeError(f"cannot render {type(stmt).__name__} as Python")
+
+
+def _expr(expr: Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, StringLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(expr, BoolLit):
+        return "True" if expr.value else "False"
+    if isinstance(expr, NullLit):
+        return "None"
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, Binary):
+        op = _BINOPS.get(expr.op, expr.op)
+        left = _expr(expr.left, 1)
+        right = _expr(expr.right, 2)
+        text = f"{left} {op} {right}"
+        return f"({text})" if parent_prec else text
+    if isinstance(expr, Unary):
+        if expr.op == "!":
+            return f"not {_expr(expr.operand, 2)}"
+        return f"-{_expr(expr.operand, 2)}"
+    if isinstance(expr, Ternary):
+        return (
+            f"({_expr(expr.if_true)} if {_expr(expr.cond)} "
+            f"else {_expr(expr.if_false)})"
+        )
+    if isinstance(expr, Call):
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, MethodCall):
+        receiver = _expr(expr.receiver, 2)
+        args = [_expr(a) for a in expr.args]
+        if isinstance(expr.receiver, Name) and expr.receiver.ident == "Math":
+            if expr.method in ("max", "min", "abs"):
+                return f"{expr.method}({', '.join(args)})"
+        if expr.method in ("size", "length") and not args:
+            return f"len({receiver})"
+        method = _METHODS.get(expr.method, expr.method)
+        return f"{receiver}.{method}({', '.join(args)})"
+    if isinstance(expr, FieldAccess):
+        return f'{_expr(expr.receiver, 2)}["{expr.field}"]'
+    if isinstance(expr, New):
+        rendered = _EMPTY_NEW.get(expr.class_name)
+        if rendered is not None and not expr.args:
+            return rendered
+        if expr.class_name in ("Pair", "Tuple"):
+            return f"({', '.join(_expr(a) for a in expr.args)})"
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.class_name}({args})"
+    raise TypeError(f"cannot render {type(expr).__name__} as Python")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 
+from ..frontends import available_frontends
 from .diagnostics import Severity
 from .service import lint_directory
 
@@ -25,9 +26,16 @@ def add_lint_parser(sub) -> None:
     """Register the ``lint`` subcommand on an argparse subparsers object."""
     lint = sub.add_parser(
         "lint",
-        help="check MiniJava sources for soundness blockers and anti-patterns",
+        help="check sources for soundness blockers and anti-patterns",
     )
     lint.add_argument("directory", help="directory (or file) to lint")
+    lint.add_argument(
+        "--frontend",
+        default=None,
+        choices=list(available_frontends()),
+        help="restrict linting to one language frontend "
+        "(default: auto-detect every registered frontend by file suffix)",
+    )
     lint.add_argument(
         "--fail-on",
         default="error",
@@ -62,13 +70,14 @@ def cmd_lint(args) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        frontend=args.frontend,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render_text())
     if not report.units and not report.parse_errors:
-        print(f"no MiniJava sources found under {args.directory}")
+        print(f"no source files found under {args.directory}")
         return 1
     if report.parse_errors:
         return 1

@@ -18,14 +18,18 @@ from pathlib import Path
 
 from ..batch.cache import CACHE_DIR_NAME, CACHE_FORMAT, NullCache, ResultCache
 from ..batch.discovery import WorkUnit, plan_units
+from ..frontends import DEFAULT_FRONTEND, get_frontend
 from .diagnostics import Severity
 from .engine import lint_function
 
 #: Bump when the lint payload layout changes; old entries become misses.
-LINT_CACHE_FORMAT = 1
+#: 2: the frontend name joined the key (see ``repro.batch.cache``).
+LINT_CACHE_FORMAT = 2
 
 
-def lint_cache_key(source: str, function: str) -> str:
+def lint_cache_key(
+    source: str, function: str, *, frontend: str = DEFAULT_FRONTEND
+) -> str:
     """SHA-256 over everything that determines a lint result."""
     payload = json.dumps(
         {
@@ -34,6 +38,7 @@ def lint_cache_key(source: str, function: str) -> str:
             "lint_format": LINT_CACHE_FORMAT,
             "source": source,
             "function": function,
+            "frontend": frontend,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -42,10 +47,15 @@ def lint_cache_key(source: str, function: str) -> str:
 
 
 def lint_unit(unit: WorkUnit) -> dict:
-    """Lint one (file, function) unit; never raises."""
+    """Lint one (file, function) unit; never raises.
+
+    The unit's frontend parses the source; the lint passes themselves run
+    on the shared AST and are language-agnostic.
+    """
     start = time.perf_counter()
     try:
-        diagnostics = [d.to_dict() for d in lint_function(unit.source, unit.function)]
+        program = get_frontend(unit.frontend).parse(unit.source)
+        diagnostics = [d.to_dict() for d in lint_function(program, unit.function)]
         result = {"function": unit.function, "diagnostics": diagnostics}
     except Exception as exc:
         result = {
@@ -54,6 +64,7 @@ def lint_unit(unit: WorkUnit) -> dict:
             "error": f"{type(exc).__name__}: {exc}",
         }
     result["file"] = unit.path
+    result["frontend"] = unit.frontend
     result["duration_ms"] = (time.perf_counter() - start) * 1000.0
     return result
 
@@ -154,10 +165,16 @@ def lint_directory(
     jobs: int = 1,
     cache_dir: Path | str | None = None,
     use_cache: bool = True,
+    frontend: str | None = None,
 ) -> LintScanReport:
-    """Lint every function in every MiniJava source under ``root``."""
+    """Lint every function in every source file under ``root``.
+
+    Files are matched and parsed by the registered language frontends
+    (suffix auto-detection); ``frontend`` restricts the run to one
+    frontend's files.
+    """
     start = time.perf_counter()
-    discovery = plan_units(root)
+    discovery = plan_units(root, frontend)
     discover_ms = (time.perf_counter() - start) * 1000.0
 
     if not use_cache:
@@ -169,7 +186,10 @@ def lint_directory(
             cache_dir if cache_dir is not None else base / CACHE_DIR_NAME
         )
 
-    keys = [lint_cache_key(unit.source, unit.function) for unit in discovery.units]
+    keys = [
+        lint_cache_key(unit.source, unit.function, frontend=unit.frontend)
+        for unit in discovery.units
+    ]
     results: list[dict | None] = []
     pending: list[int] = []
     for index, key in enumerate(keys):

@@ -3,9 +3,30 @@
 from repro.batch import discover_sources, plan_units
 
 
-def test_discovers_only_minijava_sources(tree):
+def test_discovers_every_registered_frontend_suffix(tree):
     found = [p.name for p in discover_sources(tree)]
+    assert found == ["app.mj", "broken.mj", "ignored.py", "more.mj"]
+
+
+def test_frontend_restriction_narrows_discovery(tree):
+    found = [p.name for p in discover_sources(tree, "minijava")]
     assert found == ["app.mj", "broken.mj", "more.mj"]
+    assert [p.name for p in discover_sources(tree, "python")] == ["ignored.py"]
+
+
+def test_units_carry_their_frontend(tree):
+    discovery = plan_units(tree)
+    assert {u.frontend for u in discovery.units} == {"minijava"}
+    (tree / "dbapi.py").write_text(
+        "def names(conn):\n"
+        "    cur = conn.cursor()\n"
+        "    cur.execute(\"SELECT name FROM project\")\n"
+        "    return cur.fetchall()\n"
+    )
+    discovery = plan_units(tree)
+    by_path = {u.path: u.frontend for u in discovery.units}
+    assert by_path["dbapi.py"] == "python"
+    assert by_path["app.mj"] == "minijava"
 
 
 def test_hidden_directories_are_skipped(tree):

@@ -155,7 +155,7 @@ class TestScanCli:
             ["scan", str(empty), "--table", "t:id:id"]
         )
         assert code == 1
-        assert "no MiniJava sources" in capsys.readouterr().out
+        assert "no source files" in capsys.readouterr().out
 
     def test_inline_table_schema(self, tree, capsys):
         code = main(

@@ -1,0 +1,178 @@
+"""Frontend plumbing through the batch scanner, lint service and caches."""
+
+import json
+
+import pytest
+
+from repro import Catalog, ExtractOptions, scan_directory
+from repro.__main__ import main
+from repro.batch.cache import cache_key
+from repro.lint.service import lint_cache_key, lint_directory
+
+PY_SOURCE = (
+    "def total_budget(conn):\n"
+    "    cur = conn.cursor()\n"
+    "    cur.execute(\"SELECT budget FROM project\")\n"
+    "    total = 0\n"
+    "    for p in cur:\n"
+    "        total = total + p[\"budget\"]\n"
+    "    return total\n"
+)
+
+MJ_SOURCE = """
+totalBudget() {
+    rows = executeQuery("SELECT budget FROM project");
+    total = 0;
+    for (p : rows) {
+        total = total + p.getBudget();
+    }
+    return total;
+}
+"""
+
+
+@pytest.fixture
+def catalog():
+    return Catalog.from_dict(
+        {"project": {"columns": ["id", "name", "finished", "budget"], "key": ["id"]}}
+    )
+
+
+@pytest.fixture
+def mixed_tree(tmp_path):
+    (tmp_path / "app.mj").write_text(MJ_SOURCE)
+    (tmp_path / "dao.py").write_text(PY_SOURCE)
+    return tmp_path
+
+
+class TestCacheKeys:
+    def test_frontend_is_part_of_the_extraction_key(self, catalog):
+        options = ExtractOptions()
+        mj = cache_key("src", "f", catalog, options, frontend="minijava")
+        py = cache_key("src", "f", catalog, options, frontend="python")
+        assert mj != py
+
+    def test_frontend_is_part_of_the_lint_key(self):
+        assert lint_cache_key("src", "f", frontend="minijava") != lint_cache_key(
+            "src", "f", frontend="python"
+        )
+
+    def test_default_frontend_keys_are_stable(self, catalog):
+        options = ExtractOptions()
+        assert cache_key("src", "f", catalog, options) == cache_key(
+            "src", "f", catalog, options, frontend="minijava"
+        )
+
+
+class TestMixedScan:
+    def test_both_languages_extract_in_one_scan(self, mixed_tree, catalog):
+        report = scan_directory(mixed_tree, catalog, use_cache=False)
+        by_file = {u["file"]: u for u in report.units}
+        assert by_file["app.mj"]["frontend"] == "minijava"
+        assert by_file["dao.py"]["frontend"] == "python"
+        assert by_file["app.mj"]["status"] == "success"
+        assert by_file["dao.py"]["status"] == "success"
+        # Same loop, same query text, same shared pipeline: identical SQL.
+        mj_sql = {v["sql"] for v in by_file["app.mj"]["variables"].values()}
+        py_sql = {v["sql"] for v in by_file["dao.py"]["variables"].values()}
+        assert mj_sql == py_sql
+
+    def test_warm_rescan_hits_for_both_frontends(self, mixed_tree, catalog):
+        cold = scan_directory(mixed_tree, catalog)
+        warm = scan_directory(mixed_tree, catalog)
+        assert cold.cache_misses == len(cold.units) == 2
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+
+    def test_frontend_restriction(self, mixed_tree, catalog):
+        report = scan_directory(mixed_tree, catalog, use_cache=False, frontend="python")
+        assert [u["file"] for u in report.units] == ["dao.py"]
+
+    def test_scan_cli_frontend_flag(self, mixed_tree, tmp_path, capsys):
+        schema = tmp_path / "schema.json"
+        schema.write_text(
+            json.dumps(
+                {"project": {"columns": ["id", "name", "finished", "budget"], "key": ["id"]}}
+            )
+        )
+        code = main(
+            [
+                "scan",
+                str(mixed_tree),
+                "--schema",
+                str(schema),
+                "--no-cache",
+                "--frontend",
+                "python",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [u["file"] for u in payload["units"]] == ["dao.py"]
+        assert payload["units"][0]["frontend"] == "python"
+
+
+class TestMixedLint:
+    def test_lint_covers_both_frontends(self, mixed_tree):
+        report = lint_directory(mixed_tree, use_cache=False)
+        by_file = {u["file"]: u for u in report.units}
+        assert by_file["app.mj"]["frontend"] == "minijava"
+        assert by_file["dao.py"]["frontend"] == "python"
+        assert "error" not in by_file["dao.py"]
+
+    def test_lint_warm_rescan_hits(self, mixed_tree):
+        cold = lint_directory(mixed_tree)
+        warm = lint_directory(mixed_tree)
+        assert cold.cache_misses == 2
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+
+    def test_lint_cli_frontend_flag(self, mixed_tree, capsys):
+        code = main(
+            ["lint", str(mixed_tree), "--no-cache", "--frontend", "python", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [u["file"] for u in payload["units"]] == ["dao.py"]
+
+
+class TestExtractCli:
+    def test_suffix_autodetection(self, mixed_tree, tmp_path, capsys):
+        schema = tmp_path / "schema.json"
+        schema.write_text(
+            json.dumps(
+                {"project": {"columns": ["id", "name", "finished", "budget"], "key": ["id"]}}
+            )
+        )
+        code = main(
+            [
+                "extract",
+                str(mixed_tree / "dao.py"),
+                "-f",
+                "total_budget",
+                "--schema",
+                str(schema),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["frontend"] == "python"
+        assert payload["status"] == "success"
+
+    def test_explicit_frontend_flag_wins(self, mixed_tree, tmp_path, capsys):
+        # Forcing the wrong frontend must fail loudly, not silently misparse.
+        schema = tmp_path / "schema.json"
+        schema.write_text(json.dumps({"project": {"columns": ["id"], "key": ["id"]}}))
+        with pytest.raises(Exception):
+            main(
+                [
+                    "extract",
+                    str(mixed_tree / "dao.py"),
+                    "-f",
+                    "total_budget",
+                    "--schema",
+                    str(schema),
+                    "--frontend",
+                    "minijava",
+                ]
+            )

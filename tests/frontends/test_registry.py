@@ -1,0 +1,136 @@
+"""The Frontend protocol, its registry, and the option/report plumbing."""
+
+import pytest
+
+from repro import ExtractOptions, extract_sql
+from repro.algebra import Catalog
+from repro.frontends import (
+    DEFAULT_FRONTEND,
+    Frontend,
+    MiniJavaFrontend,
+    PythonFrontend,
+    available_frontends,
+    detect_frontend,
+    frontend_for_path,
+    get_frontend,
+    register_frontend,
+    source_suffixes,
+)
+from repro.frontends.base import _REGISTRY
+from repro.lang import Program
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert available_frontends() == ("minijava", "python")
+
+    def test_get_frontend_resolves_names(self):
+        assert isinstance(get_frontend("minijava"), MiniJavaFrontend)
+        assert isinstance(get_frontend("python"), PythonFrontend)
+
+    def test_unknown_name_raises_with_inventory(self):
+        with pytest.raises(ValueError, match="minijava"):
+            get_frontend("cobol")
+
+    def test_double_registration_requires_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_frontend(MiniJavaFrontend())
+        original = get_frontend("minijava")
+        try:
+            replacement = MiniJavaFrontend()
+            assert register_frontend(replacement, replace=True) is replacement
+            assert get_frontend("minijava") is replacement
+        finally:
+            _REGISTRY["minijava"] = original
+
+    def test_non_frontend_rejected(self):
+        with pytest.raises(TypeError):
+            register_frontend(object())
+
+    def test_nameless_frontend_rejected(self):
+        class Anonymous(Frontend):
+            def parse(self, source):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="no name"):
+            register_frontend(Anonymous())
+
+    def test_describe_is_json_ready(self):
+        desc = get_frontend("python").describe()
+        assert desc["name"] == "python"
+        assert ".py" in desc["suffixes"]
+
+
+class TestDetection:
+    def test_suffix_map_covers_both_languages(self):
+        mapping = source_suffixes()
+        assert mapping[".mj"] == "minijava"
+        assert mapping[".minijava"] == "minijava"
+        assert mapping[".py"] == "python"
+
+    def test_frontend_for_path(self):
+        assert frontend_for_path("a/b/app.mj").name == "minijava"
+        assert frontend_for_path("pkg/dao.py").name == "python"
+        assert frontend_for_path("README.md") is None
+
+    def test_detect_frontend_returns_names_with_default(self):
+        assert detect_frontend("dao.py") == "python"
+        assert detect_frontend("app.mj") == "minijava"
+        assert detect_frontend("notes.txt") == DEFAULT_FRONTEND
+        assert detect_frontend("notes.txt", default="python") == "python"
+
+
+class TestOptionsAndReport:
+    def test_default_frontend_is_minijava(self):
+        assert ExtractOptions().frontend == "minijava"
+
+    def test_unknown_frontend_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown frontend"):
+            ExtractOptions(frontend="cobol")
+
+    def test_round_trips_through_dict(self):
+        options = ExtractOptions(frontend="python")
+        assert ExtractOptions.from_dict(options.to_dict()) == options
+
+    def test_report_records_its_frontend(self):
+        catalog = Catalog.from_dict(
+            {"project": {"columns": ["id", "budget"], "key": ["id"]}}
+        )
+        minijava_report = extract_sql(
+            'f() { q = executeQuery("from Project as p"); return q; }',
+            "f",
+            catalog,
+        )
+        assert minijava_report.frontend == "minijava"
+        assert minijava_report.to_dict()["frontend"] == "minijava"
+
+        python_report = extract_sql(
+            "def f(conn):\n"
+            "    cur = conn.cursor()\n"
+            "    cur.execute(\"SELECT id, budget FROM project\")\n"
+            "    return cur.fetchall()\n",
+            "f",
+            catalog,
+            options=ExtractOptions(frontend="python"),
+        )
+        assert python_report.frontend == "python"
+        assert python_report.to_dict()["frontend"] == "python"
+
+    def test_preparsed_program_bypasses_the_frontend(self):
+        catalog = Catalog.from_dict(
+            {"project": {"columns": ["id"], "key": ["id"]}}
+        )
+        program = get_frontend("minijava").parse(
+            'f() { q = executeQuery("from Project as p"); return q; }'
+        )
+        assert isinstance(program, Program)
+        report = extract_sql(program, "f", catalog)
+        assert report.function == "f"
+        assert report.frontend == "minijava"
+
+    def test_api_facade_exposes_the_registry(self):
+        from repro import api
+
+        assert api.get_frontend is get_frontend
+        assert api.register_frontend is register_frontend
+        assert "available_frontends" in api.__all__

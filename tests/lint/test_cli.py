@@ -139,7 +139,7 @@ f() {
 
     def test_empty_directory_fails(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path), "--no-cache"]) == 1
-        assert "no MiniJava sources" in capsys.readouterr().out
+        assert "no source files" in capsys.readouterr().out
 
     def test_json_output(self, tree, capsys):
         (tree / "broken.mj").unlink()

@@ -1,16 +1,24 @@
-"""Planned vs. reference engine benchmark — emits ``BENCH_engine.json``.
+"""Columnar vs. row vs. reference engine benchmark — emits ``BENCH_engine.json``.
 
-Measures both execution engines on the operator shapes the planner
+Measures the three execution strategies on the operator shapes the planner
 optimizes, at several scale factors:
 
 * ``point_select`` — repeated key lookups (hash index vs. full scan);
 * ``join``        — equi-join (hash join vs. nested loop);
 * ``exists``      — correlated EXISTS (hash semi-join vs. per-row subquery);
-* ``aggregation`` — grouped sum (incremental fold vs. materialize+fold);
+* ``aggregation`` — grouped sum (vectorized fold vs. row fold vs.
+  materialize+fold);
 * ``topn``        — ORDER BY + LIMIT (bounded heap vs. full sort).
 
-Every measurement first asserts the engines return identical rows, so the
-numbers can never come from diverging semantics.
+The matrix pins each engine explicitly: ``columnar`` runs the planned
+engine with ``columnar_mode="force"``, ``row`` with ``"off"``, and
+``reference`` is the tree-walking oracle.  Every measurement first asserts
+all strategies return identical rows, so the numbers can never come from
+diverging semantics.
+
+The reference evaluator's join and EXISTS are O(n²), so each workload has
+a reference cutoff scale; beyond it ``reference_ms`` is recorded as
+``null`` and only columnar vs. row is compared.
 
 Usage::
 
@@ -21,10 +29,14 @@ JSON (the shared convention across ``bench_engine.py`` / ``bench_scan.py``
 / ``bench_rewrites.py``), so a recorded result names the exact data it
 measured.
 
-``--smoke`` runs the small scale factors and asserts the planned engine
-beats the reference engine on the join workload at the largest smoke scale
-(the CI gate); the full run additionally asserts the ≥5× equi-join speedup
-recorded in BENCH_engine.json.
+Gates (exit 1 on failure):
+
+* smoke — planned join beats reference at the largest smoke scale, and
+  columnar aggregation is at least as fast as the row path at 10⁴;
+* full  — join ≥5× over reference at the largest scale the reference
+  runs, columnar aggregation ≥5× over the row path at 10⁵, and columnar
+  aggregation at least matches the reference at scale 100 (the adaptive
+  switch's regression guard).
 """
 
 from __future__ import annotations
@@ -56,13 +68,28 @@ from repro.algebra import (
 )
 from repro.db import Database
 
-SMOKE_SCALES = [50, 200]
-FULL_SCALES = [100, 400, 1600]
+SMOKE_SCALES = [50, 200, 10_000]
+FULL_SCALES = [100, 1_600, 10_000, 100_000, 1_000_000]
 
-#: Required speedups on the equi-join workload at the largest scale.
-SMOKE_MIN_JOIN_SPEEDUP = 1.0
+#: Largest scale at which the reference evaluator still runs per workload
+#: (its join/EXISTS are O(n²); point_select is 50 full scans).
+REFERENCE_CUTOFFS = {
+    "point_select": 10_000,
+    "join": 2_000,
+    "exists": 2_000,
+    "aggregation": 100_000,
+    "topn": 100_000,
+}
+
+#: Full-run gates.
 FULL_MIN_JOIN_SPEEDUP = 5.0
-
+FULL_MIN_COLUMNAR_AGG_SPEEDUP = 5.0  # columnar vs row at 10⁵
+FULL_COLUMNAR_AGG_GATE_SCALE = 100_000
+FULL_MIN_SCALE100_AGG_RATIO = 1.0  # columnar vs reference at scale 100
+#: Smoke-run gates.
+SMOKE_MIN_JOIN_SPEEDUP = 1.0
+SMOKE_MIN_COLUMNAR_AGG_SPEEDUP = 1.0  # columnar vs row at 10⁴
+SMOKE_COLUMNAR_AGG_GATE_SCALE = 10_000
 
 DEFAULT_SEED = 1234
 
@@ -91,7 +118,7 @@ def build_database(scale: int, seed: int = DEFAULT_SEED) -> Database:
 
 
 def workloads(scale: int) -> dict:
-    """Query (factory) per workload; point_select is a batch of lookups."""
+    """Query batch per workload; point_select is a batch of lookups."""
     point_ids = [1 + (i * 37) % scale for i in range(50)]
     return {
         "point_select": [
@@ -139,14 +166,44 @@ def workloads(scale: int) -> dict:
     }
 
 
-def _time_engine(db: Database, queries, engine: str, repeats: int) -> float:
+def _run_planned(db: Database, queries, mode: str):
+    db.columnar_mode = mode
+    try:
+        return [db.execute(query, engine="planned") for query in queries]
+    finally:
+        db.columnar_mode = "auto"
+
+
+def _time_planned(db: Database, queries, mode: str, repeats: int) -> float:
+    db.columnar_mode = mode
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for query in queries:
+                db.execute(query, engine="planned")
+            best = min(best, time.perf_counter() - start)
+    finally:
+        db.columnar_mode = "auto"
+    return best * 1000.0
+
+
+def _time_reference(db: Database, queries, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         for query in queries:
-            db.execute(query, engine=engine)
+            db.execute(query, engine="reference")
         best = min(best, time.perf_counter() - start)
     return best * 1000.0
+
+
+def _ratio(numerator: float | None, denominator: float) -> float | None:
+    if numerator is None:
+        return None
+    if denominator <= 0:
+        return float("inf")
+    return round(numerator / denominator, 2)
 
 
 def run(scales, repeats: int = 3, seed: int = DEFAULT_SEED) -> dict:
@@ -154,34 +211,69 @@ def run(scales, repeats: int = 3, seed: int = DEFAULT_SEED) -> dict:
     for scale in scales:
         db = build_database(scale, seed=seed)
         for name, queries in workloads(scale).items():
-            for query in queries:  # semantics gate before any timing
-                planned = db.execute(query, engine="planned")
-                reference = db.execute(query, engine="reference")
-                assert planned == reference, (
-                    f"ENGINE DIVERGENCE in {name} at scale {scale}: {query}"
+            with_reference = scale <= REFERENCE_CUTOFFS[name]
+
+            # Semantics gate before any timing: columnar ≡ row (≡ reference).
+            columnar_rows = _run_planned(db, queries, "force")
+            row_rows = _run_planned(db, queries, "off")
+            assert columnar_rows == row_rows, (
+                f"COLUMNAR/ROW DIVERGENCE in {name} at scale {scale}"
+            )
+            if with_reference:
+                reference_rows = [
+                    db.execute(query, engine="reference") for query in queries
+                ]
+                assert row_rows == reference_rows, (
+                    f"ENGINE DIVERGENCE in {name} at scale {scale}"
                 )
-            planned_ms = _time_engine(db, queries, "planned", repeats)
-            reference_ms = _time_engine(db, queries, "reference", repeats)
-            speedup = reference_ms / planned_ms if planned_ms > 0 else float("inf")
-            results[name].append(
-                {
-                    "scale": scale,
-                    "planned_ms": round(planned_ms, 3),
-                    "reference_ms": round(reference_ms, 3),
-                    "speedup": round(speedup, 2),
-                }
+
+            columnar_ms = _time_planned(db, queries, "force", repeats)
+            row_ms = _time_planned(db, queries, "off", repeats)
+            reference_ms = (
+                _time_reference(db, queries, repeats) if with_reference else None
+            )
+            entry = {
+                "scale": scale,
+                "columnar_ms": round(columnar_ms, 3),
+                "row_ms": round(row_ms, 3),
+                "reference_ms": (
+                    None if reference_ms is None else round(reference_ms, 3)
+                ),
+                "columnar_vs_row": _ratio(row_ms, columnar_ms),
+                "columnar_vs_reference": _ratio(reference_ms, columnar_ms),
+                "row_vs_reference": _ratio(reference_ms, row_ms),
+            }
+            results[name].append(entry)
+            ref_text = (
+                "      (skipped)"
+                if reference_ms is None
+                else f"{reference_ms:11.2f} ms"
             )
             print(
-                f"{name:>12} scale={scale:>5}: planned {planned_ms:8.2f} ms   "
-                f"reference {reference_ms:8.2f} ms   speedup {speedup:6.2f}x"
+                f"{name:>12} scale={scale:>8}: columnar {columnar_ms:9.2f} ms   "
+                f"row {row_ms:9.2f} ms   reference {ref_text}"
             )
     return results
+
+
+def _entry_at(entries, scale):
+    for entry in entries:
+        if entry["scale"] == scale:
+            return entry
+    return None
+
+
+def _check(label: str, actual, required: float, failures: list) -> None:
+    if actual is None or actual < required:
+        failures.append(f"{label}: {actual} is below the required {required}")
+    else:
+        print(f"OK: {label} = {actual} (required ≥ {required})")
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--smoke", action="store_true", help="small scales + CI join-speedup gate"
+        "--smoke", action="store_true", help="small scales + CI gates"
     )
     parser.add_argument(
         "--out", default="BENCH_engine.json", help="output JSON path"
@@ -200,31 +292,74 @@ def main(argv=None) -> int:
     scales = SMOKE_SCALES if args.smoke else FULL_SCALES
     results = run(scales, repeats=args.repeats, seed=args.seed)
 
-    largest_join = results["join"][-1]
+    # The join gate compares against the reference at the largest scale the
+    # reference still runs; the row path is the same plan (joins are never
+    # columnar), so columnar_vs_reference is the planned-engine speedup.
+    join_entries = [e for e in results["join"] if e["reference_ms"] is not None]
+    join_gate = join_entries[-1] if join_entries else None
+    agg_gate_scale = (
+        SMOKE_COLUMNAR_AGG_GATE_SCALE if args.smoke else FULL_COLUMNAR_AGG_GATE_SCALE
+    )
+    agg_gate = _entry_at(results["aggregation"], agg_gate_scale)
+    scale100_agg = _entry_at(results["aggregation"], 100)
+
     report = {
-        "benchmark": "planned vs reference execution engine",
+        "benchmark": "columnar vs row vs reference execution engine",
+        "version": 2,
         "mode": "smoke" if args.smoke else "full",
         "seed": args.seed,
         "scales": scales,
+        "reference_cutoffs": REFERENCE_CUTOFFS,
         "workloads": results,
-        "join_speedup_at_largest_scale": largest_join["speedup"],
+        "gates": {
+            "join_speedup_vs_reference": (
+                None if join_gate is None else join_gate["columnar_vs_reference"]
+            ),
+            "join_gate_scale": None if join_gate is None else join_gate["scale"],
+            "columnar_agg_speedup_vs_row": (
+                None if agg_gate is None else agg_gate["columnar_vs_row"]
+            ),
+            "columnar_agg_gate_scale": agg_gate_scale,
+            "scale100_agg_vs_reference": (
+                None
+                if scale100_agg is None
+                else scale100_agg["columnar_vs_reference"]
+            ),
+        },
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.out}")
 
-    required = SMOKE_MIN_JOIN_SPEEDUP if args.smoke else FULL_MIN_JOIN_SPEEDUP
-    if largest_join["speedup"] < required:
-        print(
-            f"FAIL: join speedup {largest_join['speedup']}x at scale "
-            f"{largest_join['scale']} is below the required {required}x",
-            file=sys.stderr,
-        )
-        return 1
-    print(
-        f"OK: join speedup {largest_join['speedup']}x at scale "
-        f"{largest_join['scale']} (required ≥ {required}x)"
+    failures: list[str] = []
+    min_join = SMOKE_MIN_JOIN_SPEEDUP if args.smoke else FULL_MIN_JOIN_SPEEDUP
+    _check(
+        "join speedup vs reference",
+        None if join_gate is None else join_gate["columnar_vs_reference"],
+        min_join,
+        failures,
     )
-    return 0
+    min_agg = (
+        SMOKE_MIN_COLUMNAR_AGG_SPEEDUP
+        if args.smoke
+        else FULL_MIN_COLUMNAR_AGG_SPEEDUP
+    )
+    _check(
+        f"columnar aggregation speedup vs row at scale {agg_gate_scale}",
+        None if agg_gate is None else agg_gate["columnar_vs_row"],
+        min_agg,
+        failures,
+    )
+    if not args.smoke:
+        _check(
+            "scale-100 aggregation columnar vs reference",
+            None if scale100_agg is None else scale100_agg["columnar_vs_reference"],
+            FULL_MIN_SCALE100_AGG_RATIO,
+            failures,
+        )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

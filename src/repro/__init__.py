@@ -106,7 +106,7 @@ from .rewrites import (
     verify_alternatives,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Catalog",

@@ -2,17 +2,29 @@
 
 from .connection import Connection, ConnectionStats, CostParameters, describe_plan
 from .engine import Database, EngineDivergenceError, EngineError, ReferenceEvaluator
+from .stats import (
+    COLUMNAR_MIN_ROWS,
+    CardinalityEstimator,
+    ColumnStats,
+    Histogram,
+    TableStats,
+)
 from .types import Row, row_size_bytes, value_size_bytes
 
 __all__ = [
+    "COLUMNAR_MIN_ROWS",
+    "CardinalityEstimator",
+    "ColumnStats",
     "Connection",
     "ConnectionStats",
     "CostParameters",
     "Database",
     "EngineDivergenceError",
     "EngineError",
+    "Histogram",
     "ReferenceEvaluator",
     "Row",
+    "TableStats",
     "describe_plan",
     "row_size_bytes",
     "value_size_bytes",

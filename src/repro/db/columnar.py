@@ -1,0 +1,570 @@
+"""Columnar batch-at-a-time execution for the scan→filter→project→aggregate
+hot path.
+
+Row-at-a-time execution pays a per-row toll the hot paths never need: every
+scanned row is copied into a fresh dict with alias-qualified keys, and every
+predicate/aggregate argument is re-evaluated by a recursive tree walk with
+per-node ``isinstance`` dispatch.  This module executes the same plans over
+*column arrays* instead:
+
+* :meth:`Database.columns` caches each base table transposed into
+  ``{column: [values...]}`` arrays (invalidated by the same dirty-marking
+  that rebuilds hash indexes), so repeated queries share one transposition;
+* scalar expressions are evaluated **vector-at-a-time** (one tight list
+  comprehension per operator node instead of one tree walk per row);
+* a selection predicate produces a **selection vector** (the list of
+  passing row indices); downstream stages gather only the columns they
+  actually reference, restricted to selected rows;
+* the pipeline head folds aggregates with per-function loops over the
+  gathered arrays, or materializes result rows only at the row↔column
+  boundary — hash joins and every other Volcano operator upstream are
+  untouched and keep consuming ordinary row dicts.
+
+The golden rule still applies: a :class:`ColumnarPipeline` must produce
+*exactly* the reference evaluator's rows, values, and order.  Everything
+row-order-sensitive (group first-seen order, emission order, NULL
+semantics, ``0 + value`` summation) mirrors the row operators verbatim, and
+the planner only lowers to a pipeline when every expression is in the
+vectorizable subset (no subqueries, functions, or CASE) and every column
+reference provably resolves inside the scanned table.  One documented
+corner remains: expressions are evaluated column-by-column, so when *both*
+engines raise a type error the raising row can differ — but whether an
+error occurs is identical because the reference evaluates both sides of
+every AND/OR too.
+
+The **adaptive switch** has two layers: at plan time the Volcano search
+only considers a pipeline when the table's statistics put it at or above
+:data:`~repro.db.stats.COLUMNAR_MIN_ROWS`; at run time the pipeline
+re-checks the live row count and delegates to its row-at-a-time
+``fallback`` plan below the threshold (a safety net for plans executed
+around the statistics cache).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Iterator
+
+from ..algebra import (
+    Aggregate,
+    BinOp,
+    Col,
+    Lit,
+    Param,
+    Project,
+    ScalarExpr,
+    UnOp,
+    walk_scalar,
+)
+from .engine import EngineError, _hashable, _like_regex
+from .physical import ExecContext, PhysicalOp
+from .types import Row, sql_and, sql_compare, sql_not, sql_or
+
+#: Binary operators the vector evaluator implements (identically to the
+#: reference's scalar rules).
+_ALLOWED_BINOPS = frozenset(
+    {"AND", "OR", "=", "!=", "<", ">", "<=", ">=", "+", "-", "*", "/", "%",
+     "||", "LIKE"}
+)
+
+_CMP = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+_ARITH = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+}
+
+
+# ----------------------------------------------------------------------
+# Plan-time support checks
+
+
+def supported_expr(expr: ScalarExpr, alias: str, columns: set[str]) -> bool:
+    """True when ``expr`` is vectorizable over a scan of one table.
+
+    Requires every node to be in the vector evaluator's subset and every
+    column reference to resolve *strictly* against the scan's row (bare
+    name, or qualified by the scan alias) — the condition under which a
+    merged outer row can never divert the lookup, so batch evaluation
+    against the raw columns is exact.
+    """
+    for node in walk_scalar(expr):
+        if isinstance(node, (Lit, Param)):
+            continue
+        if isinstance(node, Col):
+            if node.name == "*" or node.name not in columns:
+                return False
+            if node.qualifier is not None and node.qualifier != alias:
+                return False
+            continue
+        if isinstance(node, BinOp):
+            if node.op.upper() not in _ALLOWED_BINOPS:
+                return False
+            continue
+        if isinstance(node, UnOp):
+            if node.op.upper() not in ("NOT", "-"):
+                return False
+            continue
+        return False  # Func, CaseWhen, ExistsExpr, ScalarSubquery, unknown
+    return True
+
+
+def used_columns(exprs) -> set[str]:
+    """Column names referenced by any of ``exprs``."""
+    used: set[str] = set()
+    for expr in exprs:
+        used.update(
+            node.name for node in walk_scalar(expr) if isinstance(node, Col)
+        )
+    return used
+
+
+# ----------------------------------------------------------------------
+# Vector evaluation
+#
+# A vectorized result is a tag pair: ``("c", value)`` for a broadcast
+# constant, ``("v", [values...])`` for a per-row vector.  Constants stay
+# scalar through as many operators as possible so ``col > :p`` compiles to
+# a single comprehension against the raw column array.
+
+
+def _veval(expr: ScalarExpr, cols: dict, params: dict) -> tuple[str, Any]:
+    if isinstance(expr, Lit):
+        return "c", expr.value
+    if isinstance(expr, Col):
+        return "v", cols[expr.name]
+    if isinstance(expr, Param):
+        if expr.name not in params:
+            raise EngineError(f"unbound parameter :{expr.name}")
+        return "c", params[expr.name]
+    if isinstance(expr, BinOp):
+        return _veval_binop(expr, cols, params)
+    if isinstance(expr, UnOp):
+        op = expr.op.upper()
+        kind, data = _veval(expr.operand, cols, params)
+        if op == "NOT":
+            if kind == "c":
+                return "c", sql_not(data)
+            return "v", [sql_not(v) for v in data]
+        if op == "-":
+            if kind == "c":
+                return "c", None if data is None else -data
+            return "v", [None if v is None else -v for v in data]
+        raise EngineError(f"unknown unary operator {expr.op!r}")
+    raise EngineError(f"cannot vectorize {type(expr).__name__}")
+
+
+def _veval_binop(expr: BinOp, cols: dict, params: dict) -> tuple[str, Any]:
+    op = expr.op.upper()
+    lk, lv = _veval(expr.left, cols, params)
+    rk, rv = _veval(expr.right, cols, params)
+
+    if op == "AND":
+        if lk == "c" and rk == "c":
+            return "c", sql_and(lv, rv)
+        if lk == "c":
+            return "v", [sql_and(lv, b) for b in rv]
+        if rk == "c":
+            return "v", [sql_and(a, rv) for a in lv]
+        return "v", [sql_and(a, b) for a, b in zip(lv, rv)]
+    if op == "OR":
+        if lk == "c" and rk == "c":
+            return "c", sql_or(lv, rv)
+        if lk == "c":
+            return "v", [sql_or(lv, b) for b in rv]
+        if rk == "c":
+            return "v", [sql_or(a, rv) for a in lv]
+        return "v", [sql_or(a, b) for a, b in zip(lv, rv)]
+
+    fn = _CMP.get(op)
+    if fn is None:
+        fn = _ARITH.get(op)
+    if fn is not None:
+        if lk == "c" and rk == "c":
+            if op in _CMP:
+                return "c", sql_compare(op, lv, rv)
+            return "c", None if lv is None or rv is None else fn(lv, rv)
+        if lk == "c":
+            if lv is None:
+                return "c", None
+            a = lv
+            return "v", [None if b is None else fn(a, b) for b in rv]
+        if rk == "c":
+            if rv is None:
+                return "c", None
+            b = rv
+            return "v", [None if a is None else fn(a, b) for a in lv]
+        return "v", [
+            None if a is None or b is None else fn(a, b) for a, b in zip(lv, rv)
+        ]
+
+    if op == "||":
+        if lk == "c" and rk == "c":
+            return "c", None if lv is None or rv is None else str(lv) + str(rv)
+        if lk == "c":
+            if lv is None:
+                return "c", None
+            a = str(lv)
+            return "v", [None if b is None else a + str(b) for b in rv]
+        if rk == "c":
+            if rv is None:
+                return "c", None
+            b = str(rv)
+            return "v", [None if a is None else str(a) + b for a in lv]
+        return "v", [
+            None if a is None or b is None else str(a) + str(b)
+            for a, b in zip(lv, rv)
+        ]
+
+    if op == "LIKE":
+        if rk == "c":
+            if rv is None:
+                return "c", None
+            regex = _like_regex(str(rv))
+            match = regex.fullmatch
+            if lk == "c":
+                return "c", None if lv is None else match(str(lv)) is not None
+            return "v", [
+                None if a is None else match(str(a)) is not None for a in lv
+            ]
+        if lk == "c":
+            if lv is None:
+                return "c", None
+            a = str(lv)
+            return "v", [
+                None
+                if b is None
+                else _like_regex(str(b)).fullmatch(a) is not None
+                for b in rv
+            ]
+        return "v", [
+            None
+            if a is None or b is None
+            else _like_regex(str(b)).fullmatch(str(a)) is not None
+            for a, b in zip(lv, rv)
+        ]
+
+    raise EngineError(f"unknown binary operator {expr.op!r}")
+
+
+def _broadcast(kind: str, data, n: int) -> list:
+    return data if kind == "v" else [data] * n
+
+
+# ----------------------------------------------------------------------
+# Grouping and folds
+
+
+def _group_ids(vec: list) -> tuple[list[int], list]:
+    """Assign a dense group id per row; returns (ids, first-seen keys)."""
+    gid: dict = {}
+    gids: list[int] = []
+    get = gid.get
+    append = gids.append
+    try:
+        for v in vec:
+            g = get(v, -1)
+            if g < 0:
+                g = gid[v] = len(gid)
+            append(g)
+    except TypeError:  # unhashable group value: retry via _hashable
+        gid.clear()
+        gids.clear()
+        get = gid.get
+        append = gids.append
+        for v in vec:
+            h = _hashable(v)
+            g = get(h, -1)
+            if g < 0:
+                g = gid[h] = len(gid)
+            append(g)
+    return gids, list(gid)
+
+
+def _group_ids_multi(vecs: list[list]) -> tuple[list[int], list]:
+    gid: dict = {}
+    gids: list[int] = []
+    try:
+        for key in zip(*vecs):
+            g = gid.get(key, -1)
+            if g < 0:
+                g = gid[key] = len(gid)
+            gids.append(g)
+    except TypeError:
+        gid.clear()
+        gids.clear()
+        for key in zip(*vecs):
+            h = tuple(_hashable(v) for v in key)
+            g = gid.get(h, -1)
+            if g < 0:
+                g = gid[h] = len(gid)
+            gids.append(g)
+    return gids, list(gid)
+
+
+def _fold(func: str, gids: list[int], ngroups: int, vec: list) -> list:
+    """Fold one aggregate over grouped values.  Mirrors ``_AggState``:
+    NULLs are skipped, SUM starts from ``0 + value`` (so non-summable types
+    raise the reference's TypeError), AVG divides with true division."""
+    if func == "count":
+        counts = [0] * ngroups
+        for g, v in zip(gids, vec):
+            if v is not None:
+                counts[g] += 1
+        return counts
+    if func == "sum":
+        totals: list = [None] * ngroups
+        for g, v in zip(gids, vec):
+            if v is not None:
+                t = totals[g]
+                totals[g] = 0 + v if t is None else t + v
+        return totals
+    if func == "min":
+        best: list = [None] * ngroups
+        for g, v in zip(gids, vec):
+            if v is not None:
+                b = best[g]
+                if b is None or v < b:
+                    best[g] = v
+        return best
+    if func == "max":
+        best = [None] * ngroups
+        for g, v in zip(gids, vec):
+            if v is not None:
+                b = best[g]
+                if b is None or v > b:
+                    best[g] = v
+        return best
+    if func == "avg":
+        totals = [None] * ngroups
+        counts = [0] * ngroups
+        for g, v in zip(gids, vec):
+            if v is not None:
+                counts[g] += 1
+                t = totals[g]
+                totals[g] = 0 + v if t is None else t + v
+        return [
+            None if c == 0 else t / c for t, c in zip(totals, counts)
+        ]
+    raise EngineError(f"unknown aggregate {func!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# The pipeline operator
+
+
+class ColumnarPipeline(PhysicalOp):
+    """Columnar execution of ``[γ|π|·] ∘ [σ|·] ∘ scan(T)``.
+
+    ``head`` is ``("aggregate", Aggregate)``, ``("project", Project)``, or
+    ``("filter", None)`` (emit the filtered scan rows themselves).  The
+    row↔column boundary sits at this operator's output: whatever consumes
+    it (a hash join's build side, a sort, the client) sees ordinary row
+    dicts, bit-identical to the row-at-a-time plan's.
+
+    ``fallback`` is the equivalent row-at-a-time plan, taken when the live
+    table is below ``min_rows`` (the runtime half of the adaptive switch).
+    """
+
+    label = "Columnar"
+
+    def __init__(
+        self,
+        name: str,
+        alias: str | None,
+        table_columns: tuple[str, ...],
+        pred: ScalarExpr | None,
+        head: tuple[str, Any],
+        fallback: PhysicalOp,
+        min_rows: int,
+    ):
+        self.name = name
+        self.alias = alias or name
+        self.table_columns = tuple(table_columns)
+        self.pred = pred
+        self.head_kind, self.head_node = head
+        self.fallback = fallback
+        self.min_rows = min_rows
+        #: Columns the post-selection stages read (gathered via the
+        #: selection vector; everything else is never touched).
+        if self.head_kind == "aggregate":
+            node = self.head_node
+            exprs = list(node.group_by) + [
+                item.call.arg for item in node.aggs if item.call.arg is not None
+            ]
+            self.head_columns = used_columns(exprs)
+        elif self.head_kind == "project":
+            self.head_columns = used_columns(
+                item.expr for item in self.head_node.items
+            )
+        else:
+            self.head_columns = set(self.table_columns)
+
+    def children(self) -> tuple[PhysicalOp, ...]:
+        return ()
+
+    def detail(self) -> str:
+        stages = [f"scan {self.name}"]
+        if self.alias != self.name:
+            stages[0] += f" AS {self.alias}"
+        if self.pred is not None:
+            stages.append(f"σ[{self.pred}]")
+        if self.head_kind == "aggregate":
+            node = self.head_node
+            groups = ", ".join(str(g) for g in node.group_by)
+            calls = ", ".join(str(a) for a in node.aggs)
+            stages.append(f"γ[{groups}; {calls}]")
+        elif self.head_kind == "project":
+            stages.append(
+                "π[" + ", ".join(str(i) for i in self.head_node.items) + "]"
+            )
+        return " → ".join(stages) + f" (min_rows={self.min_rows})"
+
+    def scanned_rows(self, ctx: ExecContext) -> int:
+        return ctx.probed.get(id(self), 0)
+
+    # ------------------------------------------------------------------
+
+    def _rows(self, ctx: ExecContext, outer: Row | None) -> Iterator[Row]:
+        db = ctx.db
+        rows = db.rows(self.name)
+        n = len(rows)
+        if n < self.min_rows:
+            # Adaptive switch, runtime layer: tiny inputs take the cheap
+            # row-at-a-time path.
+            yield from self.fallback.execute(ctx, outer)
+            return
+        cols = db.columns(self.name)
+        ctx.probed[id(self)] = ctx.probed.get(id(self), 0) + n
+        params = ctx.params
+
+        sel: list[int] | None = None  # None = every row selected
+        if self.pred is not None:
+            kind, data = _veval(self.pred, cols, params)
+            if kind == "c":
+                if data is not True:
+                    sel = []
+            else:
+                sel = [i for i, v in enumerate(data) if v is True]
+
+        if self.head_kind == "filter":
+            yield from self._emit_scan_rows(rows, sel)
+            return
+
+        # Gather only the columns the head reads, restricted to selected
+        # rows — this is also what keeps error behavior aligned with the
+        # reference, which never evaluates head expressions on filtered-out
+        # rows.
+        if sel is None:
+            head_cols, m = cols, n
+        else:
+            head_cols = {
+                name: [column[i] for i in sel]
+                for name, column in cols.items()
+                if name in self.head_columns
+            }
+            m = len(sel)
+
+        if self.head_kind == "aggregate":
+            yield from self._aggregate(head_cols, m, params)
+        else:
+            yield from self._project(head_cols, cols, sel, m, params)
+
+    # ------------------------------------------------------------------
+
+    def _emit_scan_rows(self, rows: list[Row], sel: list[int] | None):
+        """Row boundary for filter-only pipelines: emit exactly what
+        ``FilterOp(SeqScan)`` would."""
+        alias = self.alias
+        indices = range(len(rows)) if sel is None else sel
+        for i in indices:
+            row = rows[i]
+            copy = dict(row)
+            for column, value in row.items():
+                copy[f"{alias}.{column}"] = value
+            yield copy
+
+    def _project(self, head_cols, cols, sel, m: int, params):
+        node: Project = self.head_node
+        outputs = []
+        for item in node.items:
+            kind, data = _veval(item.expr, head_cols, params)
+            outputs.append((item.output_name, kind, data))
+        alias = self.alias
+        qualified = [(f"{alias}.{c}", cols[c]) for c in self.table_columns]
+        indices = range(m) if sel is None else sel
+        for j, src in enumerate(indices):
+            result: Row = {}
+            for name, kind, data in outputs:
+                result[name] = data if kind == "c" else data[j]
+            # Alias-qualified source columns pass through invisibly —
+            # mirrors the reference's _project_row setdefault loop.
+            for qname, column in qualified:
+                if qname not in result:
+                    result[qname] = column[src]
+            yield result
+
+    def _aggregate(self, head_cols, m: int, params):
+        node: Aggregate = self.head_node
+
+        if not node.group_by:
+            result: Row = {}
+            zeros = [0] * m
+            for item in node.aggs:
+                call = item.call
+                if call.arg is None:  # COUNT(*)
+                    result[item.output_name] = m
+                    continue
+                kind, data = _veval(call.arg, head_cols, params)
+                vec = _broadcast(kind, data, m)
+                result[item.output_name] = _fold(call.func, zeros, 1, vec)[0]
+            yield result
+            return
+
+        group_vecs = [
+            _broadcast(*_veval(g, head_cols, params), m) for g in node.group_by
+        ]
+        if len(group_vecs) == 1:
+            gids, keys = _group_ids(group_vecs[0])
+            single = True
+        else:
+            gids, keys = _group_ids_multi(group_vecs)
+            single = False
+        ngroups = len(keys)
+
+        folded = []
+        for item in node.aggs:
+            call = item.call
+            if call.arg is None:
+                counts = [0] * ngroups
+                for g in gids:
+                    counts[g] += 1
+                folded.append(counts)
+                continue
+            kind, data = _veval(call.arg, head_cols, params)
+            folded.append(_fold(call.func, gids, ngroups, _broadcast(kind, data, m)))
+
+        names = [
+            g.name if isinstance(g, Col) else str(g) for g in node.group_by
+        ]
+        items = [item.output_name for item in node.aggs]
+        for gi in range(ngroups):
+            row: Row = {}
+            if single:
+                row[names[0]] = keys[gi]
+            else:
+                for name, value in zip(names, keys[gi]):
+                    row[name] = value
+            for name, values in zip(items, folded):
+                row[name] = values[gi]
+            yield row

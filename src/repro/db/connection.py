@@ -155,7 +155,7 @@ class Connection:
         scanned = 0
         for node in walk_relational(query):
             if isinstance(node, Table):
-                scanned += len(self.database.rows(node.name))
+                scanned += self.database.stats(node.name).row_count
             elif isinstance(node, OuterApply):
                 # The applied side runs once per outer row: charge it again
                 # (its base tables are counted once by the walk) scaled by

@@ -100,10 +100,20 @@ class Database:
         self._indexes: dict[tuple[str, str], dict | None] = {}
         #: (table, column) pairs whose values turned out unhashable.
         self._unindexable: set[tuple[str, str]] = set()
-        #: Physical plan cache keyed on the (hashable) algebra tree.
+        #: Physical plan cache keyed on the (hashable) algebra tree; each
+        #: entry stores ``(stats_epoch, plan)`` so a plan chosen for one
+        #: data distribution is never reused after the distribution changes.
         self._plan_cache: dict[RelExpr, Any] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        #: Cached column arrays per table (columnar execution reads these).
+        self._columns: dict[str, dict[str, list]] = {}
+        #: Cached statistics per table (built lazily from the column cache).
+        self._table_stats: dict[str, Any] = {}
+        #: Bumped by every invalidation; keys the plan cache and tells any
+        #: consumer of :meth:`stats` whether its snapshot is still current.
+        self._stats_epoch = 0
+        self._columnar_mode = "auto"
 
     def register_aggregate(self, name: str, fn) -> None:
         """Register a user-defined aggregate (and teach the SQL parser
@@ -205,28 +215,97 @@ class Database:
         return index
 
     def _invalidate(self, name: str) -> None:
-        """Mark every index of ``name`` dirty (rebuilt on next lookup)."""
+        """Mark every index of ``name`` dirty (rebuilt on next lookup) and
+        drop the table's cached column arrays and statistics.  The epoch
+        bump retires every cached plan chosen under the old statistics."""
         lowered = name.lower()
         for key in self._indexes:
             if key[0] == lowered:
                 self._indexes[key] = None
+        self._columns.pop(lowered, None)
+        self._table_stats.pop(lowered, None)
+        self._stats_epoch += 1
+
+    # ------------------------------------------------------------------
+    # Columnar storage and statistics
+
+    def columns(self, name: str) -> dict[str, list]:
+        """Return ``name``'s rows transposed into column arrays.
+
+        The transposition is cached and invalidated by the same
+        dirty-marking that rebuilds hash indexes, so repeated columnar
+        executions and statistics builds share one pass over the rows.
+        The arrays are shared — callers must not mutate them.
+        """
+        lowered = name.lower()
+        cached = self._columns.get(lowered)
+        if cached is not None:
+            return cached
+        rows = self.rows(name)
+        names = (
+            self.catalog.get(name).column_names()
+            if name in self.catalog
+            else sorted({c for row in rows for c in row})
+        )
+        columns = {column: [row.get(column) for row in rows] for column in names}
+        self._columns[lowered] = columns
+        return columns
+
+    def stats(self, name: str):
+        """Return (building lazily) the :class:`~repro.db.stats.TableStats`
+        for a base table.  Kept fresh by ``_invalidate``: any insert/clear/
+        create_table drops the cached object and the next call rebuilds it
+        from the current rows."""
+        lowered = name.lower()
+        cached = self._table_stats.get(lowered)
+        if cached is not None:
+            return cached
+        from .stats import build_table_stats
+
+        if lowered not in self._tables:
+            raise EngineError(f"unknown table {name!r}")
+        stats = build_table_stats(lowered, self.columns(name))
+        self._table_stats[lowered] = stats
+        return stats
+
+    @property
+    def columnar_mode(self) -> str:
+        """Columnar execution policy: ``"auto"`` (statistics-driven cost
+        choice with the adaptive small-input switch), ``"off"`` (always
+        row-at-a-time), or ``"force"`` (columnar whenever structurally
+        supported — used by the differential tests)."""
+        return self._columnar_mode
+
+    @columnar_mode.setter
+    def columnar_mode(self, mode: str) -> None:
+        if mode not in ("auto", "off", "force"):
+            raise EngineError(f"unknown columnar mode {mode!r}")
+        if mode != self._columnar_mode:
+            self._columnar_mode = mode
+            # Plans embed the mode's lowering choices.
+            self._plan_cache.clear()
 
     # ------------------------------------------------------------------
     # Query evaluation
 
     def plan(self, query: RelExpr):
-        """Return the (cached) physical plan for an algebra tree."""
-        plan = self._plan_cache.get(query)
-        if plan is not None:
+        """Return the (cached) physical plan for an algebra tree.
+
+        Entries are keyed by the statistics epoch they were planned under:
+        a plan chosen when a table was empty (or differently distributed)
+        is re-planned — not reused — after the data changes.
+        """
+        entry = self._plan_cache.get(query)
+        if entry is not None and entry[0] == self._stats_epoch:
             self.plan_cache_hits += 1
-            return plan
+            return entry[1]
         from .planner import Planner
 
         self.plan_cache_misses += 1
         plan = Planner(self).lower(query)
         if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
             self._plan_cache.clear()
-        self._plan_cache[query] = plan
+        self._plan_cache[query] = (self._stats_epoch, plan)
         return plan
 
     def execute(
@@ -273,6 +352,20 @@ class Database:
                     f"  planned   ({len(rows)} rows): {rows[:5]!r}...\n"
                     f"  reference ({len(reference)} rows): {reference[:5]!r}..."
                 )
+            if _plan_uses_columnar(plan):
+                # Three-way net: when the plan took the columnar path, also
+                # run a row-at-a-time lowering of the same tree so columnar
+                # ≡ row ≡ reference all hold.
+                from .planner import Planner
+
+                row_plan = Planner(self, columnar="off").lower(query)
+                row_rows = list(row_plan.execute(ExecContext(self, params or {})))
+                if rows != row_rows:
+                    raise EngineDivergenceError(
+                        f"columnar and row-at-a-time plans disagree on {query}:\n"
+                        f"  columnar ({len(rows)} rows): {rows[:5]!r}...\n"
+                        f"  row      ({len(row_rows)} rows): {row_rows[:5]!r}..."
+                    )
         return rows, explain
 
     def explain(self, query: RelExpr, params: dict[str, Any] | None = None) -> dict:
@@ -622,6 +715,13 @@ class ReferenceEvaluator:
 
 #: Backwards-compatible private alias (pre-planner name).
 _Evaluator = ReferenceEvaluator
+
+
+def _plan_uses_columnar(plan) -> bool:
+    """True when a physical plan contains a columnar pipeline."""
+    if getattr(plan, "label", None) == "Columnar":
+        return True
+    return any(_plan_uses_columnar(child) for child in plan.children())
 
 
 @lru_cache(maxsize=512)

@@ -38,7 +38,7 @@ from .types import Row, is_truthy, sql_compare
 
 #: Operator labels whose ``rows_scanned`` explain field reports base-table
 #: rows actually read (wired into the connection's transfer accounting).
-SCAN_LABELS = frozenset({"SeqScan", "IndexLookup", "IndexNLJoin"})
+SCAN_LABELS = frozenset({"SeqScan", "IndexLookup", "IndexNLJoin", "Columnar"})
 
 
 class PlannedScalarEvaluator(ReferenceEvaluator):

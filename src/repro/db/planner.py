@@ -1,4 +1,4 @@
-"""Logical→physical plan lowering.
+"""Logical→physical plan lowering with cost-based physical selection.
 
 The :class:`Planner` turns a relational algebra tree into a tree of
 :mod:`repro.db.physical` operators.  Every lowering decision here is
@@ -9,17 +9,32 @@ row.  Whenever that proof fails — inexact scopes, suffix-fallback column
 lookups, expressions hiding subqueries — the planner emits the general
 operator that mirrors the reference evaluator line for line.
 
-Lowerings performed:
+Among the alternatives that *do* pass the soundness proof, the planner no
+longer applies fixed heuristics: each choice point builds a group in the
+Volcano-style memo (:class:`repro.cost.andor.Memo`) whose alternatives are
+costed from observed table statistics (:mod:`repro.db.stats` — row counts,
+NDV, histograms), and the cheapest alternative wins.  Ties keep the first
+candidate listed, which encodes the pre-cost preference order.  Join
+*order* is never searched: the reference's row order (left-major loops,
+first-seen groups) is part of the contract, so costing only picks among
+order-preserving strategies for the same shape.
+
+Lowerings considered:
 
 * ``σ`` with equality conjuncts over a base table → :class:`IndexLookup`
   (auto-indexed on declared key columns, or on explicitly registered
-  indexes).
+  indexes); with several indexed conjuncts the NDV-best one is probed.
 * ``σ`` whose predicate conjoins an ``EXISTS`` subquery → hash
   semi/anti-join, decorrelating equality conjuncts between inner and outer
   columns; uncorrelated ``EXISTS`` degenerates to a single emptiness probe.
+* ``σ``/``π``/``γ`` over a base-table scan whose expressions are all
+  vectorizable → :class:`~repro.db.columnar.ColumnarPipeline`, when the
+  table clears the statistics-derived size threshold (the plan-time half
+  of the adaptive engine switch).
 * ``⋈`` with extractable equality keys → :class:`HashJoin`, or
   :class:`IndexNLJoin` when the right side is a base table with an
-  explicitly registered index on the join column.
+  explicitly registered index on the join column and the estimated probe
+  cost beats the hash build.
 * ``τ`` under ``LIMIT`` → :class:`TopN` (bounded heap).
 * Everything else → streaming counterparts of the reference operators.
 """
@@ -48,6 +63,8 @@ from ..algebra import (
     conjoin,
     walk_scalar,
 )
+from ..cost.andor import AndNode, Memo
+from .columnar import ColumnarPipeline, supported_expr
 from .engine import Database, EngineError
 from .physical import (
     AliasOp,
@@ -67,12 +84,27 @@ from .physical import (
     SortOp,
     TopN,
 )
+from .stats import COLUMNAR_MIN_ROWS, CardinalityEstimator
 
 #: Wrapper operators that preserve (non-)emptiness of their child, so an
 #: EXISTS test can see through them.  Limit needs ``count >= 1`` (checked
 #: separately); Aggregate without GROUP BY always returns one row and must
 #: NOT be peeled.
 _EMPTINESS_PRESERVING = (Project, Distinct, Sort, Alias)
+
+#: Cost-model unit weights, calibrated on the ``bench_engine`` workloads.
+#: Only ratios matter: a row operator pays ``_C_ROW`` per row materialized
+#: (dict copy + qualified keys) and ``_C_EVAL`` per row-at-a-time scalar
+#: expression evaluation; vectorized evaluation costs ``_C_VEC`` per row
+#: per expression; a hash/index probe costs ``_C_PROBE``.
+_C_ROW = 1.0
+_C_EVAL = 0.55
+_C_VEC = 0.06
+_C_PROBE = 0.25
+
+#: Aggregate functions the columnar pipeline can fold (same set as the
+#: row engine's incremental path).
+_FOLDABLE_AGGS = frozenset({"count", "sum", "min", "max", "avg"})
 
 
 def split_conjuncts(pred: ScalarExpr | None) -> list[ScalarExpr]:
@@ -248,43 +280,78 @@ def _side_of_expr(
 
 
 class Planner:
-    """Lowers algebra trees to physical plans for one :class:`Database`."""
+    """Lowers algebra trees to physical plans for one :class:`Database`.
 
-    def __init__(self, db: Database):
+    ``columnar`` overrides the database's columnar mode for this lowering:
+    ``"auto"`` (cost + statistics threshold), ``"off"`` (row operators
+    only), or ``"force"`` (columnar wherever structurally supported — used
+    by differential tests and benchmarks to pin the engine).
+    """
+
+    def __init__(self, db: Database, columnar: str | None = None):
         self.db = db
         self.catalog = db.catalog
+        self.columnar = columnar if columnar is not None else db.columnar_mode
+        self.estimator = CardinalityEstimator(db)
+        self.memo = Memo()
+        self._alternatives = 0
 
     # ------------------------------------------------------------------
 
     def lower(self, node: RelExpr) -> PhysicalOp:
+        plan = self._lower(node)
+        # Search-size breadcrumbs for tests and EXPLAIN-style introspection.
+        self.db.last_plan_search = {
+            "groups": len(self.memo),
+            "alternatives": self._alternatives,
+        }
+        return plan
+
+    def _choose(self, label: str, candidates) -> PhysicalOp:
+        """Record one memo group of costed alternatives and return the
+        winner's plan.  ``candidates`` is ``[(op_name, cost, plan), ...]``;
+        the memo's strict-< minimization keeps the first on ties."""
+        group = self.memo.new_group(label)
+        for op, cost, plan in candidates:
+            if group.add(AndNode(op=op, local_cost=cost, payload=plan)):
+                self._alternatives += 1
+        return self.memo.optimize(group.group_id).alternative.payload
+
+    # ------------------------------------------------------------------
+
+    def _lower(self, node: RelExpr, allow_columnar: bool = True) -> PhysicalOp:
         if isinstance(node, Table):
             return SeqScan(node.name, node.alias)
         if isinstance(node, Select):
-            return self._lower_select(node)
+            return self._lower_select(node, allow_columnar)
         if isinstance(node, Project):
-            return ProjectOp(self.lower(node.child), node)
+            return self._lower_project(node, allow_columnar)
         if isinstance(node, Join):
             return self._lower_join(node)
         if isinstance(node, Aggregate):
-            return HashAggregate(self.lower(node.child), node)
+            return self._lower_aggregate(node, allow_columnar)
         if isinstance(node, Sort):
-            return SortOp(self.lower(node.child), node)
+            return SortOp(self._lower(node.child), node)
         if isinstance(node, Distinct):
-            return DistinctOp(self.lower(node.child))
+            return DistinctOp(self._lower(node.child))
         if isinstance(node, Limit):
             if isinstance(node.child, Sort):
-                return TopN(self.lower(node.child.child), node.child, node.count)
-            return LimitOp(self.lower(node.child), node.count)
+                return TopN(self._lower(node.child.child), node.child, node.count)
+            # A columnar pipeline consumes its whole input before emitting,
+            # which would defeat LIMIT's early exit — unless the child is
+            # an aggregate, which must consume everything anyway.
+            allow = isinstance(node.child, Aggregate)
+            return LimitOp(self._lower(node.child, allow_columnar=allow), node.count)
         if isinstance(node, OuterApply):
-            return ApplyOp(self.lower(node.left), self.lower(node.right), node)
+            return ApplyOp(self._lower(node.left), self._lower(node.right), node)
         if isinstance(node, Alias):
-            return AliasOp(self.lower(node.child), node.name)
+            return AliasOp(self._lower(node.child), node.name)
         raise EngineError(f"cannot evaluate {type(node).__name__}")
 
     # ------------------------------------------------------------------
     # Selection
 
-    def _lower_select(self, node: Select) -> PhysicalOp:
+    def _lower_select(self, node: Select, allow_columnar: bool = True) -> PhysicalOp:
         conjuncts = split_conjuncts(node.pred)
 
         exists, negated, others = self._find_exists_conjunct(conjuncts)
@@ -293,11 +360,39 @@ class Planner:
             if semi is not None:
                 return semi
 
-        lookup = self._try_index_lookup(node, conjuncts)
-        if lookup is not None:
-            return lookup
+        table = node.child
+        if not (isinstance(table, Table) and table.name in self.catalog):
+            return FilterOp(self._lower(table, allow_columnar), node.pred)
 
-        return FilterOp(self.lower(node.child), node.pred)
+        est = self.estimator
+        row_count = est.table_rows(table.name)
+        filter_plan = FilterOp(SeqScan(table.name, table.alias), node.pred)
+        candidates = []
+
+        lookup, probe_rows = self._best_index_lookup(node, conjuncts)
+        if lookup is not None:
+            candidates.append(
+                ("IndexLookup", _C_PROBE + probe_rows * (_C_ROW + _C_EVAL), lookup)
+            )
+
+        if allow_columnar:
+            pipeline = self._pipeline(
+                table,
+                node.pred,
+                ("filter", None),
+                (),
+                fallback=lookup if lookup is not None else filter_plan,
+            )
+            if pipeline is not None:
+                if self.columnar == "force":
+                    return pipeline
+                out = row_count * est.selectivity(node.pred, table.name)
+                candidates.append(
+                    ("Columnar", row_count * _C_VEC + out * _C_ROW, pipeline)
+                )
+
+        candidates.append(("Filter", row_count * (_C_ROW + _C_EVAL), filter_plan))
+        return self._choose(f"select({table.name})", candidates)
 
     @staticmethod
     def _find_exists_conjunct(conjuncts):
@@ -366,7 +461,7 @@ class Planner:
         child_plan = self._filtered_child(node, others)
         return HashSemiJoin(
             child_plan,
-            self.lower(build_rel),
+            self._lower(build_rel),
             outer_keys,
             inner_keys,
             negated,
@@ -377,7 +472,7 @@ class Planner:
         """Lower the Select's child with the non-EXISTS conjuncts applied
         (re-entering selection lowering so point lookups still trigger)."""
         if not others:
-            return self.lower(node.child)
+            return self._lower(node.child)
         return self._lower_select(Select(node.child, conjoin(*others)))
 
     def _correlation_pair(self, conjunct, inner_names, outer_names):
@@ -474,19 +569,24 @@ class Planner:
     # ------------------------------------------------------------------
     # Point lookups
 
-    def _try_index_lookup(self, node: Select, conjuncts) -> PhysicalOp | None:
-        """Lower ``σ[col = expr AND ...](T)`` to a hash-index point lookup.
+    def _best_index_lookup(self, node: Select, conjuncts):
+        """Build ``σ[col = expr AND ...](T)`` as a hash-index point lookup.
 
-        Applies when the probed column is part of the table's declared key
+        Applies when a probed column is part of the table's declared key
         (auto-indexed on first use) or carries an explicitly registered
-        index, and the probe expression cannot see the table's row."""
+        index, and the probe expression cannot see the table's row.  Among
+        several indexable conjuncts, the one with the highest NDV (fewest
+        expected matches) is probed.  Returns ``(plan, estimated_rows)`` or
+        ``(None, None)``."""
         table = node.child
         if not isinstance(table, Table) or table.name not in self.catalog:
-            return None
+            return None, None
         names = scope_names(table, self.catalog)
         columns = set(self.catalog.get(table.name).column_names())
         declared_key = set(self.catalog.get(table.name).key)
+        row_count = self.estimator.table_rows(table.name)
 
+        best = None  # (estimated rows, conjunct index, column, probe expr)
         for i, conjunct in enumerate(conjuncts):
             if not (isinstance(conjunct, BinOp) and conjunct.op == "="):
                 continue
@@ -505,19 +605,152 @@ class Planner:
                 )
                 if not indexed:
                     continue
-                residual = conjoin(*(conjuncts[:i] + conjuncts[i + 1 :]))
-                fallback = FilterOp(SeqScan(table.name, table.alias), node.pred)
-                return IndexLookup(
-                    table.name, table.alias, col.name, probe, residual, fallback
-                )
-        return None
+                ndv = self.estimator.ndv(table.name, col.name) or 1
+                estimated = row_count / max(ndv, 1)
+                if best is None or estimated < best[0]:
+                    best = (estimated, i, col, probe)
+                break
+        if best is None:
+            return None, None
+        estimated, i, col, probe = best
+        residual = conjoin(*(conjuncts[:i] + conjuncts[i + 1 :]))
+        fallback = FilterOp(SeqScan(table.name, table.alias), node.pred)
+        return (
+            IndexLookup(table.name, table.alias, col.name, probe, residual, fallback),
+            estimated,
+        )
+
+    # ------------------------------------------------------------------
+    # Columnar pipelines
+
+    def _pipeline(self, table: Table, pred, head, head_exprs, fallback):
+        """A :class:`ColumnarPipeline` over ``table``, or ``None`` when the
+        mode, the statistics threshold, or expression support rules it
+        out."""
+        if self.columnar == "off":
+            return None
+        schema = self.catalog.get(table.name)
+        columns = set(schema.column_names())
+        alias = table.alias or table.name
+        exprs = list(head_exprs)
+        if pred is not None:
+            exprs.append(pred)
+        if not all(supported_expr(e, alias, columns) for e in exprs):
+            return None
+        if self.columnar == "force":
+            min_rows = 0
+        else:
+            if self.db.stats(table.name).row_count < COLUMNAR_MIN_ROWS:
+                return None
+            min_rows = COLUMNAR_MIN_ROWS
+        return ColumnarPipeline(
+            table.name, table.alias, schema.column_names(), pred, head,
+            fallback, min_rows,
+        )
+
+    def _scan_shape(self, rel: RelExpr):
+        """Decompose ``rel`` as ``[σ] over base table``; returns
+        ``(table, pred, select_node)`` or ``(None, None, None)``."""
+        if isinstance(rel, Table) and rel.name in self.catalog:
+            return rel, None, None
+        if (
+            isinstance(rel, Select)
+            and isinstance(rel.child, Table)
+            and rel.child.name in self.catalog
+        ):
+            return rel.child, rel.pred, rel
+        return None, None, None
+
+    def _lower_project(self, node: Project, allow_columnar: bool = True) -> PhysicalOp:
+        plan = self._columnar_head(node, allow_columnar)
+        if plan is not None:
+            return plan
+        return ProjectOp(self._lower(node.child, allow_columnar), node)
+
+    def _lower_aggregate(self, node: Aggregate, allow_columnar: bool = True) -> PhysicalOp:
+        plan = self._columnar_head(node, allow_columnar)
+        if plan is not None:
+            return plan
+        return HashAggregate(self._lower(node.child, allow_columnar), node)
+
+    def _columnar_head(self, node, allow_columnar: bool) -> PhysicalOp | None:
+        """Try lowering ``γ`` or ``π`` over ``[σ] over base table`` as one
+        columnar pipeline; ``None`` defers to the generic row lowering."""
+        if not allow_columnar or self.columnar == "off":
+            return None
+        table, pred, select_node = self._scan_shape(node.child)
+        if table is None:
+            return None
+
+        if isinstance(node, Aggregate):
+            if any(
+                item.call.distinct or item.call.func not in _FOLDABLE_AGGS
+                for item in node.aggs
+            ):
+                return None
+            head_exprs = list(node.group_by) + [
+                item.call.arg for item in node.aggs if item.call.arg is not None
+            ]
+            head = ("aggregate", node)
+            row_plan = HashAggregate(
+                self._lower(node.child, allow_columnar=False), node
+            )
+            row_op = "HashAggregate"
+            label = f"aggregate({table.name})"
+        else:
+            head_exprs = [item.expr for item in node.items]
+            head = ("project", node)
+            row_plan = ProjectOp(
+                self._lower(node.child, allow_columnar=False), node
+            )
+            row_op = "Project"
+            label = f"project({table.name})"
+
+        pipeline = self._pipeline(table, pred, head, head_exprs, fallback=row_plan)
+        if pipeline is None:
+            return None
+        if self.columnar == "force":
+            return pipeline
+
+        out = self.estimator.estimate(node)
+        row_cost, col_cost = self._head_costs(
+            table, pred, head_exprs, out, select_node
+        )
+        return self._choose(
+            label,
+            [("Columnar", col_cost, pipeline), (row_op, row_cost, row_plan)],
+        )
+
+    def _head_costs(self, table: Table, pred, head_exprs, out, select_node):
+        """Cost a π/γ head on the row path vs. the columnar pipeline."""
+        est = self.estimator
+        row_count = est.table_rows(table.name)
+        n_exprs = len(head_exprs)
+        if pred is None:
+            rows_in = row_count
+            row_scan = row_count * _C_ROW
+            col_scan = 0.0
+        else:
+            rows_in = row_count * est.selectivity(pred, table.name)
+            lookup, probe_rows = self._best_index_lookup(
+                select_node, split_conjuncts(pred)
+            )
+            if lookup is not None:
+                # The row path would probe an index instead of scanning.
+                row_scan = _C_PROBE + probe_rows * (_C_ROW + _C_EVAL)
+            else:
+                row_scan = row_count * (_C_ROW + _C_EVAL)
+            col_scan = row_count * _C_VEC
+        row_cost = row_scan + rows_in * _C_EVAL * n_exprs + out * _C_ROW
+        col_cost = col_scan + rows_in * _C_VEC * n_exprs + out * _C_ROW
+        return row_cost, col_cost
 
     # ------------------------------------------------------------------
     # Joins
 
     def _lower_join(self, node: Join) -> PhysicalOp:
-        left_plan = self.lower(node.left)
-        right_plan = self.lower(node.right)
+        left_plan = self._lower(node.left)
+        right_plan = self._lower(node.right)
         if node.pred is None:
             return NestedLoopJoin(left_plan, right_plan, node)
 
@@ -555,7 +788,8 @@ class Planner:
 
         # Index nested-loop only on explicit opt-in (create_index): for a
         # one-shot join the hash build is at least as good, but a
-        # registered index persists across queries.
+        # registered index persists across queries.  Among the two
+        # order-preserving strategies, estimated cost decides.
         right_key = right_keys[0]
         if (
             len(right_keys) == 1
@@ -565,7 +799,12 @@ class Planner:
             in set(self.catalog.get(node.right.name).column_names())
             and self.db.has_index(node.right.name, right_key.name)
         ):
-            return IndexNLJoin(
+            est = self.estimator
+            left_rows = est.estimate(node.left)
+            right_rows = est.estimate(node.right)
+            ndv = est.ndv(node.right.name, right_key.name) or 1
+            matches = right_rows / max(ndv, 1)
+            inl = IndexNLJoin(
                 left_plan,
                 node,
                 node.right.name,
@@ -574,5 +813,20 @@ class Planner:
                 left_keys[0],
                 residual_pred,
                 fallback=hash_join,
+            )
+            return self._choose(
+                f"join({node.right.name})",
+                [
+                    (
+                        "IndexNLJoin",
+                        left_rows * (_C_PROBE + matches * _C_ROW),
+                        inl,
+                    ),
+                    (
+                        "HashJoin",
+                        right_rows * _C_ROW + left_rows * (_C_PROBE + _C_ROW),
+                        hash_join,
+                    ),
+                ],
             )
         return hash_join

@@ -1,0 +1,447 @@
+"""Per-table statistics and cardinality estimation.
+
+The planned engine's lowering decisions (access path, join strategy,
+columnar vs. row execution) were originally fixed heuristics with no
+knowledge of the data.  This module grounds them in observed table shape:
+
+* :class:`TableStats` — row count plus per-column :class:`ColumnStats`
+  (non-NULL count, NULL count, number of distinct values, min/max, and an
+  equi-width :class:`Histogram` for all-numeric columns).  Statistics are
+  collected lazily from the cached column arrays on first use and kept
+  fresh by the same dirty-marking machinery that invalidates hash indexes
+  (``Database._invalidate`` on insert/clear/create_table).
+* :class:`CardinalityEstimator` — textbook selectivity arithmetic over
+  those statistics: ``1/NDV`` for equality, histogram fractions for range
+  predicates, independence for AND, inclusion–exclusion for OR, and
+  ``|L|·|R| / max(NDV)`` for equi-joins.  Estimates feed the planner's
+  Volcano search (:mod:`repro.db.planner`) and, optionally, the rewrite
+  cost bridge (:class:`repro.rewrites.cost.AlternativeCostModel`).
+
+Statistics are *estimates*: the planner only uses them to rank physical
+alternatives that are all semantically identical, so a bad estimate can
+cost performance but never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..algebra import (
+    Aggregate,
+    Alias,
+    BinOp,
+    Col,
+    Distinct,
+    Join,
+    Limit,
+    Lit,
+    OuterApply,
+    Param,
+    Project,
+    RelExpr,
+    ScalarExpr,
+    Select,
+    Sort,
+    Table,
+    UnOp,
+    walk_relational,
+)
+from .types import is_truthy
+
+#: Equi-width histogram resolution (buckets per numeric column).
+HISTOGRAM_BUCKETS = 16
+
+#: Below this many rows the row-at-a-time path wins: per-batch dispatch,
+#: column gathering, and result assembly cost more than they save.  The
+#: crossover was measured on the ``bench_engine`` aggregation workload
+#: (row path ≈ 3 µs/row of constant work vs. ≈ 0.2 ms of fixed columnar
+#: overhead); the adaptive switch routes anything smaller to the row path.
+COLUMNAR_MIN_ROWS = 64
+
+#: Fallback selectivities when no statistics apply.
+DEFAULT_SELECTIVITY = 0.33
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_LIKE_SELECTIVITY = 0.25
+
+#: Sentinel for "value unknown at plan time" (parameters).
+_UNKNOWN = object()
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-width histogram over a numeric column."""
+
+    lo: float
+    hi: float
+    counts: tuple[int, ...]
+    total: int
+
+    def fraction_le(self, value: float) -> float:
+        """Approximate fraction of values ``<= value`` (linear within a
+        bucket, the classic equi-width interpolation)."""
+        if self.total == 0:
+            return 0.0
+        if value < self.lo:
+            return 0.0
+        if value >= self.hi:
+            return 1.0
+        width = (self.hi - self.lo) / len(self.counts)
+        if width <= 0:
+            return 1.0
+        index = min(int((value - self.lo) / width), len(self.counts) - 1)
+        below = sum(self.counts[:index])
+        within = self.counts[index] * ((value - (self.lo + index * width)) / width)
+        return min(1.0, max(0.0, (below + within) / self.total))
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Shape summary of one column."""
+
+    name: str
+    row_count: int
+    null_count: int
+    ndv: int
+    min_value: Any
+    max_value: Any
+    histogram: Histogram | None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "row_count": self.row_count,
+            "null_count": self.null_count,
+            "ndv": self.ndv,
+            "min": self.min_value,
+            "max": self.max_value,
+            "histogram_buckets": (
+                None if self.histogram is None else list(self.histogram.counts)
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column statistics for one base table."""
+
+    table: str
+    row_count: int
+    columns: Mapping[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "row_count": self.row_count,
+            "columns": {name: cs.to_dict() for name, cs in self.columns.items()},
+        }
+
+
+def _build_histogram(values: list, lo: float, hi: float) -> Histogram:
+    buckets = HISTOGRAM_BUCKETS
+    counts = [0] * buckets
+    if hi <= lo:
+        counts[0] = len(values)
+        return Histogram(lo=lo, hi=hi, counts=tuple(counts), total=len(values))
+    scale = buckets / (hi - lo)
+    top = buckets - 1
+    for value in values:
+        index = int((value - lo) * scale)
+        counts[index if index < top else top] += 1
+    return Histogram(lo=lo, hi=hi, counts=tuple(counts), total=len(values))
+
+
+def _column_stats(name: str, values: list) -> ColumnStats:
+    non_null = [v for v in values if v is not None]
+    null_count = len(values) - len(non_null)
+    try:
+        ndv = len(set(non_null))
+    except TypeError:  # unhashable values: distinct-by-repr approximation
+        ndv = len({repr(v) for v in non_null})
+    min_value = max_value = None
+    if non_null:
+        try:
+            min_value = min(non_null)
+            max_value = max(non_null)
+        except TypeError:  # mixed incomparable types: no order statistics
+            min_value = max_value = None
+    histogram = None
+    if (
+        min_value is not None
+        and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in non_null
+        )
+    ):
+        histogram = _build_histogram(non_null, float(min_value), float(max_value))
+    return ColumnStats(
+        name=name,
+        row_count=len(values),
+        null_count=null_count,
+        ndv=ndv,
+        min_value=min_value,
+        max_value=max_value,
+        histogram=histogram,
+    )
+
+
+def build_table_stats(
+    table: str, columns: Mapping[str, list]
+) -> TableStats:
+    """Collect statistics from a table's column arrays (one full pass)."""
+    stats = {name: _column_stats(name, values) for name, values in columns.items()}
+    row_count = len(next(iter(columns.values()))) if columns else 0
+    return TableStats(table=table.lower(), row_count=row_count, columns=stats)
+
+
+class CardinalityEstimator:
+    """Selectivity and cardinality estimates over a database's statistics.
+
+    All methods degrade gracefully: unknown tables, columns without
+    statistics, or expression shapes the arithmetic does not cover fall
+    back to the module's default selectivities, so the estimator is total
+    over every algebra tree the engine can execute.
+    """
+
+    def __init__(self, db):
+        self._db = db
+
+    # ------------------------------------------------------------------
+    # Table-level lookups
+
+    def stats(self, table: str) -> TableStats | None:
+        try:
+            return self._db.stats(table)
+        except Exception:
+            return None
+
+    def table_rows(self, table: str) -> float:
+        stats = self.stats(table)
+        return 0.0 if stats is None else float(stats.row_count)
+
+    def ndv(self, table: str, column: str) -> int | None:
+        stats = self.stats(table)
+        if stats is None:
+            return None
+        cs = stats.column(column)
+        return None if cs is None else cs.ndv
+
+    # ------------------------------------------------------------------
+    # Predicate selectivity against one base table
+
+    def selectivity(self, pred: ScalarExpr | None, table: str) -> float:
+        """Estimated fraction of ``table``'s rows satisfying ``pred``."""
+        if pred is None:
+            return 1.0
+        stats = self.stats(table)
+        return self._pred_sel(pred, stats)
+
+    def select_selectivity(self, rel: Select) -> float | None:
+        """Selectivity of a σ node's predicate against the base table its
+        columns resolve to, or ``None`` when no single base table can be
+        identified (e.g. a selection over a join)."""
+        base = self._base_table(rel.child)
+        if base is None:
+            return None
+        return self.selectivity(rel.pred, base)
+
+    def _pred_sel(self, expr: ScalarExpr, stats: TableStats | None) -> float:
+        if isinstance(expr, BinOp):
+            op = expr.op.upper()
+            if op == "AND":
+                return self._clamp(
+                    self._pred_sel(expr.left, stats)
+                    * self._pred_sel(expr.right, stats)
+                )
+            if op == "OR":
+                a = self._pred_sel(expr.left, stats)
+                b = self._pred_sel(expr.right, stats)
+                return self._clamp(a + b - a * b)
+            if op in ("=", "!=", "<", ">", "<=", ">="):
+                return self._cmp_sel(op, expr.left, expr.right, stats)
+            if op == "LIKE":
+                return DEFAULT_LIKE_SELECTIVITY
+            return DEFAULT_SELECTIVITY
+        if isinstance(expr, UnOp) and expr.op.upper() == "NOT":
+            return self._clamp(1.0 - self._pred_sel(expr.operand, stats))
+        if isinstance(expr, Lit):
+            return 1.0 if is_truthy(expr.value) else 0.0
+        return DEFAULT_SELECTIVITY
+
+    def _cmp_sel(self, op, left, right, stats: TableStats | None) -> float:
+        column, value, flipped = self._column_vs_value(left, right, stats)
+        if column is None:
+            # col-to-col comparison on the same table, or no statistics.
+            if (
+                op == "="
+                and stats is not None
+                and isinstance(left, Col)
+                and isinstance(right, Col)
+            ):
+                a, b = stats.column(left.name), stats.column(right.name)
+                if a is not None and b is not None:
+                    return self._clamp(1.0 / max(a.ndv, b.ndv, 1))
+            return (
+                DEFAULT_EQ_SELECTIVITY
+                if op in ("=", "!=")
+                else DEFAULT_SELECTIVITY
+            )
+        if op in ("<", ">", "<=", ">="):
+            if flipped:
+                # value OP col  ≡  col (flipped OP) value
+                op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}[op]
+            return self._range_sel(op, column, value)
+        eq = self._eq_sel(column, value)
+        return eq if op == "=" else self._clamp(1.0 - eq)
+
+    def _column_vs_value(self, left, right, stats):
+        """Split a comparison into (ColumnStats, value-or-_UNKNOWN, flipped);
+        ``flipped`` is True when the column sits on the right-hand side."""
+        if stats is None:
+            return None, None, False
+        for col, other, flipped in ((left, right, False), (right, left, True)):
+            if not isinstance(col, Col):
+                continue
+            cs = stats.column(col.name)
+            if cs is None:
+                continue
+            if isinstance(other, Col):
+                return None, None, False
+            if isinstance(other, Lit):
+                return cs, other.value, flipped
+            return cs, _UNKNOWN, flipped
+        return None, None, False
+
+    def _eq_sel(self, cs: ColumnStats, value) -> float:
+        if cs.row_count == 0 or cs.ndv == 0:
+            return 0.0
+        if value is None:
+            return 0.0  # col = NULL is never true
+        if value is not _UNKNOWN and cs.histogram is not None:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if value < cs.min_value or value > cs.max_value:
+                    return 0.0
+            else:
+                return 0.0  # non-numeric literal against a numeric column
+        return self._clamp(1.0 / cs.ndv)
+
+    def _range_sel(self, op: str, cs: ColumnStats, value) -> float:
+        if cs.row_count == 0:
+            return 0.0
+        if value is None:
+            return 0.0
+        hist = cs.histogram
+        if (
+            value is _UNKNOWN
+            or hist is None
+            or not isinstance(value, (int, float))
+            or isinstance(value, bool)
+        ):
+            return DEFAULT_SELECTIVITY
+        le = hist.fraction_le(float(value))
+        point = 1.0 / max(cs.ndv, 1)
+        if op == "<=":
+            sel = le
+        elif op == "<":
+            sel = le - point
+        elif op == ">":
+            sel = 1.0 - le
+        else:  # >=
+            sel = 1.0 - le + point
+        # Discount NULLs: they satisfy no comparison.
+        non_null = (cs.row_count - cs.null_count) / cs.row_count
+        return self._clamp(sel * non_null)
+
+    @staticmethod
+    def _clamp(value: float) -> float:
+        return min(1.0, max(0.0, value))
+
+    # ------------------------------------------------------------------
+    # Cardinality of relational trees
+
+    def estimate(self, rel: RelExpr) -> float:
+        """Estimated output row count of an algebra tree."""
+        if isinstance(rel, Table):
+            return self.table_rows(rel.name)
+        if isinstance(rel, Select):
+            base = self._base_table(rel.child)
+            child = self.estimate(rel.child)
+            if base is None:
+                return child * DEFAULT_SELECTIVITY
+            return child * self.selectivity(rel.pred, base)
+        if isinstance(rel, (Project, Sort, Alias)):
+            return self.estimate(rel.child)
+        if isinstance(rel, Distinct):
+            return self.estimate(rel.child)
+        if isinstance(rel, Limit):
+            return min(float(max(rel.count, 0)), self.estimate(rel.child))
+        if isinstance(rel, Aggregate):
+            return self._estimate_aggregate(rel)
+        if isinstance(rel, Join):
+            return self._estimate_join(rel)
+        if isinstance(rel, OuterApply):
+            return self.estimate(rel.left)
+        return 1.0
+
+    def _base_table(self, rel: RelExpr) -> str | None:
+        """The single base table a predicate's columns resolve against,
+        looking through name-preserving wrappers."""
+        while isinstance(rel, (Select, Sort, Distinct, Limit, Alias)):
+            rel = rel.child
+        if isinstance(rel, Table):
+            return rel.name
+        return None
+
+    def _tables_below(self, rel: RelExpr) -> list[str]:
+        return [n.name for n in walk_relational(rel) if isinstance(n, Table)]
+
+    def _ndv_below(self, col: Col, rel: RelExpr) -> int | None:
+        """NDV of ``col`` against whichever base table below ``rel``
+        defines it (first match)."""
+        for table in self._tables_below(rel):
+            ndv = self.ndv(table, col.name)
+            if ndv is not None:
+                return ndv
+        return None
+
+    def _estimate_aggregate(self, rel: Aggregate) -> float:
+        child = self.estimate(rel.child)
+        if not rel.group_by:
+            return 1.0
+        groups = 1.0
+        for expr in rel.group_by:
+            if isinstance(expr, Col):
+                ndv = self._ndv_below(expr, rel.child)
+                groups *= float(ndv) if ndv is not None else max(child, 1.0) ** 0.5
+            else:
+                groups *= max(child, 1.0) ** 0.5
+        return max(min(groups, child), 1.0 if child > 0 else 0.0)
+
+    def _estimate_join(self, rel: Join) -> float:
+        left = self.estimate(rel.left)
+        right = self.estimate(rel.right)
+        rows = left * right
+        if rel.pred is not None:
+            from .planner import split_conjuncts  # late: avoids import cycle
+
+            for conjunct in split_conjuncts(rel.pred):
+                if (
+                    isinstance(conjunct, BinOp)
+                    and conjunct.op == "="
+                    and isinstance(conjunct.left, Col)
+                    and isinstance(conjunct.right, Col)
+                ):
+                    ndvs = [
+                        self._ndv_below(conjunct.left, rel),
+                        self._ndv_below(conjunct.right, rel),
+                    ]
+                    known = [n for n in ndvs if n is not None]
+                    rows /= float(max(known)) if known else 10.0
+                else:
+                    rows *= DEFAULT_SELECTIVITY
+        if rel.kind == "left":
+            rows = max(rows, left)
+        return rows

@@ -66,12 +66,15 @@ class AlternativeCostModel(CostModel):
     Table cardinalities come from the live database when one is supplied,
     else from the profile's ``table_rows``/``default_table_rows``; the
     selection selectivity comes from the profile instead of the module
-    constant.
+    constant.  Passing a :class:`~repro.db.CardinalityEstimator` upgrades
+    selection selectivities from the profile's flat constant to
+    statistics-driven estimates (NDV, histograms) against the live data.
     """
 
-    def __init__(self, profile: DeploymentProfile, database=None):
+    def __init__(self, profile: DeploymentProfile, database=None, estimator=None):
         super().__init__(database, profile.cost_parameters())
         self.profile = profile
+        self.estimator = estimator
 
     def cardinality(self, rel: RelExpr) -> Estimate:
         if isinstance(rel, Table):
@@ -88,8 +91,13 @@ class AlternativeCostModel(CostModel):
             )
         if isinstance(rel, Select):
             child = self.cardinality(rel.child)
+            selectivity = self.profile.selectivity
+            if self.estimator is not None:
+                observed = self.estimator.select_selectivity(rel)
+                if observed is not None:
+                    selectivity = observed
             return Estimate(
-                rows=child.rows * self.profile.selectivity,
+                rows=child.rows * selectivity,
                 width_bytes=child.width_bytes,
             )
         return super().cardinality(rel)

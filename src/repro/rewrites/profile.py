@@ -92,6 +92,17 @@ class DeploymentProfile:
         """A copy with table cardinalities replaced."""
         return replace(self, table_rows=tuple(sorted(rows.items())))
 
+    def with_observed(self, database) -> "DeploymentProfile":
+        """A copy whose table cardinalities are read from a live database's
+        statistics (``Database.stats``) instead of assumed constants, so
+        rewrite costing ranks alternatives against the observed data shape
+        rather than the profile's defaults."""
+        observed = {
+            name: float(database.stats(name).row_count)
+            for name in database.table_names()
+        }
+        return self.with_tables(observed)
+
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:

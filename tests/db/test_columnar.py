@@ -1,0 +1,371 @@
+"""Columnar execution tests: plan shapes, the adaptive engine switch,
+aggregate corner parity, a three-way differential sweep (reference ≡
+row-at-a-time ≡ columnar), and the scale-100 aggregation regression guard.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.algebra import (
+    AggCall,
+    AggItem,
+    Aggregate,
+    BinOp,
+    Catalog,
+    Col,
+    Limit,
+    Lit,
+    Param,
+    Project,
+    ProjectItem,
+    Select,
+    Table,
+)
+from repro.db import (
+    COLUMNAR_MIN_ROWS,
+    Database,
+    EngineDivergenceError,
+    EngineError,
+)
+from repro.db.columnar import ColumnarPipeline
+from repro.db.physical import (
+    ExecContext,
+    FilterOp,
+    HashAggregate,
+    IndexLookup,
+    LimitOp,
+    ProjectOp,
+    SeqScan,
+)
+from repro.db.planner import Planner
+
+from tests.db.test_engine_differential import (
+    _INT_LITERALS,
+    _build_instance,
+    _QueryGen,
+)
+
+
+def _make_db(rows: int = 200) -> Database:
+    cat = Catalog()
+    cat.define("t", ["id", "grp", "val", "label"], key=("id",))
+    db = Database(cat)
+    db.insert_many(
+        "t",
+        [
+            {"id": i, "grp": i % 10, "val": float(i), "label": f"L{i % 4}"}
+            for i in range(rows)
+        ],
+    )
+    return db
+
+
+def _forced(db, query, params=None):
+    """Execute under columnar=force, assert parity with the reference."""
+    expected = db.execute(query, params, engine="reference")
+    db.columnar_mode = "force"
+    try:
+        actual = db.execute(query, params, engine="planned")
+    finally:
+        db.columnar_mode = "auto"
+    assert actual == expected
+    return actual
+
+
+FILTER = Select(Table("t"), BinOp("=", Col("grp"), Lit(3)))
+AGG = Aggregate(
+    Table("t"),
+    (Col("grp"),),
+    (AggItem(AggCall("sum", Col("val")), "total"),),
+)
+PROJ = Project(
+    Select(Table("t"), BinOp("<", Col("val"), Lit(50.0))),
+    (ProjectItem(Col("id"), "i"), ProjectItem(Col("val"), "v")),
+)
+
+
+class TestPlanShapes:
+    def test_big_filter_goes_columnar(self):
+        db = _make_db(200)
+        plan = Planner(db).lower(FILTER)
+        assert isinstance(plan, ColumnarPipeline)
+        assert db.execute(FILTER, engine="planned") == db.execute(
+            FILTER, engine="reference"
+        )
+
+    def test_big_aggregate_goes_columnar(self):
+        db = _make_db(200)
+        assert isinstance(Planner(db).lower(AGG), ColumnarPipeline)
+
+    def test_big_project_goes_columnar(self):
+        db = _make_db(200)
+        assert isinstance(Planner(db).lower(PROJ), ColumnarPipeline)
+
+    def test_small_table_stays_row(self):
+        db = _make_db(COLUMNAR_MIN_ROWS - 1)
+        assert isinstance(Planner(db).lower(FILTER), FilterOp)
+        assert isinstance(Planner(db).lower(AGG), HashAggregate)
+
+    def test_point_lookup_beats_columnar(self):
+        # id is the declared key: probing one row beats scanning 200.
+        db = _make_db(200)
+        query = Select(Table("t"), BinOp("=", Col("id"), Lit(5)))
+        assert isinstance(Planner(db).lower(query), IndexLookup)
+
+    def test_bare_table_scan_stays_row(self):
+        db = _make_db(200)
+        db.columnar_mode = "force"
+        assert isinstance(Planner(db).lower(Table("t")), SeqScan)
+
+    def test_limit_over_filter_stays_row(self):
+        # A pipeline consumes its whole input: it would defeat LIMIT's
+        # early exit, so the child is lowered on the row path.
+        db = _make_db(200)
+        plan = Planner(db).lower(Limit(FILTER, 3))
+        assert isinstance(plan, LimitOp)
+        assert not isinstance(plan.child, ColumnarPipeline)
+
+    def test_limit_over_aggregate_allows_columnar(self):
+        # An aggregate consumes everything anyway: columnar is fine below.
+        db = _make_db(200)
+        plan = Planner(db).lower(Limit(AGG, 3))
+        assert isinstance(plan, LimitOp)
+        assert isinstance(plan.child, ColumnarPipeline)
+
+    def test_force_mode_ignores_size_threshold(self):
+        db = _make_db(5)
+        assert isinstance(
+            Planner(db, columnar="force").lower(FILTER), ColumnarPipeline
+        )
+
+    def test_off_mode_never_columnar(self):
+        db = _make_db(500)
+        assert isinstance(Planner(db, columnar="off").lower(FILTER), FilterOp)
+
+    def test_star_projection_stays_row(self):
+        db = _make_db(200)
+        query = Project(Table("t"), (ProjectItem(Col("*")),))
+        assert isinstance(Planner(db, columnar="force").lower(query), ProjectOp)
+
+    def test_distinct_aggregate_stays_row(self):
+        db = _make_db(200)
+        query = Aggregate(
+            Table("t"),
+            (),
+            (AggItem(AggCall("count", Col("grp"), distinct=True), "n"),),
+        )
+        assert isinstance(
+            Planner(db, columnar="force").lower(query), HashAggregate
+        )
+
+    def test_foreign_qualifier_stays_row(self):
+        # grp resolves outside the scan (qualifier is not the alias):
+        # vectorized lookup could divert it, so the pipeline refuses.
+        db = _make_db(200)
+        query = Select(Table("t", "a"), BinOp("=", Col("grp", "other"), Lit(1)))
+        assert isinstance(
+            Planner(db, columnar="force").lower(query), FilterOp
+        )
+
+
+class TestAdaptiveSwitch:
+    def test_threshold_is_exact(self):
+        below = _make_db(COLUMNAR_MIN_ROWS - 1)
+        at = _make_db(COLUMNAR_MIN_ROWS)
+        assert not isinstance(Planner(below).lower(FILTER), ColumnarPipeline)
+        assert isinstance(Planner(at).lower(FILTER), ColumnarPipeline)
+
+    def test_replan_when_table_grows(self):
+        db = _make_db(10)
+        assert not isinstance(db.plan(FILTER), ColumnarPipeline)
+        db.insert_many(
+            "t",
+            [
+                {"id": 10 + i, "grp": i % 10, "val": float(i), "label": "x"}
+                for i in range(300)
+            ],
+        )
+        # Epoch-keyed cache: the stale row plan is not reused.
+        assert isinstance(db.plan(FILTER), ColumnarPipeline)
+
+    def test_stale_plan_falls_back_at_runtime(self):
+        # A pipeline planned for 200 rows but executed against 5 routes
+        # through its row fallback (the runtime half of the switch).
+        db = _make_db(200)
+        plan = Planner(db).lower(AGG)
+        assert isinstance(plan, ColumnarPipeline)
+        assert plan.min_rows == COLUMNAR_MIN_ROWS
+        db.clear("t")
+        db.insert_many(
+            "t",
+            [
+                {"id": i, "grp": i % 2, "val": float(i), "label": "x"}
+                for i in range(5)
+            ],
+        )
+        rows = list(plan.execute(ExecContext(db, {})))
+        assert rows == db.execute(AGG, engine="reference")
+
+
+class TestAggregateCorners:
+    def test_empty_input_global_aggregates(self):
+        db = _make_db(0)
+        for func in ("count", "sum", "min", "max", "avg"):
+            query = Aggregate(
+                Table("t"), (), (AggItem(AggCall(func, Col("val")), "a"),)
+            )
+            _forced(db, query)
+
+    def test_filter_that_matches_nothing(self):
+        db = _make_db(100)
+        query = Aggregate(
+            Select(Table("t"), BinOp("=", Col("grp"), Lit(99))),
+            (),
+            (AggItem(AggCall("sum", Col("val")), "s"),),
+        )
+        _forced(db, query)
+
+    def test_null_skipping_and_count_star(self):
+        cat = Catalog()
+        cat.define("n", ["id", "v"], key=("id",))
+        db = Database(cat)
+        db.insert_many(
+            "n",
+            [{"id": i, "v": None if i % 3 == 0 else float(i)} for i in range(30)],
+        )
+        for func in ("count", "sum", "min", "max", "avg"):
+            query = Aggregate(
+                Table("n"), (), (AggItem(AggCall(func, Col("v")), "a"),)
+            )
+            _forced(db, query)
+        star = Aggregate(Table("n"), (), (AggItem(AggCall("count", None), "a"),))
+        _forced(db, star)
+
+    def test_group_order_is_first_seen(self):
+        cat = Catalog()
+        cat.define("g", ["id", "k"], key=("id",))
+        db = Database(cat)
+        db.insert_many(
+            "g",
+            [{"id": i, "k": k} for i, k in enumerate([3, 1, 3, 2, 1, 9, 2, 3])],
+        )
+        query = Aggregate(
+            Table("g"), (Col("k"),), (AggItem(AggCall("count", None), "n"),)
+        )
+        rows = _forced(db, query)
+        assert [row["k"] for row in rows] == [3, 1, 2, 9]
+
+    def test_unhashable_group_values(self):
+        cat = Catalog()
+        cat.define("u", ["id", "tags"], key=("id",))
+        db = Database(cat)
+        db.insert_many(
+            "u",
+            [
+                {"id": i, "tags": [i % 2, "x"]}  # lists are unhashable
+                for i in range(12)
+            ],
+        )
+        query = Aggregate(
+            Table("u"), (Col("tags"),), (AggItem(AggCall("count", None), "n"),)
+        )
+        _forced(db, query)
+
+    def test_avg_uses_true_division(self):
+        cat = Catalog()
+        cat.define("a", ["id", "v"], key=("id",))
+        db = Database(cat)
+        db.insert_many("a", [{"id": 0, "v": 1}, {"id": 1, "v": 2}])
+        query = Aggregate(Table("a"), (), (AggItem(AggCall("avg", Col("v")), "m"),))
+        assert _forced(db, query) == [{"m": 1.5}]
+
+    def test_unbound_parameter_raises_in_both_engines(self):
+        db = _make_db(100)
+        query = Select(Table("t"), BinOp("=", Col("grp"), Param("p")))
+        with pytest.raises(EngineError):
+            db.execute(query, {}, engine="reference")
+        db.columnar_mode = "force"
+        try:
+            with pytest.raises(EngineError):
+                db.execute(query, {}, engine="planned")
+        finally:
+            db.columnar_mode = "auto"
+
+
+@pytest.mark.parametrize("seed", [3, 17, 71, 113])
+def test_columnar_matches_row_and_reference(seed):
+    """≥200 random queries across the seeds: the columnar lowering, the
+    row-at-a-time lowering, and the reference evaluator all return exactly
+    the same rows (values and order)."""
+    rng = random.Random(seed)
+    checked = 0
+    while checked < 50:
+        db, tables = _build_instance(rng)
+        gen = _QueryGen(rng, tables)
+        for _ in range(6):
+            query = gen.query()
+            params = {"p": rng.choice(_INT_LITERALS)}
+            try:
+                expected = db.execute(query, params, engine="reference")
+            except EngineError:
+                continue  # malformed by construction; not this test's topic
+            db.columnar_mode = "off"
+            row_rows = db.execute(query, params, engine="planned")
+            db.columnar_mode = "force"
+            col_rows = db.execute(query, params, engine="planned")
+            db.columnar_mode = "auto"
+            assert row_rows == expected, f"seed={seed} query={query}"
+            assert col_rows == expected, f"seed={seed} query={query}"
+            checked += 1
+    assert checked >= 50
+
+
+def test_both_engine_mode_covers_columnar(seed=29):
+    """engine="both" under columnar=force adds the columnar-vs-row
+    cross-check on top of the oracle comparison; any divergence raises."""
+    rng = random.Random(seed)
+    db, tables = _build_instance(rng)
+    db.default_engine = "both"
+    db.columnar_mode = "force"
+    gen = _QueryGen(rng, tables)
+    for _ in range(40):
+        query = gen.query()
+        try:
+            db.execute(query, {"p": 1})
+        except EngineError as exc:
+            assert not isinstance(exc, EngineDivergenceError), exc
+
+
+def _best_of(fn, repeats: int, loops: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        best = min(best, (time.perf_counter() - start) / loops)
+    return best
+
+
+def test_scale_100_aggregation_not_slower_than_reference():
+    """The adaptive switch's reason to exist: at scale 100 the planned
+    engine (columnar via the cost choice) must at least match the
+    reference evaluator on the aggregation workload — this was a 0.73×
+    regression before the switch."""
+    db = _make_db(100)
+    assert isinstance(db.plan(AGG), ColumnarPipeline)
+    db.execute(AGG, engine="planned")  # warm plan + column caches
+
+    planned = lambda: db.execute(AGG, engine="planned")  # noqa: E731
+    reference = lambda: db.execute(AGG, engine="reference")  # noqa: E731
+    # Re-measure on a miss: absolute times are tiny and host noise real,
+    # but the underlying gap is ~4x, so one clean attempt settles it.
+    for _ in range(5):
+        planned_ms = _best_of(planned, repeats=3, loops=20)
+        reference_ms = _best_of(reference, repeats=3, loops=20)
+        if planned_ms <= reference_ms:
+            break
+    assert planned_ms <= reference_ms

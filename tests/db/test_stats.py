@@ -1,0 +1,269 @@
+"""Unit tests for table statistics and cardinality estimation.
+
+Covers statistics collection (row counts, NDV, min/max, NULL accounting,
+equi-width histograms), the lazy-build/dirty-marking lifecycle shared with
+the hash indexes, the statistics-epoch keying of the plan cache, the
+``columnar_mode`` knob, and the rewrite-cost bridge
+(``DeploymentProfile.with_observed`` and the estimator-upgraded
+``AlternativeCostModel``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    AggCall,
+    AggItem,
+    Aggregate,
+    BinOp,
+    Catalog,
+    Col,
+    Join,
+    Lit,
+    Select,
+    Table,
+)
+from repro.db import (
+    CardinalityEstimator,
+    Database,
+    EngineError,
+    Histogram,
+    TableStats,
+)
+from repro.db.stats import HISTOGRAM_BUCKETS
+
+
+def _make_db(rows: int = 200) -> Database:
+    """``rows`` rows of t(id, grp, val, label): grp cycles 0..9, val = id,
+    label cycles over four strings."""
+    cat = Catalog()
+    cat.define("t", ["id", "grp", "val", "label"], key=("id",))
+    db = Database(cat)
+    db.insert_many(
+        "t",
+        [
+            {"id": i, "grp": i % 10, "val": float(i), "label": f"L{i % 4}"}
+            for i in range(rows)
+        ],
+    )
+    return db
+
+
+class TestTableStats:
+    def test_row_count_and_column_coverage(self):
+        stats = _make_db(200).stats("t")
+        assert isinstance(stats, TableStats)
+        assert stats.row_count == 200
+        assert set(stats.columns) == {"id", "grp", "val", "label"}
+
+    def test_ndv_and_minmax(self):
+        stats = _make_db(200).stats("t")
+        grp = stats.column("grp")
+        assert grp.ndv == 10
+        assert grp.min_value == 0 and grp.max_value == 9
+        val = stats.column("val")
+        assert val.ndv == 200
+        assert val.min_value == 0.0 and val.max_value == 199.0
+        assert stats.column("label").ndv == 4
+
+    def test_null_accounting(self):
+        db = _make_db(10)
+        db.insert("t", {"id": 100, "grp": None, "val": None, "label": None})
+        grp = db.stats("t").column("grp")
+        assert grp.row_count == 11
+        assert grp.null_count == 1
+        assert grp.ndv == 10  # NULLs are not distinct values
+
+    def test_numeric_column_gets_histogram(self):
+        hist = _make_db(200).stats("t").column("val").histogram
+        assert hist is not None
+        assert len(hist.counts) == HISTOGRAM_BUCKETS
+        assert sum(hist.counts) == hist.total == 200
+
+    def test_string_column_has_no_histogram(self):
+        assert _make_db(50).stats("t").column("label").histogram is None
+
+    def test_stats_cached_until_data_changes(self):
+        db = _make_db(50)
+        first = db.stats("t")
+        assert db.stats("t") is first  # cached object, no rebuild
+        db.insert("t", {"id": 999, "grp": 0, "val": 999.0, "label": "x"})
+        second = db.stats("t")
+        assert second is not first
+        assert second.row_count == 51
+        assert second.column("val").max_value == 999.0
+
+    def test_clear_resets_stats(self):
+        db = _make_db(50)
+        assert db.stats("t").row_count == 50
+        db.clear("t")
+        stats = db.stats("t")
+        assert stats.row_count == 0
+        assert stats.column("val").ndv == 0
+        assert stats.column("val").histogram is None
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(EngineError):
+            _make_db(1).stats("nope")
+
+    def test_to_dict_shape(self):
+        data = _make_db(10).stats("t").to_dict()
+        assert data["table"] == "t"
+        assert data["row_count"] == 10
+        assert data["columns"]["grp"]["ndv"] == 10
+
+
+class TestHistogram:
+    def test_fraction_le_boundaries_and_monotonicity(self):
+        hist = _make_db(200).stats("t").column("val").histogram
+        assert hist.fraction_le(-1.0) == 0.0
+        assert hist.fraction_le(199.0) == 1.0
+        assert hist.fraction_le(10_000.0) == 1.0
+        fractions = [hist.fraction_le(float(v)) for v in range(0, 200, 10)]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_uniform_midpoint_is_about_half(self):
+        hist = _make_db(200).stats("t").column("val").histogram
+        assert 0.4 <= hist.fraction_le(100.0) <= 0.6
+
+    def test_empty_histogram(self):
+        assert Histogram(0.0, 0.0, (0,) * 4, 0).fraction_le(1.0) == 0.0
+
+
+class TestCardinalityEstimator:
+    def test_equality_uses_ndv(self):
+        db = _make_db(200)
+        est = CardinalityEstimator(db)
+        # grp has 10 distinct values: σ[grp = 3] ≈ 200/10 rows.
+        query = Select(Table("t"), BinOp("=", Col("grp"), Lit(3)))
+        assert est.estimate(query) == pytest.approx(20.0, rel=0.01)
+        assert est.selectivity(query.pred, "t") == pytest.approx(0.1, rel=0.01)
+
+    def test_range_uses_histogram(self):
+        est = CardinalityEstimator(_make_db(200))
+        query = Select(Table("t"), BinOp("<", Col("val"), Lit(100.0)))
+        # Uniform values 0..199: about half the rows fall below 100.
+        assert 60 <= est.estimate(query) <= 140
+
+    def test_out_of_range_literal_estimates_zero(self):
+        est = CardinalityEstimator(_make_db(200))
+        query = Select(Table("t"), BinOp("=", Col("val"), Lit(10_000.0)))
+        assert est.estimate(query) == 0.0
+
+    def test_no_predicate_is_full_table(self):
+        est = CardinalityEstimator(_make_db(123))
+        assert est.estimate(Table("t")) == 123.0
+        assert est.selectivity(None, "t") == 1.0
+
+    def test_grouped_aggregate_estimates_group_count(self):
+        est = CardinalityEstimator(_make_db(200))
+        query = Aggregate(
+            Table("t"), (Col("grp"),), (AggItem(AggCall("count", None), "n"),)
+        )
+        assert est.estimate(query) == pytest.approx(10.0, rel=0.01)
+
+    def test_global_aggregate_estimates_one_row(self):
+        est = CardinalityEstimator(_make_db(200))
+        query = Aggregate(Table("t"), (), (AggItem(AggCall("count", None), "n"),))
+        assert est.estimate(query) == 1.0
+
+    def test_equijoin_divides_by_max_ndv(self):
+        est = CardinalityEstimator(_make_db(200))
+        join = Join(
+            Table("t", "a"),
+            Table("t", "b"),
+            BinOp("=", Col("grp", "a"), Col("grp", "b")),
+        )
+        # |L|·|R| / max(NDV) = 200·200/10; order of magnitude is the claim.
+        estimate = est.estimate(join)
+        assert 1_000 <= estimate <= 20_000
+
+    def test_select_selectivity_needs_single_base_table(self):
+        est = CardinalityEstimator(_make_db(50))
+        over_table = Select(Table("t"), BinOp("=", Col("grp"), Lit(1)))
+        assert est.select_selectivity(over_table) == pytest.approx(0.1, rel=0.01)
+        over_join = Select(
+            Join(Table("t", "a"), Table("t", "b"), None, "cross"),
+            BinOp("=", Col("grp", "a"), Lit(1)),
+        )
+        assert est.select_selectivity(over_join) is None
+
+    def test_degrades_on_unknown_tables(self):
+        est = CardinalityEstimator(_make_db(10))
+        assert est.table_rows("missing") == 0.0
+        assert est.ndv("missing", "x") is None
+
+
+class TestPlanCacheEpochs:
+    QUERY = Select(Table("t"), BinOp("=", Col("grp"), Lit(3)))
+
+    def test_plan_cached_within_epoch(self):
+        db = _make_db(100)
+        plan = db.plan(self.QUERY)
+        hits = db.plan_cache_hits
+        assert db.plan(self.QUERY) is plan
+        assert db.plan_cache_hits == hits + 1
+
+    def test_insert_forces_replan(self):
+        db = _make_db(100)
+        db.plan(self.QUERY)
+        misses = db.plan_cache_misses
+        db.insert("t", {"id": 1000, "grp": 3, "val": 1.0, "label": "x"})
+        db.plan(self.QUERY)
+        assert db.plan_cache_misses == misses + 1
+
+    def test_create_index_forces_replan(self):
+        db = _make_db(100)
+        db.plan(self.QUERY)
+        misses = db.plan_cache_misses
+        db.create_index("t", "grp")
+        db.plan(self.QUERY)
+        assert db.plan_cache_misses == misses + 1
+
+    def test_columnar_mode_change_forces_replan(self):
+        db = _make_db(100)
+        db.plan(self.QUERY)
+        misses = db.plan_cache_misses
+        db.columnar_mode = "off"
+        db.plan(self.QUERY)
+        assert db.plan_cache_misses == misses + 1
+
+    def test_columnar_mode_reassign_same_value_keeps_cache(self):
+        db = _make_db(100)
+        db.plan(self.QUERY)
+        hits = db.plan_cache_hits
+        db.columnar_mode = "auto"  # unchanged: no invalidation
+        db.plan(self.QUERY)
+        assert db.plan_cache_hits == hits + 1
+
+    def test_columnar_mode_validates(self):
+        db = _make_db(1)
+        with pytest.raises(EngineError):
+            db.columnar_mode = "vectorized"
+        assert db.columnar_mode == "auto"
+
+
+class TestRewriteCostBridge:
+    def test_with_observed_reads_live_row_counts(self):
+        from repro.rewrites.profile import LOCAL
+
+        db = _make_db(137)
+        profile = LOCAL.with_observed(db)
+        assert profile.cardinality("t") == 137.0
+        assert profile.cardinality("unknown") == LOCAL.default_table_rows
+
+    def test_estimator_upgrades_selection_selectivity(self):
+        from repro.rewrites.cost import AlternativeCostModel
+        from repro.rewrites.profile import LOCAL
+
+        db = _make_db(200)
+        query = Select(Table("t"), BinOp("=", Col("grp"), Lit(3)))
+        flat = AlternativeCostModel(LOCAL, database=db)
+        assert flat.cardinality(query).rows == pytest.approx(
+            200 * LOCAL.selectivity
+        )
+        observed = AlternativeCostModel(
+            LOCAL, database=db, estimator=CardinalityEstimator(db)
+        )
+        assert observed.cardinality(query).rows == pytest.approx(20.0, rel=0.01)

@@ -1,0 +1,171 @@
+"""Precision-layer recovery benchmark — emits ``BENCH_precision.json``.
+
+Replays the :mod:`repro.workloads.precision` corpus twice — with the SSA
+precision layer off (the purely syntactic pipeline) and on — and records,
+per sample, the blocker codes that gate the baseline and whether the
+precision run extracts.  Every recovered extraction is verified end to
+end: the original and rewritten programs run against the same seeded
+``engine="both"`` database (planned executor cross-checked against the
+reference engine on every query) and must return the same value.
+
+The recovered-extraction count is the headline number; CI's
+``precision-smoke`` job replays this script and asserts the count matches
+the checked-in ``BENCH_precision.json`` exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro import ExtractOptions, optimize_program
+from repro.db import Connection
+from repro.interp import Interpreter
+from repro.lang import parse_program
+from repro.lint import lint_program
+from repro.workloads import (
+    PRECISION_SAMPLES,
+    precision_catalog,
+    precision_database,
+)
+
+DEFAULT_SCALE = 40
+DEFAULT_SEED = 11
+
+
+def run(scale: int, seed: int) -> dict:
+    catalog = precision_catalog()
+    samples = []
+    recovered = 0
+    for sample in PRECISION_SAMPLES:
+        baseline = optimize_program(
+            sample.source,
+            sample.function,
+            catalog,
+            options=ExtractOptions(precision=False),
+        )
+        baseline_sqls = [
+            e.sql for e in baseline.variables.values() if e.sql
+        ]
+        blockers = sorted(
+            {
+                d.code
+                for d in lint_program(
+                    parse_program(sample.source), precision=False
+                ).diagnostics
+                if d.is_blocker
+            }
+        )
+
+        precise = optimize_program(
+            sample.source,
+            sample.function,
+            catalog,
+            options=ExtractOptions(precision=True),
+        )
+        precise_sqls = [e.sql for e in precise.variables.values() if e.sql]
+
+        equivalent = None
+        original_value = None
+        if precise.status == "success" and precise_sqls:
+            db = precision_database(scale=scale, seed=seed, catalog=catalog)
+            db.default_engine = "both"
+            original_value = Interpreter(
+                precise.original, Connection(db)
+            ).run(sample.function)
+            rewritten_value = Interpreter(
+                precise.rewritten, Connection(db)
+            ).run(sample.function)
+            equivalent = original_value == rewritten_value
+
+        is_recovery = (
+            baseline.status != "success"
+            and not baseline_sqls
+            and precise.status == "success"
+            and bool(precise_sqls)
+            and equivalent is True
+        )
+        recovered += is_recovery
+        samples.append(
+            {
+                "name": sample.name,
+                "function": sample.function,
+                "baseline_status": baseline.status,
+                "baseline_blockers": blockers,
+                "expected_blockers": list(sample.blocked_without),
+                "precision_status": precise.status,
+                "extracted_queries": precise_sqls,
+                "equivalent": equivalent,
+                "original_value": original_value,
+                "recovered": is_recovery,
+            }
+        )
+
+    return {
+        "benchmark": "precision-layer recovered extractions",
+        "scale": scale,
+        "seed": seed,
+        "total_samples": len(samples),
+        "recovered_extractions": recovered,
+        "samples": samples,
+    }
+
+
+def check(report: dict) -> list[str]:
+    """Acceptance conditions; empty list means the run is healthy."""
+    failures = []
+    if report["recovered_extractions"] < 5:
+        failures.append(
+            f"only {report['recovered_extractions']} recovered extractions; "
+            "need at least 5"
+        )
+    for entry in report["samples"]:
+        if not entry["recovered"]:
+            failures.append(f"{entry['name']}: not recovered ({entry})")
+        if entry["baseline_blockers"] != entry["expected_blockers"]:
+            failures.append(
+                f"{entry['name']}: baseline blockers "
+                f"{entry['baseline_blockers']} != expected "
+                f"{entry['expected_blockers']}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=int, default=DEFAULT_SCALE, help="rows in the seeded table"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="database seed"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_precision.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    report = run(args.scale, args.seed)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for entry in report["samples"]:
+        status = "recovered" if entry["recovered"] else "NOT RECOVERED"
+        print(
+            f"{entry['name']:>16}: baseline {entry['baseline_status']:7} "
+            f"{','.join(entry['baseline_blockers']) or '-':>6}  ->  "
+            f"precision {entry['precision_status']:7}  {status}"
+        )
+    print(
+        f"\nrecovered {report['recovered_extractions']} / "
+        f"{report['total_samples']} extractions"
+    )
+    print(f"wrote {args.out}")
+
+    failures = check(report)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,9 @@ Subcommands:
               ``-j N`` worker pool;
 ``lint``      run the soundness/anti-pattern checker (coded EQ1xx/EQ2xx/
               EQ3xx diagnostics) over a directory, no schema needed;
+``analyze``   dump the precision layer's proven facts (SSA form, SCCP
+              constants, dead branches, points-to sets) for one
+              ``FILE::function`` target;
 ``demo``      the paper's Figure 2 → Figure 3(d) walk-through;
 ``difftest``  the differential equivalence fuzzer (random programs vs.
               their extracted-SQL rewrites; failures are shrunk and filed
@@ -29,6 +32,7 @@ import json
 import sys
 
 from .algebra import Catalog
+from .analysis.cli import add_analyze_parser
 from .batch.cli import add_scan_parser, build_catalog
 from .core import ExtractOptions, extract_sql, optimize_program
 from .frontends import available_frontends, detect_frontend, get_frontend
@@ -199,6 +203,7 @@ def main(argv: list[str] | None = None) -> int:
 
     add_scan_parser(sub)
     add_lint_parser(sub)
+    add_analyze_parser(sub)
 
     demo = sub.add_parser("demo", help="run the Figure 2 walk-through")
     demo.set_defaults(func=_cmd_demo)

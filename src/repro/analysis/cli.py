@@ -1,0 +1,151 @@
+"""The ``python -m repro analyze`` subcommand.
+
+A debugging window into the precision layer: for one function it dumps
+the facts the SSA/points-to analyses prove — the SSA values themselves,
+the SCCP constant lattice and dead-branch verdicts, and the per-variable
+points-to sets with the escaped-object closure.  These are exactly the
+facts :mod:`repro.ir.preprocess` folds/prunes/propagates on and the lint
+engine consults when downgrading alias-escape blockers, so when an
+extraction surprises you this is the first thing to look at.
+
+Target syntax is ``FILE::function`` (the frontend is auto-detected from
+the file suffix, as for ``extract``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from ..frontends import available_frontends, detect_frontend, get_frontend
+from ..lang import FunctionDef, Program, number_statements
+from .effects import function_effects
+from .pointsto import PointsToResult, analyze_pointsto
+from .ssa import SCCPResult, build_ssa, sccp
+
+
+def add_analyze_parser(sub) -> None:
+    """Register the ``analyze`` subcommand on an argparse subparsers object."""
+    analyze = sub.add_parser(
+        "analyze",
+        help="dump SSA form, constant facts, and points-to sets for a function",
+    )
+    analyze.add_argument(
+        "target", help="analysis target, as FILE::function (e.g. app.mj::report)"
+    )
+    analyze.add_argument(
+        "--frontend",
+        default=None,
+        choices=list(available_frontends()),
+        help="language frontend parsing the file "
+        "(default: auto-detect from the file suffix)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="emit the facts as JSON"
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+
+def split_target(target: str) -> tuple[str, str]:
+    path, sep, function = target.rpartition("::")
+    if not sep or not path or not function:
+        raise SystemExit(
+            f"analyze target must be FILE::function, got {target!r}"
+        )
+    return path, function
+
+
+def analysis_facts(program: Program, function: str) -> dict:
+    """The precision layer's proven facts for one function, as plain data."""
+    try:
+        func: FunctionDef = program.function(function)
+    except KeyError:
+        known = ", ".join(sorted(f.name for f in program.functions))
+        raise SystemExit(
+            f"no function {function!r} (program defines: {known or 'none'})"
+        )
+    number_statements(program)
+    effects = function_effects(program)
+    ssa = build_ssa(func, effects)
+    constants: SCCPResult = sccp(ssa)
+    pointsto: PointsToResult = analyze_pointsto(func, effects)
+
+    variables: dict[str, list[str]] = {}
+    for env in pointsto.at.values():
+        for var, objects in env.items():
+            merged = variables.setdefault(var, [])
+            for obj in sorted(objects):
+                if obj.describe() not in merged:
+                    merged.append(obj.describe())
+    return {
+        "function": function,
+        "ssa": [value.describe() for value in ssa.values],
+        "constants": constants.constants(),
+        "dead_branches": {
+            f"s{sid}": f"{arm} arm unreachable"
+            for sid, arm in sorted(constants.dead_branches.items())
+        },
+        "pointsto": {
+            "variables": {var: sorted(objs) for var, objs in variables.items()},
+            "escaped": sorted(obj.describe() for obj in pointsto.escaped),
+            "contains": {
+                holder.describe(): sorted(v.describe() for v in values)
+                for holder, values in sorted(pointsto.contains.items())
+            },
+        },
+    }
+
+
+def render_facts(facts: dict) -> str:
+    lines = [f"function {facts['function']}"]
+    lines.append("\nSSA values:")
+    for entry in facts["ssa"]:
+        lines.append(f"  {entry}")
+    lines.append("\nconstants:")
+    if facts["constants"]:
+        for name, value in facts["constants"].items():
+            lines.append(f"  {name} = {value!r}")
+    else:
+        lines.append("  (none proven)")
+    lines.append("\ndead branches:")
+    if facts["dead_branches"]:
+        for sid, verdict in facts["dead_branches"].items():
+            lines.append(f"  {sid}: {verdict}")
+    else:
+        lines.append("  (none proven)")
+    pointsto = facts["pointsto"]
+    lines.append("\npoints-to:")
+    for var, objects in sorted(pointsto["variables"].items()):
+        lines.append(f"  {var} -> {{{', '.join(objects)}}}")
+    lines.append(
+        "  escaped: "
+        + (", ".join(pointsto["escaped"]) if pointsto["escaped"] else "(nothing)")
+    )
+    for holder, values in pointsto["contains"].items():
+        lines.append(f"  {holder} contains {{{', '.join(values)}}}")
+    return "\n".join(lines)
+
+
+def cmd_analyze(args) -> int:
+    path, function = split_target(args.target)
+    frontend_name = args.frontend or detect_frontend(path)
+    frontend = get_frontend(frontend_name)
+    with open(path) as handle:
+        source = handle.read()
+    program = frontend.parse(source)
+    facts = analysis_facts(program, function)
+    facts = {"file": path, "frontend": frontend_name, **facts}
+    if args.json:
+        print(json.dumps(facts, indent=2))
+    else:
+        print(f"{path} [{frontend_name}]")
+        print(render_facts(facts))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin
+    parser = argparse.ArgumentParser(prog="repro analyze")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_analyze_parser(sub)
+    args = parser.parse_args(argv)
+    return args.func(args)

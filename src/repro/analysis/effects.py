@@ -15,12 +15,17 @@ from dataclasses import dataclass, field
 
 from ..interp.values import setter_to_column
 from ..lang import (
+    Assign,
     Call,
     FieldAccess,
+    ForEach,
     FunctionDef,
     MethodCall,
     Name,
+    New,
     Program,
+    Return,
+    Ternary,
     statement_expressions,
     walk_expressions,
     walk_statements,
@@ -47,6 +52,14 @@ class EffectSummary:
     calls_unknown: bool = False  # reaches a call with no definition
     recursive: bool = False  # participates in a call-graph cycle
     mutates_params: frozenset[int] = frozenset()  # parameter positions
+    #: Parameter positions whose object may outlive or leave the call:
+    #: returned, stored into another object, or passed to a call with no
+    #: definition.  Alias-closed within each function and propagated
+    #: through the same fixpoint as ``mutates_params``, so it is a sound
+    #: over-approximation even for recursive callees — which is what lets
+    #: the points-to client trust ``escapes_params`` on ``opaque``
+    #: summaries (anything reaching the unknown region is in the set).
+    escapes_params: frozenset[int] = frozenset()
 
     @property
     def opaque(self) -> bool:
@@ -62,8 +75,15 @@ class _Facts:
     output: bool = False
     calls_unknown: bool = False
     mutates_params: set[int] = field(default_factory=set)
+    escapes_params: set[int] = field(default_factory=set)
     #: (callee name, arg-position → caller-param-position) for user calls
     calls: list[tuple[str, dict[int, int]]] = field(default_factory=list)
+    #: (callee name, arg-position → caller-param-positions *aliased* by the
+    #: argument) — a superset of ``calls``' map, used only for escape
+    #: propagation so mutation propagation keeps its historical precision.
+    calls_aliased: list[tuple[str, dict[int, frozenset[int]]]] = field(
+        default_factory=list
+    )
 
 
 def function_effects(program: Program) -> dict[str, EffectSummary]:
@@ -101,6 +121,12 @@ def function_effects(program: Program) -> dict[str, EffectSummary]:
                     frozenset(fact.mutates_params),
                 )
                 changed |= before != after
+            for callee, alias_map in fact.calls_aliased:
+                other = facts[callee]
+                before_escapes = frozenset(fact.escapes_params)
+                for pos in other.escapes_params:
+                    fact.escapes_params |= alias_map.get(pos, frozenset())
+                changed |= before_escapes != frozenset(fact.escapes_params)
 
     return {
         name: EffectSummary(
@@ -110,14 +136,88 @@ def function_effects(program: Program) -> dict[str, EffectSummary]:
             calls_unknown=fact.calls_unknown,
             recursive=name in recursive,
             mutates_params=frozenset(fact.mutates_params),
+            escapes_params=frozenset(fact.escapes_params),
         )
         for name, fact in facts.items()
     }
 
 
+def _param_aliases(func: FunctionDef) -> dict[str, frozenset[int]]:
+    """Flow-insensitive closure: variable → parameter positions it may alias.
+
+    Deliberately coarse — any assignment whose right-hand side *reads* a
+    param-aliasing variable taints the target, and a ``ForEach`` cursor
+    inherits its iterable's aliases (elements live inside the container).
+    Over-approximation only costs precision in ``escapes_params``, never
+    soundness.
+    """
+    alias: dict[str, set[int]] = {
+        name: {i} for i, name in enumerate(func.params)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for stmt in walk_statements(func.body):
+            target: str | None = None
+            sources: set[int] = set()
+            if isinstance(stmt, Assign):
+                target = stmt.target
+                reads = walk_expressions(stmt.value)
+            elif isinstance(stmt, ForEach):
+                target = stmt.var
+                reads = walk_expressions(stmt.iterable)
+            else:
+                continue
+            for node in reads:
+                if isinstance(node, Name) and node.ident in alias:
+                    sources |= alias[node.ident]
+            if target is not None and sources:
+                current = alias.setdefault(target, set())
+                if not sources <= current:
+                    current |= sources
+                    changed = True
+    return {name: frozenset(positions) for name, positions in alias.items()}
+
+
+def _expr_param_aliases(expr, alias: dict[str, frozenset[int]]) -> frozenset[int]:
+    """Parameter positions whose *object* the value of ``expr`` may alias.
+
+    Unlike a raw name walk this skips sub-expressions that cannot carry the
+    alias out in the produced value: a ``Call``'s result is governed by the
+    callee's own escape summary (the caller records the argument pass
+    separately), and arithmetic produces fresh scalars.  Method calls and
+    constructors conservatively taint with their receiver/arguments —
+    ``c.get(0)`` may hand out an element of ``c``, ``new Pair(a, b)``
+    retains both arguments.
+    """
+    if isinstance(expr, Name):
+        return alias.get(expr.ident, frozenset())
+    if isinstance(expr, Ternary):
+        return _expr_param_aliases(expr.if_true, alias) | _expr_param_aliases(
+            expr.if_false, alias
+        )
+    if isinstance(expr, MethodCall):
+        positions = _expr_param_aliases(expr.receiver, alias)
+        for arg in expr.args:
+            positions |= _expr_param_aliases(arg, alias)
+        return positions
+    if isinstance(expr, New):
+        positions: frozenset[int] = frozenset()
+        for arg in expr.args:
+            positions |= _expr_param_aliases(arg, alias)
+        return positions
+    if isinstance(expr, FieldAccess):
+        return _expr_param_aliases(expr.receiver, alias)
+    return frozenset()
+
+
 def _direct_facts(func: FunctionDef, defined: set[str]) -> _Facts:
     fact = _Facts()
     params = {name: i for i, name in enumerate(func.params)}
+    alias = _param_aliases(func)
+    for stmt in walk_statements(func.body):
+        if isinstance(stmt, Return) and stmt.value is not None:
+            fact.escapes_params |= _expr_param_aliases(stmt.value, alias)
     for stmt in walk_statements(func.body):
         for expr in statement_expressions(stmt):
             for node in walk_expressions(expr):
@@ -135,8 +235,19 @@ def _direct_facts(func: FunctionDef, defined: set[str]) -> _Facts:
                             if isinstance(arg, Name) and arg.ident in params
                         }
                         fact.calls.append((node.func, arg_map))
+                        fact.calls_aliased.append(
+                            (
+                                node.func,
+                                {
+                                    i: _expr_param_aliases(arg, alias)
+                                    for i, arg in enumerate(node.args)
+                                },
+                            )
+                        )
                     else:
                         fact.calls_unknown = True
+                        for arg in node.args:
+                            fact.escapes_params |= _expr_param_aliases(arg, alias)
                 elif isinstance(node, MethodCall):
                     if (
                         node.method in ("println", "print")
@@ -154,9 +265,13 @@ def _direct_facts(func: FunctionDef, defined: set[str]) -> _Facts:
                         mutating
                         and isinstance(node.receiver, Name)
                         and node.receiver.ident not in STATIC_RECEIVERS
-                        and node.receiver.ident in params
                     ):
-                        fact.mutates_params.add(params[node.receiver.ident])
+                        if node.receiver.ident in params:
+                            fact.mutates_params.add(params[node.receiver.ident])
+                        # Storing a param-aliasing value into another object
+                        # lets it outlive this frame's view of it.
+                        for arg in node.args:
+                            fact.escapes_params |= _expr_param_aliases(arg, alias)
     return fact
 
 

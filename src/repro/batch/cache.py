@@ -30,7 +30,10 @@ from ..frontends import DEFAULT_FRONTEND
 #: 2: the frontend name joined the key — identical source text means
 #: different things to different language frontends, so it must never
 #: collide across them.
-CACHE_FORMAT = 2
+#: 3: the SSA precision layer changed what extraction produces for the
+#: same source (constant folding, dead-branch pruning, points-to-downgraded
+#: blockers), so pre-precision entries must not be replayed.
+CACHE_FORMAT = 3
 
 #: Default cache directory name, created under the scan root.
 CACHE_DIR_NAME = ".repro-cache"

@@ -226,15 +226,19 @@ def extract_sql(
         if isinstance(source, str)
         else source
     )
-    program = preprocess_program(raw_program)
+    program = preprocess_program(raw_program, precision=options.precision)
     ve, ctx = build_dir(program, function)
 
     if targets is None:
         targets = _default_targets(program, function, ve, ctx)
 
     # Soundness gate: run the lint passes once; EQ1xx findings forbid
-    # extraction from the loops (or variables) they cover.
-    lint_diags = lint_preprocessed(program, raw_program, function)
+    # extraction from the loops (or variables) they cover.  With precision
+    # enabled, blockers the points-to analysis proves harmless arrive
+    # downgraded below ERROR and no longer gate.
+    lint_diags = lint_preprocessed(
+        program, raw_program, function, precision=options.precision
+    )
     nesting = loop_nesting(program.function(function))
 
     engine = RuleEngine(

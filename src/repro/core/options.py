@@ -48,7 +48,12 @@ class ExtractOptions:
                            sources — ``"minijava"`` (the default, full
                            backward compatibility) or ``"python"``; ignored
                            when a pre-parsed :class:`~repro.lang.Program`
-                           is passed.
+                           is passed;
+    ``precision``          enables the SSA-based precision layer (constant
+                           folding, dead-branch pruning, copy propagation
+                           in preprocessing, plus points-to-verified lint
+                           downgrades) — on by default; ``False`` restores
+                           the purely syntactic pipeline.
     """
 
     dialect: str = "repro"
@@ -57,6 +62,7 @@ class ExtractOptions:
     allow_temp_tables: bool = False
     profile: str | None = None
     frontend: str = "minijava"
+    precision: bool = True
 
     def __post_init__(self) -> None:
         # Function-level import: the registry lives beside the frontends

@@ -35,6 +35,7 @@ from .oracle import (
     KIND_LINT_UNSOUND,
     KIND_NO_REWRITE,
     KIND_OK,
+    KIND_PREPROCESS_DIVERGED,
     KIND_ORIGINAL_ERROR,
     KIND_REWRITTEN_ERROR,
     Verdict,
@@ -57,6 +58,7 @@ __all__ = [
     "KIND_LINT_UNSOUND",
     "KIND_NO_REWRITE",
     "KIND_OK",
+    "KIND_PREPROCESS_DIVERGED",
     "KIND_ORIGINAL_ERROR",
     "KIND_REWRITTEN_ERROR",
     "ShrinkResult",

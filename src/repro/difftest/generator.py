@@ -120,6 +120,7 @@ class CaseGenerator:
     def __init__(self, rng: random.Random):
         self._rng = rng
         self._acc_counter = 0
+        self._trailer: list[str] = []
 
     # ------------------------------------------------------------------
     # Schema
@@ -145,13 +146,23 @@ class CaseGenerator:
 
     def case(self, case_id: int) -> GeneratedCase:
         self._acc_counter = 0
+        self._trailer = []
         tables = self.schema()
         notnull: dict[str, set[str]] = {t.name: set() for t in tables}
         emit = _Emitter()
         emit.open("f()")
         shape = self._rng.choices(
-            ["single", "sequenced", "nested", "cursor_while", "early_return"],
-            weights=[40, 15, 18, 12, 15],
+            [
+                "single",
+                "sequenced",
+                "nested",
+                "cursor_while",
+                "early_return",
+                "copy_chain",
+                "dead_branch",
+                "local_alias",
+            ],
+            weights=[34, 12, 15, 8, 12, 7, 7, 5],
         )[0]
         if shape == "single":
             results = self._single_loop(emit, tables[0], notnull)
@@ -162,16 +173,25 @@ class CaseGenerator:
             results = self._nested_loops(emit, tables, notnull)
         elif shape == "cursor_while":
             results = self._cursor_while(emit, tables[0], notnull)
+        elif shape == "copy_chain":
+            results = self._copy_chain(emit, tables[0], notnull)
+        elif shape == "dead_branch":
+            results = self._dead_branch(emit, tables[0], notnull)
+        elif shape == "local_alias":
+            results = self._local_alias(emit, tables[0], notnull)
         else:
             results = self._single_loop(
                 emit, tables[0], notnull, early_return=True
             )
         emit.line(f"return {self._combine(results)};")
         emit.close()
+        source = emit.source()
+        if self._trailer:
+            source += "\n" + "\n".join(self._trailer)
         return GeneratedCase(
             case_id=case_id,
             tables=tables,
-            source=emit.source(),
+            source=source,
             notnull={name: sorted(cols) for name, cols in notnull.items()},
         )
 
@@ -259,6 +279,83 @@ class CaseGenerator:
         self._emit_body(emit, table, cursor, accs, notnull)
         emit.close()
         return [v for acc in accs for v in acc.result_vars]
+
+    def _copy_chain(
+        self, emit: _Emitter, table: TableSpec, notnull: dict[str, set[str]]
+    ) -> list[str]:
+        """Cursor ``while`` drained through a copy of the opening variable —
+        the shape only SSA-era cursor-chain resolution normalises."""
+        cursor = "rs"
+        accs = self._pick_accumulators(table, cursor, notnull, limit=2)
+        for acc in accs:
+            for line in acc.init_lines:
+                emit.line(line)
+        query = self._query_text(table, "a0", notnull)
+        emit.line(f'q0 = executeQueryCursor("{query}");')
+        emit.line("rs = q0;")
+        emit.open("while (rs.next())")
+        self._emit_body(emit, table, cursor, accs, notnull)
+        emit.close()
+        return [v for acc in accs for v in acc.result_vars]
+
+    def _dead_branch(
+        self, emit: _Emitter, table: TableSpec, notnull: dict[str, set[str]]
+    ) -> list[str]:
+        """A constant-false flag guarding a poison statement inside the
+        loop: an undefined call, a database write, or a ``break``.  The
+        guard is provably dead, so the poison must never run (keeping the
+        raw interpretation defined) — constant propagation plus dead-branch
+        pruning is what recovers the extraction."""
+        rng = self._rng
+        cursor = "t0"
+        accs = self._pick_accumulators(table, cursor, notnull, limit=2)
+        for acc in accs:
+            for line in acc.init_lines:
+                emit.line(line)
+        flag_style = rng.choice(["bool", "arith"])
+        if flag_style == "bool":
+            emit.line("legacy = false;")
+            guard = "legacy"
+        else:
+            base = rng.randint(1, 9)
+            emit.line(f"legacy = {base} - {base};")
+            guard = "legacy > 0"
+        query = self._query_text(table, "a0", notnull)
+        emit.line(f'q0 = executeQuery("{query}");')
+        emit.open(f"for ({cursor} : q0)")
+        poison = rng.choice(["call", "update", "break"])
+        emit.open(f"if ({guard})")
+        if poison == "call":
+            emit.line(f"auditRow({cursor});")
+        elif poison == "update":
+            column = rng.choice(table.int_columns)
+            emit.line(
+                f'executeUpdate("update {table.name} set {column} = 0");'
+            )
+        else:
+            emit.line("break;")
+        emit.close()
+        self._emit_body(emit, table, cursor, accs, notnull)
+        emit.close()
+        return [v for acc in accs for v in acc.result_vars]
+
+    def _local_alias(
+        self, emit: _Emitter, table: TableSpec, notnull: dict[str, set[str]]
+    ) -> list[str]:
+        """The iterated result set is handed, after the loop, to a
+        recursive helper that provably neither retains nor mutates it —
+        the ``escapes_params``/points-to downgrade scenario."""
+        results = self._single_loop(emit, table, notnull)
+        emit.line(f"kept = retain(q0, {self._rng.randint(1, 3)});")
+        self._trailer.append(
+            "retain(c, n) {\n"
+            "    if (n > 0) {\n"
+            "        return retain(c, n - 1);\n"
+            "    }\n"
+            "    return 0;\n"
+            "}"
+        )
+        return results + ["kept"]
 
     def _nested_loops(
         self,

@@ -23,7 +23,8 @@ from typing import Any
 from ..core import optimize_program
 from ..db import Connection, EngineDivergenceError
 from ..interp import Interpreter
-from ..interp.values import Entity, ResultCursor, StringBuilder
+from ..interp.values import Entity, ResultCursor, StringBuilder, to_display
+from ..lang import parse_program
 from .dbgen import build_database
 from .generator import GeneratedCase
 
@@ -37,6 +38,7 @@ KIND_CONTRACT = "contract"
 KIND_ENGINE_DIVERGENCE = "engine-divergence"
 KIND_LINT_UNSOUND = "lint-unsound"
 KIND_ALTERNATIVE_DIVERGED = "alternative-diverged"
+KIND_PREPROCESS_DIVERGED = "preprocess-diverged"
 
 #: Verdicts that fail a fuzzing run.
 FAILING_KINDS = frozenset(
@@ -49,6 +51,7 @@ FAILING_KINDS = frozenset(
         KIND_ENGINE_DIVERGENCE,
         KIND_LINT_UNSOUND,
         KIND_ALTERNATIVE_DIVERGED,
+        KIND_PREPROCESS_DIVERGED,
     }
 )
 
@@ -145,6 +148,60 @@ def _check_lint_soundness(report) -> str | None:
     return None
 
 
+def _check_preprocess_fidelity(
+    case: GeneratedCase, original_result, original_interp
+) -> tuple[str, str] | None:
+    """Raw-vs-preprocessed cross-check.
+
+    ``report.original`` is the *preprocessed* program, so the main
+    divergence check never exercises preprocessing itself.  This check
+    closes that gap: the program exactly as parsed must behave like the
+    preprocessed one the rest of the oracle uses — same return value and
+    the same observable stream.  The precision layer's enabling transforms
+    (constant folding, dead-branch pruning, copy propagation, cursor-chain
+    normalisation) are all on this path, so an unsound rewrite shows up as
+    a ``preprocess-diverged`` verdict.
+
+    Prints are rewritten into ``__out__`` appends by preprocessing, so the
+    raw run's printed lines are compared against the preprocessed run's
+    rendered ``__out__`` values.
+    """
+    raw_program = parse_program(case.source)
+    raw_interp = Interpreter(raw_program, Connection(build_database(case)))
+    try:
+        raw_result = raw_interp.run(case.function)
+    except EngineDivergenceError:
+        return (
+            KIND_ENGINE_DIVERGENCE,
+            f"planned vs reference engines disagree (raw run):\n"
+            f"{traceback.format_exc()}",
+        )
+    except Exception:
+        return (
+            KIND_PREPROCESS_DIVERGED,
+            f"raw program raised where the preprocessed one succeeded:\n"
+            f"{traceback.format_exc()}",
+        )
+    if normalize(raw_result) != normalize(original_result):
+        return (
+            KIND_PREPROCESS_DIVERGED,
+            f"return value: raw={normalize(raw_result)!r} "
+            f"preprocessed={normalize(original_result)!r}",
+        )
+    raw_stream = list(raw_interp.output) + [
+        to_display(v) for v in list(raw_interp.last_out or [])
+    ]
+    pre_stream = list(original_interp.output) + [
+        to_display(v) for v in list(original_interp.last_out or [])
+    ]
+    if raw_stream != pre_stream:
+        return (
+            KIND_PREPROCESS_DIVERGED,
+            f"observable stream: raw={raw_stream!r} preprocessed={pre_stream!r}",
+        )
+    return None
+
+
 def run_case(case: GeneratedCase) -> Verdict:
     """Run the full differential check for one case."""
     catalog = case.catalog()
@@ -190,6 +247,11 @@ def run_case(case: GeneratedCase) -> Verdict:
         rewritten_loops=len(report.rewritten_loops),
         consolidations=len(report.consolidations),
     )
+
+    fidelity = _check_preprocess_fidelity(case, original_result, original_interp)
+    if fidelity is not None:
+        verdict.kind, verdict.detail = fidelity
+        return verdict
     if report.rewritten is None:
         _check_alternatives(case, report, catalog, verdict)
         return verdict

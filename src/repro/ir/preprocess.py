@@ -16,12 +16,40 @@ The paper describes these preprocessing steps:
 * *boolean early exit* — ``for (t : Q) { if (p) { found = true; break; } }``
   drops the ``break`` (Appendix B: "the return/break can potentially be
   removed" when the only computation is the boolean assignment).
+
+On top of the paper's normalisations sits the **precision layer** (enabled
+by default, disabled with ``precision=False``): SSA-based sparse
+conditional constant propagation and copy propagation from
+:mod:`repro.analysis.ssa`, applied as three AST-level enabling transforms
+before the D-IR translation —
+
+* **constant folding** — variable uses with a proven constant value become
+  literals (carrying the span of the use they replace), and pure operator
+  trees over literals fold;
+* **dead-branch pruning** — an ``if`` whose guard is a proven boolean
+  constant is replaced by its live arm.  Guards containing calls never
+  fold (calls are lattice-bottom), so a pruned branch is genuinely
+  unreachable and any lint blocker inside it is discharged for free;
+* **copy propagation** — a use of ``x`` whose value is provably the same
+  SSA version as some earlier ``x = y`` copy source is rewritten to ``y``,
+  and the cursor-``while`` normalisation follows such copy chains
+  (``q = executeQuery(...); rs = q; while (rs.next())``).
+
+Every transform preserves source spans: folded literals inherit the span
+of the expression they replace, pruned arms splice their statements (and
+spans) into the parent block, and copy propagation rebinds only the
+identifier of an existing ``Name`` node.
 """
 
 from __future__ import annotations
 
 import copy
+from dataclasses import fields as dataclass_fields
 
+from ..analysis.dataflow import all_reads, all_writes
+from ..analysis.effects import EffectSummary, function_effects
+from ..analysis.ssa import SCCPResult, SSAForm, build_ssa, resolve_copy, sccp
+from ..interp.values import setter_to_column
 from ..lang import (
     Assign,
     Block,
@@ -34,32 +62,48 @@ from ..lang import (
     ForEach,
     FunctionDef,
     If,
+    IntLit,
     MethodCall,
     Name,
     New,
     Program,
     Return,
     Stmt,
+    StringLit,
     TryCatch,
     While,
     number_statements,
+    statement_expressions,
+    walk_statements,
 )
 
 OUT_VAR = "__out__"
 
 
-def preprocess_program(program: Program) -> Program:
-    """Return a normalised deep copy of ``program`` (ids renumbered)."""
+def preprocess_program(program: Program, precision: bool = True) -> Program:
+    """Return a normalised deep copy of ``program`` (ids renumbered).
+
+    ``precision`` toggles the SSA-based enabling transforms (constant
+    folding, dead-branch pruning, copy propagation); the paper's own
+    normalisations always run.
+    """
     result = copy.deepcopy(program)
+    effects = function_effects(result) if precision else None
     for func in result.functions:
-        _preprocess_function(func)
+        _preprocess_function(func, effects=effects, precision=precision)
     number_statements(result)
     return result
 
 
-def _preprocess_function(func: FunctionDef) -> None:
+def _preprocess_function(
+    func: FunctionDef,
+    effects: dict[str, EffectSummary] | None = None,
+    precision: bool = True,
+) -> None:
     had_prints = _rewrite_prints(func.body)
-    _normalize_cursor_while(func.body)
+    if precision:
+        _apply_precision(func, effects)
+    _normalize_cursor_while(func.body, precision=precision)
     _normalize_boolean_return_loops(func.body)
     _normalize_tail_returns(func.body)
     _drop_unreachable(func.body)
@@ -67,6 +111,159 @@ def _preprocess_function(func: FunctionDef) -> None:
     if had_prints:
         init = Assign(target=OUT_VAR, value=New(class_name="ArrayList", args=[]))
         func.body.statements.insert(0, init)
+
+
+# ----------------------------------------------------------------------
+# Precision layer: SSA-driven enabling transforms
+
+
+def _apply_precision(
+    func: FunctionDef, effects: dict[str, EffectSummary] | None
+) -> None:
+    # Folding can expose new dead branches and pruning can expose new
+    # constants, so iterate fold+prune to a (small) fixpoint before the
+    # single copy-propagation round.
+    for _round in range(4):
+        number_statements(func)
+        result = sccp(build_ssa(func, effects))
+        changed = _fold_constants(func, result)
+        changed |= _prune_dead_branches(func.body, result)
+        if not changed:
+            break
+    number_statements(func)
+    _propagate_copies(func, build_ssa(func, effects))
+
+
+def _literal_for(value, template: Expr) -> Expr | None:
+    """A literal node for a proven constant, carrying ``template``'s span."""
+    if isinstance(value, bool):
+        return BoolLit(value=value, line=template.line, col=template.col)
+    if isinstance(value, int):
+        return IntLit(value=value, line=template.line, col=template.col)
+    if isinstance(value, str):
+        return StringLit(value=value, line=template.line, col=template.col)
+    return None
+
+
+def _fold_constants(func: FunctionDef, result: SCCPResult) -> bool:
+    """Replace proven-constant variable uses (and the pure operator trees
+    they complete) with literal nodes, in executable statements only."""
+    executable_sids = {
+        stmt.sid
+        for block in result.ssa.cfg.blocks
+        if block.index in result.executable_blocks
+        for stmt in block.statements
+    }
+    changed = False
+
+    def fold(expr: Expr, sid: int) -> Expr:
+        nonlocal changed
+        if isinstance(expr, Name):
+            const = result.const_at(sid, expr.ident)
+            literal = None if const is None else _literal_for(const, expr)
+            if literal is not None:
+                changed = True
+                return literal
+            return expr
+        _rewrite_children(expr, lambda child: fold(child, sid))
+        value = result.eval_at(sid, expr)
+        literal = None if value is None else _literal_for(value, expr)
+        if literal is not None and not isinstance(
+            expr, (IntLit, BoolLit, StringLit)
+        ):
+            changed = True
+            return literal
+        return expr
+
+    for stmt in walk_statements(func.body):
+        if stmt.sid not in executable_sids:
+            continue
+        _rewrite_stmt_exprs(stmt, lambda expr: fold(expr, stmt.sid))
+    return changed
+
+
+def _prune_dead_branches(block: Block, result: SCCPResult) -> bool:
+    """Replace each If with a proven-dead arm by its live arm's statements."""
+    changed = False
+    rebuilt: list[Stmt] = []
+    for stmt in block.statements:
+        verdict = (
+            result.dead_branches.get(stmt.sid) if isinstance(stmt, If) else None
+        )
+        if verdict == "then":
+            changed = True
+            if stmt.else_body is not None:
+                _prune_dead_branches(stmt.else_body, result)
+                rebuilt.extend(stmt.else_body.statements)
+            continue
+        if verdict == "else":
+            changed = True
+            _prune_dead_branches(stmt.then_body, result)
+            rebuilt.extend(stmt.then_body.statements)
+            continue
+        for child in _child_blocks(stmt):
+            changed |= _prune_dead_branches(child, result)
+        rebuilt.append(stmt)
+    block.statements[:] = rebuilt
+    return changed
+
+
+#: Method-call receivers that must keep their original name: rewriting the
+#: receiver of a mutating/consuming call would change which variable the
+#: analyses see as redefined (the objects alias, but lint attribution and
+#: the SSA def model key on the name).
+_RECEIVER_PRESERVING = {"next", "close"}
+
+
+def _propagate_copies(func: FunctionDef, ssa: SSAForm) -> None:
+    from ..analysis.dataflow import _MUTATING_METHODS
+
+    def rewrite(expr: Expr, sid: int) -> Expr:
+        if isinstance(expr, Name):
+            source = resolve_copy(ssa, sid, expr.ident)
+            if source is not None:
+                expr.ident = source  # span stays with the original use
+            return expr
+        if isinstance(expr, MethodCall):
+            preserve = (
+                expr.method in _MUTATING_METHODS
+                or expr.method in _RECEIVER_PRESERVING
+                or setter_to_column(expr.method) is not None
+            )
+            if not (preserve and isinstance(expr.receiver, Name)):
+                expr.receiver = rewrite(expr.receiver, sid)
+            expr.args = [rewrite(arg, sid) for arg in expr.args]
+            return expr
+        _rewrite_children(expr, lambda child: rewrite(child, sid))
+        return expr
+
+    for stmt in walk_statements(func.body):
+        _rewrite_stmt_exprs(stmt, lambda expr: rewrite(expr, stmt.sid))
+
+
+def _rewrite_children(expr: Expr, fn) -> None:
+    """Apply ``fn`` to each direct sub-expression of ``expr``, in place."""
+    for f in dataclass_fields(expr):
+        value = getattr(expr, f.name)
+        if isinstance(value, Expr):
+            setattr(expr, f.name, fn(value))
+        elif isinstance(value, list) and value and isinstance(value[0], Expr):
+            setattr(expr, f.name, [fn(item) for item in value])
+
+
+def _rewrite_stmt_exprs(stmt: Stmt, fn) -> None:
+    if isinstance(stmt, Assign):
+        stmt.value = fn(stmt.value)
+    elif isinstance(stmt, ExprStmt):
+        stmt.expr = fn(stmt.expr)
+    elif isinstance(stmt, If):
+        stmt.cond = fn(stmt.cond)
+    elif isinstance(stmt, While):
+        stmt.cond = fn(stmt.cond)
+    elif isinstance(stmt, ForEach):
+        stmt.iterable = fn(stmt.iterable)
+    elif isinstance(stmt, Return) and stmt.value is not None:
+        stmt.value = fn(stmt.value)
 
 
 # ----------------------------------------------------------------------
@@ -111,10 +308,10 @@ def _printed_value(expr: Expr) -> Expr | None:
 # while (rs.next()) → for (rs : ...)
 
 
-def _normalize_cursor_while(block: Block) -> None:
+def _normalize_cursor_while(block: Block, precision: bool = True) -> None:
     for i, stmt in enumerate(block.statements):
         for child in _child_blocks(stmt):
-            _normalize_cursor_while(child)
+            _normalize_cursor_while(child, precision=precision)
         if not (
             isinstance(stmt, While)
             and isinstance(stmt.cond, MethodCall)
@@ -123,9 +320,12 @@ def _normalize_cursor_while(block: Block) -> None:
         ):
             continue
         cursor = stmt.cond.receiver.ident
+        if _cursor_escapes_as_value(stmt.body, cursor):
+            continue
         # Find the defining query assignment earlier in this block (other
         # statements such as accumulator initialisations may intervene).
         defining: Assign | None = None
+        iterable = cursor
         for prior in reversed(block.statements[:i]):
             if isinstance(prior, Assign) and prior.target == cursor:
                 if (
@@ -134,6 +334,10 @@ def _normalize_cursor_while(block: Block) -> None:
                 ):
                     defining = prior
                 break
+        if defining is None and precision:
+            chain = _resolve_cursor_chain(block.statements[:i], cursor)
+            if chain is not None:
+                defining, iterable = chain
         if defining is None:
             continue
         defining.value = Call(
@@ -142,11 +346,104 @@ def _normalize_cursor_while(block: Block) -> None:
         )
         # `for (rs : rs)` — the iterable is evaluated before the cursor
         # variable is rebound per row, so the self-shadowing is sound, and
-        # the body's `rs.getX(...)` accessors keep working unchanged.
+        # the body's `rs.getX(...)` accessors keep working unchanged.  For a
+        # copy chain the iterable is the chain's ultimate source variable
+        # (`for (rs : q)`), which aliases the same materialised list.
         block.statements[i] = ForEach(
-            var=cursor, iterable=Name(cursor), body=stmt.body,
+            var=cursor, iterable=Name(iterable), body=stmt.body,
             line=stmt.line, col=stmt.col,
         )
+
+
+def _cursor_escapes_as_value(body: Block, cursor: str) -> bool:
+    """True when the loop body uses the cursor other than as a getter receiver.
+
+    The rewrite to ``for (rs : ...)`` rebinds ``rs`` to each *row*, which is
+    only equivalent while the body merely reads fields through it.  Storing,
+    passing, or returning the bare cursor observes the cursor object itself
+    (``v.add(rs)`` would collect rows instead of the cursor), and advancing
+    or closing it mid-body changes how many rows the loop sees — any such
+    use leaves the ``while`` un-normalised.
+    """
+
+    def escapes(expr: Expr) -> bool:
+        if isinstance(expr, Name):
+            return expr.ident == cursor
+        if isinstance(expr, MethodCall):
+            receiver_is_cursor = (
+                isinstance(expr.receiver, Name)
+                and expr.receiver.ident == cursor
+            )
+            if receiver_is_cursor:
+                if expr.method in ("next", "close"):
+                    return True  # consumes the cursor mid-iteration
+            elif escapes(expr.receiver):
+                return True
+            return any(escapes(arg) for arg in expr.args)
+        for f in dataclass_fields(expr):
+            value = getattr(expr, f.name)
+            if isinstance(value, Expr) and escapes(value):
+                return True
+            if isinstance(value, list) and any(
+                isinstance(item, Expr) and escapes(item) for item in value
+            ):
+                return True
+        return False
+
+    return any(
+        escapes(expr)
+        for inner in walk_statements(body)
+        for expr in statement_expressions(inner)
+    )
+
+
+def _resolve_cursor_chain(
+    prefix: list[Stmt], cursor: str
+) -> tuple[Assign, str] | None:
+    """Follow ``rs = q`` copies back to a query assignment.
+
+    Strict about everything between the query call and the ``while``:
+    besides the chain's own copy assignments, no statement may read *or*
+    write any chain variable — a read could consume the cursor, and
+    materialising it to a list would then change what the loop sees.
+    (The direct single-variable pattern above keeps its historical, laxer
+    matching.)
+    """
+    target = cursor
+    chain_vars = {cursor}
+    chain_positions: set[int] = set()
+    defining: Assign | None = None
+    start = -1
+    j = len(prefix) - 1
+    while j >= 0:
+        stmt = prefix[j]
+        if isinstance(stmt, Assign) and stmt.target == target:
+            if isinstance(stmt.value, Call) and stmt.value.func in (
+                "executeQuery",
+                "executeQueryCursor",
+            ):
+                defining = stmt
+                start = j
+                break
+            if isinstance(stmt.value, Name):
+                chain_positions.add(j)
+                target = stmt.value.ident
+                if target in chain_vars:
+                    return None
+                chain_vars.add(target)
+                j -= 1
+                continue
+            return None
+        j -= 1
+    if defining is None or target == cursor:
+        return None
+    for k in range(start + 1, len(prefix)):
+        if k in chain_positions:
+            continue
+        stmt = prefix[k]
+        if chain_vars & (all_reads(stmt) | all_writes(stmt)):
+            return None
+    return defining, target
 
 
 # ----------------------------------------------------------------------

@@ -74,8 +74,14 @@ class Diagnostic:
 
     @property
     def is_blocker(self) -> bool:
-        """EQ1xx codes are soundness blockers: extraction must not proceed."""
-        return self.code.startswith("EQ1")
+        """EQ1xx codes are soundness blockers: extraction must not proceed.
+
+        A pass may *downgrade* an EQ1xx finding to :attr:`Severity.INFO`
+        when a static proof (e.g. points-to showing a value never escapes)
+        discharges the soundness obligation — the finding stays visible in
+        reports but no longer gates extraction.
+        """
+        return self.code.startswith("EQ1") and self.severity >= Severity.ERROR
 
     def to_dict(self) -> dict:
         return {

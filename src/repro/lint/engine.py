@@ -30,16 +30,33 @@ def _as_program(source: str | Program) -> Program:
 
 
 def lint_preprocessed(
-    program: Program, raw_program: Program, function: str
+    program: Program,
+    raw_program: Program,
+    function: str,
+    *,
+    precision: bool = True,
 ) -> list[Diagnostic]:
-    """Run all passes for one function given both AST views (no parsing)."""
-    return run_passes(make_context(program, raw_program, function))
+    """Run all passes for one function given both AST views (no parsing).
+
+    ``precision`` must match the flag ``program`` was preprocessed with:
+    it additionally enables points-to-verified blocker downgrades.
+    """
+    return run_passes(
+        make_context(program, raw_program, function, precision=precision)
+    )
 
 
-def lint_function(source: str | Program, function: str) -> list[Diagnostic]:
+def lint_function(
+    source: str | Program, function: str, *, precision: bool = True
+) -> list[Diagnostic]:
     """Parse/preprocess as needed and lint one function."""
     raw = _as_program(source)
-    return lint_preprocessed(preprocess_program(raw), raw, function)
+    return lint_preprocessed(
+        preprocess_program(raw, precision=precision),
+        raw,
+        function,
+        precision=precision,
+    )
 
 
 @dataclass
@@ -79,14 +96,14 @@ class LintReport:
         return "\n".join(d.render(path) for d in self.diagnostics)
 
 
-def lint_program(source: str | Program) -> LintReport:
+def lint_program(source: str | Program, *, precision: bool = True) -> LintReport:
     """Lint every function of a program."""
     raw = _as_program(source)
-    preprocessed = preprocess_program(raw)
+    preprocessed = preprocess_program(raw, precision=precision)
     report = LintReport(functions=[f.name for f in raw.functions])
     for func in raw.functions:
         report.diagnostics.extend(
-            lint_preprocessed(preprocessed, raw, func.name)
+            lint_preprocessed(preprocessed, raw, func.name, precision=precision)
         )
     report.diagnostics.sort()
     return report

@@ -45,7 +45,7 @@ from ..lang import (
     walk_expressions,
     walk_statements,
 )
-from .diagnostics import Diagnostic
+from .diagnostics import Diagnostic, Severity
 from .registry import LintContext, lint_pass
 
 
@@ -146,6 +146,20 @@ def check_alias_escape(ctx: LintContext) -> Iterable[Diagnostic]:
       analysis cannot prove leaves it intact (undefined callee, or a known
       callee that mutates that parameter) — flagged loop-wide, because a
       mutated source collection invalidates the fold entirely.
+
+    When the precision layer is on, points-to / escape proofs *downgrade*
+    findings whose soundness obligation is discharged to informational:
+
+    * a setter receiver proven function-local (``is_function_local``) —
+      nothing outside the function can observe the mutation;
+    * a result set passed to a *defined* callee whose summary proves the
+      argument position neither escapes nor is mutated
+      (``escapes_params`` is sound even for opaque callees: anything
+      reaching unknown code is in the set).
+
+    A call site where the variable provably no longer denotes the
+    iterated result set (rebound between loop and call) is skipped
+    entirely.
     """
     loops = ctx.cursor_loops()
 
@@ -157,14 +171,29 @@ def check_alias_escape(ctx: LintContext) -> Iterable[Diagnostic]:
                 and setter_to_column(node.method) is not None
                 and isinstance(node.receiver, Name)
             ):
-                yield ctx.diag(
-                    "EQ103",
-                    node,
-                    f"entity {node.receiver.ident!r} is mutated via "
-                    f".{node.method}(...) inside the loop",
-                    variable=node.receiver.ident,
-                    loop_sid=loop.sid,
-                )
+                pt = ctx.pointsto
+                if pt is not None and pt.is_function_local(
+                    stmt.sid, node.receiver.ident
+                ):
+                    yield ctx.diag(
+                        "EQ103",
+                        node,
+                        f"entity {node.receiver.ident!r} is mutated via "
+                        f".{node.method}(...) inside the loop, but is "
+                        "proven local to this function",
+                        variable=node.receiver.ident,
+                        loop_sid=loop.sid,
+                        severity=Severity.INFO,
+                    )
+                else:
+                    yield ctx.diag(
+                        "EQ103",
+                        node,
+                        f"entity {node.receiver.ident!r} is mutated via "
+                        f".{node.method}(...) inside the loop",
+                        variable=node.receiver.ident,
+                        loop_sid=loop.sid,
+                    )
 
     # Result-set escape: scan the whole function for calls taking a loop's
     # iterable as an argument.
@@ -190,18 +219,44 @@ def check_alias_escape(ctx: LintContext) -> Iterable[Diagnostic]:
                     if not (isinstance(arg, Name) and arg.ident in iterables):
                         continue
                     loop = iterables[arg.ident]
+                    pt = ctx.pointsto
+                    if pt is not None:
+                        loop_objs = pt.objects_at(loop.sid, arg.ident)
+                        here_objs = pt.objects_at(stmt.sid, arg.ident)
+                        if (
+                            loop_objs
+                            and here_objs
+                            and not pt.may_alias(stmt.sid, arg.ident, loop_objs)
+                        ):
+                            continue  # rebound: not the iterated result set
                     if effect is None or effect.opaque:
                         # Inside its own loop the call is already an EQ102
                         # blocker; elsewhere the escape itself is the issue.
                         if inside.get(id(node)) == loop.sid:
                             continue
-                        yield ctx.diag(
-                            "EQ103",
-                            node,
-                            f"result set {arg.ident!r} escapes to "
-                            f"{node.func!r}, which cannot be analysed",
-                            loop_sid=loop.sid,
-                        )
+                        if (
+                            ctx.precision
+                            and effect is not None
+                            and pos not in effect.escapes_params
+                            and pos not in effect.mutates_params
+                        ):
+                            yield ctx.diag(
+                                "EQ103",
+                                node,
+                                f"result set {arg.ident!r} is passed to "
+                                f"{node.func!r}, which provably neither "
+                                "retains nor mutates it",
+                                loop_sid=loop.sid,
+                                severity=Severity.INFO,
+                            )
+                        else:
+                            yield ctx.diag(
+                                "EQ103",
+                                node,
+                                f"result set {arg.ident!r} escapes to "
+                                f"{node.func!r}, which cannot be analysed",
+                                loop_sid=loop.sid,
+                            )
                     elif pos in effect.mutates_params:
                         yield ctx.diag(
                             "EQ103",

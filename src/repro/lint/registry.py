@@ -23,10 +23,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from ..analysis import EffectSummary, function_effects
+from ..analysis import (
+    EffectSummary,
+    PointsToResult,
+    analyze_pointsto,
+    function_effects,
+)
 from ..lang import ForEach, FunctionDef, Node, Program, walk_statements
 from .codes import code_info
-from .diagnostics import Diagnostic, SourceSpan
+from .diagnostics import Diagnostic, Severity, SourceSpan
 
 
 @dataclass
@@ -37,6 +42,23 @@ class LintContext:
     raw_program: Program  # as parsed
     function: str
     effects: dict[str, EffectSummary] = field(default_factory=dict)
+    #: When False, precision analyses (points-to) are disabled and passes
+    #: must fall back to their purely syntactic verdicts.
+    precision: bool = True
+    _pointsto: PointsToResult | None = field(default=None, repr=False)
+
+    @property
+    def pointsto(self) -> PointsToResult | None:
+        """Flow-sensitive points-to facts for ``ctx.func`` (lazily computed).
+
+        ``None`` when the precision layer is disabled — passes treat that
+        exactly like "no proof available".
+        """
+        if not self.precision:
+            return None
+        if self._pointsto is None:
+            self._pointsto = analyze_pointsto(self.func, self.effects)
+        return self._pointsto
 
     @property
     def func(self) -> FunctionDef:
@@ -62,14 +84,20 @@ class LintContext:
         *,
         variable: str = "",
         loop_sid: int = -1,
+        severity: Severity | None = None,
     ) -> Diagnostic:
-        """Build a diagnostic for ``code`` anchored at ``node``'s span."""
+        """Build a diagnostic for ``code`` anchored at ``node``'s span.
+
+        ``severity`` overrides the code's registered severity — used to
+        downgrade an EQ1xx blocker to :attr:`Severity.INFO` when a static
+        proof discharges it (see :attr:`Diagnostic.is_blocker`).
+        """
         info = code_info(code)
         message = f"{info.title}: {detail}" if detail else info.title
         return Diagnostic(
             span=SourceSpan.of(node),
             code=code,
-            severity=info.severity,
+            severity=info.severity if severity is None else severity,
             message=message,
             function=self.function,
             variable=variable,
@@ -101,13 +129,18 @@ def registered_passes() -> list[tuple[str, tuple[str, ...], LintPass]]:
 
 
 def make_context(
-    program: Program, raw_program: Program, function: str
+    program: Program,
+    raw_program: Program,
+    function: str,
+    *,
+    precision: bool = True,
 ) -> LintContext:
     return LintContext(
         program=program,
         raw_program=raw_program,
         function=function,
         effects=function_effects(program),
+        precision=precision,
     )
 
 

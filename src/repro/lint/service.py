@@ -24,7 +24,9 @@ from .engine import lint_function
 
 #: Bump when the lint payload layout changes; old entries become misses.
 #: 2: the frontend name joined the key (see ``repro.batch.cache``).
-LINT_CACHE_FORMAT = 2
+#: 3: precision-layer downgrades changed diagnostic severities and the
+#: preprocessed view diagnostics anchor to.
+LINT_CACHE_FORMAT = 3
 
 
 def lint_cache_key(

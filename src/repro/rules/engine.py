@@ -176,4 +176,52 @@ def _simplify_op(node: EOp, dag: DagBuilder) -> ENode:
             return node.operands[1]
     if node.op == "?" and isinstance(node.operands[0], EConst):
         return node.operands[1] if node.operands[0].value else node.operands[2]
+    folded = _fold_constant_op(node, dag)
+    if folded is not None:
+        return folded
     return node
+
+
+def _is_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _fold_constant_op(node: EOp, dag: DagBuilder) -> ENode | None:
+    """Fold binary operators over literal operands, mirroring the SCCP
+    lattice's deliberately narrow semantics (:mod:`repro.analysis.ssa`):
+    integer arithmetic (never floats, never the truncating ``/`` and ``%``),
+    string concatenation, ordered comparisons on ints and strings,
+    (in)equality on scalars of matching type, min/max, and boolean
+    connectives.  Returns ``None`` when nothing folds."""
+    if len(node.operands) != 2 or not all(
+        isinstance(operand, EConst) for operand in node.operands
+    ):
+        return None
+    a, b = (operand.value for operand in node.operands)
+    op = node.op
+    if op in ("+", "-", "*"):
+        if _is_int(a) and _is_int(b):
+            result = a + b if op == "+" else a - b if op == "-" else a * b
+            return dag.const(result)
+        if op == "+" and isinstance(a, str) and isinstance(b, str):
+            return dag.const(a + b)
+        return None
+    if op in ("max", "min"):
+        if _is_int(a) and _is_int(b):
+            return dag.const(max(a, b) if op == "max" else min(a, b))
+        return None
+    if op in ("<", "<=", ">", ">="):
+        if (_is_int(a) and _is_int(b)) or (
+            isinstance(a, str) and isinstance(b, str)
+        ):
+            verdict = {"<": a < b, "<=": a <= b, ">": a > b, ">=": a >= b}[op]
+            return dag.const(verdict)
+        return None
+    if op in ("==", "!="):
+        if type(a) is type(b) and isinstance(a, (int, str, bool)):
+            return dag.const(a == b if op == "==" else a != b)
+        return None
+    if op in ("and", "or"):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return dag.const(a and b if op == "and" else a or b)
+    return None

@@ -4,7 +4,9 @@
 * :mod:`~repro.workloads.matoso` — Figure 2 (Experiment 7);
 * :mod:`~repro.workloads.jobportal` — Figure 12 (Experiment 8);
 * :mod:`~repro.workloads.rubis` / :mod:`~repro.workloads.rubbos` /
-  :mod:`~repro.workloads.acadportal` — Experiment 3 servlet suites.
+  :mod:`~repro.workloads.acadportal` — Experiment 3 servlet suites;
+* :mod:`~repro.workloads.precision` — loops only the SSA precision
+  layer recovers (dead-branch, copy-chain, local-alias shapes).
 """
 
 from .acadportal import (
@@ -14,6 +16,13 @@ from .acadportal import (
     acadportal_database,
 )
 from .jobportal import JOB_REPORT, jobportal_catalog, jobportal_database
+from .precision import (
+    PRECISION_SAMPLES,
+    PrecisionSample,
+    precision_catalog,
+    precision_database,
+    precision_sample,
+)
 from .matoso import (
     FIND_MAX_SCORE,
     FIND_MAX_SCORE_WITH_PLAYER,
@@ -45,6 +54,8 @@ __all__ = [
     "FIND_MAX_SCORE_WITH_PLAYER",
     "JOB_REPORT",
     "MANUAL_QUERIES",
+    "PRECISION_SAMPLES",
+    "PrecisionSample",
     "RUBBOS_SERVLETS",
     "RUBIS_SERVLETS",
     "SAMPLE_30_SIMPLIFIED",
@@ -58,6 +69,9 @@ __all__ = [
     "jobportal_database",
     "matoso_catalog",
     "matoso_database",
+    "precision_catalog",
+    "precision_database",
+    "precision_sample",
     "rubbos_catalog",
     "rubbos_database",
     "rubis_catalog",

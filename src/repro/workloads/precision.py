@@ -1,0 +1,207 @@
+"""The precision-recovery corpus: loops only the SSA layer can extract.
+
+Each sample here is a realistic code shape that the purely *syntactic*
+pipeline (``precision=False``) refuses to extract — an EQ1xx blocker
+fires, or the cursor loop is not even recognised — but that the SSA
+precision layer (:mod:`repro.analysis.ssa`, :mod:`repro.analysis.pointsto`)
+proves safe:
+
+* ``dead-logging`` / ``dead-writeback`` / ``dead-early-exit`` /
+  ``dead-trycatch`` — a constant-false configuration flag guards the
+  poisonous construct (undefined call, ``executeUpdate``, ``break``,
+  ``try``); sparse conditional constant propagation proves the branch
+  dead and pruning removes it before the lint gate runs;
+* ``chained-cursor`` — the classic ``rs = q`` alias between opening a
+  cursor and draining it with ``while (rs.next())``; copy-chain
+  resolution normalises the loop the direct-definition scan misses;
+* ``retained-local`` — the iterated result set is passed, after the
+  loop, to a recursive (hence un-inlinable) helper; the interprocedural
+  ``escapes_params`` summary proves the helper neither retains nor
+  mutates it, downgrading the alias-escape blocker to informational.
+
+``benchmarks/bench_precision.py`` replays this corpus under both modes
+and pins the recovered-extraction count in ``BENCH_precision.json``;
+each recovery is verified equivalent on an ``engine="both"`` database.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..algebra import Catalog
+from ..db import Database
+
+
+@dataclass(frozen=True)
+class PrecisionSample:
+    """One recovery scenario.
+
+    ``blocked_without`` names the EQ1xx codes that gate extraction when
+    the precision layer is off (empty for the cursor-chain shape, where
+    the loop is simply never recognised as a cursor loop).
+    """
+
+    name: str
+    function: str
+    blocked_without: tuple[str, ...]
+    source: str
+
+
+PRECISION_SAMPLES: tuple[PrecisionSample, ...] = (
+    PrecisionSample(
+        name="dead-logging",
+        function="totalOpenOrders",
+        blocked_without=("EQ102",),
+        source="""
+totalOpenOrders() {
+    debug = false;
+    rows = executeQuery("from Orders as o where o.status = 'open'");
+    total = 0;
+    for (t : rows) {
+        if (debug) {
+            logAudit(t);
+        }
+        total = total + t.getAmount();
+    }
+    return total;
+}
+""",
+    ),
+    PrecisionSample(
+        name="dead-writeback",
+        function="countEmeaOrders",
+        blocked_without=("EQ101",),
+        source="""
+countEmeaOrders() {
+    migrate = false;
+    rows = executeQuery("from Orders as o where o.region = 'emea'");
+    count = 0;
+    for (t : rows) {
+        if (migrate) {
+            executeUpdate("update orders set status = 'archived' where id = " + t.getId());
+        }
+        count = count + 1;
+    }
+    return count;
+}
+""",
+    ),
+    PrecisionSample(
+        name="dead-early-exit",
+        function="totalAllOrders",
+        blocked_without=("EQ105",),
+        source="""
+totalAllOrders() {
+    cap = 3 - 3;
+    rows = executeQuery("from Orders as o");
+    total = 0;
+    for (t : rows) {
+        if (cap > 0) {
+            break;
+        }
+        total = total + t.getAmount();
+    }
+    return total;
+}
+""",
+    ),
+    PrecisionSample(
+        name="dead-trycatch",
+        function="maxApacAmount",
+        blocked_without=("EQ106",),
+        source="""
+maxApacAmount() {
+    strict = false;
+    rows = executeQuery("from Orders as o where o.region = 'apac'");
+    best = 0;
+    for (t : rows) {
+        if (strict) {
+            try {
+                best = t.getAmount();
+            } catch (e) {
+                best = 0;
+            }
+        }
+        if (t.getAmount() > best) {
+            best = t.getAmount();
+        }
+    }
+    return best;
+}
+""",
+    ),
+    PrecisionSample(
+        name="chained-cursor",
+        function="totalDoneOrders",
+        blocked_without=(),
+        source="""
+totalDoneOrders() {
+    q = executeQueryCursor("from Orders as o where o.status = 'done'");
+    rs = q;
+    total = 0;
+    while (rs.next()) {
+        total = total + rs.getAmount();
+    }
+    return total;
+}
+""",
+    ),
+    PrecisionSample(
+        name="retained-local",
+        function="totalAmerOrders",
+        blocked_without=("EQ103",),
+        source="""
+totalAmerOrders() {
+    rows = executeQuery("from Orders as o where o.region = 'amer'");
+    total = 0;
+    for (t : rows) {
+        total = total + t.getAmount();
+    }
+    kept = retain(rows, 2);
+    return total + kept;
+}
+
+retain(c, n) {
+    if (n > 0) {
+        return retain(c, n - 1);
+    }
+    return 0;
+}
+""",
+    ),
+)
+
+
+def precision_sample(name: str) -> PrecisionSample:
+    for entry in PRECISION_SAMPLES:
+        if entry.name == name:
+            return entry
+    raise KeyError(name)
+
+
+def precision_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.define("orders", ["id", "amount", "status", "region"], key=("id",))
+    return catalog
+
+
+def precision_database(
+    scale: int = 40, seed: int = 11, catalog: Catalog | None = None
+) -> Database:
+    """Synthetic order data, deterministic in ``seed``."""
+    rng = random.Random(seed)
+    db = Database(catalog or precision_catalog())
+    statuses = ["open", "done"]
+    regions = ["emea", "apac", "amer"]
+    for i in range(1, scale + 1):
+        db.insert(
+            "orders",
+            {
+                "id": i,
+                "amount": rng.randint(1, 900),
+                "status": rng.choice(statuses),
+                "region": rng.choice(regions),
+            },
+        )
+    return db

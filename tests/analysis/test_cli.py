@@ -1,0 +1,73 @@
+"""The ``python -m repro analyze`` subcommand: text and JSON fact dumps."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+totalOpenOrders() {
+    debug = false;
+    rows = executeQuery("from Orders as o where o.status = 'open'");
+    total = 0;
+    for (t : rows) {
+        if (debug) {
+            logAudit(t);
+        }
+        total = total + t.getAmount();
+    }
+    return total;
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "orders.mj"
+    path.write_text(SOURCE)
+    return path
+
+
+def run(capsys, *argv) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_text_dump_shows_all_three_fact_families(self, capsys, source_file):
+        code, out = run(capsys, "analyze", f"{source_file}::totalOpenOrders")
+        assert code == 0
+        assert "SSA values:" in out
+        assert "debug#" in out  # an SSA value for the flag
+        assert "= False" in out  # its proven constant
+        assert "then arm unreachable" in out  # the dead branch
+        assert "query@" in out  # the points-to object for the result set
+
+    def test_json_dump_is_structured(self, capsys, source_file):
+        code, out = run(
+            capsys, "analyze", f"{source_file}::totalOpenOrders", "--json"
+        )
+        assert code == 0
+        facts = json.loads(out)
+        assert facts["function"] == "totalOpenOrders"
+        assert facts["frontend"] == "minijava"
+        assert any(entry.startswith("debug#") for entry in facts["ssa"])
+        assert False in facts["constants"].values()
+        assert facts["dead_branches"]
+        assert any(
+            obj.startswith("query@")
+            for obj in facts["pointsto"]["variables"].get("rows", [])
+        )
+
+    def test_unknown_function_exits_with_a_listing(self, capsys, source_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", f"{source_file}::nope"])
+        assert "totalOpenOrders" in str(excinfo.value)
+
+    def test_malformed_target_is_rejected(self, source_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", str(source_file)])
+        assert "FILE::function" in str(excinfo.value)

@@ -1,0 +1,191 @@
+"""SSA construction and its two scalar clients (SCCP, copy propagation).
+
+These pin the *facts* the precision layer relies on, at the analysis API:
+φ placement at joins, the per-statement environment snapshots that make
+AST mapping sound, the constant lattice (including its deliberate
+conservatisms), dead-branch verdicts, and the validity rule for copy
+resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.effects import function_effects
+from repro.analysis.ssa import (
+    build_ssa,
+    resolve_copy,
+    sccp,
+)
+from repro.lang import If, Return, number_statements, parse_program, walk_statements
+
+
+def ssa_of(source: str, function: str = "f"):
+    program = parse_program(source)
+    number_statements(program)
+    func = program.function(function)
+    return func, build_ssa(func, function_effects(program))
+
+
+def sccp_of(source: str, function: str = "f"):
+    func, ssa = ssa_of(source, function)
+    return func, sccp(ssa)
+
+
+def stmt_by_type(func, kind):
+    return [s for s in walk_statements(func.body) if isinstance(s, kind)]
+
+
+class TestConstruction:
+    def test_join_gets_a_phi_for_the_reassigned_variable(self):
+        _, ssa = ssa_of(
+            """
+f(p) {
+    x = 1;
+    if (p > 0) {
+        x = 2;
+    }
+    return x;
+}
+"""
+        )
+        phis = [v for v in ssa.values if v.kind == "phi" and v.var == "x"]
+        assert len(phis) == 1
+        operand_kinds = {ssa.value(o).kind for o in phis[0].operands if o >= 0}
+        assert operand_kinds == {"assign"}
+
+    def test_env_before_resolves_uses_to_the_dominating_def(self):
+        func, ssa = ssa_of("f() {\n    x = 1;\n    y = x + 1;\n    return y;\n}")
+        ret = stmt_by_type(func, Return)[0]
+        vid = ssa.use(ret.sid, "y")
+        assert vid is not None and ssa.value(vid).kind == "assign"
+
+    def test_mutating_receiver_is_an_opaque_redefinition(self):
+        _, ssa = ssa_of(
+            "f() {\n    v = new ArrayList();\n    v.add(1);\n    return v;\n}"
+        )
+        kinds = [value.kind for value in ssa.values if value.var == "v"]
+        assert "mutate" in kinds
+
+    def test_call_to_unknown_function_redefines_its_arguments(self):
+        _, ssa = ssa_of("f() {\n    v = new ArrayList();\n    poke(v);\n    return v;\n}")
+        kinds = [value.kind for value in ssa.values if value.var == "v"]
+        assert "opaque" in kinds
+
+
+class TestSCCP:
+    def test_constant_survives_a_join_with_a_dead_branch(self):
+        func, result = sccp_of(
+            """
+f() {
+    flag = false;
+    x = 1;
+    if (flag) {
+        x = 2;
+    }
+    return x;
+}
+"""
+        )
+        ret = stmt_by_type(func, Return)[0]
+        assert result.const_at(ret.sid, "x") == 1
+
+    def test_dead_branch_verdict_for_constant_guard(self):
+        func, result = sccp_of(
+            """
+f() {
+    flag = 3 - 3;
+    if (flag > 0) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    return x;
+}
+"""
+        )
+        branch = stmt_by_type(func, If)[0]
+        assert result.dead_branches == {branch.sid: "then"}
+        assert result.const_at(stmt_by_type(func, Return)[0].sid, "x") == 2
+
+    def test_branch_with_runtime_guard_is_not_dead(self):
+        func, result = sccp_of(
+            "f(p) {\n    if (p > 0) {\n        x = 1;\n    }\n    return 0;\n}"
+        )
+        assert result.dead_branches == {}
+
+    @pytest.mark.parametrize("expr", ["8 / 2", "8 % 3", "1.5 + 1.5"])
+    def test_division_modulo_and_floats_never_fold(self, expr):
+        # The interpreter owns their corner cases (negative truncation,
+        # rounding); SCCP must not invent compile-time answers for them.
+        func, result = sccp_of(f"f() {{\n    x = {expr};\n    return x;\n}}")
+        ret = stmt_by_type(func, Return)[0]
+        assert result.const_at(ret.sid, "x") is None
+
+    def test_call_results_are_bottom(self):
+        func, result = sccp_of(
+            "f() {\n    x = mystery();\n    return x;\n}"
+        )
+        ret = stmt_by_type(func, Return)[0]
+        assert result.const_at(ret.sid, "x") is None
+
+    def test_string_and_boolean_algebra_folds(self):
+        func, result = sccp_of(
+            """
+f() {
+    s = "a" + "b";
+    t = s == "ab";
+    u = t && true;
+    return u;
+}
+"""
+        )
+        ret = stmt_by_type(func, Return)[0]
+        assert result.const_at(ret.sid, "s") == "ab"
+        assert result.const_at(ret.sid, "u") is True
+
+
+class TestCopyPropagation:
+    def test_straightline_copy_resolves_to_its_source(self):
+        func, ssa = ssa_of(
+            "f() {\n    q = executeQuery(\"from T as t\");\n    rs = q;\n    return rs;\n}"
+        )
+        ret = stmt_by_type(func, Return)[0]
+        assert resolve_copy(ssa, ret.sid, "rs") == "q"
+
+    def test_copy_is_invalid_after_the_source_is_redefined(self):
+        func, ssa = ssa_of(
+            """
+f() {
+    q = executeQuery("from T as t");
+    rs = q;
+    q = executeQuery("from U as u");
+    return rs;
+}
+"""
+        )
+        ret = stmt_by_type(func, Return)[0]
+        assert resolve_copy(ssa, ret.sid, "rs") is None
+
+    def test_chain_of_copies_resolves_to_the_ultimate_source(self):
+        func, ssa = ssa_of(
+            "f() {\n    a = executeQuery(\"from T as t\");\n    b = a;\n    c = b;\n    return c;\n}"
+        )
+        ret = stmt_by_type(func, Return)[0]
+        assert resolve_copy(ssa, ret.sid, "c") == "a"
+
+    def test_conditional_copy_does_not_resolve(self):
+        func, ssa = ssa_of(
+            """
+f(p) {
+    a = executeQuery("from T as t");
+    b = executeQuery("from U as u");
+    if (p > 0) {
+        b = a;
+    }
+    return b;
+}
+"""
+        )
+        ret = stmt_by_type(func, Return)[0]
+        assert resolve_copy(ssa, ret.sid, "b") is None

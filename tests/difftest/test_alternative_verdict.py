@@ -27,8 +27,8 @@ from repro.difftest.oracle import (
 from repro.rewrites.verify import AlternativeCheck
 
 #: A case whose program yields at least one non-identity alternative
-#: (seed 2 / case 1 — a plain accumulator loop that push-down rewrites).
-SWEPT_CASE = (2, 1)
+#: (seed 2 / case 2 — a plain accumulator loop that push-down rewrites).
+SWEPT_CASE = (2, 2)
 
 
 def test_alternative_diverged_is_a_failing_kind():

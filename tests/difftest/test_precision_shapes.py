@@ -1,0 +1,92 @@
+"""The generator's precision-era shapes and the raw-vs-preprocessed check.
+
+The fuzzer is the soundness net for the SSA precision layer, so it must
+actually generate the shapes the layer transforms (copy chains, dead
+branches, local aliases) — and the oracle must compare the program *as
+parsed* against the preprocessed program the rest of the pipeline uses,
+since preprocessing itself is otherwise never under differential test.
+"""
+
+from __future__ import annotations
+
+from repro.difftest.generator import generate_case
+from repro.difftest.oracle import (
+    FAILING_KINDS,
+    KIND_ENGINE_DIVERGENCE,
+    KIND_PREPROCESS_DIVERGED,
+    _check_preprocess_fidelity,
+    run_case,
+)
+
+#: Enough cases to see every shape at its configured weight with margin.
+WINDOW = 60
+
+
+def window_cases(seed: int = 5):
+    return [generate_case(seed, index) for index in range(WINDOW)]
+
+
+class TestShapeCoverage:
+    def test_copy_chain_shape_is_generated(self):
+        assert any("= q0;" in c.source and "while (" in c.source for c in window_cases())
+
+    def test_dead_branch_shape_is_generated(self):
+        assert any("legacy" in c.source for c in window_cases())
+
+    def test_local_alias_shape_is_generated(self):
+        sources = [c.source for c in window_cases()]
+        assert any("retain(q0," in s for s in sources)
+        # The helper itself must ride along, or the callee is undefined.
+        assert all("retain(c, n)" in s for s in sources if "retain(q0," in s)
+
+    def test_every_window_case_passes_the_oracle(self):
+        for case in window_cases():
+            verdict = run_case(case)
+            assert not verdict.failing, (
+                f"case {case.case_id} failed: {verdict.kind}\n"
+                f"{verdict.detail}\n{case.source}"
+            )
+
+
+class TestPreprocessFidelity:
+    def test_verdict_kind_is_failing(self):
+        assert KIND_PREPROCESS_DIVERGED == "preprocess-diverged"
+        assert KIND_PREPROCESS_DIVERGED in FAILING_KINDS
+
+    def faithful_case(self):
+        # A case whose raw and preprocessed interpretations agree.
+        return generate_case(5, 0)
+
+    def test_faithful_case_reports_nothing(self):
+        from repro.core import optimize_program
+        from repro.db import Connection
+        from repro.difftest.dbgen import build_database
+        from repro.interp import Interpreter
+
+        case = self.faithful_case()
+        report = optimize_program(case.source, case.function, case.catalog())
+        interp = Interpreter(report.original, Connection(build_database(case)))
+        result = interp.run(case.function)
+        assert _check_preprocess_fidelity(case, result, interp) is None
+
+    def test_mismatched_return_value_is_diagnosed(self):
+        from repro.db import Connection
+        from repro.difftest.dbgen import build_database
+        from repro.interp import Interpreter
+        from repro.lang import parse_program
+
+        case = self.faithful_case()
+        # Hand the checker a deliberately wrong "preprocessed" result: it
+        # must flag the divergence rather than trust the caller.
+        interp = Interpreter(
+            parse_program(case.source), Connection(build_database(case))
+        )
+        interp.run(case.function)
+        verdict = _check_preprocess_fidelity(
+            case, object(), interp
+        )
+        assert verdict is not None
+        kind, detail = verdict
+        assert kind in (KIND_PREPROCESS_DIVERGED, KIND_ENGINE_DIVERGENCE)
+        assert kind == KIND_PREPROCESS_DIVERGED
+        assert "return value" in detail

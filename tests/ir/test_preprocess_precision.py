@@ -1,0 +1,295 @@
+"""The precision layer's AST-level enabling transforms, plus span fidelity.
+
+Covers the three transforms :mod:`repro.ir.preprocess` applies on SSA
+facts (constant folding, dead-branch pruning, copy propagation with
+cursor-chain normalisation), the soundness guard that refuses to
+normalise a cursor-``while`` whose body uses the cursor as a value, and
+the contract that every transform preserves source spans — diagnostics
+produced after preprocessing must still point into the user's file, for
+both the MiniJava and the Python frontends.
+"""
+
+from __future__ import annotations
+
+from repro.frontends import get_frontend
+from repro.ir.preprocess import preprocess_program
+from repro.lang import (
+    Assign,
+    BoolLit,
+    ForEach,
+    If,
+    IntLit,
+    While,
+    parse_program,
+    unparse_program,
+    walk_statements,
+)
+from repro.lint.engine import lint_preprocessed
+
+
+def preprocessed(source: str, precision: bool = True):
+    return preprocess_program(parse_program(source), precision=precision)
+
+
+def stmts(program, kind, function="f"):
+    return [
+        s
+        for s in walk_statements(program.function(function).body)
+        if isinstance(s, kind)
+    ]
+
+
+class TestDeadBranchPruning:
+    SOURCE = """
+f() {
+    debug = false;
+    rows = executeQuery("from T as t");
+    total = 0;
+    for (t : rows) {
+        if (debug) {
+            logAudit(t);
+        }
+        total = total + t.getA();
+    }
+    return total;
+}
+"""
+
+    def test_constant_false_guard_is_pruned(self):
+        program = preprocessed(self.SOURCE)
+        assert stmts(program, If) == []
+        assert "logAudit" not in unparse_program(program)
+
+    def test_precision_off_keeps_the_branch(self):
+        program = preprocessed(self.SOURCE, precision=False)
+        assert len(stmts(program, If)) == 1
+
+    def test_runtime_guard_is_kept(self):
+        program = preprocessed(
+            """
+f(p) {
+    total = 0;
+    if (p > 0) {
+        total = 1;
+    }
+    return total;
+}
+"""
+        )
+        assert len(stmts(program, If)) == 1
+
+    def test_live_else_arm_is_spliced_in(self):
+        program = preprocessed(
+            """
+f() {
+    flag = true;
+    if (flag) {
+        x = 1;
+    } else {
+        x = 2;
+    }
+    return x;
+}
+"""
+        )
+        assert stmts(program, If) == []
+        values = [
+            s.value.value
+            for s in stmts(program, Assign)
+            if s.target == "x" and isinstance(s.value, IntLit)
+        ]
+        assert values == [1]
+
+
+class TestConstantFolding:
+    def test_uses_become_literals_carrying_the_use_site_span(self):
+        program = preprocessed(
+            "f() {\n    a = 5;\n    b = a + 10;\n    return b;\n}"
+        )
+        folded = [
+            s for s in stmts(program, Assign)
+            if s.target == "b" and isinstance(s.value, IntLit)
+        ]
+        assert len(folded) == 1 and folded[0].value.value == 15
+        assert folded[0].value.line == 3  # span of the use it replaced
+
+    def test_boolean_guards_fold_before_lint_sees_them(self):
+        program = preprocessed(
+            "f() {\n    on = true;\n    off = !on;\n    return off;\n}"
+        )
+        values = [
+            s.value.value
+            for s in stmts(program, Assign)
+            if s.target == "off" and isinstance(s.value, BoolLit)
+        ]
+        assert values == [False]
+
+
+class TestCursorChains:
+    def test_copy_chain_normalises_to_foreach(self):
+        program = preprocessed(
+            """
+f() {
+    q = executeQueryCursor("from T as t");
+    rs = q;
+    total = 0;
+    while (rs.next()) {
+        total = total + rs.getA();
+    }
+    return total;
+}
+"""
+        )
+        assert stmts(program, While) == []
+        loops = stmts(program, ForEach)
+        assert len(loops) == 1 and loops[0].var == "rs"
+
+    def test_chain_is_refused_without_precision(self):
+        program = preprocessed(
+            """
+f() {
+    q = executeQueryCursor("from T as t");
+    rs = q;
+    while (rs.next()) {
+        rs.getA();
+    }
+    return 0;
+}
+""",
+            precision=False,
+        )
+        assert len(stmts(program, While)) == 1
+
+    def test_direct_getter_only_body_still_normalises(self):
+        program = preprocessed(
+            """
+f() {
+    rs = executeQueryCursor("from T as t");
+    total = 0;
+    while (rs.next()) {
+        total = total + rs.getA();
+    }
+    return total;
+}
+"""
+        )
+        assert stmts(program, While) == []
+        assert len(stmts(program, ForEach)) == 1
+
+
+class TestCursorUsedAsValue:
+    """The soundness guard behind the ``preprocess-diverged`` fuzzer find:
+    rewriting ``while (rs.next())`` to ``for (rs : ...)`` rebinds ``rs``
+    to each *row*, so a body that observes the cursor itself must keep its
+    ``while`` form."""
+
+    def test_storing_the_cursor_blocks_normalisation(self):
+        program = preprocessed(
+            """
+f() {
+    v = new ArrayList();
+    rs = executeQueryCursor("from T as t");
+    while (rs.next()) {
+        v.add(rs);
+    }
+    return v;
+}
+"""
+        )
+        assert len(stmts(program, While)) == 1
+        assert stmts(program, ForEach) == []
+
+    def test_passing_the_cursor_to_a_call_blocks_normalisation(self):
+        program = preprocessed(
+            """
+f() {
+    rs = executeQueryCursor("from T as t");
+    while (rs.next()) {
+        audit(rs);
+    }
+    return 0;
+}
+"""
+        )
+        assert len(stmts(program, While)) == 1
+
+    def test_advancing_the_cursor_mid_body_blocks_normalisation(self):
+        program = preprocessed(
+            """
+f() {
+    rs = executeQueryCursor("from T as t");
+    total = 0;
+    while (rs.next()) {
+        total = total + rs.getA();
+        rs.next();
+    }
+    return total;
+}
+"""
+        )
+        assert len(stmts(program, While)) == 1
+
+    def test_guard_also_applies_to_copy_chains(self):
+        program = preprocessed(
+            """
+f() {
+    q = executeQueryCursor("from T as t");
+    rs = q;
+    v = new ArrayList();
+    while (rs.next()) {
+        v.add(rs);
+    }
+    return v;
+}
+"""
+        )
+        assert len(stmts(program, While)) == 1
+
+
+SPAN_SOURCES = {
+    "minijava": """
+f() {
+    rows = executeQuery("from T as t");
+    total = 0;
+    for (t : rows) {
+        executeUpdate("update t set a = 1");
+        total = total + t.getA();
+    }
+    return total;
+}
+""",
+    "python": (
+        "def f(cur):\n"
+        "    cur.execute(\"SELECT a FROM t\")\n"
+        "    rows = cur.fetchall()\n"
+        "    total = 0\n"
+        "    for r in rows:\n"
+        "        cur.execute(\"DELETE FROM audit\")\n"
+        "        total = total + r.a\n"
+        "    return total\n"
+    ),
+}
+
+
+class TestSpanFidelity:
+    """Every diagnostic computed on the *preprocessed* program must still
+    carry a real span — SSA renaming, folding, and pruning all claim to
+    preserve source positions, and this is where that claim is enforced
+    for both frontends."""
+
+    def run_lint(self, frontend_name: str):
+        source = SPAN_SOURCES[frontend_name]
+        frontend = get_frontend(frontend_name)
+        raw = frontend.parse(source)
+        program = preprocess_program(raw)
+        return lint_preprocessed(program, raw, "f")
+
+    def test_minijava_diagnostics_keep_spans_through_preprocessing(self):
+        diagnostics = self.run_lint("minijava")
+        assert diagnostics, "the update-in-loop must be diagnosed"
+        assert all(not d.span.is_empty for d in diagnostics)
+
+    def test_python_diagnostics_keep_spans_through_preprocessing(self):
+        diagnostics = self.run_lint("python")
+        assert diagnostics, "the update-in-loop must be diagnosed"
+        assert all(not d.span.is_empty for d in diagnostics)

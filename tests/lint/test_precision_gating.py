@@ -1,0 +1,119 @@
+"""Points-to-driven blocker gating: downgrades are proofs, not guesses.
+
+The severity-aware ``is_blocker`` plus the alias-escape pass's two
+downgrade paths (function-local receiver; defined callee proven neither
+to retain nor mutate its argument).  Each downgrade keeps the diagnostic
+— at ``INFO`` — so the finding stays visible while extraction proceeds;
+and each one must vanish when ``precision=False``, restoring the original
+conservative blocker.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, Severity, SourceSpan
+from repro.lint.engine import lint_function
+from repro.workloads import precision_sample
+
+
+def diags(source: str, function: str, precision: bool = True):
+    return lint_function(source, function, precision=precision)
+
+
+def by_code(diagnostics, code: str):
+    return [d for d in diagnostics if d.code == code]
+
+
+class TestSeverityAwareBlocker:
+    def make(self, severity: Severity) -> Diagnostic:
+        return Diagnostic(
+            code="EQ103",
+            severity=severity,
+            message="x",
+            span=SourceSpan(1, 1),
+            function="f",
+        )
+
+    def test_error_eq1xx_blocks(self):
+        assert self.make(Severity.ERROR).is_blocker
+
+    def test_downgraded_eq1xx_does_not_block(self):
+        assert not self.make(Severity.INFO).is_blocker
+        assert not self.make(Severity.WARNING).is_blocker
+
+
+class TestRetainedLocalDowngrade:
+    """The EQ103 shape the precision corpus recovers: the iterated result
+    set is passed to a recursive helper the escape summary proves safe."""
+
+    SAMPLE = precision_sample("retained-local")
+
+    def test_precision_downgrades_to_info(self):
+        found = by_code(diags(self.SAMPLE.source, self.SAMPLE.function), "EQ103")
+        assert found, "the alias finding must stay visible"
+        assert all(d.severity == Severity.INFO for d in found)
+        assert not any(d.is_blocker for d in found)
+
+    def test_without_precision_the_blocker_stays(self):
+        found = by_code(
+            diags(self.SAMPLE.source, self.SAMPLE.function, precision=False),
+            "EQ103",
+        )
+        assert found and all(d.is_blocker for d in found)
+
+
+class TestNoDowngradeWithoutProof:
+    def test_opaque_callee_keeps_the_blocker(self):
+        source = """
+f() {
+    rows = executeQuery("from T as t");
+    total = 0;
+    for (t : rows) {
+        total = total + t.getA();
+    }
+    publish(rows);
+    return total;
+}
+"""
+        found = by_code(diags(source, "f"), "EQ103")
+        assert found and all(d.is_blocker for d in found)
+
+    def test_mutating_callee_keeps_the_blocker(self):
+        source = """
+f() {
+    rows = executeQuery("from T as t");
+    total = 0;
+    for (t : rows) {
+        total = total + t.getA();
+    }
+    drain(rows);
+    return total;
+}
+
+drain(c) {
+    c.clear();
+    return 0;
+}
+"""
+        found = by_code(diags(source, "f"), "EQ103")
+        assert found and all(d.is_blocker for d in found)
+
+
+class TestDeadBranchDischarge:
+    """Blockers inside statically-dead branches disappear entirely: the
+    branch is pruned before the lint gate ever runs."""
+
+    def codes(self, name: str, precision: bool):
+        sample = precision_sample(name)
+        return {
+            d.code
+            for d in diags(sample.source, sample.function, precision=precision)
+            if d.is_blocker
+        }
+
+    def test_dead_logging_blocker_discharged(self):
+        assert "EQ102" in self.codes("dead-logging", precision=False)
+        assert self.codes("dead-logging", precision=True) == set()
+
+    def test_dead_writeback_blocker_discharged(self):
+        assert "EQ101" in self.codes("dead-writeback", precision=False)
+        assert self.codes("dead-writeback", precision=True) == set()

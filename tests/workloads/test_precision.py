@@ -1,0 +1,84 @@
+"""The precision-recovery corpus: blocked without the SSA layer, extracted
+with it, equivalent under ``engine="both"`` differential verification.
+
+A fast-scale mirror of ``benchmarks/bench_precision.py`` — every sample's
+contract is enforced on each test run, the bench pins the headline count
+in ``BENCH_precision.json`` for CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExtractOptions, optimize_program
+from repro.db import Connection
+from repro.interp import Interpreter
+from repro.lang import parse_program
+from repro.lint import lint_program
+from repro.workloads import (
+    PRECISION_SAMPLES,
+    precision_catalog,
+    precision_database,
+)
+
+SCALE = 12
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return precision_catalog()
+
+
+@pytest.mark.parametrize("sample", PRECISION_SAMPLES, ids=lambda s: s.name)
+class TestRecovery:
+    def test_baseline_refuses_with_the_expected_blockers(self, sample, catalog):
+        report = optimize_program(
+            sample.source,
+            sample.function,
+            catalog,
+            options=ExtractOptions(precision=False),
+        )
+        assert report.status != "success"
+        assert not [e.sql for e in report.variables.values() if e.sql]
+        blockers = sorted(
+            {
+                d.code
+                for d in lint_program(
+                    parse_program(sample.source), precision=False
+                ).diagnostics
+                if d.is_blocker
+            }
+        )
+        assert blockers == sorted(sample.blocked_without)
+
+    def test_precision_extracts_and_is_equivalent(self, sample, catalog):
+        report = optimize_program(
+            sample.source,
+            sample.function,
+            catalog,
+            options=ExtractOptions(precision=True),
+        )
+        assert report.status == "success"
+        assert [e.sql for e in report.variables.values() if e.sql]
+
+        db = precision_database(scale=SCALE, seed=SEED, catalog=catalog)
+        db.default_engine = "both"  # cross-check planner vs reference engine
+        original = Interpreter(report.original, Connection(db)).run(
+            sample.function
+        )
+        rewritten = Interpreter(report.rewritten, Connection(db)).run(
+            sample.function
+        )
+        assert original == rewritten
+
+
+def test_corpus_has_at_least_five_recovery_samples():
+    # The acceptance floor: >= 5 loops that only the precision layer
+    # extracts.  Growing the corpus is fine; shrinking it is a regression.
+    assert len(PRECISION_SAMPLES) >= 5
+
+
+def test_sample_names_are_unique():
+    names = [s.name for s in PRECISION_SAMPLES]
+    assert len(names) == len(set(names))

@@ -3,12 +3,20 @@
 Measures the three execution strategies on the operator shapes the planner
 optimizes, at several scale factors:
 
-* ``point_select`` — repeated key lookups (hash index vs. full scan);
-* ``join``        — equi-join (hash join vs. nested loop);
-* ``exists``      — correlated EXISTS (hash semi-join vs. per-row subquery);
+* ``point_select`` — repeated key lookups (hash index vs. full scan); also
+  measured under ``columnar_mode="auto"`` to document that the planner's
+  selectivity gate routes point predicates to the index probe;
+* ``join``        — equi-join (vectorized hash join vs. row hash join vs.
+  nested loop);
+* ``exists``      — correlated EXISTS (vectorized semi-join vs. row hash
+  semi-join vs. per-row subquery);
 * ``aggregation`` — grouped sum (vectorized fold vs. row fold vs.
   materialize+fold);
-* ``topn``        — ORDER BY + LIMIT (bounded heap vs. full sort).
+* ``topn``        — ORDER BY + LIMIT (columnar heap vs. row heap vs. full
+  sort);
+* ``stats_build`` — exact full-pass statistics vs. reservoir-sampled
+  statistics (``Database.stats(sample=...)``), with per-column NDV
+  estimate ratios so the speedup is shown not to come at accuracy's cost.
 
 The matrix pins each engine explicitly: ``columnar`` runs the planned
 engine with ``columnar_mode="force"``, ``row`` with ``"off"``, and
@@ -31,12 +39,15 @@ measured.
 
 Gates (exit 1 on failure):
 
-* smoke — planned join beats reference at the largest smoke scale, and
-  columnar aggregation is at least as fast as the row path at 10⁴;
+* smoke — planned join beats reference at the largest smoke scale,
+  columnar aggregation at least matches the row path at 10⁴, and the
+  auto-mode point select stays near the row path (the selectivity gate);
 * full  — join ≥5× over reference at the largest scale the reference
-  runs, columnar aggregation ≥5× over the row path at 10⁵, and columnar
-  aggregation at least matches the reference at scale 100 (the adaptive
-  switch's regression guard).
+  runs, columnar join ≥1.5× and top-N ≥1× over the row path at 10⁵,
+  columnar aggregation ≥5× over the row path at 10⁵ and at least matching
+  the reference at scale 100, sampled statistics ≥10× faster than the
+  exact pass at 10⁶ with every NDV estimate within 2× of truth, and the
+  auto-mode point select within 10% of the row path at 10⁴.
 """
 
 from __future__ import annotations
@@ -67,6 +78,7 @@ from repro.algebra import (
     Table,
 )
 from repro.db import Database
+from repro.db.stats import STATS_SAMPLE_SIZE
 
 SMOKE_SCALES = [50, 200, 10_000]
 FULL_SCALES = [100, 1_600, 10_000, 100_000, 1_000_000]
@@ -82,14 +94,24 @@ REFERENCE_CUTOFFS = {
 }
 
 #: Full-run gates.
-FULL_MIN_JOIN_SPEEDUP = 5.0
+FULL_MIN_JOIN_SPEEDUP = 5.0  # planned vs reference at the cutoff
+FULL_MIN_JOIN_COL_VS_ROW = 1.5  # vectorized vs row hash join at 10⁵
+FULL_MIN_TOPN_COL_VS_ROW = 1.0  # columnar heap vs row heap at 10⁵
+FULL_COL_VS_ROW_GATE_SCALE = 100_000
 FULL_MIN_COLUMNAR_AGG_SPEEDUP = 5.0  # columnar vs row at 10⁵
 FULL_COLUMNAR_AGG_GATE_SCALE = 100_000
 FULL_MIN_SCALE100_AGG_RATIO = 1.0  # columnar vs reference at scale 100
+FULL_MIN_POINT_AUTO_VS_ROW = 0.9  # auto planner vs row at 10⁴
+FULL_POINT_GATE_SCALE = 10_000
+FULL_MIN_STATS_SPEEDUP = 10.0  # sampled vs exact build at 10⁶
+FULL_STATS_GATE_SCALE = 1_000_000
+STATS_NDV_TOLERANCE = 2.0  # sampled NDV within [truth/2, truth·2]
 #: Smoke-run gates.
 SMOKE_MIN_JOIN_SPEEDUP = 1.0
 SMOKE_MIN_COLUMNAR_AGG_SPEEDUP = 1.0  # columnar vs row at 10⁴
 SMOKE_COLUMNAR_AGG_GATE_SCALE = 10_000
+SMOKE_MIN_POINT_AUTO_VS_ROW = 0.7  # noise headroom at tiny absolute times
+SMOKE_POINT_GATE_SCALE = 10_000
 
 DEFAULT_SEED = 1234
 
@@ -206,8 +228,43 @@ def _ratio(numerator: float | None, denominator: float) -> float | None:
     return round(numerator / denominator, 2)
 
 
+def _bench_stats(db: Database, scale: int, repeats: int) -> dict:
+    """Exact vs. sampled statistics build on bench_right (fresh each time:
+    explicit ``sample=`` bypasses the cache by design)."""
+
+    def best_of(builder):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            builder()
+            best = min(best, time.perf_counter() - start)
+        return best * 1000.0
+
+    exact_ms = best_of(lambda: db.stats("bench_right", sample=0))
+    sampled_ms = best_of(
+        lambda: db.stats("bench_right", sample=STATS_SAMPLE_SIZE)
+    )
+    exact = db.stats("bench_right", sample=0)
+    sampled = db.stats("bench_right", sample=STATS_SAMPLE_SIZE)
+    ndv_ratios = {
+        column: round(
+            sampled.column(column).ndv / max(exact.column(column).ndv, 1), 3
+        )
+        for column in ("id", "fk", "amount")
+    }
+    return {
+        "scale": scale,
+        "exact_ms": round(exact_ms, 3),
+        "sampled_ms": round(sampled_ms, 3),
+        "sampled_speedup": _ratio(exact_ms, sampled_ms),
+        "sampled": sampled.sampled,  # False below the sample size: exact
+        "ndv_ratio": ndv_ratios,
+    }
+
+
 def run(scales, repeats: int = 3, seed: int = DEFAULT_SEED) -> dict:
     results: dict = {name: [] for name in workloads(scales[0])}
+    results["stats_build"] = []
     for scale in scales:
         db = build_database(scale, seed=seed)
         for name, queries in workloads(scale).items():
@@ -243,6 +300,13 @@ def run(scales, repeats: int = 3, seed: int = DEFAULT_SEED) -> dict:
                 "columnar_vs_reference": _ratio(reference_ms, columnar_ms),
                 "row_vs_reference": _ratio(reference_ms, row_ms),
             }
+            if name == "point_select":
+                # The planner's own choice: the selectivity gate must send
+                # point predicates down the index path, not the pipeline.
+                assert _run_planned(db, queries, "auto") == row_rows
+                auto_ms = _time_planned(db, queries, "auto", repeats)
+                entry["auto_ms"] = round(auto_ms, 3)
+                entry["auto_vs_row"] = _ratio(row_ms, auto_ms)
             results[name].append(entry)
             ref_text = (
                 "      (skipped)"
@@ -253,6 +317,14 @@ def run(scales, repeats: int = 3, seed: int = DEFAULT_SEED) -> dict:
                 f"{name:>12} scale={scale:>8}: columnar {columnar_ms:9.2f} ms   "
                 f"row {row_ms:9.2f} ms   reference {ref_text}"
             )
+        stats_entry = _bench_stats(db, scale, repeats)
+        results["stats_build"].append(stats_entry)
+        print(
+            f"{'stats_build':>12} scale={scale:>8}: exact "
+            f"{stats_entry['exact_ms']:9.2f} ms   sampled "
+            f"{stats_entry['sampled_ms']:9.2f} ms   "
+            f"speedup {stats_entry['sampled_speedup']}"
+        )
     return results
 
 
@@ -292,20 +364,27 @@ def main(argv=None) -> int:
     scales = SMOKE_SCALES if args.smoke else FULL_SCALES
     results = run(scales, repeats=args.repeats, seed=args.seed)
 
-    # The join gate compares against the reference at the largest scale the
-    # reference still runs; the row path is the same plan (joins are never
-    # columnar), so columnar_vs_reference is the planned-engine speedup.
+    # The join-vs-reference gate compares at the largest scale the
+    # reference still runs; the columnar-vs-row gates compare the two
+    # planned paths at the dedicated (larger) gate scales.
     join_entries = [e for e in results["join"] if e["reference_ms"] is not None]
-    join_gate = join_entries[-1] if join_entries else None
+    join_ref_gate = join_entries[-1] if join_entries else None
     agg_gate_scale = (
         SMOKE_COLUMNAR_AGG_GATE_SCALE if args.smoke else FULL_COLUMNAR_AGG_GATE_SCALE
     )
     agg_gate = _entry_at(results["aggregation"], agg_gate_scale)
     scale100_agg = _entry_at(results["aggregation"], 100)
+    point_gate_scale = (
+        SMOKE_POINT_GATE_SCALE if args.smoke else FULL_POINT_GATE_SCALE
+    )
+    point_gate = _entry_at(results["point_select"], point_gate_scale)
+    join_row_gate = _entry_at(results["join"], FULL_COL_VS_ROW_GATE_SCALE)
+    topn_row_gate = _entry_at(results["topn"], FULL_COL_VS_ROW_GATE_SCALE)
+    stats_gate = _entry_at(results["stats_build"], FULL_STATS_GATE_SCALE)
 
     report = {
         "benchmark": "columnar vs row vs reference execution engine",
-        "version": 2,
+        "version": 3,
         "mode": "smoke" if args.smoke else "full",
         "seed": args.seed,
         "scales": scales,
@@ -313,9 +392,20 @@ def main(argv=None) -> int:
         "workloads": results,
         "gates": {
             "join_speedup_vs_reference": (
-                None if join_gate is None else join_gate["columnar_vs_reference"]
+                None
+                if join_ref_gate is None
+                else join_ref_gate["columnar_vs_reference"]
             ),
-            "join_gate_scale": None if join_gate is None else join_gate["scale"],
+            "join_gate_scale": (
+                None if join_ref_gate is None else join_ref_gate["scale"]
+            ),
+            "join_columnar_vs_row": (
+                None if join_row_gate is None else join_row_gate["columnar_vs_row"]
+            ),
+            "topn_columnar_vs_row": (
+                None if topn_row_gate is None else topn_row_gate["columnar_vs_row"]
+            ),
+            "col_vs_row_gate_scale": FULL_COL_VS_ROW_GATE_SCALE,
             "columnar_agg_speedup_vs_row": (
                 None if agg_gate is None else agg_gate["columnar_vs_row"]
             ),
@@ -325,6 +415,17 @@ def main(argv=None) -> int:
                 if scale100_agg is None
                 else scale100_agg["columnar_vs_reference"]
             ),
+            "point_select_auto_vs_row": (
+                None if point_gate is None else point_gate["auto_vs_row"]
+            ),
+            "point_gate_scale": point_gate_scale,
+            "stats_sampled_speedup": (
+                None if stats_gate is None else stats_gate["sampled_speedup"]
+            ),
+            "stats_ndv_ratio": (
+                None if stats_gate is None else stats_gate["ndv_ratio"]
+            ),
+            "stats_gate_scale": FULL_STATS_GATE_SCALE,
         },
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
@@ -334,7 +435,7 @@ def main(argv=None) -> int:
     min_join = SMOKE_MIN_JOIN_SPEEDUP if args.smoke else FULL_MIN_JOIN_SPEEDUP
     _check(
         "join speedup vs reference",
-        None if join_gate is None else join_gate["columnar_vs_reference"],
+        None if join_ref_gate is None else join_ref_gate["columnar_vs_reference"],
         min_join,
         failures,
     )
@@ -349,6 +450,15 @@ def main(argv=None) -> int:
         min_agg,
         failures,
     )
+    min_point = (
+        SMOKE_MIN_POINT_AUTO_VS_ROW if args.smoke else FULL_MIN_POINT_AUTO_VS_ROW
+    )
+    _check(
+        f"auto-mode point select vs row at scale {point_gate_scale}",
+        None if point_gate is None else point_gate["auto_vs_row"],
+        min_point,
+        failures,
+    )
     if not args.smoke:
         _check(
             "scale-100 aggregation columnar vs reference",
@@ -356,6 +466,36 @@ def main(argv=None) -> int:
             FULL_MIN_SCALE100_AGG_RATIO,
             failures,
         )
+        _check(
+            f"columnar join vs row at scale {FULL_COL_VS_ROW_GATE_SCALE}",
+            None if join_row_gate is None else join_row_gate["columnar_vs_row"],
+            FULL_MIN_JOIN_COL_VS_ROW,
+            failures,
+        )
+        _check(
+            f"columnar top-N vs row at scale {FULL_COL_VS_ROW_GATE_SCALE}",
+            None if topn_row_gate is None else topn_row_gate["columnar_vs_row"],
+            FULL_MIN_TOPN_COL_VS_ROW,
+            failures,
+        )
+        _check(
+            f"sampled stats speedup at scale {FULL_STATS_GATE_SCALE}",
+            None if stats_gate is None else stats_gate["sampled_speedup"],
+            FULL_MIN_STATS_SPEEDUP,
+            failures,
+        )
+        if stats_gate is not None:
+            for column, ratio in stats_gate["ndv_ratio"].items():
+                if not (1 / STATS_NDV_TOLERANCE <= ratio <= STATS_NDV_TOLERANCE):
+                    failures.append(
+                        f"sampled NDV for {column}: ratio {ratio} outside "
+                        f"[{1 / STATS_NDV_TOLERANCE}, {STATS_NDV_TOLERANCE}]"
+                    )
+                else:
+                    print(
+                        f"OK: sampled NDV ratio for {column} = {ratio} "
+                        f"(within {STATS_NDV_TOLERANCE}×)"
+                    )
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

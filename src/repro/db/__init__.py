@@ -4,15 +4,21 @@ from .connection import Connection, ConnectionStats, CostParameters, describe_pl
 from .engine import Database, EngineDivergenceError, EngineError, ReferenceEvaluator
 from .stats import (
     COLUMNAR_MIN_ROWS,
+    STATS_EXACT_MAX,
+    STATS_SAMPLE_SIZE,
     CardinalityEstimator,
     ColumnStats,
     Histogram,
     TableStats,
+    build_sampled_table_stats,
+    estimate_ndv,
 )
 from .types import Row, row_size_bytes, value_size_bytes
 
 __all__ = [
     "COLUMNAR_MIN_ROWS",
+    "STATS_EXACT_MAX",
+    "STATS_SAMPLE_SIZE",
     "CardinalityEstimator",
     "ColumnStats",
     "Connection",
@@ -25,6 +31,8 @@ __all__ = [
     "ReferenceEvaluator",
     "Row",
     "TableStats",
+    "build_sampled_table_stats",
+    "estimate_ndv",
     "describe_plan",
     "row_size_bytes",
     "value_size_bytes",

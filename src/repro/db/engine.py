@@ -101,8 +101,9 @@ class Database:
         #: (table, column) pairs whose values turned out unhashable.
         self._unindexable: set[tuple[str, str]] = set()
         #: Physical plan cache keyed on the (hashable) algebra tree; each
-        #: entry stores ``(stats_epoch, plan)`` so a plan chosen for one
-        #: data distribution is never reused after the distribution changes.
+        #: entry stores ``(stats_epoch, plan, search)`` so a plan chosen for
+        #: one data distribution is never reused after the distribution
+        #: changes, and cache hits still restore ``last_plan_search``.
         self._plan_cache: dict[RelExpr, Any] = {}
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
@@ -114,6 +115,9 @@ class Database:
         #: consumer of :meth:`stats` whether its snapshot is still current.
         self._stats_epoch = 0
         self._columnar_mode = "auto"
+        #: Search breadcrumbs from the most recent :meth:`plan` call —
+        #: memo size, alternatives explored, and per-group cost margins.
+        self.last_plan_search: dict | None = None
 
     def register_aggregate(self, name: str, fn) -> None:
         """Register a user-defined aggregate (and teach the SQL parser
@@ -251,22 +255,66 @@ class Database:
         self._columns[lowered] = columns
         return columns
 
-    def stats(self, name: str):
-        """Return (building lazily) the :class:`~repro.db.stats.TableStats`
-        for a base table.  Kept fresh by ``_invalidate``: any insert/clear/
-        create_table drops the cached object and the next call rebuilds it
-        from the current rows."""
+    def stats(self, name: str, sample: int | None = None):
+        """Return the :class:`~repro.db.stats.TableStats` for a base table.
+
+        With ``sample=None`` (the default) the cached statistics are
+        returned, built lazily under the automatic policy: an exact full
+        pass up to :data:`~repro.db.stats.STATS_EXACT_MAX` rows, and a
+        reservoir-style sample of :data:`~repro.db.stats.STATS_SAMPLE_SIZE`
+        rows above it (scaled NDV/NULL estimates, sample histograms).  Kept
+        fresh by ``_invalidate``: any insert/clear/create_table drops the
+        cached object and the next call rebuilds it from the current rows.
+
+        An explicit ``sample`` bypasses both the cache and the policy and
+        builds fresh statistics: ``sample=0`` forces an exact full pass;
+        ``sample=k`` draws ``k`` rows (``k >= row count`` degrades to the
+        exact build).  Explicit builds are never cached.
+        """
         lowered = name.lower()
+        if lowered not in self._tables:
+            raise EngineError(f"unknown table {name!r}")
+        from .stats import (
+            STATS_EXACT_MAX,
+            STATS_SAMPLE_SIZE,
+            build_sampled_table_stats,
+            build_table_stats,
+        )
+
+        if sample is not None:
+            rows = self._tables[lowered]
+            if sample <= 0:
+                return build_table_stats(lowered, self._exact_columns(name))
+            return build_sampled_table_stats(
+                lowered, rows, self._column_names(name, rows), sample
+            )
+
         cached = self._table_stats.get(lowered)
         if cached is not None:
             return cached
-        from .stats import build_table_stats
-
-        if lowered not in self._tables:
-            raise EngineError(f"unknown table {name!r}")
-        stats = build_table_stats(lowered, self.columns(name))
+        rows = self._tables[lowered]
+        if len(rows) > STATS_EXACT_MAX:
+            stats = build_sampled_table_stats(
+                lowered, rows, self._column_names(name, rows), STATS_SAMPLE_SIZE
+            )
+        else:
+            stats = build_table_stats(lowered, self.columns(name))
         self._table_stats[lowered] = stats
         return stats
+
+    def _column_names(self, name: str, rows: list[Row]) -> list[str] | None:
+        if name in self.catalog:
+            return self.catalog.get(name).column_names()
+        return None
+
+    def _exact_columns(self, name: str) -> dict[str, list]:
+        """Column arrays for an exact statistics build, bypassing the cache
+        so an explicit ``stats(sample=0)`` measures a genuine full pass."""
+        rows = self.rows(name)
+        names = self._column_names(name, rows) or sorted(
+            {c for row in rows for c in row}
+        )
+        return {column: [row.get(column) for row in rows] for column in names}
 
     @property
     def columnar_mode(self) -> str:
@@ -298,6 +346,7 @@ class Database:
         entry = self._plan_cache.get(query)
         if entry is not None and entry[0] == self._stats_epoch:
             self.plan_cache_hits += 1
+            self.last_plan_search = entry[2]
             return entry[1]
         from .planner import Planner
 
@@ -305,7 +354,7 @@ class Database:
         plan = Planner(self).lower(query)
         if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
             self._plan_cache.clear()
-        self._plan_cache[query] = (self._stats_epoch, plan)
+        self._plan_cache[query] = (self._stats_epoch, plan, self.last_plan_search)
         return plan
 
     def execute(
@@ -344,6 +393,8 @@ class Database:
         ctx = ExecContext(self, params or {})
         rows = list(plan.execute(ctx))
         explain = explain_plan(plan, ctx)
+        if explain is not None:
+            explain["plan_search"] = self.last_plan_search
         if engine == "both":
             reference = ReferenceEvaluator(self, params or {}).eval_rel(query)
             if rows != reference:
@@ -671,55 +722,68 @@ class ReferenceEvaluator:
         raise EngineError(f"unknown binary operator {expr.op!r}")
 
     def _eval_func(self, expr: Func, row: Row) -> Any:
-        name = expr.name.upper()
         args = [self.eval_scalar(a, row) for a in expr.args]
-        if name == "ISNULL":
-            return args[0] is None
-        if name == "COALESCE":
-            for value in args:
-                if value is not None:
-                    return value
-            return None
-        if name == "CONCAT":
-            # Render like Java string concatenation (the imperative code the
-            # expression came from): lowercase booleans, "null" for NULL.
-            from ..interp.values import to_display
-
-            return "".join(to_display(a) for a in args)
-        if any(a is None for a in args):
-            return None
-        if name == "GREATEST":
-            return max(args)
-        if name == "LEAST":
-            return min(args)
-        if name == "UPPER":
-            return args[0].upper()
-        if name == "LOWER":
-            return args[0].lower()
-        if name == "LENGTH":
-            return len(args[0])
-        if name == "ABS":
-            return abs(args[0])
-        if name == "SUBSTRING":
-            text, start = args[0], args[1]
-            if len(args) > 2:
-                return text[start - 1 : start - 1 + args[2]]
-            return text[start - 1 :]
-        if name == "TRIM":
-            return args[0].strip()
-        if name == "ROUND":
-            digits = int(args[1]) if len(args) > 1 else 0
-            return round(args[0], digits)
-        raise EngineError(f"unknown scalar function {expr.name!r}")
+        return _apply_func(expr.name, args)
 
 
 #: Backwards-compatible private alias (pre-planner name).
 _Evaluator = ReferenceEvaluator
 
 
+def _apply_func(name: str, args: list) -> Any:
+    """Evaluate one scalar function call on already-evaluated arguments.
+
+    The single source of scalar-function semantics: the reference
+    evaluator's tree walk and the columnar engine's vectorized loops both
+    call this helper, so the engines can never disagree on a function's
+    NULL handling or result.
+    """
+    upper = name.upper()
+    if upper == "ISNULL":
+        return args[0] is None
+    if upper == "COALESCE":
+        for value in args:
+            if value is not None:
+                return value
+        return None
+    if upper == "CONCAT":
+        # Render like Java string concatenation (the imperative code the
+        # expression came from): lowercase booleans, "null" for NULL.
+        from ..interp.values import to_display
+
+        return "".join(to_display(a) for a in args)
+    if any(a is None for a in args):
+        return None
+    if upper == "GREATEST":
+        return max(args)
+    if upper == "LEAST":
+        return min(args)
+    if upper == "UPPER":
+        return args[0].upper()
+    if upper == "LOWER":
+        return args[0].lower()
+    if upper == "LENGTH":
+        return len(args[0])
+    if upper == "ABS":
+        return abs(args[0])
+    if upper == "SUBSTRING":
+        text, start = args[0], args[1]
+        if len(args) > 2:
+            return text[start - 1 : start - 1 + args[2]]
+        return text[start - 1 :]
+    if upper == "TRIM":
+        return args[0].strip()
+    if upper == "ROUND":
+        digits = int(args[1]) if len(args) > 1 else 0
+        return round(args[0], digits)
+    raise EngineError(f"unknown scalar function {name!r}")
+
+
 def _plan_uses_columnar(plan) -> bool:
-    """True when a physical plan contains a columnar pipeline."""
-    if getattr(plan, "label", None) == "Columnar":
+    """True when a physical plan contains a columnar operator (pipeline,
+    vectorized join, or vectorized semi/anti-join)."""
+    label = getattr(plan, "label", "")
+    if isinstance(label, str) and label.startswith("Columnar"):
         return True
     return any(_plan_uses_columnar(child) for child in plan.children())
 

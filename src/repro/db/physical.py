@@ -38,7 +38,10 @@ from .types import Row, is_truthy, sql_compare
 
 #: Operator labels whose ``rows_scanned`` explain field reports base-table
 #: rows actually read (wired into the connection's transfer accounting).
-SCAN_LABELS = frozenset({"SeqScan", "IndexLookup", "IndexNLJoin", "Columnar"})
+SCAN_LABELS = frozenset(
+    {"SeqScan", "IndexLookup", "IndexNLJoin", "Columnar", "ColumnarHashJoin",
+     "ColumnarSemiJoin", "ColumnarAntiJoin"}
+)
 
 
 class PlannedScalarEvaluator(ReferenceEvaluator):

@@ -27,16 +27,26 @@ Lowerings considered:
 * ``σ`` whose predicate conjoins an ``EXISTS`` subquery → hash
   semi/anti-join, decorrelating equality conjuncts between inner and outer
   columns; uncorrelated ``EXISTS`` degenerates to a single emptiness probe.
-* ``σ``/``π``/``γ`` over a base-table scan whose expressions are all
-  vectorizable → :class:`~repro.db.columnar.ColumnarPipeline`, when the
-  table clears the statistics-derived size threshold (the plan-time half
-  of the adaptive engine switch).
-* ``⋈`` with extractable equality keys → :class:`HashJoin`, or
-  :class:`IndexNLJoin` when the right side is a base table with an
-  explicitly registered index on the join column and the estimated probe
-  cost beats the hash build.
+* ``σ``/``π``/``γ``/``τ`` (also ``τ`` under ``LIMIT``) over a base-table
+  scan whose expressions are all vectorizable →
+  :class:`~repro.db.columnar.ColumnarPipeline`, when the table clears the
+  statistics-derived size threshold (the plan-time half of the adaptive
+  engine switch) — except point predicates an index can answer, which the
+  estimator keeps on the probe path.
+* ``⋈`` (inner/left) with extractable equality keys → :class:`HashJoin`,
+  :class:`~repro.db.columnar.ColumnarHashJoin` when both inputs are
+  vectorizable scan shapes, or :class:`IndexNLJoin` when the right side
+  is a base table with an explicitly registered index on the join column
+  and the estimated probe cost beats the hash build.
+* correlated semi/anti joins → :class:`HashSemiJoin` or
+  :class:`~repro.db.columnar.ColumnarSemiJoin` (uncorrelated ``EXISTS``
+  always stays row: its build short-circuits after one row).
 * ``τ`` under ``LIMIT`` → :class:`TopN` (bounded heap).
 * Everything else → streaming counterparts of the reference operators.
+
+Every cost decision leaves a breadcrumb in ``Database.last_plan_search``:
+the chosen operator, its cost, each rejected alternative's cost, and the
+margin — surfaced through ``explain()`` as ``"plan_search"``.
 """
 
 from __future__ import annotations
@@ -64,7 +74,14 @@ from ..algebra import (
     walk_scalar,
 )
 from ..cost.andor import AndNode, Memo
-from .columnar import ColumnarPipeline, supported_expr
+from .columnar import (
+    ColumnarHashJoin,
+    ColumnarPipeline,
+    ColumnarSemiJoin,
+    residual_layout,
+    supported_expr,
+    supported_join_expr,
+)
 from .engine import Database, EngineError
 from .physical import (
     AliasOp,
@@ -295,6 +312,7 @@ class Planner:
         self.estimator = CardinalityEstimator(db)
         self.memo = Memo()
         self._alternatives = 0
+        self._choices: list[dict] = []
 
     # ------------------------------------------------------------------
 
@@ -304,18 +322,43 @@ class Planner:
         self.db.last_plan_search = {
             "groups": len(self.memo),
             "alternatives": self._alternatives,
+            "choices": self._choices,
         }
         return plan
 
     def _choose(self, label: str, candidates) -> PhysicalOp:
         """Record one memo group of costed alternatives and return the
         winner's plan.  ``candidates`` is ``[(op_name, cost, plan), ...]``;
-        the memo's strict-< minimization keeps the first on ties."""
+        the memo's strict-< minimization keeps the first on ties.
+
+        Each decision leaves a breadcrumb in ``last_plan_search["choices"]``
+        with the rejected alternatives' costs and the winner's margin (how
+        much cheaper the winner was than the best rejected candidate), so
+        ``explain()`` can show *why* an operator was picked."""
         group = self.memo.new_group(label)
         for op, cost, plan in candidates:
             if group.add(AndNode(op=op, local_cost=cost, payload=plan)):
                 self._alternatives += 1
-        return self.memo.optimize(group.group_id).alternative.payload
+        best = self.memo.optimize(group.group_id).alternative
+        rejected = [
+            {"op": op, "cost": cost}
+            for op, cost, plan in candidates
+            if plan is not best.payload
+        ]
+        self._choices.append(
+            {
+                "label": label,
+                "chosen": best.op,
+                "cost": best.local_cost,
+                "rejected": rejected,
+                "margin": (
+                    min(r["cost"] for r in rejected) - best.local_cost
+                    if rejected
+                    else None
+                ),
+            }
+        )
+        return best.payload
 
     # ------------------------------------------------------------------
 
@@ -327,16 +370,16 @@ class Planner:
         if isinstance(node, Project):
             return self._lower_project(node, allow_columnar)
         if isinstance(node, Join):
-            return self._lower_join(node)
+            return self._lower_join(node, allow_columnar)
         if isinstance(node, Aggregate):
             return self._lower_aggregate(node, allow_columnar)
         if isinstance(node, Sort):
-            return SortOp(self._lower(node.child), node)
+            return self._columnar_order(node, None, allow_columnar)
         if isinstance(node, Distinct):
             return DistinctOp(self._lower(node.child))
         if isinstance(node, Limit):
             if isinstance(node.child, Sort):
-                return TopN(self._lower(node.child.child), node.child, node.count)
+                return self._columnar_order(node.child, node.count, allow_columnar)
             # A columnar pipeline consumes its whole input before emitting,
             # which would defeat LIMIT's early exit — unless the child is
             # an aggregate, which must consume everything anyway.
@@ -387,9 +430,15 @@ class Planner:
                 if self.columnar == "force":
                     return pipeline
                 out = row_count * est.selectivity(node.pred, table.name)
-                candidates.append(
-                    ("Columnar", row_count * _C_VEC + out * _C_ROW, pipeline)
-                )
+                # Point-predicate guard: when an index probe exists and the
+                # estimator says the predicate keeps only a handful of rows,
+                # vectorizing the whole scan cannot beat the O(1) probe —
+                # drop the columnar candidate instead of letting a skewed
+                # cost constant pick it.
+                if lookup is None or out >= COLUMNAR_MIN_ROWS:
+                    candidates.append(
+                        ("Columnar", row_count * _C_VEC + out * _C_ROW, pipeline)
+                    )
 
         candidates.append(("Filter", row_count * (_C_ROW + _C_EVAL), filter_plan))
         return self._choose(f"select({table.name})", candidates)
@@ -459,13 +508,49 @@ class Planner:
             return None
 
         child_plan = self._filtered_child(node, others)
-        return HashSemiJoin(
+        row_semi = HashSemiJoin(
             child_plan,
             self._lower(build_rel),
             outer_keys,
             inner_keys,
             negated,
             fallback=FilterOp(child_plan, ExistsExpr(exists.query, negated)),
+        )
+        # The keyless (uncorrelated) case must stay on the row operator:
+        # its build probes emptiness with a single row, an early exit a
+        # vectorized build would lose (and whose error behavior it would
+        # change by evaluating the build predicate on every row).
+        if not inner_keys:
+            return row_semi
+        col_semi = self._columnar_semi(
+            node, others, build_rel, outer_keys, inner_keys, negated, row_semi
+        )
+        if col_semi is None:
+            return row_semi
+        if self.columnar == "force":
+            return col_semi
+        est = self.estimator
+        child_rel = node.child if not others else Select(node.child, conjoin(*others))
+        child_rows = est.estimate(child_rel)
+        build_rows = est.estimate(build_rel)
+        total = est.table_rows(col_semi.child_name) + est.table_rows(
+            col_semi.build_name
+        )
+        out = child_rows * _C_ROW  # same output either way: cancels, kept
+        col_cost = total * _C_VEC + (child_rows + build_rows) * _C_PROBE + out
+        row_cost = (
+            self._input_cost(child_rel)
+            + self._input_cost(build_rel)
+            + build_rows * _C_ROW
+            + child_rows * _C_PROBE
+            + out
+        )
+        return self._choose(
+            f"semi({col_semi.child_name})",
+            [
+                ("ColumnarSemiJoin", col_cost, col_semi),
+                (row_semi.label, row_cost, row_semi),
+            ],
         )
 
     def _filtered_child(self, node: Select, others) -> PhysicalOp:
@@ -745,10 +830,83 @@ class Planner:
         col_cost = col_scan + rows_in * _C_VEC * n_exprs + out * _C_ROW
         return row_cost, col_cost
 
+    def _columnar_order(self, node: Sort, count, allow_columnar: bool) -> PhysicalOp:
+        """Lower ``τ`` (or ``LIMIT`` over ``τ``) with a columnar sort/top-N
+        candidate when the child is a vectorizable filtered scan; otherwise
+        exactly the generic :class:`SortOp`/:class:`TopN` lowering."""
+        if allow_columnar and self.columnar != "off":
+            table, pred, select_node = self._scan_shape(node.child)
+        else:
+            table, pred, select_node = None, None, None
+        if table is not None:
+            head_exprs = [k.expr for k in node.keys]
+            head = ("sort", node) if count is None else ("topn", (node, count))
+            row_child = self._lower(node.child, allow_columnar=False)
+            row_plan = (
+                SortOp(row_child, node)
+                if count is None
+                else TopN(row_child, node, count)
+            )
+            pipeline = self._pipeline(
+                table, pred, head, head_exprs, fallback=row_plan
+            )
+            if pipeline is not None:
+                if self.columnar == "force":
+                    return pipeline
+                est = self.estimator
+                rows_in = est.table_rows(table.name)
+                if pred is not None:
+                    rows_in *= est.selectivity(pred, table.name)
+                out = rows_in if count is None else min(max(count, 0), rows_in)
+                row_cost, col_cost = self._head_costs(
+                    table, pred, head_exprs, out, select_node
+                )
+                kind = "sort" if count is None else "topn"
+                return self._choose(
+                    f"{kind}({table.name})",
+                    [
+                        ("Columnar", col_cost, pipeline),
+                        (row_plan.label, row_cost, row_plan),
+                    ],
+                )
+        child = self._lower(node.child, allow_columnar)
+        return SortOp(child, node) if count is None else TopN(child, node, count)
+
+    def _vector_side(self, rel: RelExpr, exprs):
+        """Decompose ``rel`` as a vectorizable (possibly filtered) scan.
+
+        Returns the ``(table, alias, columns, pred)`` side descriptor the
+        columnar join operators consume, or ``None`` when the shape or any
+        expression (the scan predicate plus the join-key ``exprs`` that
+        must evaluate against this side alone) is outside the vector
+        subset."""
+        table, pred, _ = self._scan_shape(rel)
+        if table is None:
+            return None
+        alias = table.alias or table.name
+        columns = self.catalog.get(table.name).column_names()
+        column_set = set(columns)
+        checks = list(exprs)
+        if pred is not None:
+            checks.append(pred)
+        if not all(supported_expr(e, alias, column_set) for e in checks):
+            return None
+        return (table.name, alias, tuple(columns), pred)
+
+    def _input_cost(self, rel: RelExpr) -> float:
+        """Row-path cost of producing ``rel``'s rows: per-row dict
+        materialization plus per-row predicate evaluation for filtered
+        scans; cardinality × row cost for anything else."""
+        table, pred, _ = self._scan_shape(rel)
+        if table is not None:
+            n = self.estimator.table_rows(table.name)
+            return n * (_C_ROW + (_C_EVAL if pred is not None else 0.0))
+        return self.estimator.estimate(rel) * _C_ROW
+
     # ------------------------------------------------------------------
     # Joins
 
-    def _lower_join(self, node: Join) -> PhysicalOp:
+    def _lower_join(self, node: Join, allow_columnar: bool = True) -> PhysicalOp:
         left_plan = self._lower(node.left)
         right_plan = self._lower(node.right)
         if node.pred is None:
@@ -786,10 +944,20 @@ class Planner:
             left_plan, right_plan, node, left_keys, right_keys, residual_pred
         )
 
+        col_join = None
+        if allow_columnar and self.columnar != "off":
+            col_join = self._columnar_join(
+                node, left_keys, right_keys, residual_pred, hash_join
+            )
+        if col_join is not None and self.columnar == "force":
+            return col_join
+
+        est = self.estimator
         # Index nested-loop only on explicit opt-in (create_index): for a
         # one-shot join the hash build is at least as good, but a
-        # registered index persists across queries.  Among the two
+        # registered index persists across queries.  Among the
         # order-preserving strategies, estimated cost decides.
+        index_candidate = None
         right_key = right_keys[0]
         if (
             len(right_keys) == 1
@@ -799,7 +967,6 @@ class Planner:
             in set(self.catalog.get(node.right.name).column_names())
             and self.db.has_index(node.right.name, right_key.name)
         ):
-            est = self.estimator
             left_rows = est.estimate(node.left)
             right_rows = est.estimate(node.right)
             ndv = est.ndv(node.right.name, right_key.name) or 1
@@ -814,14 +981,21 @@ class Planner:
                 residual_pred,
                 fallback=hash_join,
             )
+            index_candidate = (
+                "IndexNLJoin",
+                left_rows * (_C_PROBE + matches * _C_ROW),
+                inl,
+            )
+
+        if col_join is None:
+            if index_candidate is None:
+                return hash_join
+            left_rows = est.estimate(node.left)
+            right_rows = est.estimate(node.right)
             return self._choose(
                 f"join({node.right.name})",
                 [
-                    (
-                        "IndexNLJoin",
-                        left_rows * (_C_PROBE + matches * _C_ROW),
-                        inl,
-                    ),
+                    index_candidate,
                     (
                         "HashJoin",
                         right_rows * _C_ROW + left_rows * (_C_PROBE + _C_ROW),
@@ -829,4 +1003,115 @@ class Planner:
                     ),
                 ],
             )
-        return hash_join
+
+        # A columnar candidate replaces the child scans too, so this group
+        # costs each strategy subtree-inclusively: row strategies pay their
+        # inputs' per-row materialization, the vectorized join pays per-row
+        # vector evaluation over the raw columns instead.
+        left_rows = est.estimate(node.left)
+        right_rows = est.estimate(node.right)
+        out = est.estimate(node)
+        total = est.table_rows(col_join.left_name) + est.table_rows(
+            col_join.right_name
+        )
+        candidates = []
+        if index_candidate is not None:
+            op, cost, plan = index_candidate
+            candidates.append((op, self._input_cost(node.left) + cost, plan))
+        candidates.append(
+            (
+                "ColumnarHashJoin",
+                total * _C_VEC
+                + (left_rows + right_rows) * _C_PROBE
+                + out * _C_ROW,
+                col_join,
+            )
+        )
+        candidates.append(
+            (
+                "HashJoin",
+                self._input_cost(node.left)
+                + self._input_cost(node.right)
+                + right_rows * _C_ROW
+                + left_rows * (_C_PROBE + _C_ROW)
+                + out * _C_ROW,
+                hash_join,
+            )
+        )
+        return self._choose(f"join({col_join.right_name})", candidates)
+
+    def _columnar_join(
+        self, node: Join, left_keys, right_keys, residual, fallback
+    ) -> ColumnarHashJoin | None:
+        """A :class:`ColumnarHashJoin` for ``node``, or ``None`` when the
+        join kind, either side's shape, any key/predicate/residual
+        expression, or the statistics threshold rules it out."""
+        if node.kind not in ("inner", "left"):
+            return None
+        left_side = self._vector_side(node.left, left_keys)
+        right_side = self._vector_side(node.right, right_keys)
+        if left_side is None or right_side is None:
+            return None
+        _, lalias, lcolumns, _ = left_side
+        _, ralias, rcolumns, _ = right_side
+        lcols, rcols = set(lcolumns), set(rcolumns)
+        if residual is not None and not supported_join_expr(
+            residual, lalias, lcols, ralias, rcols
+        ):
+            return None
+        if self.columnar == "force":
+            min_rows = 0
+        else:
+            total = self.estimator.table_rows(
+                left_side[0]
+            ) + self.estimator.table_rows(right_side[0])
+            if total < COLUMNAR_MIN_ROWS:
+                return None
+            min_rows = COLUMNAR_MIN_ROWS
+        layout = residual_layout(residual, lalias, lcols, ralias, rcols)
+        return ColumnarHashJoin(
+            node,
+            left_side,
+            right_side,
+            left_keys,
+            right_keys,
+            residual,
+            layout,
+            fallback,
+            min_rows,
+        )
+
+    def _columnar_semi(
+        self, node: Select, others, build_rel, outer_keys, inner_keys, negated,
+        fallback,
+    ) -> ColumnarSemiJoin | None:
+        """A :class:`ColumnarSemiJoin` for a decorrelated EXISTS, or
+        ``None`` when either side's shape, any key expression, or the
+        statistics threshold rules it out."""
+        if self.columnar == "off":
+            return None
+        child_rel = (
+            node.child if not others else Select(node.child, conjoin(*others))
+        )
+        child_side = self._vector_side(child_rel, outer_keys)
+        build_side = self._vector_side(build_rel, inner_keys)
+        if child_side is None or build_side is None:
+            return None
+        if self.columnar == "force":
+            min_rows = 0
+        else:
+            total = self.estimator.table_rows(
+                child_side[0]
+            ) + self.estimator.table_rows(build_side[0])
+            if total < COLUMNAR_MIN_ROWS:
+                return None
+            min_rows = COLUMNAR_MIN_ROWS
+        return ColumnarSemiJoin(
+            child_side,
+            build_side,
+            outer_keys,
+            inner_keys,
+            negated,
+            fallback,
+            min_rows,
+        )

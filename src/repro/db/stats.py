@@ -24,7 +24,9 @@ cost performance but never correctness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+import zlib
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..algebra import (
@@ -58,6 +60,17 @@ HISTOGRAM_BUCKETS = 16
 #: (row path ≈ 3 µs/row of constant work vs. ≈ 0.2 ms of fixed columnar
 #: overhead); the adaptive switch routes anything smaller to the row path.
 COLUMNAR_MIN_ROWS = 64
+
+#: Above this many rows ``Database.stats`` switches from an exact full-pass
+#: build to a sampled one: one full O(n) statistics pass per epoch stops
+#: being cheap around a few tens of thousands of rows, while a fixed-size
+#: sample keeps the build O(sample) with NDV/histogram *estimates* instead
+#: of exact counts.  Statistics only rank semantically-identical plans, so
+#: the estimate error can cost performance but never correctness.
+STATS_EXACT_MAX = 50_000
+
+#: Rows drawn (without replacement) by a sampled statistics build.
+STATS_SAMPLE_SIZE = 10_000
 
 #: Fallback selectivities when no statistics apply.
 DEFAULT_SELECTIVITY = 0.33
@@ -123,11 +136,18 @@ class ColumnStats:
 
 @dataclass(frozen=True)
 class TableStats:
-    """Row count plus per-column statistics for one base table."""
+    """Row count plus per-column statistics for one base table.
+
+    ``sampled`` marks statistics built from a reservoir-style sample rather
+    than a full pass; ``sample_size`` records how many rows were drawn.
+    Sampled NDV, NULL counts, and histograms are scaled estimates.
+    """
 
     table: str
     row_count: int
     columns: Mapping[str, ColumnStats]
+    sampled: bool = field(default=False)
+    sample_size: int | None = field(default=None)
 
     def column(self, name: str) -> ColumnStats | None:
         return self.columns.get(name)
@@ -136,6 +156,8 @@ class TableStats:
         return {
             "table": self.table,
             "row_count": self.row_count,
+            "sampled": self.sampled,
+            "sample_size": self.sample_size,
             "columns": {name: cs.to_dict() for name, cs in self.columns.items()},
         }
 
@@ -195,6 +217,128 @@ def build_table_stats(
     stats = {name: _column_stats(name, values) for name, values in columns.items()}
     row_count = len(next(iter(columns.values()))) if columns else 0
     return TableStats(table=table.lower(), row_count=row_count, columns=stats)
+
+
+def estimate_ndv(sample_distinct: int, sample_size: int, population: int) -> int:
+    """Scale a sample's distinct count to a population NDV estimate.
+
+    Assumes roughly uniform value multiplicity: a population with ``D``
+    distinct values shows each of them in a without-replacement sample of
+    ``k`` out of ``n`` rows with probability ``1 - (1 - k/n)**(n/D)``, so
+    the expected sample-distinct count is ``f(D) = D·(1 - (1-k/n)**(n/D))``.
+    ``f`` is monotone in ``D``; bisection inverts it on ``[d, n]``.  The
+    endpoints are exact: an id-like column (``d == k``) solves to ``D = n``
+    and a fully-covered low-cardinality column solves to ``D = d``.
+    """
+    d, k, n = sample_distinct, sample_size, population
+    if d <= 0 or n <= 0:
+        return 0
+    if k >= n or d >= k:
+        # Saturated sample: every draw was new — extrapolate linearly.
+        return min(n, max(d, round(d * (n / max(k, 1)))))
+    miss = 1.0 - k / n
+
+    def expected(distinct: float) -> float:
+        return distinct * (1.0 - miss ** (n / distinct))
+
+    lo, hi = float(d), float(n)
+    if expected(hi) <= d:
+        return n
+    for _ in range(50):
+        mid = (lo + hi) / 2.0
+        if expected(mid) < d:
+            lo = mid
+        else:
+            hi = mid
+    return max(d, min(n, round((lo + hi) / 2.0)))
+
+
+def _sampled_column_stats(
+    name: str, values: list, population: int, sample_size: int
+) -> ColumnStats:
+    """ColumnStats scaled up from a sample of ``sample_size`` rows.
+
+    NULL counts scale linearly, NDV goes through :func:`estimate_ndv`,
+    min/max come from the sample (an under-estimate of the true range), and
+    the histogram is built from the sample directly — its consumer
+    (:meth:`Histogram.fraction_le`) is fraction-based, so no scaling is
+    needed.
+    """
+    non_null = [v for v in values if v is not None]
+    sample_nulls = len(values) - len(non_null)
+    null_count = round(sample_nulls * population / max(sample_size, 1))
+    non_null_pop = max(population - null_count, len(non_null))
+    try:
+        sample_ndv = len(set(non_null))
+    except TypeError:
+        sample_ndv = len({repr(v) for v in non_null})
+    ndv = estimate_ndv(sample_ndv, len(non_null), non_null_pop)
+    min_value = max_value = None
+    if non_null:
+        try:
+            min_value = min(non_null)
+            max_value = max(non_null)
+        except TypeError:
+            min_value = max_value = None
+    histogram = None
+    if (
+        min_value is not None
+        and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in non_null
+        )
+    ):
+        histogram = _build_histogram(non_null, float(min_value), float(max_value))
+    return ColumnStats(
+        name=name,
+        row_count=population,
+        null_count=null_count,
+        ndv=ndv,
+        min_value=min_value,
+        max_value=max_value,
+        histogram=histogram,
+    )
+
+
+def build_sampled_table_stats(
+    table: str,
+    rows: list,
+    column_names: list[str] | None,
+    sample_size: int = STATS_SAMPLE_SIZE,
+) -> TableStats:
+    """Collect statistics from a uniform random sample of ``rows``.
+
+    Reads the row dicts directly (no column transposition) so the build
+    cost is O(sample), not O(table).  The sample is drawn with a
+    deterministic seed derived from the table name and row count — not
+    Python's randomized ``hash()`` — so repeated builds over unchanged data
+    produce identical statistics (and identical plans) across processes.
+    Drawing ``sample_size`` distinct indices upfront is equivalent to
+    reservoir sampling for a known population size, without the O(n) RNG
+    draws Algorithm R would pay.
+    """
+    n = len(rows)
+    if sample_size <= 0 or n <= sample_size:
+        names = column_names or sorted({c for row in rows for c in row})
+        columns = {c: [row.get(c) for row in rows] for c in names}
+        return build_table_stats(table, columns)
+    seed = zlib.crc32(table.lower().encode("utf-8")) ^ n
+    indices = sorted(random.Random(seed).sample(range(n), sample_size))
+    sampled = [rows[i] for i in indices]
+    names = column_names or sorted({c for row in sampled for c in row})
+    stats = {
+        name: _sampled_column_stats(
+            name, [row.get(name) for row in sampled], n, sample_size
+        )
+        for name in names
+    }
+    return TableStats(
+        table=table.lower(),
+        row_count=n,
+        columns=stats,
+        sampled=True,
+        sample_size=sample_size,
+    )
 
 
 class CardinalityEstimator:

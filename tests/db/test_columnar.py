@@ -15,14 +15,20 @@ from repro.algebra import (
     AggItem,
     Aggregate,
     BinOp,
+    CaseWhen,
     Catalog,
     Col,
+    ExistsExpr,
+    Func,
+    Join,
     Limit,
     Lit,
     Param,
     Project,
     ProjectItem,
     Select,
+    Sort,
+    SortKey,
     Table,
 )
 from repro.db import (
@@ -31,15 +37,23 @@ from repro.db import (
     EngineDivergenceError,
     EngineError,
 )
-from repro.db.columnar import ColumnarPipeline
+from repro.db.columnar import (
+    ColumnarHashJoin,
+    ColumnarPipeline,
+    ColumnarSemiJoin,
+)
 from repro.db.physical import (
     ExecContext,
     FilterOp,
     HashAggregate,
+    HashJoin,
+    HashSemiJoin,
     IndexLookup,
     LimitOp,
     ProjectOp,
     SeqScan,
+    SortOp,
+    TopN,
 )
 from repro.db.planner import Planner
 
@@ -294,6 +308,330 @@ class TestAggregateCorners:
                 db.execute(query, {}, engine="planned")
         finally:
             db.columnar_mode = "auto"
+
+
+def _join_db(rows: int = 200) -> Database:
+    """l(id, grp, val) ⟕ r(id, fk, amount): fk is NULL every 7th row,
+    dangles sometimes, and repeats heavily so probe buckets have fan-out."""
+    cat = Catalog()
+    cat.define("l", ["id", "grp", "val"], key=("id",))
+    cat.define("r", ["id", "fk", "amount"], key=("id",))
+    db = Database(cat)
+    db.insert_many(
+        "l",
+        [
+            {"id": i, "grp": i % 10, "val": float(i)}
+            for i in range(rows)
+        ],
+    )
+    db.insert_many(
+        "r",
+        [
+            {
+                "id": i,
+                "fk": None if i % 7 == 0 else (i * 3) % (rows + rows // 4),
+                "amount": i % 50,
+            }
+            for i in range(rows)
+        ],
+    )
+    return db
+
+
+JOIN = Join(
+    Table("l"), Table("r"), BinOp("=", Col("id", "l"), Col("fk", "r")), "inner"
+)
+LEFT_JOIN = Join(
+    Table("l"), Table("r"), BinOp("=", Col("id", "l"), Col("fk", "r")), "left"
+)
+
+
+class TestJoinShapes:
+    def test_big_join_goes_columnar(self):
+        db = _join_db(200)
+        plan = Planner(db).lower(JOIN)
+        assert isinstance(plan, ColumnarHashJoin)
+
+    def test_small_join_stays_row(self):
+        db = _join_db(COLUMNAR_MIN_ROWS // 4)
+        assert isinstance(Planner(db).lower(JOIN), HashJoin)
+
+    def test_off_mode_join_stays_row(self):
+        db = _join_db(500)
+        assert isinstance(Planner(db, columnar="off").lower(JOIN), HashJoin)
+
+    def test_inner_join_parity_null_and_duplicate_keys(self):
+        _forced(_join_db(120), JOIN)
+
+    def test_left_join_parity_pads_unmatched(self):
+        rows = _forced(_join_db(120), LEFT_JOIN)
+        # Every left row survives; unmatched ones carry NULL right columns.
+        assert any(row["amount"] is None for row in rows)
+
+    def test_multi_column_key_parity(self):
+        db = _join_db(120)
+        pred = BinOp(
+            "AND",
+            BinOp("=", Col("grp", "l"), Col("amount", "r")),
+            BinOp("=", Col("id", "l"), Col("fk", "r")),
+        )
+        for kind in ("inner", "left"):
+            query = Join(Table("l"), Table("r"), pred, kind)
+            assert isinstance(
+                Planner(db, columnar="force").lower(query), ColumnarHashJoin
+            )
+            _forced(db, query)
+
+    def test_residual_predicate_parity(self):
+        db = _join_db(120)
+        pred = BinOp(
+            "AND",
+            BinOp("=", Col("id", "l"), Col("fk", "r")),
+            BinOp("<", Col("amount", "r"), Col("val", "l")),
+        )
+        for kind in ("inner", "left"):
+            query = Join(Table("l"), Table("r"), pred, kind)
+            assert isinstance(
+                Planner(db, columnar="force").lower(query), ColumnarHashJoin
+            )
+            _forced(db, query)
+
+    def test_filters_below_join_parity(self):
+        db = _join_db(120)
+        query = Join(
+            Select(Table("l"), BinOp("<", Col("grp"), Lit(7))),
+            Select(Table("r"), BinOp(">", Col("amount"), Lit(10))),
+            BinOp("=", Col("id", "l"), Col("fk", "r")),
+            "left",
+        )
+        assert isinstance(
+            Planner(db, columnar="force").lower(query), ColumnarHashJoin
+        )
+        _forced(db, query)
+
+    def test_unhashable_build_key_falls_back(self):
+        # List-valued keys break hashing: the vectorized build must hand
+        # the whole join to its row fallback, which nested-loops it.
+        cat = Catalog()
+        cat.define("a", ["id", "k"], key=("id",))
+        cat.define("b", ["id", "k"], key=("id",))
+        db = Database(cat)
+        db.insert_many("a", [{"id": i, "k": [i % 3]} for i in range(80)])
+        db.insert_many("b", [{"id": i, "k": [i % 3]} for i in range(80)])
+        query = Join(
+            Table("a"), Table("b"), BinOp("=", Col("k", "a"), Col("k", "b")), "inner"
+        )
+        _forced(db, query)
+
+    def test_join_runtime_fallback_below_min_rows(self):
+        db = _join_db(200)
+        plan = Planner(db).lower(JOIN)
+        assert isinstance(plan, ColumnarHashJoin)
+        db.clear("l")
+        db.clear("r")
+        db.insert_many("l", [{"id": i, "grp": i, "val": 1.0} for i in range(3)])
+        db.insert_many(
+            "r", [{"id": i, "fk": i % 2, "amount": i} for i in range(3)]
+        )
+        rows = list(plan.execute(ExecContext(db, {})))
+        assert rows == db.execute(JOIN, engine="reference")
+
+    def test_semi_and_anti_join_go_columnar(self):
+        db = _join_db(200)
+        for negated in (False, True):
+            query = Select(
+                Table("l"),
+                ExistsExpr(
+                    Select(
+                        Table("r", "s"),
+                        BinOp("=", Col("fk", "s"), Col("id", "l")),
+                    ),
+                    negated=negated,
+                ),
+            )
+            plan = Planner(db, columnar="force").lower(query)
+            assert isinstance(plan, ColumnarSemiJoin)
+            _forced(db, query)
+
+    def test_uncorrelated_exists_stays_row(self):
+        # No join keys: the row HashSemiJoin keeps its one-row
+        # short-circuit, which a vectorized build would lose.
+        db = _join_db(200)
+        query = Select(
+            Table("l"),
+            ExistsExpr(Select(Table("r", "s"), BinOp(">", Col("amount", "s"), Lit(10)))),
+        )
+        assert isinstance(
+            Planner(db, columnar="force").lower(query), HashSemiJoin
+        )
+        _forced(db, query)
+
+
+SORT = Sort(Table("r"), (SortKey(Col("amount"), False), SortKey(Col("id"), True)))
+TOPN = Limit(SORT, 5)
+
+
+class TestOrderShapes:
+    def test_big_sort_goes_columnar(self):
+        db = _join_db(200)
+        plan = Planner(db).lower(SORT)
+        assert isinstance(plan, ColumnarPipeline)
+
+    def test_small_sort_stays_row(self):
+        db = _join_db(COLUMNAR_MIN_ROWS // 4)
+        assert isinstance(Planner(db).lower(SORT), SortOp)
+
+    def test_topn_goes_columnar(self):
+        db = _join_db(200)
+        assert isinstance(Planner(db).lower(TOPN), ColumnarPipeline)
+
+    def test_off_mode_topn_stays_row(self):
+        db = _join_db(500)
+        assert isinstance(Planner(db, columnar="off").lower(TOPN), TopN)
+
+    def test_sort_parity_with_nulls(self):
+        db = _join_db(150)
+        for ascending in (True, False):
+            query = Sort(
+                Table("r"),
+                (SortKey(Col("fk"), ascending), SortKey(Col("id"), True)),
+            )
+            _forced(db, query)
+
+    def test_topn_parity(self):
+        db = _join_db(150)
+        for count in (0, 1, 5, 1000):
+            _forced(db, Limit(SORT, count))
+
+    def test_sort_over_filter_parity(self):
+        db = _join_db(150)
+        query = Sort(
+            Select(Table("r"), BinOp(">", Col("amount"), Lit(20))),
+            (SortKey(Col("amount"), True), SortKey(Col("id"), False)),
+        )
+        _forced(db, query)
+
+    def test_sort_on_expression_key_parity(self):
+        db = _join_db(150)
+        query = Sort(
+            Table("r"),
+            (
+                SortKey(
+                    CaseWhen(
+                        BinOp("=", Col("fk"), Lit(None)),
+                        Lit(0),
+                        Func("LEAST", (Col("fk"), Lit(100))),
+                    ),
+                    True,
+                ),
+                SortKey(Col("id"), True),
+            ),
+        )
+        _forced(db, query)
+
+    def test_sort_runtime_fallback_below_min_rows(self):
+        db = _join_db(200)
+        plan = Planner(db).lower(TOPN)
+        assert isinstance(plan, ColumnarPipeline)
+        db.clear("r")
+        db.insert_many(
+            "r", [{"id": i, "fk": i, "amount": 9 - i} for i in range(4)]
+        )
+        rows = list(plan.execute(ExecContext(db, {})))
+        assert rows == db.execute(TOPN, engine="reference")
+
+
+class TestVectorScalars:
+    def test_func_filter_parity(self):
+        db = _make_db(150)
+        query = Select(
+            Table("t"),
+            BinOp(">", Func("COALESCE", (Col("grp"), Lit(0))), Lit(4)),
+        )
+        assert isinstance(
+            Planner(db, columnar="force").lower(query), ColumnarPipeline
+        )
+        _forced(db, query)
+
+    def test_case_when_projection_parity(self):
+        db = _make_db(150)
+        query = Project(
+            Table("t"),
+            (
+                ProjectItem(
+                    CaseWhen(
+                        BinOp("<", Col("grp"), Lit(5)),
+                        Func("UPPER", (Col("label"),)),
+                        Col("label"),
+                    ),
+                    "tag",
+                ),
+            ),
+        )
+        assert isinstance(
+            Planner(db, columnar="force").lower(query), ColumnarPipeline
+        )
+        _forced(db, query)
+
+    def test_unknown_function_raises_in_both_engines(self):
+        db = _make_db(100)
+        query = Project(
+            Table("t"), (ProjectItem(Func("NOPE", (Col("id"),)), "x"),)
+        )
+        with pytest.raises(EngineError):
+            db.execute(query, engine="reference")
+        db.columnar_mode = "force"
+        try:
+            with pytest.raises(EngineError):
+                db.execute(query, engine="planned")
+        finally:
+            db.columnar_mode = "auto"
+
+
+class TestPlanSearch:
+    def test_breadcrumbs_record_rejected_alternatives(self):
+        db = _join_db(500)
+        db.plan(JOIN)
+        search = db.last_plan_search
+        assert search is not None and search["choices"]
+        join_choice = next(
+            c for c in search["choices"] if c["label"].startswith("join(")
+        )
+        assert join_choice["chosen"] in {"ColumnarHashJoin", "HashJoin"}
+        rejected_ops = {r["op"] for r in join_choice["rejected"]}
+        assert rejected_ops  # the loser is recorded alongside the winner
+        assert join_choice["margin"] >= 0
+        assert all(
+            r["cost"] >= join_choice["cost"] for r in join_choice["rejected"]
+        )
+
+    def test_breadcrumbs_survive_plan_cache_hits(self):
+        db = _join_db(500)
+        db.plan(JOIN)
+        first = db.last_plan_search
+        db.last_plan_search = None
+        db.plan(JOIN)  # cache hit must restore the recorded search
+        assert db.last_plan_search is first
+
+    def test_explain_carries_plan_search(self):
+        db = _join_db(500)
+        explain = db.explain(JOIN)
+        assert explain["plan_search"] is db.last_plan_search
+        assert explain["plan_search"]["choices"]
+
+
+class TestPointSelectGate:
+    def test_auto_mode_point_predicate_prefers_index(self):
+        # Satellite regression: a key-equality predicate keeps ~1 row, so
+        # auto mode must pick the O(1) probe even on a large table.
+        db = _make_db(10_000)
+        query = Select(Table("t"), BinOp("=", Col("id"), Lit(5)))
+        assert isinstance(Planner(db).lower(query), IndexLookup)
+
+    def test_non_point_predicate_still_goes_columnar(self):
+        db = _make_db(10_000)
+        query = Select(Table("t"), BinOp("<", Col("val"), Lit(5000.0)))
+        assert isinstance(Planner(db).lower(query), ColumnarPipeline)
 
 
 @pytest.mark.parametrize("seed", [3, 17, 71, 113])

@@ -17,9 +17,11 @@ from repro.algebra import (
     AggItem,
     Aggregate,
     BinOp,
+    CaseWhen,
     Col,
     Distinct,
     ExistsExpr,
+    Func,
     Join,
     Limit,
     Lit,
@@ -85,6 +87,26 @@ class _QueryGen:
             return Col(name, alias)
         return Col(name)
 
+    def _scalar(self, table: TableSpec, alias: str | None = None):
+        """Integer-valued scalar expression: a column, a function call, or
+        a CASE WHEN.  Everything stays integer-typed (NULLs aside) so
+        comparisons built on top never mix types."""
+        rng = self.rng
+        roll = rng.random()
+        col = self._int_column(table, alias)
+        if roll < 0.45:
+            return col
+        if roll < 0.75:
+            name = rng.choice(["COALESCE", "ABS", "GREATEST", "LEAST"])
+            if name == "ABS":
+                return Func(name, (col,))
+            return Func(name, (col, Lit(rng.choice(_INT_LITERALS))))
+        return CaseWhen(
+            self._comparison(table, alias),
+            col,
+            Lit(rng.choice(_INT_LITERALS)),
+        )
+
     def _comparison(self, table: TableSpec, alias: str | None = None):
         rng = self.rng
         roll = rng.random()
@@ -93,11 +115,14 @@ class _QueryGen:
             if rng.random() < 0.5:
                 return BinOp("LIKE", col, Lit(rng.choice(_LIKE_PATTERNS)))
             return BinOp("=", col, Lit(rng.choice(_STR_LITERALS)))
-        col = self._int_column(table, alias)
+        if rng.random() < 0.2:
+            lhs = self._scalar(table, alias)
+        else:
+            lhs = self._int_column(table, alias)
         op = rng.choice(["=", "=", "=", "!=", "<", ">", "<=", ">="])
         if rng.random() < 0.1:
-            return BinOp(op, col, Param("p"))
-        return BinOp(op, col, Lit(rng.choice(_INT_LITERALS)))
+            return BinOp(op, lhs, Param("p"))
+        return BinOp(op, lhs, Lit(rng.choice(_INT_LITERALS)))
 
     def _predicate(self, table: TableSpec, alias: str | None = None):
         rng = self.rng
@@ -134,26 +159,55 @@ class _QueryGen:
         base_table = rng.choice(self.tables)
         rel: RelExpr = Table(base_table.name)
 
-        # Optional join back to another table through fk.
+        # Optional join back to another table: the classic fk ↔ id shape
+        # most of the time, otherwise arbitrary int-column equi-keys —
+        # NULLable on both sides, heavily duplicated, and sometimes
+        # multi-column — so join NULL/duplicate semantics get exercised.
         join_partner = None
         if len(self.tables) > 1 and rng.random() < 0.5:
             partner = rng.choice([t for t in self.tables if t is not base_table])
-            fk_holder, id_holder = (
-                (partner, base_table)
-                if "fk" in partner.columns
-                else (base_table, partner)
-            )
-            if "fk" in fk_holder.columns:
-                kind = rng.choice(["inner", "inner", "left"])
-                pred = BinOp(
-                    "=", Col("id", id_holder.name), Col("fk", fk_holder.name)
+            kind = rng.choice(["inner", "inner", "left"])
+            pred = None
+            if rng.random() < 0.55:
+                fk_holder, id_holder = (
+                    (partner, base_table)
+                    if "fk" in partner.columns
+                    else (base_table, partner)
                 )
-                if rng.random() < 0.3:
+                if "fk" in fk_holder.columns:
                     pred = BinOp(
-                        "AND", pred, self._comparison(partner, partner.name)
+                        "=", Col("id", id_holder.name), Col("fk", fk_holder.name)
                     )
-                rel = Join(rel, Table(partner.name), pred, kind)
-                join_partner = partner
+            if pred is None:
+                left_col = rng.choice(["id"] + base_table.int_columns)
+                right_col = rng.choice(["id"] + partner.int_columns)
+                pred = BinOp(
+                    "=",
+                    Col(left_col, base_table.name),
+                    Col(right_col, partner.name),
+                )
+                if rng.random() < 0.4:
+                    pred = BinOp(
+                        "AND",
+                        pred,
+                        BinOp(
+                            "=",
+                            Col(
+                                rng.choice(["id"] + base_table.int_columns),
+                                base_table.name,
+                            ),
+                            Col(
+                                rng.choice(["id"] + partner.int_columns),
+                                partner.name,
+                            ),
+                        ),
+                    )
+            if rng.random() < 0.3:
+                pred = BinOp(
+                    "AND", pred, self._comparison(partner, partner.name)
+                )
+            rel = Join(rel, Table(partner.name), pred, kind)
+            join_partner = partner
 
         if rng.random() < 0.65:
             conjuncts = [self._predicate(base_table, base_table.name)]
@@ -176,13 +230,23 @@ class _QueryGen:
                 ProjectItem(self._column(base_table), f"c{i}")
                 for i in range(rng.randint(1, 3))
             )
+            if rng.random() < 0.25:
+                items = items + (
+                    ProjectItem(self._scalar(base_table), "expr"),
+                )
             if rng.random() < 0.2:
                 items = items + (ProjectItem(Col("*")),)
             rel = Project(rel, items)
 
         if rng.random() < 0.4:
+            sort_table = join_partner or base_table
             keys = tuple(
-                SortKey(self._column(join_partner or base_table), rng.random() < 0.6)
+                SortKey(
+                    self._scalar(sort_table)
+                    if rng.random() < 0.2
+                    else self._column(sort_table),
+                    rng.random() < 0.6,
+                )
                 for _ in range(rng.randint(1, 2))
             )
             rel = Sort(rel, keys)

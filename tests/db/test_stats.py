@@ -31,7 +31,11 @@ from repro.db import (
     Histogram,
     TableStats,
 )
-from repro.db.stats import HISTOGRAM_BUCKETS
+from repro.db.stats import (
+    HISTOGRAM_BUCKETS,
+    build_sampled_table_stats,
+    estimate_ndv,
+)
 
 
 def _make_db(rows: int = 200) -> Database:
@@ -242,6 +246,132 @@ class TestPlanCacheEpochs:
         with pytest.raises(EngineError):
             db.columnar_mode = "vectorized"
         assert db.columnar_mode == "auto"
+
+
+def _wide_db(rows: int) -> Database:
+    """t(id, grp, val): grp has 100 distinct values, val is all-distinct,
+    and every 10th val is NULL — known ground truth for estimate checks."""
+    cat = Catalog()
+    cat.define("t", ["id", "grp", "val"], key=("id",))
+    db = Database(cat)
+    db.insert_many(
+        "t",
+        [
+            {
+                "id": i,
+                "grp": i % 100,
+                "val": None if i % 10 == 0 else float(i),
+            }
+            for i in range(rows)
+        ],
+    )
+    return db
+
+
+class TestEstimateNdv:
+    def test_all_distinct_sample_estimates_population(self):
+        # Every sampled value unique → the population is likely all-distinct.
+        assert estimate_ndv(1000, 1000, 50_000) >= 25_000
+
+    def test_constant_sample_estimates_one(self):
+        assert estimate_ndv(1, 1000, 50_000) == pytest.approx(1.0, abs=1.0)
+
+    def test_low_cardinality_recovered(self):
+        # 100 true values: a 1000-row sample sees all of them, and the
+        # estimator must not inflate far beyond what it saw.
+        assert 100 <= estimate_ndv(100, 1000, 50_000) <= 200
+
+    def test_degenerate_inputs(self):
+        assert estimate_ndv(0, 0, 1000) == 0.0
+        assert estimate_ndv(5, 5, 5) == 5.0
+
+    def test_never_exceeds_population(self):
+        assert estimate_ndv(999, 1000, 1200) <= 1200
+
+
+class TestSampledStats:
+    N = 20_000
+    SAMPLE = 2_000
+
+    def test_explicit_sample_marks_metadata(self):
+        stats = _wide_db(self.N).stats("t", sample=self.SAMPLE)
+        assert stats.sampled is True
+        assert stats.sample_size == self.SAMPLE
+        assert stats.row_count == self.N  # row count stays exact
+
+    def test_sample_zero_forces_exact(self):
+        stats = _wide_db(self.N).stats("t", sample=0)
+        assert stats.sampled is False
+        assert stats.column("grp").ndv == 100
+        assert stats.column("val").null_count == self.N // 10
+
+    def test_sampled_ndv_within_2x(self):
+        db = _wide_db(self.N)
+        exact = db.stats("t", sample=0)
+        sampled = db.stats("t", sample=self.SAMPLE)
+        for column in ("id", "grp", "val"):
+            true_ndv = exact.column(column).ndv
+            est = sampled.column(column).ndv
+            assert true_ndv / 2 <= est <= true_ndv * 2, (column, est, true_ndv)
+
+    def test_sampled_null_count_scaled(self):
+        stats = _wide_db(self.N).stats("t", sample=self.SAMPLE)
+        true_nulls = self.N // 10
+        est = stats.column("val").null_count
+        assert true_nulls / 2 <= est <= true_nulls * 2
+
+    def test_sampling_is_deterministic(self):
+        db = _wide_db(self.N)
+        first = db.stats("t", sample=self.SAMPLE)
+        second = db.stats("t", sample=self.SAMPLE)
+        assert first is not second  # explicit builds are never cached
+        assert first.to_dict() == second.to_dict()
+
+    def test_sample_covering_table_degrades_to_exact(self):
+        db = _wide_db(500)
+        stats = db.stats("t", sample=10_000)
+        assert stats.sampled is False
+        assert stats.column("grp").ndv == 100
+
+    def test_explicit_build_leaves_cache_alone(self):
+        db = _wide_db(500)
+        cached = db.stats("t")
+        db.stats("t", sample=100)
+        assert db.stats("t") is cached
+
+    def test_auto_policy_samples_above_threshold(self, monkeypatch):
+        monkeypatch.setattr("repro.db.stats.STATS_EXACT_MAX", 1_000)
+        monkeypatch.setattr("repro.db.stats.STATS_SAMPLE_SIZE", 500)
+        db = _wide_db(5_000)
+        stats = db.stats("t")
+        assert stats.sampled is True
+        assert stats.sample_size == 500
+        assert stats.row_count == 5_000
+
+    def test_auto_policy_exact_below_threshold(self):
+        stats = _wide_db(500).stats("t")
+        assert stats.sampled is False
+
+    def test_sampled_histogram_usable_for_ranges(self):
+        db = _wide_db(self.N)
+        monkey_stats = db.stats("t", sample=self.SAMPLE)
+        hist = monkey_stats.column("id").histogram
+        assert hist is not None
+        # Uniform ids 0..N: the sampled histogram still puts ~half the
+        # mass below the midpoint.
+        assert 0.3 <= hist.fraction_le(self.N / 2) <= 0.7
+
+    def test_to_dict_carries_sampling_metadata(self):
+        data = _wide_db(self.N).stats("t", sample=self.SAMPLE).to_dict()
+        assert data["sampled"] is True
+        assert data["sample_size"] == self.SAMPLE
+
+    def test_build_sampled_direct(self):
+        rows = [{"id": i, "v": i % 7} for i in range(3_000)]
+        stats = build_sampled_table_stats("x", rows, ["id", "v"], 300)
+        assert stats.row_count == 3_000
+        assert stats.sampled is True
+        assert 3 <= stats.column("v").ndv <= 14
 
 
 class TestRewriteCostBridge:
